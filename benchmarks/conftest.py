@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures end to end (every
+equilibrium on the figure's grid) and asserts its qualitative shape checks,
+so `pytest benchmarks/ --benchmark-only` doubles as the full reproduction
+run. Grids are the paper's unless noted.
+
+Benchmarks use pedantic mode with a single round: the workloads are seconds
+long and deterministic, so statistical repetition buys nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+#: The paper's price axis, thinned 2x to keep a full benchmark run ~1 min.
+BENCH_PRICES = np.round(np.linspace(0.0, 2.0, 21), 10)
+#: The paper's five policy levels.
+BENCH_CAPS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_grid_cache():
+    """Each benchmark measures a cold grid solve."""
+    from repro.experiments.grid import clear_cache
+
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_once(benchmark, func):
+    """Run a deterministic seconds-long workload exactly once."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def assert_all_checks_pass(result):
+    failed = [check.name for check in result.checks if not check.passed]
+    assert not failed, f"{result.experiment_id} shape checks failed: {failed}"

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (aggregate throughput and ISP revenue).
+
+Workload: 21 one-sided market solves on the 9-CP §3 scenario, plus the
+shape checks (θ decreasing, R single-peaked with an interior peak).
+"""
+
+from benchmarks.conftest import BENCH_PRICES, assert_all_checks_pass, run_once
+from repro.experiments import fig04
+
+
+def test_bench_fig04(benchmark):
+    result = run_once(benchmark, lambda: fig04.compute(BENCH_PRICES))
+    assert_all_checks_pass(result)
+    # The reproduced revenue peak sits in the interior, as in the paper.
+    revenue = result.figures[1].series_by_name("revenue").y
+    assert revenue.max() > revenue[0] and revenue.max() > revenue[-1]

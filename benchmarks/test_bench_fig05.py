@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 5 (per-CP throughput versus price).
+
+Workload: 21 one-sided solves of the 9-CP §3 market, reading all nine
+θ_i(p) series, plus the non-monotonicity checks singled out by the paper.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_PRICES, assert_all_checks_pass, run_once
+from repro.experiments import fig05
+
+
+def test_bench_fig05(benchmark):
+    result = run_once(benchmark, lambda: fig05.compute(BENCH_PRICES))
+    assert_all_checks_pass(result)
+    figure = result.figures[0]
+    assert len(figure.series) == 9
+    # Paper's headline observation: the α=1, β=5 CP type *gains* throughput
+    # over part of the price axis while α=5, β=1 only loses.
+    rising = figure.series_by_name("a1b5").y
+    falling = figure.series_by_name("a5b1").y
+    assert np.any(np.diff(rising) > 0.0)
+    assert np.all(np.diff(falling) <= 1e-9)

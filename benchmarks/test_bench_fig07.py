@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 7 (ISP revenue and welfare over (p, q)).
+
+Workload: the full §5 equilibrium grid — 21 prices × 5 policy levels = 105
+Nash equilibria of the 8-CP game — then both panels and their monotonicity
+checks. This is the heaviest single benchmark; Figures 8–11 reuse the same
+grid shape, so their timings are comparable.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CAPS,
+    BENCH_PRICES,
+    assert_all_checks_pass,
+    run_once,
+)
+from repro.experiments import fig07
+
+
+def test_bench_fig07(benchmark):
+    result = run_once(benchmark, lambda: fig07.compute(BENCH_PRICES, BENCH_CAPS))
+    assert_all_checks_pass(result)
+    revenue_panel, welfare_panel = result.figures
+    # Deregulation dominance at the revenue-peak price, quantitatively:
+    # under q = 2 the ISP earns strictly more than under q = 0.
+    base = revenue_panel.series_by_name("q=0").y
+    dereg = revenue_panel.series_by_name("q=2").y
+    interior = slice(2, -2)
+    assert np.all(dereg[interior] > base[interior])
+    # Welfare ordering mirrors it.
+    assert np.all(
+        welfare_panel.series_by_name("q=2").y[interior]
+        >= welfare_panel.series_by_name("q=0").y[interior] - 1e-9
+    )

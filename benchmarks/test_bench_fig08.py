@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (equilibrium subsidies of the 8 CP types)."""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CAPS,
+    BENCH_PRICES,
+    assert_all_checks_pass,
+    run_once,
+)
+from repro.experiments import fig08
+
+
+def test_bench_fig08(benchmark):
+    result = run_once(benchmark, lambda: fig08.compute(BENCH_PRICES, BENCH_CAPS))
+    assert_all_checks_pass(result)
+    assert len(result.figures) == 8
+    # Quantitative anchor from our reproduction: the (α=5, β=5, v=1) CP's
+    # subsidy under q=2 approaches its v − 1/α = 0.8 asymptote.
+    panel = result.figures[-1]  # last panel is a5b5v1
+    tail = panel.series_by_name("q=2").y[-1]
+    assert 0.7 < tail < 0.8

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (equilibrium user populations)."""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CAPS,
+    BENCH_PRICES,
+    assert_all_checks_pass,
+    run_once,
+)
+from repro.experiments import fig09
+
+
+def test_bench_fig09(benchmark):
+    result = run_once(benchmark, lambda: fig09.compute(BENCH_PRICES, BENCH_CAPS))
+    assert_all_checks_pass(result)
+    # Subsidies keep populations above the regulated baseline everywhere.
+    for panel in result.figures:
+        base = panel.series_by_name("q=0").y
+        dereg = panel.series_by_name("q=2").y
+        assert np.all(dereg >= base - 1e-9)

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (equilibrium throughput per CP type)."""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CAPS,
+    BENCH_PRICES,
+    assert_all_checks_pass,
+    run_once,
+)
+from repro.experiments import fig10
+from repro.experiments.scenarios import SECTION5_PARAMETERS
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(benchmark, lambda: fig10.compute(BENCH_PRICES, BENCH_CAPS))
+    assert_all_checks_pass(result)
+    # The paper's exception CP (α=2, β=5, v=1) loses throughput vs the
+    # regulated baseline at the congested low-price end under q=2.
+    index = SECTION5_PARAMETERS.index((2.0, 5.0, 1.0))
+    panel = result.figures[index]
+    base = panel.series_by_name("q=0").y
+    dereg = panel.series_by_name("q=2").y
+    low_p = panel.x <= 0.31
+    assert np.any(dereg[low_p] < base[low_p])

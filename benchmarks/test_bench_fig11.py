@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 11 (equilibrium utilities per CP type)."""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CAPS,
+    BENCH_PRICES,
+    assert_all_checks_pass,
+    run_once,
+)
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(benchmark, lambda: fig11.compute(BENCH_PRICES, BENCH_CAPS))
+    assert_all_checks_pass(result)
+    # Utilities stay non-negative across the whole grid (a CP can always
+    # play s = 0), and at least one CP strictly gains from deregulation.
+    gains = 0
+    for panel in result.figures:
+        base = panel.series_by_name("q=0").y
+        dereg = panel.series_by_name("q=2").y
+        assert np.all(dereg >= -1e-9)
+        if np.any(dereg > base + 1e-6):
+            gains += 1
+    assert gains >= 1

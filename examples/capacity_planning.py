@@ -1,0 +1,63 @@
+"""Capacity planning: the investment feedback loop the paper argues for.
+
+Run with::
+
+    python examples/capacity_planning.py
+
+Section 6 leaves the ISP's capacity decision as future work; this example
+closes the loop with the library's :mod:`repro.simulation.capacity`
+extension. The ISP reinvests a fixed share of usage revenue into capacity
+each period. Comparing the regulated (q = 0) and deregulated (q = 2)
+trajectories shows the paper's central claim quantitatively: subsidization
+raises revenue, revenue funds capacity, and the added capacity eventually
+relieves the congestion that hurt sensitive CPs in the short run.
+"""
+
+from repro.analysis import format_table
+from repro.experiments.scenarios import section5_market
+from repro.simulation import simulate_capacity_expansion
+
+
+def main() -> None:
+    market = section5_market(price=0.8)
+    periods = 12
+
+    plans = {
+        "regulated (q=0)": simulate_capacity_expansion(
+            market, cap=0.0, periods=periods, reinvestment_rate=0.3
+        ),
+        "deregulated (q=2)": simulate_capacity_expansion(
+            market, cap=2.0, periods=periods, reinvestment_rate=0.3
+        ),
+    }
+
+    for name, plan in plans.items():
+        print(f"== {name} ==")
+        rows = []
+        for t in range(0, periods + 1, 2):
+            rows.append(
+                [
+                    t,
+                    float(plan.capacities[t]),
+                    float(plan.revenues[t]),
+                    float(plan.utilizations[t]),
+                    float(plan.welfares[t]),
+                ]
+            )
+        print(
+            format_table(
+                ["period", "capacity µ", "revenue R", "phi", "welfare W"], rows
+            )
+        )
+        print(f"total capacity growth: {100.0 * plan.capacity_growth():.1f}%")
+        print()
+
+    regulated = plans["regulated (q=0)"]
+    deregulated = plans["deregulated (q=2)"]
+    extra = deregulated.capacities[-1] / regulated.capacities[-1] - 1.0
+    print(f"deregulation funds {100.0 * extra:.1f}% more capacity after "
+          f"{periods} periods — the paper's investment-incentive mechanism.")
+
+
+if __name__ == "__main__":
+    main()

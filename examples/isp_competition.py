@@ -1,0 +1,107 @@
+"""Access-market competition: duopoly pricing with sponsored data.
+
+Run with::
+
+    python examples/isp_competition.py
+
+Section 6 of the paper conjectures that competition between access ISPs
+would both discipline prices and preserve the incentive to adopt
+subsidization. This example uses the library's duopoly extension: two
+identical carriers split one user base by a logit rule on prices, CPs
+strike per-carrier subsidy deals, and the carriers compete on price.
+
+Shown below: (1) the duopoly price equilibrium undercuts the monopoly
+price, more so the more easily users switch; (2) even under competition,
+allowing subsidization raises both carriers' revenue and total welfare —
+the regulator does not have to choose between the two remedies.
+"""
+
+from repro.analysis import format_table
+from repro.competition import Duopoly, solve_price_competition
+from repro.core.revenue import optimal_price
+from repro.providers import AccessISP, Market, exponential_cp
+
+
+def providers():
+    return [
+        exponential_cp(2.0, 2.0, value=1.0, name="video"),
+        exponential_cp(5.0, 3.0, value=0.6, name="social"),
+    ]
+
+
+def duopoly(switching: float, cap: float) -> Duopoly:
+    return Duopoly(
+        providers(),
+        AccessISP(price=1.0, capacity=0.5, name="carrier-a"),
+        AccessISP(price=1.0, capacity=0.5, name="carrier-b"),
+        switching=switching,
+        cap=cap,
+    )
+
+
+def main() -> None:
+    monopoly = optimal_price(
+        Market(providers(), AccessISP(price=1.0, capacity=1.0)),
+        cap=0.5,
+        price_range=(0.05, 2.0),
+    )
+    print(f"monopoly benchmark: p* = {monopoly.price:.3f}, "
+          f"R* = {monopoly.revenue:.4f}")
+    print()
+
+    print("== duopoly price equilibrium vs switching sensitivity (q = 0.5) ==")
+    rows = []
+    for switching in (0.5, 1.0, 2.0, 4.0):
+        result = solve_price_competition(
+            duopoly(switching, cap=0.5),
+            tol=1e-4, grid_points=20, price_range=(0.05, 2.0),
+        )
+        state = result.state
+        rows.append(
+            [
+                switching,
+                float(state.prices[0]),
+                float(state.total_revenue),
+                float(state.welfare),
+            ]
+        )
+    print(
+        format_table(
+            ["switching σ", "duopoly price", "industry revenue", "welfare"],
+            rows,
+        )
+    )
+    print("(prices fall as users switch more easily; all sit below the "
+          f"monopoly {monopoly.price:.3f})")
+    print()
+
+    print("== does subsidization still pay under competition? (σ = 2) ==")
+    rows = []
+    for cap in (0.0, 0.5):
+        result = solve_price_competition(
+            duopoly(2.0, cap=cap),
+            tol=1e-4, grid_points=20, price_range=(0.05, 2.0),
+        )
+        state = result.state
+        rows.append(
+            [
+                cap,
+                float(state.prices[0]),
+                float(state.revenues[0]),
+                float(state.welfare),
+            ]
+        )
+    print(
+        format_table(
+            ["policy q", "equilibrium price", "per-carrier revenue", "welfare"],
+            rows,
+        )
+    )
+    print()
+    print("Reading: competition disciplines the price level while the")
+    print("subsidization channel keeps adding revenue and welfare on top —")
+    print("the two §6 remedies are complements, not substitutes.")
+
+
+if __name__ == "__main__":
+    main()

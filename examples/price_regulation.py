@@ -1,0 +1,103 @@
+"""Price regulation: caps, viability floors, and the welfare trade-off.
+
+Run with::
+
+    python examples/price_regulation.py
+
+The paper's final policy message: deregulate subsidization, but be ready to
+regulate the access price when the market is not competitive. This example
+quantifies that message on the paper's 8-CP Section 5 market:
+
+1. a menu of regulatory *price caps* — how welfare and ISP revenue move as
+   the cap tightens below the monopoly price;
+2. the regulator's constrained problem — the welfare-best price subject to
+   an ISP *viability floor* (minimum revenue), showing where "as low as
+   possible without killing investment" lands;
+3. how the optimal investment level (capacity) responds to the regime.
+"""
+
+from repro.analysis import format_table
+from repro.core.investment import optimal_capacity
+from repro.core.regulation import (
+    constrained_welfare_optimal_price,
+    price_cap_analysis,
+)
+from repro.core.revenue import optimal_price
+from repro.experiments.scenarios import section5_market
+
+
+def main() -> None:
+    market = section5_market()
+    q = 1.0
+
+    monopoly = optimal_price(market, cap=q, price_range=(0.0, 2.5))
+    print(f"unregulated monopoly: p* = {monopoly.price:.3f}, "
+          f"R* = {monopoly.revenue:.4f}, "
+          f"W = {monopoly.equilibrium.state.welfare:.4f}")
+    print()
+
+    print("== price-cap menu (q = 1) ==")
+    caps = [2.0, 1.0, 0.75, 0.5, 0.25]
+    rows = []
+    for outcome in price_cap_analysis(market, cap=q, price_caps=caps):
+        rows.append(
+            [
+                outcome.regime,
+                outcome.price,
+                outcome.revenue,
+                outcome.welfare,
+                "yes" if outcome.binding else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["regime", "price", "revenue", "welfare", "binding"], rows
+        )
+    )
+    print()
+
+    print("== regulator's constrained optimum: max W s.t. R >= floor ==")
+    rows = []
+    for share in (0.9, 0.7, 0.5):
+        floor = share * monopoly.revenue
+        outcome = constrained_welfare_optimal_price(
+            market, cap=q, min_revenue=floor, price_range=(0.0, 2.5)
+        )
+        rows.append(
+            [
+                f"{100 * share:.0f}% of monopoly R",
+                outcome.price,
+                outcome.revenue,
+                outcome.welfare,
+            ]
+        )
+    print(format_table(["viability floor", "price", "revenue", "welfare"], rows))
+    print()
+
+    print("== investment under each regime (capacity cost 0.15/unit) ==")
+    rows = []
+    for label, price in (
+        ("monopoly price", monopoly.price),
+        ("regulated (70% floor)", rows_price := constrained_welfare_optimal_price(
+            market, cap=q, min_revenue=0.7 * monopoly.revenue,
+            price_range=(0.0, 2.5),
+        ).price),
+    ):
+        outcome = optimal_capacity(
+            market.with_price(price), cap=q, unit_cost=0.15,
+            capacity_range=(0.1, 6.0), grid_points=24,
+        )
+        rows.append([label, price, outcome.capacity, outcome.profit])
+    print(
+        format_table(
+            ["regime", "price", "optimal capacity", "ISP profit"], rows
+        )
+    )
+    print()
+    print("Reading: moderate caps trade a little ISP revenue for a lot of")
+    print("welfare; the viability floor pins how low the regulator can push")
+    print("the price before investment incentives break.")
+
+
+if __name__ == "__main__":
+    main()

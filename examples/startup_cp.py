@@ -1,0 +1,98 @@
+"""The startup question: does subsidization competition kill small CPs?
+
+Run with::
+
+    python examples/startup_cp.py
+
+Section 6 of the paper addresses the main anti-competitive worry about
+sponsored data: a low-profitability startup cannot afford to subsidize, so
+deregulation might squeeze it out. This example puts a startup (low v) among
+profitable incumbents and separates the two effects the paper distinguishes:
+
+* the *subsidization effect* — fix the price, relax q, measure the startup's
+  throughput loss to the congestion externality;
+* the *price effect* — fix q, raise the ISP price, measure the loss to
+  demand suppression.
+
+The paper's claim: the startup's real problem is high access prices (and low
+profitability), not the existence of subsidization. The numbers here let you
+see the relative magnitudes directly, plus the venture-capital counterfactual
+(fund the startup's subsidies by raising its effective v).
+"""
+
+import numpy as np
+
+from repro import (
+    AccessISP,
+    Market,
+    SubsidizationGame,
+    exponential_cp,
+    solve_equilibrium,
+)
+from repro.analysis import format_table
+
+
+def build_market(price: float, startup_value: float) -> Market:
+    providers = [
+        exponential_cp(5.0, 2.0, value=1.0, name="incumbent-video"),
+        exponential_cp(5.0, 5.0, value=1.0, name="incumbent-social"),
+        exponential_cp(2.0, 2.0, value=0.8, name="incumbent-games"),
+        exponential_cp(3.0, 4.0, value=startup_value, name="startup"),
+    ]
+    return Market(providers, AccessISP(price=price, capacity=1.0))
+
+
+def startup_throughput(price: float, cap: float, startup_value: float = 0.1) -> float:
+    market = build_market(price, startup_value)
+    eq = solve_equilibrium(SubsidizationGame(market, cap))
+    return float(eq.state.throughputs[-1])
+
+
+def main() -> None:
+    base_price = 0.8
+
+    print("== effect 1: deregulation at a fixed, competitive price ==")
+    rows = []
+    reference = startup_throughput(base_price, 0.0)
+    for cap in (0.0, 0.5, 1.0, 2.0):
+        theta = startup_throughput(base_price, cap)
+        rows.append([cap, theta, 100.0 * (theta / reference - 1.0)])
+    print(format_table(["cap q", "startup throughput", "% vs q=0"], rows))
+    print()
+
+    print("== effect 2: price increases under deregulation (q = 1) ==")
+    rows = []
+    reference = startup_throughput(base_price, 1.0)
+    for price in (0.8, 1.2, 1.6, 2.0):
+        theta = startup_throughput(price, 1.0)
+        rows.append([price, theta, 100.0 * (theta / reference - 1.0)])
+    print(format_table(["price p", "startup throughput", "% vs p=0.8"], rows))
+    print()
+
+    print("== counterfactual: venture funding lets the startup subsidize ==")
+    rows = []
+    for funded_value in (0.1, 0.4, 0.8):
+        market = build_market(base_price, funded_value)
+        eq = solve_equilibrium(SubsidizationGame(market, 1.0))
+        rows.append(
+            [
+                funded_value,
+                float(eq.subsidies[-1]),
+                float(eq.state.throughputs[-1]),
+                float(eq.state.populations[-1]),
+            ]
+        )
+    print(
+        format_table(
+            ["effective v", "startup subsidy", "throughput", "users"], rows
+        )
+    )
+    print()
+    print("Reading: the q-sweep moves the startup's throughput by a few")
+    print("percent (congestion externality), while price increases cut it")
+    print("by far more — matching the paper's diagnosis that high access")
+    print("prices, not subsidization, are the startup's real obstacle.")
+
+
+if __name__ == "__main__":
+    main()

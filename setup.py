@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``. This shim enables
+``pip install -e . --no-use-pep517 --no-build-isolation``, which runs the
+classic ``setup.py develop`` path instead. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

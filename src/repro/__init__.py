@@ -1,0 +1,121 @@
+"""repro — a reproduction of *Subsidization Competition: Vitalizing the
+Neutral Internet* (Richard T. B. Ma, ACM CoNEXT 2014).
+
+The library models a neutral access ISP serving content providers (CPs) who
+may voluntarily subsidize their users' usage-based fees, and implements the
+paper's full analytical apparatus: the congestion fixed point (§3), the
+subsidization competition game and its Nash equilibria (§4), equilibrium
+sensitivity analysis, ISP revenue and system welfare (§5), plus
+off-equilibrium simulation and capacity planning extensions (§6).
+
+Quickstart::
+
+    from repro import (AccessISP, Market, SubsidizationGame,
+                       exponential_cp, solve_equilibrium)
+
+    market = Market(
+        [exponential_cp(alpha=2, beta=2, value=1.0),
+         exponential_cp(alpha=5, beta=5, value=0.5)],
+        AccessISP(price=1.0, capacity=1.0),
+    )
+    game = SubsidizationGame(market, cap=1.0)
+    eq = solve_equilibrium(game)
+    print(eq.subsidies, eq.state.revenue, eq.state.welfare)
+"""
+
+from repro.core import (
+    EquilibriumResult,
+    SubsidizationGame,
+    best_response,
+    classify_providers,
+    equilibrium_sensitivity,
+    is_equilibrium,
+    kkt_residual,
+    marginal_revenue_decomposition,
+    marginal_revenue_one_sided,
+    marginal_welfare_criterion,
+    optimal_price,
+    policy_effect,
+    revenue_curve,
+    solve_equilibrium,
+    solve_equilibrium_best_response,
+    solve_equilibrium_vi,
+    thresholds,
+    welfare,
+)
+from repro.exceptions import (
+    BracketError,
+    ConvergenceError,
+    EquilibriumError,
+    ModelError,
+    ReproError,
+)
+from repro.network import (
+    CongestionSystem,
+    ExponentialDemand,
+    ExponentialThroughput,
+    LinearDemand,
+    LinearUtilization,
+    LogitDemand,
+    MM1Utilization,
+    PowerLawThroughput,
+    PowerLawUtilization,
+    RationalThroughput,
+    ShiftedPowerDemand,
+    SystemState,
+    TrafficClass,
+)
+from repro.providers import (
+    AccessISP,
+    ContentProvider,
+    Market,
+    MarketState,
+    exponential_cp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessISP",
+    "BracketError",
+    "CongestionSystem",
+    "ContentProvider",
+    "ConvergenceError",
+    "EquilibriumError",
+    "EquilibriumResult",
+    "ExponentialDemand",
+    "ExponentialThroughput",
+    "LinearDemand",
+    "LinearUtilization",
+    "LogitDemand",
+    "MM1Utilization",
+    "Market",
+    "MarketState",
+    "ModelError",
+    "PowerLawThroughput",
+    "PowerLawUtilization",
+    "RationalThroughput",
+    "ReproError",
+    "ShiftedPowerDemand",
+    "SubsidizationGame",
+    "SystemState",
+    "TrafficClass",
+    "best_response",
+    "classify_providers",
+    "equilibrium_sensitivity",
+    "exponential_cp",
+    "is_equilibrium",
+    "kkt_residual",
+    "marginal_revenue_decomposition",
+    "marginal_revenue_one_sided",
+    "marginal_welfare_criterion",
+    "optimal_price",
+    "policy_effect",
+    "revenue_curve",
+    "solve_equilibrium",
+    "solve_equilibrium_best_response",
+    "solve_equilibrium_vi",
+    "thresholds",
+    "welfare",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Sweep, series and reporting utilities.
+
+The environment regenerates the paper's figures as *data*: named series
+(:mod:`repro.analysis.series`), rendered as ASCII charts
+(:mod:`repro.analysis.ascii_plot`) and plain-text tables / CSV files
+(:mod:`repro.analysis.reporting`). :mod:`repro.analysis.sweeps` runs the
+equilibrium computations behind price/policy grids with warm starting.
+"""
+
+from repro.analysis.ascii_plot import render_chart
+from repro.analysis.continuation import (
+    Breakpoint,
+    EquilibriumPath,
+    trace_equilibrium_path,
+)
+from repro.analysis.reporting import format_table, write_csv
+from repro.analysis.series import FigureData, Series
+from repro.analysis.sweeps import (
+    EquilibriumGrid,
+    policy_grid,
+    price_sweep,
+)
+
+__all__ = [
+    "Breakpoint",
+    "EquilibriumGrid",
+    "EquilibriumPath",
+    "FigureData",
+    "Series",
+    "trace_equilibrium_path",
+    "format_table",
+    "policy_grid",
+    "price_sweep",
+    "render_chart",
+    "write_csv",
+]

@@ -1,0 +1,95 @@
+"""Terminal rendering of figure data — the offline stand-in for matplotlib.
+
+Draws multiple series on one character grid with per-series markers, a left
+value axis and a bottom x-axis. Designed for quick visual shape checks
+("is revenue single-peaked?", "do the q-levels order correctly?"), not for
+publication; the quantitative record lives in the CSVs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.series import FigureData
+from repro.exceptions import ModelError
+
+__all__ = ["render_chart"]
+
+_MARKERS = "o*x+#@%&$~^"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    if 0.001 <= abs(value) < 10_000:
+        return f"{value:.3g}"
+    return f"{value:.1e}"
+
+
+def render_chart(
+    figure: FigureData,
+    *,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render a :class:`~repro.analysis.series.FigureData` as ASCII art.
+
+    Series are overlaid with distinct markers (legend appended below).
+    Non-finite values are skipped. Raises
+    :class:`~repro.exceptions.ModelError` for empty figures.
+    """
+    if width < 16 or height < 4:
+        raise ModelError(f"chart too small: {width}x{height}")
+    if not figure.series or figure.x.size == 0:
+        raise ModelError(f"figure {figure.figure_id} has no data to render")
+
+    xs = figure.x
+    all_y = np.concatenate([s.y for s in figure.series])
+    finite = all_y[np.isfinite(all_y)]
+    if finite.size == 0:
+        raise ModelError(f"figure {figure.figure_id} has no finite values")
+    y_min = float(np.min(finite))
+    y_max = float(np.max(finite))
+    if math.isclose(y_min, y_max):
+        pad = 1.0 if y_min == 0.0 else abs(y_min) * 0.1
+        y_min -= pad
+        y_max += pad
+    x_min = float(np.min(xs))
+    x_max = float(np.max(xs))
+    if math.isclose(x_min, x_max):
+        x_min -= 0.5
+        x_max += 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(figure.series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for xv, yv in zip(xs, series.y):
+            if not (np.isfinite(xv) and np.isfinite(yv)):
+                continue
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y_max - yv) / (y_max - y_min) * (height - 1))
+            grid[row][col] = marker
+
+    label_width = max(len(_format_tick(y_max)), len(_format_tick(y_min)))
+    lines = [f"{figure.title}  [{figure.figure_id}]"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_tick(y_max).rjust(label_width)
+        elif row_index == height - 1:
+            label = _format_tick(y_min).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_lo = _format_tick(x_min)
+    x_hi = _format_tick(x_max)
+    padding = " " * (label_width + 2)
+    gap = max(width - len(x_lo) - len(x_hi), 1)
+    lines.append(f"{padding}{x_lo}{' ' * gap}{x_hi}")
+    lines.append(f"{padding}{figure.x_label} →  ({figure.y_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(figure.series)
+    )
+    lines.append(f"{padding}{legend}")
+    return "\n".join(lines)

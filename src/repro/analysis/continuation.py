@@ -1,0 +1,157 @@
+"""Equilibrium path continuation along the ISP price axis.
+
+The equilibrium map ``p ↦ s*(p, q)`` is piecewise smooth: it is
+differentiable wherever the ``N−/N+/Ñ`` partition of Theorem 6 is locally
+constant, and *kinks* where a CP enters or leaves a bound (the
+strict-complementarity edge cases the theorem excludes). This module traces
+the path with warm-started solves and locates those partition-change
+breakpoints to high precision by bisection — useful both for plotting
+(Figure 8's kinks) and for knowing where Theorem 6's derivative formulas
+are valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterization import ProviderPartition, classify_providers
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+
+__all__ = ["Breakpoint", "EquilibriumPath", "trace_equilibrium_path"]
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """A price where the equilibrium's bound-partition changes.
+
+    Attributes
+    ----------
+    price:
+        Location of the change, bracketed to ``price_tol``.
+    before, after:
+        The partitions on each side.
+    """
+
+    price: float
+    before: ProviderPartition
+    after: ProviderPartition
+
+
+@dataclass(frozen=True)
+class EquilibriumPath:
+    """A traced equilibrium path ``p ↦ s*(p, q)``.
+
+    Attributes
+    ----------
+    prices:
+        Grid the path was traced on.
+    subsidies:
+        Matrix ``[price, cp]`` of equilibrium subsidies.
+    partitions:
+        Per-grid-point partitions.
+    breakpoints:
+        Refined partition-change locations between grid nodes.
+    cap:
+        The policy level of the trace.
+    """
+
+    prices: np.ndarray
+    subsidies: np.ndarray
+    partitions: tuple[ProviderPartition, ...]
+    breakpoints: tuple[Breakpoint, ...]
+    cap: float
+
+    def smooth_segments(self) -> list[tuple[float, float]]:
+        """Price intervals on which Theorem 6's formulas apply.
+
+        Returns the open segments between consecutive breakpoints (and the
+        path's ends), on each of which the partition — and hence the
+        differentiable branch of ``s*(p)`` — is constant.
+        """
+        edges = (
+            [float(self.prices[0])]
+            + [bp.price for bp in self.breakpoints]
+            + [float(self.prices[-1])]
+        )
+        return [(edges[k], edges[k + 1]) for k in range(len(edges) - 1)]
+
+
+def _partition_key(partition: ProviderPartition) -> tuple:
+    return (partition.zero, partition.capped, partition.interior)
+
+
+def trace_equilibrium_path(
+    market: Market,
+    prices,
+    cap: float,
+    *,
+    price_tol: float = 1e-6,
+    boundary_tol: float = 1e-7,
+) -> EquilibriumPath:
+    """Trace ``s*(p, q)`` over a price grid and refine its kinks.
+
+    Parameters
+    ----------
+    market:
+        The market (its own price is ignored; the grid provides prices).
+    prices:
+        Increasing price grid.
+    cap:
+        Policy level ``q``.
+    price_tol:
+        Bisection tolerance for breakpoint locations.
+    boundary_tol:
+        Bound-closeness tolerance for the partition classification.
+    """
+    prices = np.asarray(prices, dtype=float)
+    if prices.ndim != 1 or prices.size < 2:
+        raise ModelError("prices must be a 1-D grid with at least two points")
+    if np.any(np.diff(prices) <= 0.0):
+        raise ModelError("prices must be strictly increasing")
+
+    def solve_at(p: float, warm=None):
+        game = SubsidizationGame(market.with_price(float(p)), cap)
+        eq = solve_equilibrium(game, initial=warm)
+        partition = classify_providers(game, eq.subsidies, boundary_tol=boundary_tol)
+        return eq, partition
+
+    subsidies = []
+    partitions = []
+    warm = None
+    for p in prices:
+        eq, partition = solve_at(p, warm)
+        warm = eq.subsidies
+        subsidies.append(eq.subsidies.copy())
+        partitions.append(partition)
+
+    breakpoints = []
+    for k in range(prices.size - 1):
+        if _partition_key(partitions[k]) == _partition_key(partitions[k + 1]):
+            continue
+        lo, hi = float(prices[k]), float(prices[k + 1])
+        part_lo, part_hi = partitions[k], partitions[k + 1]
+        warm = subsidies[k].copy()
+        while hi - lo > price_tol:
+            mid = 0.5 * (lo + hi)
+            eq, part_mid = solve_at(mid, warm)
+            warm = eq.subsidies
+            if _partition_key(part_mid) == _partition_key(part_lo):
+                lo = mid
+            else:
+                hi, part_hi = mid, part_mid
+        breakpoints.append(
+            Breakpoint(price=0.5 * (lo + hi), before=part_lo, after=part_hi)
+        )
+
+    return EquilibriumPath(
+        prices=prices,
+        subsidies=np.array(subsidies),
+        partitions=tuple(partitions),
+        breakpoints=tuple(breakpoints),
+        cap=cap,
+    )

@@ -1,0 +1,68 @@
+"""Plain-text tables and CSV output."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ModelError
+
+__all__ = ["format_table", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``. Raises :class:`~repro.exceptions.ModelError` on ragged rows.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ModelError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = [line(list(headers)), line(["-" * w for w in widths])]
+    parts.extend(line(r) for r in rendered_rows)
+    return "\n".join(parts)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write headers + rows to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ModelError(
+                    f"row has {len(row)} cells, header has {len(headers)}"
+                )
+            writer.writerow(list(row))

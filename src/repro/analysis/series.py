@@ -1,0 +1,94 @@
+"""Named data series — the library's representation of a paper figure.
+
+Every experiment produces a :class:`FigureData`: an x-axis plus a list of
+named :class:`Series`, convertible to CSV. This is the matplotlib-free
+equivalent of the paper's plots: the numbers are all there, the rendering is
+delegated to :mod:`repro.analysis.ascii_plot` or any external tool reading
+the CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve ``y(x)``."""
+
+    name: str
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if self.y.ndim != 1:
+            raise ModelError(f"series {self.name!r} must be 1-D, got {self.y.ndim}-D")
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A reproduced figure: common x-axis, named series, provenance.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper figure identifier, e.g. ``"fig4-left"``.
+    title:
+        Human-readable description.
+    x_label, y_label:
+        Axis labels.
+    x:
+        Common x-axis values.
+    series:
+        The curves of the figure.
+    notes:
+        Free-form provenance (scenario, parameters).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x: np.ndarray
+    series: tuple[Series, ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "series", tuple(self.series))
+        for s in self.series:
+            if s.y.shape != self.x.shape:
+                raise ModelError(
+                    f"series {s.name!r} has {s.y.shape[0]} points, "
+                    f"x-axis has {self.x.shape[0]}"
+                )
+
+    def series_by_name(self, name: str) -> Series:
+        """Look up one curve; raises ``KeyError`` for unknown names."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.figure_id}")
+
+    def names(self) -> list[str]:
+        """Names of all curves, in order."""
+        return [s.name for s in self.series]
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write ``x`` plus one column per series."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([self.x_label] + self.names())
+            for k in range(self.x.size):
+                writer.writerow(
+                    [repr(float(self.x[k]))] + [repr(float(s.y[k])) for s in self.series]
+                )

@@ -1,0 +1,110 @@
+"""Equilibrium computations over price/policy grids.
+
+The §5 figures all live on the same grid: ISP price ``p`` on the x-axis, one
+curve per policy level ``q``. :func:`policy_grid` computes every equilibrium
+on that grid once (with warm starts along the price axis) and hands the
+result to all downstream figure modules, so a full Figure 7–11 regeneration
+performs each solve exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+
+__all__ = ["price_sweep", "EquilibriumGrid", "policy_grid"]
+
+
+def price_sweep(
+    market: Market,
+    prices,
+    *,
+    cap: float = 0.0,
+    warm_start: bool = True,
+) -> list[EquilibriumResult]:
+    """Equilibria along a price axis under a fixed policy cap.
+
+    With ``cap = 0`` this is the one-sided model of §3.2 (the "solve" is
+    then just the congestion fixed point at zero subsidies).
+    """
+    results: list[EquilibriumResult] = []
+    initial = None
+    for p in np.asarray(prices, dtype=float):
+        game = SubsidizationGame(market.with_price(float(p)), cap)
+        result = solve_equilibrium(game, initial=initial)
+        results.append(result)
+        if warm_start:
+            initial = result.subsidies
+    return results
+
+
+@dataclass(frozen=True)
+class EquilibriumGrid:
+    """All equilibria of a (price × policy) grid.
+
+    Attributes
+    ----------
+    prices:
+        The price axis.
+    caps:
+        The policy levels.
+    results:
+        ``results[k][j]`` is the equilibrium at ``caps[k]``, ``prices[j]``.
+    """
+
+    prices: np.ndarray
+    caps: np.ndarray
+    results: tuple[tuple[EquilibriumResult, ...], ...]
+
+    def at(self, cap_index: int, price_index: int) -> EquilibriumResult:
+        """The equilibrium at grid node ``(caps[cap_index], prices[price_index])``."""
+        return self.results[cap_index][price_index]
+
+    def quantity(self, extractor) -> np.ndarray:
+        """Matrix ``[cap, price]`` of a scalar pulled from each equilibrium.
+
+        ``extractor`` maps an :class:`EquilibriumResult` to a float, e.g.
+        ``lambda eq: eq.state.revenue``.
+        """
+        return np.array(
+            [[float(extractor(eq)) for eq in row] for row in self.results]
+        )
+
+    def provider_quantity(self, extractor) -> np.ndarray:
+        """Array ``[cap, price, cp]`` of per-CP vectors from each equilibrium.
+
+        ``extractor`` maps an :class:`EquilibriumResult` to a 1-D array,
+        e.g. ``lambda eq: eq.state.throughputs``.
+        """
+        return np.array(
+            [[np.asarray(extractor(eq), dtype=float) for eq in row]
+             for row in self.results]
+        )
+
+
+def policy_grid(
+    market: Market,
+    prices,
+    caps,
+    *,
+    warm_start: bool = True,
+) -> EquilibriumGrid:
+    """Solve the full (policy × price) equilibrium grid behind Figures 7–11."""
+    prices = np.asarray(prices, dtype=float)
+    caps = np.asarray(caps, dtype=float)
+    if prices.ndim != 1 or prices.size == 0:
+        raise ModelError("prices must be a non-empty 1-D array")
+    if caps.ndim != 1 or caps.size == 0:
+        raise ModelError("caps must be a non-empty 1-D array")
+    rows = []
+    for q in caps:
+        rows.append(
+            tuple(price_sweep(market, prices, cap=float(q), warm_start=warm_start))
+        )
+    return EquilibriumGrid(prices=prices, caps=caps, results=tuple(rows))

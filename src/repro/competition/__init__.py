@@ -1,0 +1,25 @@
+"""Access-ISP competition (§6 extension).
+
+The paper studies a single access ISP and conjectures in §6 that
+"competition between ISPs will also incentivize them to adopt subsidization
+schemes, through which users can obtain subsidized services". This package
+models the smallest faithful version of that conjecture: a *duopoly* of
+access ISPs serving a common user base that splits between them by a logit
+rule on prices, with the CPs playing independent subsidization games on
+each carrier (the games decouple because market shares depend only on
+prices — see :mod:`repro.competition.duopoly`).
+"""
+
+from repro.competition.duopoly import (
+    Duopoly,
+    DuopolyState,
+    PriceCompetitionResult,
+    solve_price_competition,
+)
+
+__all__ = [
+    "Duopoly",
+    "DuopolyState",
+    "PriceCompetitionResult",
+    "solve_price_competition",
+]

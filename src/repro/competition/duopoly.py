@@ -1,0 +1,276 @@
+"""Duopoly access-ISP competition with CP subsidization.
+
+Model
+-----
+Two access ISPs ``A`` and ``B`` (own price, capacity and utilization
+metric) serve one population of users. Users pick a carrier by a logit rule
+on prices:
+
+    w_A = e^{−σ·p_A} / (e^{−σ·p_A} + e^{−σ·p_B}),   w_B = 1 − w_A
+
+where ``σ ≥ 0`` is the switching sensitivity (``σ = 0``: captive halves;
+``σ → ∞``: Bertrand-style winner-take-all). Within carrier ``k``, CP ``i``
+faces demand ``w_k·m_i(p_k − s_{ik})`` and chooses a per-carrier subsidy
+``s_{ik} ∈ [0, q]`` — sponsored-data deals are struck per carrier in
+practice (e.g. AT&T's program).
+
+Because shares depend only on prices, and each carrier has its own
+congestion fixed point, the CPs' equilibrium problem *decouples across
+carriers* given ``(p_A, p_B)``: carrier ``k``'s subsidy profile is the Nash
+equilibrium of a standard :class:`~repro.core.game.SubsidizationGame` on a
+market whose demands are scaled by ``w_k``. This module composes those
+solves into the ISPs' *price competition*: damped best-response iteration
+on ``(p_A, p_B)`` where each ISP maximizes its own equilibrium revenue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ConvergenceError, ModelError
+from repro.network.demand import ScaledDemand
+from repro.providers.content_provider import ContentProvider
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+from repro.solvers.scalar_opt import grid_polish_maximize
+
+__all__ = [
+    "Duopoly",
+    "DuopolyState",
+    "PriceCompetitionResult",
+    "solve_price_competition",
+]
+
+
+@dataclass(frozen=True)
+class DuopolyState:
+    """Solved duopoly snapshot at a price pair.
+
+    Attributes
+    ----------
+    prices:
+        ``(p_A, p_B)``.
+    shares:
+        Logit market shares ``(w_A, w_B)``.
+    equilibria:
+        Per-carrier CP equilibria (subsidies, states).
+    revenues:
+        Per-carrier ISP revenue.
+    welfare:
+        Total CP gross profit across both carriers.
+    """
+
+    prices: tuple[float, float]
+    shares: tuple[float, float]
+    equilibria: tuple[EquilibriumResult, EquilibriumResult]
+    revenues: tuple[float, float]
+    welfare: float
+
+    @property
+    def total_revenue(self) -> float:
+        """Industry revenue ``R_A + R_B``."""
+        return self.revenues[0] + self.revenues[1]
+
+
+class Duopoly:
+    """Two access ISPs competing for one user base.
+
+    Parameters
+    ----------
+    providers:
+        The CPs (shared across carriers).
+    isp_a, isp_b:
+        The carriers. Prices on these objects are *defaults*; the solve
+        methods take explicit price pairs.
+    switching:
+        Logit sensitivity ``σ ≥ 0`` of carrier choice to price.
+    cap:
+        Subsidization policy ``q`` (applies on both carriers).
+    """
+
+    def __init__(
+        self,
+        providers: Sequence[ContentProvider],
+        isp_a: AccessISP,
+        isp_b: AccessISP,
+        *,
+        switching: float = 2.0,
+        cap: float = 0.0,
+    ) -> None:
+        if switching < 0.0 or not np.isfinite(switching):
+            raise ModelError(
+                f"switching must be finite and non-negative, got {switching}"
+            )
+        if cap < 0.0 or not np.isfinite(cap):
+            raise ModelError(f"cap must be finite and non-negative, got {cap}")
+        self._providers = tuple(providers)
+        if not self._providers:
+            raise ModelError("a duopoly needs at least one content provider")
+        self._isps = (isp_a, isp_b)
+        self._switching = float(switching)
+        self._cap = float(cap)
+        # Warm-start cache: last equilibrium subsidies per carrier. Purely a
+        # performance device — solutions are certified per solve, so a stale
+        # start cannot change the result, only the iteration count.
+        self._warm: dict[int, np.ndarray] = {}
+
+    @property
+    def switching(self) -> float:
+        """Logit switching sensitivity ``σ``."""
+        return self._switching
+
+    @property
+    def cap(self) -> float:
+        """Subsidization policy cap ``q``."""
+        return self._cap
+
+    def shares(self, price_a: float, price_b: float) -> tuple[float, float]:
+        """Logit market shares at a price pair."""
+        # Stabilized softmax on (-σ p).
+        za, zb = -self._switching * price_a, -self._switching * price_b
+        top = max(za, zb)
+        ea, eb = math.exp(za - top), math.exp(zb - top)
+        w_a = ea / (ea + eb)
+        return (w_a, 1.0 - w_a)
+
+    def carrier_market(self, index: int, prices: tuple[float, float]) -> Market:
+        """Carrier ``index``'s market: demands scaled by its share."""
+        w = self.shares(*prices)[index]
+        scaled = [
+            ContentProvider(
+                demand=ScaledDemand(cp.demand, w),
+                throughput=cp.throughput,
+                value=cp.value,
+                name=cp.name,
+            )
+            for cp in self._providers
+        ]
+        isp = self._isps[index].with_price(prices[index])
+        return Market(scaled, isp)
+
+    def solve(self, price_a: float, price_b: float) -> DuopolyState:
+        """Full duopoly state (CP equilibria on both carriers) at a price pair."""
+        prices = (float(price_a), float(price_b))
+        shares = self.shares(*prices)
+        equilibria = []
+        for k in range(2):
+            market = self.carrier_market(k, prices)
+            equilibrium = solve_equilibrium(
+                SubsidizationGame(market, self._cap),
+                initial=self._warm.get(k),
+            )
+            self._warm[k] = equilibrium.subsidies
+            equilibria.append(equilibrium)
+        welfare = sum(eq.state.welfare for eq in equilibria)
+        return DuopolyState(
+            prices=prices,
+            shares=shares,
+            equilibria=(equilibria[0], equilibria[1]),
+            revenues=(equilibria[0].state.revenue, equilibria[1].state.revenue),
+            welfare=welfare,
+        )
+
+    def revenue_of(self, index: int, prices: tuple[float, float]) -> float:
+        """Carrier ``index``'s equilibrium revenue at a price pair.
+
+        Cheaper than :meth:`solve`: only the carrier's own game is solved
+        (the rival's equilibrium does not enter its revenue).
+        """
+        market = self.carrier_market(index, prices)
+        equilibrium = solve_equilibrium(
+            SubsidizationGame(market, self._cap),
+            initial=self._warm.get(index),
+        )
+        self._warm[index] = equilibrium.subsidies
+        return equilibrium.state.revenue
+
+    def best_response_price(
+        self,
+        index: int,
+        rival_price: float,
+        *,
+        price_range: tuple[float, float] = (0.0, 3.0),
+        grid_points: int = 32,
+        xtol: float = 1e-7,
+    ) -> float:
+        """Carrier ``index``'s revenue-maximizing price against a rival price."""
+
+        def revenue(p: float) -> float:
+            prices = (p, rival_price) if index == 0 else (rival_price, p)
+            return self.revenue_of(index, prices)
+
+        return grid_polish_maximize(
+            revenue, price_range[0], price_range[1],
+            grid_points=grid_points, xtol=xtol,
+        ).x
+
+
+@dataclass(frozen=True)
+class PriceCompetitionResult:
+    """A price equilibrium of the duopoly.
+
+    Attributes
+    ----------
+    state:
+        Full duopoly state at the equilibrium prices.
+    iterations:
+        Best-response sweeps used.
+    residual:
+        Final maximum price change per sweep.
+    """
+
+    state: DuopolyState
+    iterations: int
+    residual: float
+
+
+def solve_price_competition(
+    duopoly: Duopoly,
+    *,
+    initial_prices: tuple[float, float] = (1.0, 1.0),
+    price_range: tuple[float, float] = (0.0, 3.0),
+    damping: float = 0.7,
+    tol: float = 1e-5,
+    max_sweeps: int = 60,
+    grid_points: int = 32,
+) -> PriceCompetitionResult:
+    """Damped best-response iteration on the ISPs' prices.
+
+    Each sweep lets both carriers re-price against the freshest rival
+    price; convergence is declared when the largest per-sweep price change
+    falls below ``tol``. Raises :class:`~repro.exceptions.ConvergenceError`
+    on budget exhaustion (cycling is possible for extreme switching
+    sensitivities — damp harder there).
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping}")
+    prices = [float(initial_prices[0]), float(initial_prices[1])]
+    largest_change = np.inf
+    for sweep in range(1, max_sweeps + 1):
+        largest_change = 0.0
+        for k in range(2):
+            response = duopoly.best_response_price(
+                k, prices[1 - k], price_range=price_range,
+                grid_points=grid_points,
+            )
+            step = damping * (response - prices[k])
+            largest_change = max(largest_change, abs(step))
+            prices[k] += step
+        if largest_change <= tol:
+            return PriceCompetitionResult(
+                state=duopoly.solve(prices[0], prices[1]),
+                iterations=sweep,
+                residual=largest_change,
+            )
+    raise ConvergenceError(
+        f"price competition not converged in {max_sweeps} sweeps "
+        f"(last change {largest_change:.3e})",
+        iterations=max_sweeps,
+        residual=largest_change,
+    )

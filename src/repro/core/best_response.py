@@ -1,0 +1,136 @@
+"""Best responses of the subsidization game (Definition 3).
+
+Player ``i`` maximizes ``U_i(s_i; s_-i) = (v_i − s_i)·θ_i(s)`` over
+``s_i ∈ [0, q]``. Two facts shape the solver:
+
+* the maximizer never exceeds ``v_i`` (utility is non-positive there while
+  ``s_i = 0`` guarantees ``U_i ≥ 0``), so the search interval is
+  ``[0, min(q, v_i)]``;
+* under the paper's concavity condition the marginal utility ``u_i`` is
+  decreasing in own strategy, so the best response is the root of ``u_i``
+  clipped to the interval — found by Brent in a handful of solves.
+
+The root path is the fast default; when ``u_i`` fails the monotonicity
+sanity checks (possible for exotic functional families) we fall back to
+golden-section/grid maximization of the utility itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.core.game import SubsidizationGame
+from repro.exceptions import EquilibriumError
+from repro.solvers.scalar_opt import grid_polish_maximize
+
+__all__ = ["best_response", "best_response_profile"]
+
+
+def _own_marginal(game: SubsidizationGame, index: int, profile: np.ndarray):
+    """Return ``u_i`` as a function of own strategy with others frozen."""
+
+    def u_of_own(si: float) -> float:
+        trial = profile.copy()
+        trial[index] = si
+        return game.marginal_utility(index, trial)
+
+    return u_of_own
+
+
+def _utility_of_own(game: SubsidizationGame, index: int, profile: np.ndarray):
+    def value(si: float) -> float:
+        trial = profile.copy()
+        trial[index] = si
+        return game.utility(index, trial)
+
+    return value
+
+
+def best_response(
+    game: SubsidizationGame,
+    index: int,
+    profile,
+    *,
+    xtol: float = 1e-12,
+    method: str = "auto",
+) -> float:
+    """Best response of player ``index`` against ``profile``.
+
+    Parameters
+    ----------
+    game:
+        The subsidization game.
+    index:
+        Player whose response is computed.
+    profile:
+        Current full strategy profile (own entry is ignored).
+    xtol:
+        Root/maximization tolerance.
+    method:
+        ``"root"`` — solve ``u_i(s_i) = 0`` (requires concavity),
+        ``"maximize"`` — grid + golden-section on the utility,
+        ``"auto"`` — root path with automatic fallback (default).
+    """
+    if method not in {"root", "maximize", "auto"}:
+        raise ValueError(f"unknown best-response method {method!r}")
+    s = np.asarray(profile, dtype=float).copy()
+    value = game.market.providers[index].value
+    hi = min(game.cap, value)
+    if hi <= 0.0:
+        return 0.0
+
+    if method in {"root", "auto"}:
+        u = _own_marginal(game, index, s)
+        u_lo = u(0.0)
+        if not np.isfinite(u_lo):
+            raise EquilibriumError(
+                f"marginal utility of player {index} is not finite at s=0 "
+                "(degenerate model parameters?)"
+            )
+        if u_lo <= 0.0:
+            # Marginal utility non-positive already at zero subsidy: corner.
+            return 0.0
+        u_hi = u(hi)
+        if not np.isfinite(u_hi):
+            raise EquilibriumError(
+                f"marginal utility of player {index} is not finite at s={hi} "
+                "(degenerate model parameters?)"
+            )
+        if u_hi >= 0.0:
+            # Still worth subsidizing at the cap (or at full margin).
+            return hi
+        root = float(brentq(u, 0.0, hi, xtol=xtol))
+        if method == "root":
+            return root
+        # Concavity sanity check: the root must beat both corners.
+        utility = _utility_of_own(game, index, s)
+        u_root = utility(root)
+        if u_root + 1e-12 >= max(utility(0.0), utility(hi)):
+            return root
+
+    result = grid_polish_maximize(
+        _utility_of_own(game, index, s), 0.0, hi, grid_points=65, xtol=xtol
+    )
+    return result.x
+
+
+def best_response_profile(
+    game: SubsidizationGame,
+    profile,
+    *,
+    xtol: float = 1e-12,
+    method: str = "auto",
+) -> np.ndarray:
+    """Simultaneous (Jacobi) best-response map ``s ↦ BR(s)``.
+
+    All responses are computed against the *same* incoming profile; Nash
+    equilibria are exactly the fixed points of this map.
+    """
+    s = np.asarray(profile, dtype=float)
+    return np.array(
+        [
+            best_response(game, i, s, xtol=xtol, method=method)
+            for i in range(game.size)
+        ]
+    )

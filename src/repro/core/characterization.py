@@ -1,0 +1,130 @@
+"""Theorem 3: threshold/KKT characterization of Nash equilibria.
+
+Theorem 3 states a profile ``s`` is an equilibrium only if
+
+    s_i = min{ τ_i(s), q }   for every CP i,
+
+with the threshold (equation (9), rewritten in derivative form)
+
+    τ_i(s) = (v_i − s_i) · s_i · (−m'_i/m_i) · (1 + m_i·λ'_i(φ)/(dg/dφ)).
+
+Deriving the rewrite: ``ε^{m_i}_{s_i} = (∂m_i/∂s_i)·s_i/m_i =
+(−m'_i)·s_i/m_i`` and ``ε^{λ_i}_φ·ε^φ_{m_i} = (λ'_i·φ/λ_i)·(∂φ/∂m_i·m_i/φ)
+= m_i·λ'_i/(dg/dφ)`` using equation (4). Setting ``u_i = 0`` and multiplying
+by ``s_i`` recovers ``τ_i = s_i`` for interior strategies — the module's
+:func:`kkt_residual` checks exactly this structure plus the corner
+inequalities ``v_i ≤ (∂θ_i/∂s_i)^{-1}·θ_i`` at ``s_i = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.game import SubsidizationGame
+from repro.solvers.projection import project_box
+
+__all__ = [
+    "thresholds",
+    "kkt_residual",
+    "is_equilibrium",
+    "classify_providers",
+    "ProviderPartition",
+]
+
+
+def thresholds(game: SubsidizationGame, subsidies) -> np.ndarray:
+    """Theorem 3 thresholds ``τ_i(s)`` at a profile.
+
+    At an equilibrium, ``s_i = min{τ_i(s), q}`` holds for every ``i``. Away
+    from equilibrium the vector is still well-defined and is useful for
+    diagnosing who wants to move which way: ``τ_i > s_i`` means CP ``i``'s
+    marginal utility at ``s_i`` is positive (wants to subsidize more).
+    """
+    diag = game.marginal_diagnostics(subsidies)
+    state = diag.state
+    providers = game.market.providers
+    phi = state.utilization
+    tau = np.empty(game.size)
+    for i, cp in enumerate(providers):
+        margin = cp.value - state.subsidies[i]
+        m = state.populations[i]
+        if m == 0.0:
+            tau[i] = 0.0
+            continue
+        neg_log_slope = -cp.demand.d_population(state.effective_prices[i]) / m
+        congestion_factor = (
+            1.0 + m * cp.throughput.d_rate(phi) / state.gap_slope
+        )
+        tau[i] = margin * state.subsidies[i] * neg_log_slope * congestion_factor
+    return tau
+
+
+def kkt_residual(game: SubsidizationGame, subsidies) -> float:
+    """Natural-map residual ``‖s − Π_{[0,q]}(s + u(s))‖_∞``.
+
+    Zero exactly at profiles satisfying the first-order conditions (18) of
+    Theorem 3's proof; the certification metric used by all Nash solvers.
+    """
+    s = np.asarray(subsidies, dtype=float)
+    u = game.marginal_utilities(s)
+    projected = project_box(s + u, 0.0, game.cap)
+    return float(np.max(np.abs(s - projected))) if s.size else 0.0
+
+
+def is_equilibrium(
+    game: SubsidizationGame,
+    subsidies,
+    *,
+    tol: float = 1e-7,
+) -> bool:
+    """Whether a profile satisfies the Theorem 3 conditions within ``tol``."""
+    return game.feasible(np.asarray(subsidies, dtype=float)) and (
+        kkt_residual(game, subsidies) <= tol
+    )
+
+
+@dataclass(frozen=True)
+class ProviderPartition:
+    """The paper's ``N− / N+ / Ñ`` partition at an equilibrium (§4.2).
+
+    Attributes
+    ----------
+    zero:
+        Indices with ``s_i = 0`` (``N−``): CPs that do not subsidize.
+    capped:
+        Indices with ``s_i = q`` (``N+``): CPs pinned at the policy cap.
+    interior:
+        Indices with ``0 < s_i < q`` (``Ñ``): CPs at interior optima
+        (``u_i = 0``) — the ones that re-adjust when ``p`` or ``q`` moves
+        (Theorem 6).
+    """
+
+    zero: tuple[int, ...]
+    capped: tuple[int, ...]
+    interior: tuple[int, ...]
+
+
+def classify_providers(
+    game: SubsidizationGame,
+    subsidies,
+    *,
+    boundary_tol: float = 1e-8,
+) -> ProviderPartition:
+    """Partition CPs into ``N−``, ``N+`` and ``Ñ`` at a profile.
+
+    ``boundary_tol`` decides how close to a bound counts as binding; with
+    ``q = 0`` every CP is classified as capped-and-zero — we resolve that
+    degenerate overlap in favor of ``N−`` (no subsidization).
+    """
+    s = np.asarray(subsidies, dtype=float)
+    zero, capped, interior = [], [], []
+    for i in range(s.size):
+        if s[i] <= boundary_tol:
+            zero.append(i)
+        elif s[i] >= game.cap - boundary_tol:
+            capped.append(i)
+        else:
+            interior.append(i)
+    return ProviderPartition(tuple(zero), tuple(capped), tuple(interior))

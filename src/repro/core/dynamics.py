@@ -1,0 +1,187 @@
+"""Theorems 5–6 and Corollary 1: how equilibria move with ``p``, ``q``, ``v``.
+
+Theorem 6 gives the derivative of the (locally unique) equilibrium map
+``s(p, q)`` through the sensitivity analysis of the equivalent variational
+inequality: with the partition ``N− / N+ / Ñ`` of
+:func:`repro.core.characterization.classify_providers`,
+
+    ∂s_i/∂q = 0 (i ∈ N−),  1 (i ∈ N+),
+              −Σ_k ψ_ik · Σ_{j∈N+} ∂u_k/∂s_j   (i ∈ Ñ)
+    ∂s_i/∂p = 0 (i ∉ Ñ),   −Σ_k ψ_ik · ∂u_k/∂p  (i ∈ Ñ)
+
+where ``Ψ = (∇_s̃ ũ)⁻¹`` is the inverse Jacobian of interior marginal
+utilities. Corollary 1 then chains ``∂φ/∂q = (dg/dφ)⁻¹ Σ λ_i ∂m_i/∂q`` and
+``∂R/∂q = p·(∂Θ/∂φ)·∂φ/∂q`` under the off-diagonal monotonicity condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterization import ProviderPartition, classify_providers
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.core.uniqueness import marginal_utility_jacobian
+from repro.exceptions import EquilibriumError
+from repro.solvers.differentiation import _STEP_SCALE  # shared step heuristic
+
+__all__ = [
+    "EquilibriumSensitivity",
+    "equilibrium_sensitivity",
+    "deregulation_effect",
+    "DeregulationEffect",
+    "profitability_comparative_static",
+]
+
+
+@dataclass(frozen=True)
+class EquilibriumSensitivity:
+    """Theorem 6 derivatives of the equilibrium map ``s(p, q)``.
+
+    Attributes
+    ----------
+    ds_dq:
+        Per-CP ``∂s_i/∂q`` at fixed price.
+    ds_dp:
+        Per-CP ``∂s_i/∂p`` at fixed policy.
+    partition:
+        The ``N−/N+/Ñ`` classification the formulas were built on.
+    interior_jacobian:
+        ``∇_s̃ ũ`` (empty when no CP is interior).
+    """
+
+    ds_dq: np.ndarray
+    ds_dp: np.ndarray
+    partition: ProviderPartition
+    interior_jacobian: np.ndarray
+
+
+def _du_dp(game: SubsidizationGame, subsidies: np.ndarray) -> np.ndarray:
+    """Central difference of ``u(s)`` in the ISP price at fixed ``s``."""
+    p = game.price
+    h = _STEP_SCALE * max(1.0, abs(p))
+    if p - h < 0.0:
+        h = p / 2.0 if p > 0.0 else _STEP_SCALE
+    up = game.with_price(p + h).marginal_utilities(subsidies)
+    um = game.with_price(max(p - h, 0.0)).marginal_utilities(subsidies)
+    return (up - um) / ((p + h) - max(p - h, 0.0))
+
+
+def equilibrium_sensitivity(
+    game: SubsidizationGame,
+    subsidies,
+    *,
+    boundary_tol: float = 1e-7,
+) -> EquilibriumSensitivity:
+    """Evaluate the Theorem 6 formulas at an equilibrium profile.
+
+    ``subsidies`` must be a (certified) equilibrium of ``game``; the
+    partition is read off the profile with ``boundary_tol``. Raises
+    :class:`~repro.exceptions.EquilibriumError` when the interior Jacobian
+    is singular (the regularity condition of Theorem 6 fails).
+    """
+    s = np.asarray(subsidies, dtype=float)
+    partition = classify_providers(game, s, boundary_tol=boundary_tol)
+    n = game.size
+    ds_dq = np.zeros(n)
+    ds_dp = np.zeros(n)
+    for j in partition.capped:
+        ds_dq[j] = 1.0
+
+    interior = list(partition.interior)
+    if not interior:
+        return EquilibriumSensitivity(ds_dq, ds_dp, partition, np.empty((0, 0)))
+
+    jac = marginal_utility_jacobian(game, s)
+    interior_jac = jac[np.ix_(interior, interior)]
+    try:
+        psi = np.linalg.inv(interior_jac)
+    except np.linalg.LinAlgError as exc:
+        raise EquilibriumError(
+            "Theorem 6 regularity failed: interior marginal-utility Jacobian "
+            "is singular"
+        ) from exc
+
+    capped = list(partition.capped)
+    if capped:
+        # Σ_{j∈N+} ∂u_k/∂s_j for each interior k.
+        du_dcap = jac[np.ix_(interior, capped)].sum(axis=1)
+        ds_dq_interior = -psi @ du_dcap
+        for row, i in enumerate(interior):
+            ds_dq[i] = ds_dq_interior[row]
+
+    du_dp_full = _du_dp(game, s)
+    ds_dp_interior = -psi @ du_dp_full[interior]
+    for row, i in enumerate(interior):
+        ds_dp[i] = ds_dp_interior[row]
+
+    return EquilibriumSensitivity(ds_dq, ds_dp, partition, interior_jac)
+
+
+@dataclass(frozen=True)
+class DeregulationEffect:
+    """Corollary 1 quantities: market response to relaxing the cap ``q``.
+
+    All derivatives hold the ISP price fixed (competitive or regulated
+    access market, §4.1).
+    """
+
+    ds_dq: np.ndarray
+    dm_dq: np.ndarray
+    dphi_dq: float
+    drevenue_dq: float
+
+
+def deregulation_effect(
+    game: SubsidizationGame,
+    subsidies,
+    sensitivity: EquilibriumSensitivity | None = None,
+) -> DeregulationEffect:
+    """Chain Theorem 6 into Corollary 1: ``∂φ/∂q`` and ``∂R/∂q`` at fixed p.
+
+    ``∂m_i/∂q = m'_i(t_i)·(−∂s_i/∂q)`` (price fixed, so ``∂t_i/∂q =
+    −∂s_i/∂q``), then equation (4) aggregates population shifts into the
+    utilization response and ``R = p·Θ(φ, µ)`` gives the revenue response.
+    """
+    s = np.asarray(subsidies, dtype=float)
+    if sensitivity is None:
+        sensitivity = equilibrium_sensitivity(game, s)
+    state = game.state(s)
+    providers = game.market.providers
+    dm_dq = np.array(
+        [
+            cp.demand.d_population(state.effective_prices[i])
+            * (-sensitivity.ds_dq[i])
+            for i, cp in enumerate(providers)
+        ]
+    )
+    dphi_dq = float(np.dot(dm_dq, state.rates)) / state.gap_slope
+    system = game.market.system
+    dtheta_supply_dphi = system.utilization_function.dtheta_dphi(
+        state.utilization, system.capacity
+    )
+    drevenue_dq = game.price * dtheta_supply_dphi * dphi_dq
+    return DeregulationEffect(
+        ds_dq=sensitivity.ds_dq.copy(),
+        dm_dq=dm_dq,
+        dphi_dq=dphi_dq,
+        drevenue_dq=drevenue_dq,
+    )
+
+
+def profitability_comparative_static(
+    game: SubsidizationGame,
+    index: int,
+    new_value: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Theorem 5 experiment: re-solve after raising CP ``index``'s ``v_i``.
+
+    Returns ``(s, ŝ)`` — the equilibrium before and after the unilateral
+    profitability change. Theorem 5 guarantees ``ŝ_index ≥ s_index`` under
+    the uniqueness condition; the test suite asserts it across scenarios.
+    """
+    base = solve_equilibrium(game)
+    bumped = solve_equilibrium(game.with_value(index, new_value))
+    return base.subsidies, bumped.subsidies

@@ -1,0 +1,212 @@
+"""Nash equilibrium solvers for the subsidization game.
+
+Primary solver: damped Gauss–Seidel best-response iteration — each sweep
+updates players in order against the freshest profile; under the paper's
+uniqueness condition (Theorem 4) the iteration contracts to the unique
+equilibrium. Secondary solver: extragradient on the equivalent variational
+inequality ``VI(−u, [0, q]^N)`` (the reformulation used in Theorem 6's
+proof). The public entry point :func:`solve_equilibrium` runs the primary
+path and certifies the result with the Theorem 3 KKT residual, falling back
+to the VI solver when certification fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.best_response import best_response
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ConvergenceError, EquilibriumError, ReproError
+from repro.providers.market import MarketState
+from repro.solvers.projection import project_box
+from repro.solvers.vi import extragradient_box
+
+__all__ = [
+    "EquilibriumResult",
+    "solve_equilibrium",
+    "solve_equilibrium_best_response",
+    "solve_equilibrium_vi",
+]
+
+#: Default KKT-residual tolerance for certifying an equilibrium.
+DEFAULT_CERTIFY_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class EquilibriumResult:
+    """A certified Nash equilibrium.
+
+    Attributes
+    ----------
+    subsidies:
+        The equilibrium profile ``s*``.
+    state:
+        Solved market state at ``s*``.
+    kkt_residual:
+        Infinity-norm of the natural-map residual
+        ``s − Π_{[0,q]}(s + u(s))`` (zero exactly at equilibria).
+    iterations:
+        Iterations used by the successful solver.
+    method:
+        ``"best_response"`` or ``"vi"``.
+    """
+
+    subsidies: np.ndarray
+    state: MarketState
+    kkt_residual: float
+    iterations: int
+    method: str
+
+
+def _kkt_residual(game: SubsidizationGame, subsidies: np.ndarray) -> float:
+    u = game.marginal_utilities(subsidies)
+    projected = project_box(subsidies + u, 0.0, game.cap)
+    return float(np.max(np.abs(subsidies - projected))) if subsidies.size else 0.0
+
+
+def solve_equilibrium_best_response(
+    game: SubsidizationGame,
+    *,
+    initial=None,
+    damping: float = 1.0,
+    tol: float = 1e-10,
+    max_sweeps: int = 500,
+) -> EquilibriumResult:
+    """Damped Gauss–Seidel best-response iteration.
+
+    Parameters
+    ----------
+    game:
+        The subsidization game.
+    initial:
+        Starting profile; defaults to all zeros (the regulated baseline).
+    damping:
+        Fraction of the best-response step taken per update, in (0, 1].
+    tol:
+        Convergence threshold on the per-sweep maximum strategy change.
+    max_sweeps:
+        Sweep budget; :class:`~repro.exceptions.ConvergenceError` beyond it.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping}")
+    n = game.size
+    if game.cap == 0.0:
+        s = np.zeros(n)
+        return EquilibriumResult(
+            subsidies=s,
+            state=game.state(s),
+            kkt_residual=_kkt_residual(game, s),
+            iterations=0,
+            method="best_response",
+        )
+    s = (
+        np.zeros(n)
+        if initial is None
+        else project_box(np.asarray(initial, dtype=float), 0.0, game.cap)
+    )
+    for sweep in range(1, max_sweeps + 1):
+        largest_change = 0.0
+        for i in range(n):
+            response = best_response(game, i, s)
+            step = damping * (response - s[i])
+            largest_change = max(largest_change, abs(step))
+            s[i] += step
+        if largest_change <= tol:
+            return EquilibriumResult(
+                subsidies=s.copy(),
+                state=game.state(s),
+                kkt_residual=_kkt_residual(game, s),
+                iterations=sweep,
+                method="best_response",
+            )
+    raise ConvergenceError(
+        f"best-response iteration not converged in {max_sweeps} sweeps "
+        f"(last change {largest_change:.3e})",
+        iterations=max_sweeps,
+        residual=largest_change,
+    )
+
+
+def solve_equilibrium_vi(
+    game: SubsidizationGame,
+    *,
+    initial=None,
+    step: float = 0.25,
+    tol: float = 1e-10,
+    max_iter: int = 200_000,
+) -> EquilibriumResult:
+    """Extragradient solve of the equivalent ``VI(−u, [0, q]^N)``.
+
+    Slower than best-response iteration but convergent under plain
+    monotonicity of ``−u``; used as the independent cross-check and as the
+    fallback when best-response certification fails.
+    """
+    n = game.size
+    x0 = np.zeros(n) if initial is None else np.asarray(initial, dtype=float)
+    result = extragradient_box(
+        game.negated_marginal_utilities,
+        x0,
+        0.0,
+        game.cap,
+        step=step,
+        tol=tol,
+        max_iter=max_iter,
+    )
+    s = result.x
+    return EquilibriumResult(
+        subsidies=s,
+        state=game.state(s),
+        kkt_residual=_kkt_residual(game, s),
+        iterations=result.iterations,
+        method="vi",
+    )
+
+
+def solve_equilibrium(
+    game: SubsidizationGame,
+    *,
+    initial=None,
+    tol: float = 1e-10,
+    certify_tol: float = DEFAULT_CERTIFY_TOL,
+) -> EquilibriumResult:
+    """Solve and certify a Nash equilibrium.
+
+    Runs Gauss–Seidel best response; if the resulting profile's KKT residual
+    exceeds ``certify_tol``, retries with damping, then falls back to the
+    extragradient VI solver. Raises
+    :class:`~repro.exceptions.EquilibriumError` if no solver produces a
+    certified equilibrium.
+    """
+    attempts = []
+    for damping in (1.0, 0.5):
+        try:
+            result = solve_equilibrium_best_response(
+                game, initial=initial, damping=damping, tol=tol
+            )
+        except ReproError as exc:
+            # Any library failure (non-convergence, degenerate marginals,
+            # model errors surfaced by probe points) moves to the next
+            # attempt; the collected reasons go into the final report.
+            attempts.append(f"best_response(damping={damping}): {exc}")
+            continue
+        if result.kkt_residual <= certify_tol:
+            return result
+        attempts.append(
+            f"best_response(damping={damping}): KKT residual "
+            f"{result.kkt_residual:.3e} > {certify_tol:.1e}"
+        )
+    try:
+        result = solve_equilibrium_vi(game, initial=initial, tol=tol)
+    except ReproError as exc:
+        attempts.append(f"vi: {exc}")
+    else:
+        if result.kkt_residual <= certify_tol:
+            return result
+        attempts.append(
+            f"vi: KKT residual {result.kkt_residual:.3e} > {certify_tol:.1e}"
+        )
+    raise EquilibriumError(
+        "no solver produced a certified equilibrium: " + "; ".join(attempts)
+    )

@@ -1,0 +1,200 @@
+"""The ISP's capacity-investment decision (§6 future work, static form).
+
+The paper's policy argument turns on investment incentives: subsidization
+raises utilization and revenue, and the improved margin should induce the
+ISP to *choose* more capacity. §6 defers the capacity-planning decision;
+this module closes it in the natural static form:
+
+    max_µ  Π(µ) = R(p, µ; s*(p, q, µ)) − c·µ
+
+where ``R`` is equilibrium revenue (the CPs re-equilibrate under each
+capacity) and ``c`` is the per-unit capacity cost. Optionally the ISP
+optimizes price jointly, ``max_{p, µ} Π(p, µ)``, via coordinate ascent of
+two bounded scalar maximizations.
+
+The headline check (`investment_incentive`, asserted in tests): the
+profit-optimal capacity is (weakly) larger under a deregulated policy —
+subsidization *funds* expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+from repro.solvers.scalar_opt import grid_polish_maximize
+
+__all__ = [
+    "InvestmentOutcome",
+    "optimal_capacity",
+    "optimal_price_and_capacity",
+    "investment_incentive",
+]
+
+
+@dataclass(frozen=True)
+class InvestmentOutcome:
+    """Solution of an ISP investment problem.
+
+    Attributes
+    ----------
+    capacity:
+        Profit-optimal capacity ``µ*``.
+    price:
+        Price used (fixed, or jointly optimized).
+    profit:
+        ``R − c·µ`` at the optimum.
+    revenue:
+        Equilibrium revenue at the optimum.
+    equilibrium:
+        The CPs' equilibrium at the optimal ``(p, µ)``.
+    """
+
+    capacity: float
+    price: float
+    profit: float
+    revenue: float
+    equilibrium: EquilibriumResult
+
+
+def _equilibrium_revenue(market: Market, cap: float, initial=None) -> EquilibriumResult:
+    return solve_equilibrium(SubsidizationGame(market, cap), initial=initial)
+
+
+def optimal_capacity(
+    market: Market,
+    cap: float,
+    unit_cost: float,
+    *,
+    capacity_range: tuple[float, float] = (0.05, 10.0),
+    grid_points: int = 32,
+    xtol: float = 1e-6,
+) -> InvestmentOutcome:
+    """Profit-optimal capacity at the market's current price.
+
+    Parameters
+    ----------
+    market:
+        The market; its ISP price stays fixed.
+    cap:
+        Policy cap ``q`` the CPs play under.
+    unit_cost:
+        Cost ``c`` per unit of capacity (per period, same units as revenue).
+    capacity_range:
+        Search interval for ``µ``.
+    grid_points, xtol:
+        Grid/polish parameters of the scalar maximizer.
+    """
+    if unit_cost < 0.0:
+        raise ModelError(f"unit_cost must be non-negative, got {unit_cost}")
+    if capacity_range[0] <= 0.0 or capacity_range[1] <= capacity_range[0]:
+        raise ModelError(f"invalid capacity range {capacity_range}")
+
+    def profit_at(mu: float) -> float:
+        result = _equilibrium_revenue(market.with_capacity(mu), cap)
+        return result.state.revenue - unit_cost * mu
+
+    best = grid_polish_maximize(
+        profit_at, capacity_range[0], capacity_range[1],
+        grid_points=grid_points, xtol=xtol,
+    )
+    equilibrium = _equilibrium_revenue(market.with_capacity(best.x), cap)
+    return InvestmentOutcome(
+        capacity=best.x,
+        price=market.isp.price,
+        profit=best.value,
+        revenue=equilibrium.state.revenue,
+        equilibrium=equilibrium,
+    )
+
+
+def optimal_price_and_capacity(
+    market: Market,
+    cap: float,
+    unit_cost: float,
+    *,
+    price_range: tuple[float, float] = (0.0, 3.0),
+    capacity_range: tuple[float, float] = (0.05, 10.0),
+    sweeps: int = 6,
+    grid_points: int = 24,
+    xtol: float = 1e-5,
+) -> InvestmentOutcome:
+    """Joint ``(p, µ)`` profit maximization by coordinate ascent.
+
+    Alternates bounded maximizations in price and capacity until the profit
+    improvement per sweep falls below ``xtol`` (or ``sweeps`` is exhausted —
+    coordinate ascent on this smooth two-variable problem converges in a
+    handful of sweeps).
+    """
+    current = market
+    profit = -np.inf
+    for _ in range(sweeps):
+        def profit_vs_price(p: float) -> float:
+            result = _equilibrium_revenue(current.with_price(p), cap)
+            return result.state.revenue - unit_cost * current.isp.capacity
+
+        best_p = grid_polish_maximize(
+            profit_vs_price, price_range[0], price_range[1],
+            grid_points=grid_points, xtol=xtol,
+        )
+        current = current.with_price(best_p.x)
+
+        def profit_vs_capacity(mu: float) -> float:
+            result = _equilibrium_revenue(current.with_capacity(mu), cap)
+            return result.state.revenue - unit_cost * mu
+
+        best_mu = grid_polish_maximize(
+            profit_vs_capacity, capacity_range[0], capacity_range[1],
+            grid_points=grid_points, xtol=xtol,
+        )
+        current = current.with_capacity(best_mu.x)
+        if best_mu.value <= profit + xtol:
+            profit = best_mu.value
+            break
+        profit = best_mu.value
+
+    equilibrium = _equilibrium_revenue(current, cap)
+    return InvestmentOutcome(
+        capacity=current.isp.capacity,
+        price=current.isp.price,
+        profit=profit,
+        revenue=equilibrium.state.revenue,
+        equilibrium=equilibrium,
+    )
+
+
+def investment_incentive(
+    market: Market,
+    caps,
+    unit_cost: float,
+    *,
+    capacity_range: tuple[float, float] = (0.05, 10.0),
+    joint_pricing: bool = False,
+) -> list[InvestmentOutcome]:
+    """Optimal investment across policy regimes (the paper's §6 argument).
+
+    Returns one :class:`InvestmentOutcome` per policy level in ``caps``.
+    Under the paper's mechanism the optimal capacity should (weakly)
+    increase with ``q`` — deregulation strengthens investment incentives —
+    which the test suite asserts on the §5 scenario.
+    """
+    outcomes = []
+    for q in caps:
+        if joint_pricing:
+            outcomes.append(
+                optimal_price_and_capacity(
+                    market, float(q), unit_cost, capacity_range=capacity_range
+                )
+            )
+        else:
+            outcomes.append(
+                optimal_capacity(
+                    market, float(q), unit_cost, capacity_range=capacity_range
+                )
+            )
+    return outcomes

@@ -1,0 +1,160 @@
+"""Semismooth Newton solver for the subsidization equilibrium.
+
+A profile is an equilibrium iff the natural map vanishes:
+
+    Φ(s) = s − Π_{[0,q]}(s + u(s)) = 0.
+
+``Φ`` is piecewise smooth: coordinates split into the *active* sets
+``A− = {i : s_i + u_i(s) ≤ 0}`` and ``A+ = {i : s_i + u_i(s) ≥ q}`` (where
+``Φ_i = s_i`` resp. ``s_i − q``) and the *inactive* set (where
+``Φ_i = −u_i(s)``). A semismooth Newton step therefore pins active
+coordinates to their bounds and solves the reduced linear system
+
+    ∇u_II · d_I = −u_I − ∇u_IA · d_A
+
+on the inactive block, followed by a backtracking line search on the
+residual norm. Near an equilibrium of the paper's family the active sets
+stabilize and convergence is quadratic — typically 3–5 Jacobian
+evaluations, versus dozens of best-response sweeps. The Gauss–Seidel and
+extragradient solvers remain the robust defaults; this one accelerates
+dense parameter sweeps and serves as a third independent cross-check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.game import SubsidizationGame
+from repro.core.uniqueness import marginal_utility_jacobian
+from repro.exceptions import ConvergenceError
+from repro.solvers.projection import project_box
+
+__all__ = ["solve_equilibrium_newton"]
+
+
+def _natural_map(game: SubsidizationGame, s: np.ndarray, u: np.ndarray) -> np.ndarray:
+    return s - project_box(s + u, 0.0, game.cap)
+
+
+def solve_equilibrium_newton(
+    game: SubsidizationGame,
+    *,
+    initial=None,
+    tol: float = 1e-10,
+    max_iter: int = 40,
+    active_tol: float = 1e-12,
+    min_step: float = 1e-6,
+) -> EquilibriumResult:
+    """Solve the equilibrium by semismooth Newton on the natural map.
+
+    Parameters
+    ----------
+    game:
+        The subsidization game.
+    initial:
+        Starting profile. When omitted, a few Gauss–Seidel best-response
+        sweeps supply the start: Newton's basin excludes far-from-
+        equilibrium profiles (own-strategy marginal utility is not
+        monotone there), and the hybrid warm-up lands inside it. A warm
+        start from a nearby equilibrium typically converges in one or two
+        steps.
+    tol:
+        Convergence threshold on ``‖Φ(s)‖_∞``.
+    max_iter:
+        Newton-iteration budget.
+    active_tol:
+        Slack used when classifying coordinates as actively bounded.
+    min_step:
+        Line-search floor; below it the step is taken anyway (the residual
+        check still gates final convergence).
+
+    Raises
+    ------
+    ConvergenceError
+        If the residual does not reach ``tol`` within ``max_iter``
+        iterations (e.g. far-from-equilibrium starts with wildly wrong
+        active sets — fall back to the best-response solver there).
+    """
+    n = game.size
+    q = game.cap
+    if q == 0.0:
+        s = np.zeros(n)
+        return EquilibriumResult(
+            subsidies=s,
+            state=game.state(s),
+            kkt_residual=0.0,
+            iterations=0,
+            method="newton",
+        )
+    if initial is None:
+        # Hybrid warm-up: a few best-response sweeps to enter Newton's basin.
+        from repro.core.best_response import best_response
+
+        s = np.zeros(n)
+        for _ in range(3):
+            for i in range(n):
+                s[i] = best_response(game, i, s)
+    else:
+        s = project_box(np.asarray(initial, dtype=float), 0.0, q)
+    u = game.marginal_utilities(s)
+    residual_vec = _natural_map(game, s, u)
+    residual = float(np.max(np.abs(residual_vec)))
+    for iteration in range(1, max_iter + 1):
+        if residual <= tol:
+            return EquilibriumResult(
+                subsidies=s,
+                state=game.state(s),
+                kkt_residual=residual,
+                iterations=iteration - 1,
+                method="newton",
+            )
+        shifted = s + u
+        lower_active = shifted <= active_tol
+        upper_active = shifted >= q - active_tol
+        inactive = ~(lower_active | upper_active)
+
+        step = np.zeros(n)
+        step[lower_active] = -s[lower_active]
+        step[upper_active] = q - s[upper_active]
+        if np.any(inactive):
+            jac = marginal_utility_jacobian(game, s)
+            idx = np.where(inactive)[0]
+            active_idx = np.where(~inactive)[0]
+            rhs = -u[idx]
+            if active_idx.size:
+                rhs -= jac[np.ix_(idx, active_idx)] @ step[active_idx]
+            block = jac[np.ix_(idx, idx)]
+            try:
+                step[idx] = np.linalg.solve(block, rhs)
+            except np.linalg.LinAlgError:
+                # Singular inactive block: fall back to a projected
+                # marginal-utility (gradient) step for this iteration.
+                step[idx] = u[idx]
+
+        # Backtracking line search on the natural-map residual.
+        scale = 1.0
+        while True:
+            trial = project_box(s + scale * step, 0.0, q)
+            trial_u = game.marginal_utilities(trial)
+            trial_residual = float(
+                np.max(np.abs(_natural_map(game, trial, trial_u)))
+            )
+            if trial_residual < residual or scale <= min_step:
+                break
+            scale *= 0.5
+        s, u, residual = trial, trial_u, trial_residual
+    if residual <= tol:
+        return EquilibriumResult(
+            subsidies=s,
+            state=game.state(s),
+            kkt_residual=residual,
+            iterations=max_iter,
+            method="newton",
+        )
+    raise ConvergenceError(
+        f"semismooth Newton not converged in {max_iter} iterations "
+        f"(residual {residual:.3e})",
+        iterations=max_iter,
+        residual=residual,
+    )

@@ -1,0 +1,151 @@
+"""§5.2 / Theorem 8: the full policy effect, including the ISP's response.
+
+When the regulator moves the cap ``q``, the ISP re-prices (``p = p(q)``) and
+the CPs re-equilibrate (``s = s(p(q), q)``). Theorem 8 chains these:
+
+    ds_i/dq = ∂s_i/∂q + (∂s_i/∂p)·dp/dq                    (21)
+    dt_i/dq = dp/dq − ds_i/dq
+            = (1 − ∂s_i/∂p)·dp/dq − ∂s_i/∂q                (15's inner term)
+    dm_i/dq = m'_i(t_i) · dt_i/dq                           (15)
+    dφ/dq   = (dg/dφ)⁻¹ · Σ_i λ_i · dm_i/dq                 (16)
+    dλ_i/dq = λ'_i(φ) · dφ/dq                               (16)
+    dθ_i/dq = λ_i·dm_i/dq + m_i·dλ_i/dq
+
+and CP ``i``'s throughput rises with ``q`` iff condition (17) holds, which
+is equivalent to ``dθ_i/dq > 0`` above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dynamics import EquilibriumSensitivity, equilibrium_sensitivity
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.providers.market import Market, MarketState
+
+__all__ = ["PolicyEffect", "policy_effect", "price_response_derivative"]
+
+
+@dataclass(frozen=True)
+class PolicyEffect:
+    """Theorem 8 derivatives of the full market response to the policy ``q``.
+
+    Attributes
+    ----------
+    dp_dq:
+        The ISP's price response ``dp/dq`` that was supplied/estimated.
+    ds_dq:
+        Total subsidy responses ``ds_i/dq`` (equation (21)).
+    dt_dq:
+        Effective-price responses ``dt_i/dq``.
+    dm_dq:
+        Population responses (equation (15)).
+    dphi_dq:
+        Utilization response (equation (16)).
+    dlambda_dq:
+        Per-user-rate responses (equation (16)).
+    dtheta_dq:
+        Throughput responses; sign is condition (17).
+    dwelfare_dq:
+        ``dW/dq = Σ v_i·dθ_i/dq`` (feeds Corollary 2).
+    state:
+        The equilibrium market state at ``q``.
+    sensitivity:
+        The underlying Theorem 6 sensitivities.
+    """
+
+    dp_dq: float
+    ds_dq: np.ndarray
+    dt_dq: np.ndarray
+    dm_dq: np.ndarray
+    dphi_dq: float
+    dlambda_dq: np.ndarray
+    dtheta_dq: np.ndarray
+    dwelfare_dq: float
+    state: MarketState
+    sensitivity: EquilibriumSensitivity
+
+    def throughput_rises(self, index: int) -> bool:
+        """Condition (17) for CP ``index``: does ``θ_i`` increase with ``q``?"""
+        return bool(self.dtheta_dq[index] > 0.0)
+
+
+def price_response_derivative(
+    market: Market,
+    price_of_policy: Callable[[float], float],
+    q: float,
+    *,
+    step: float = 1e-4,
+) -> float:
+    """Central-difference ``dp/dq`` of an ISP price-response rule.
+
+    ``price_of_policy`` maps a cap to the ISP's chosen price (e.g. the
+    revenue-optimal price from :func:`repro.core.revenue.optimal_price`).
+    """
+    h = step * max(1.0, abs(q))
+    lo = max(q - h, 0.0)
+    hi = q + h
+    return (price_of_policy(hi) - price_of_policy(lo)) / (hi - lo)
+
+
+def policy_effect(
+    market: Market,
+    q: float,
+    *,
+    dp_dq: float = 0.0,
+    price: float | None = None,
+) -> PolicyEffect:
+    """Evaluate the Theorem 8 formulas at policy ``q``.
+
+    Parameters
+    ----------
+    market:
+        The market; its ISP price is used unless ``price`` overrides it
+        (when modelling a price response ``p(q)``).
+    q:
+        The policy cap at which to evaluate.
+    dp_dq:
+        The ISP's price-response slope; 0 models a fixed/regulated price
+        (then the result specializes to Corollary 1's fixed-price effect).
+    price:
+        Optional explicit ``p(q)`` value.
+    """
+    if price is not None:
+        market = market.with_price(price)
+    game = SubsidizationGame(market, q)
+    equilibrium = solve_equilibrium(game)
+    s = equilibrium.subsidies
+    state = equilibrium.state
+    sensitivity = equilibrium_sensitivity(game, s)
+
+    ds_dq = sensitivity.ds_dq + sensitivity.ds_dp * dp_dq  # equation (21)
+    dt_dq = dp_dq - ds_dq
+    dm_dq = np.array(
+        [
+            cp.demand.d_population(state.effective_prices[i]) * dt_dq[i]
+            for i, cp in enumerate(market.providers)
+        ]
+    )
+    dphi_dq = float(np.dot(dm_dq, state.rates)) / state.gap_slope
+    phi = state.utilization
+    dlambda_dq = np.array(
+        [cp.throughput.d_rate(phi) * dphi_dq for cp in market.providers]
+    )
+    dtheta_dq = state.rates * dm_dq + state.populations * dlambda_dq
+    dwelfare_dq = float(np.dot(market.values, dtheta_dq))
+    return PolicyEffect(
+        dp_dq=dp_dq,
+        ds_dq=ds_dq,
+        dt_dq=dt_dq,
+        dm_dq=dm_dq,
+        dphi_dq=dphi_dq,
+        dlambda_dq=dlambda_dq,
+        dtheta_dq=dtheta_dq,
+        dwelfare_dq=dwelfare_dq,
+        state=state,
+        sensitivity=sensitivity,
+    )

@@ -1,0 +1,168 @@
+"""Price regulation analysis (§5/§6: "regulate prices if the access market
+is not competitive enough").
+
+The paper's welfare metric ``W = Σ v_i θ_i`` is strictly decreasing in the
+ISP price (Figure 7), so an unconstrained welfare maximizer would push the
+price to zero and bankrupt the ISP. The economically meaningful regulator's
+problem adds the ISP's *participation constraint*:
+
+    max_p  W(p; s*(p, q))   subject to   R(p; s*(p, q)) ≥ R_min
+
+This module solves that problem (`constrained_welfare_optimal_price`) and
+provides the comparative "regimes table" the paper's discussion implies:
+laissez-faire monopoly pricing vs price-cap regulation at various caps
+(`price_cap_analysis`) — under a price cap ``p̄`` a revenue-maximizing ISP
+prices at ``min(p*, p̄)`` when revenue is increasing below its peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.core.revenue import optimal_price
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+
+__all__ = [
+    "RegulatedOutcome",
+    "constrained_welfare_optimal_price",
+    "price_cap_analysis",
+]
+
+
+@dataclass(frozen=True)
+class RegulatedOutcome:
+    """Market outcome under one regulatory regime.
+
+    Attributes
+    ----------
+    regime:
+        Human-readable regime label.
+    price:
+        Realized ISP price.
+    revenue, welfare, utilization:
+        Equilibrium quantities at that price.
+    equilibrium:
+        The CP equilibrium.
+    binding:
+        Whether the regulatory constraint was binding (cap below the ISP's
+        unconstrained optimum, or the participation constraint active).
+    """
+
+    regime: str
+    price: float
+    revenue: float
+    welfare: float
+    utilization: float
+    equilibrium: EquilibriumResult
+    binding: bool
+
+
+def _solve_at(market: Market, price: float, cap: float) -> EquilibriumResult:
+    return solve_equilibrium(SubsidizationGame(market.with_price(price), cap))
+
+
+def constrained_welfare_optimal_price(
+    market: Market,
+    cap: float,
+    *,
+    min_revenue: float,
+    price_range: tuple[float, float] = (0.0, 3.0),
+    grid_points: int = 96,
+) -> RegulatedOutcome:
+    """Welfare-optimal price subject to ISP viability ``R(p) ≥ R_min``.
+
+    Welfare decreases in price while revenue rises toward its peak, so the
+    constrained optimum is the *lowest* price meeting the revenue floor.
+    A grid scan locates the feasible set; a bisection refines its lower
+    edge. Raises :class:`~repro.exceptions.ModelError` when no price in the
+    range meets the floor.
+    """
+    if min_revenue < 0.0:
+        raise ModelError(f"min_revenue must be non-negative, got {min_revenue}")
+    lo, hi = price_range
+    if hi <= lo:
+        raise ModelError(f"invalid price range {price_range}")
+    prices = np.linspace(lo, hi, grid_points)
+    revenues = np.empty(grid_points)
+    welfares = np.empty(grid_points)
+    for j, p in enumerate(prices):
+        state = _solve_at(market, float(p), cap).state
+        revenues[j] = state.revenue
+        welfares[j] = state.welfare
+    feasible = revenues >= min_revenue
+    if not np.any(feasible):
+        raise ModelError(
+            f"no price in [{lo}, {hi}] reaches the revenue floor "
+            f"{min_revenue:.4f} (max feasible revenue {revenues.max():.4f})"
+        )
+    best_j = int(np.argmax(np.where(feasible, welfares, -np.inf)))
+    # Refine the feasible boundary around the winner by bisection on the
+    # revenue floor (welfare is decreasing, so the boundary is optimal
+    # whenever the winner sits at the low edge of a feasible run).
+    p_star = float(prices[best_j])
+    if best_j > 0 and not feasible[best_j - 1]:
+        lo_edge, hi_edge = float(prices[best_j - 1]), p_star
+        for _ in range(40):
+            mid = 0.5 * (lo_edge + hi_edge)
+            if _solve_at(market, mid, cap).state.revenue >= min_revenue:
+                hi_edge = mid
+            else:
+                lo_edge = mid
+        p_star = hi_edge
+    equilibrium = _solve_at(market, p_star, cap)
+    return RegulatedOutcome(
+        regime=f"welfare-optimal (R >= {min_revenue:g})",
+        price=p_star,
+        revenue=equilibrium.state.revenue,
+        welfare=equilibrium.state.welfare,
+        utilization=equilibrium.state.utilization,
+        equilibrium=equilibrium,
+        binding=abs(equilibrium.state.revenue - min_revenue)
+        <= max(1e-6, 1e-3 * min_revenue),
+    )
+
+
+def price_cap_analysis(
+    market: Market,
+    cap: float,
+    price_caps,
+    *,
+    price_range: tuple[float, float] = (0.0, 3.0),
+) -> list[RegulatedOutcome]:
+    """Outcomes under a menu of regulatory price caps.
+
+    For each cap ``p̄`` the ISP maximizes revenue over ``[0, p̄]`` (the CPs
+    re-equilibrating at every trial price); ``p̄ = ∞`` reproduces the
+    laissez-faire monopoly outcome. Sorted as given.
+    """
+    unconstrained = optimal_price(market, cap=cap, price_range=price_range)
+    outcomes = []
+    for p_bar in price_caps:
+        p_bar = float(p_bar)
+        if p_bar <= 0.0:
+            raise ModelError(f"price caps must be positive, got {p_bar}")
+        if p_bar >= unconstrained.price:
+            chosen, binding = unconstrained.price, False
+        else:
+            constrained = optimal_price(
+                market, cap=cap, price_range=(price_range[0], p_bar)
+            )
+            chosen, binding = constrained.price, True
+        equilibrium = _solve_at(market, chosen, cap)
+        outcomes.append(
+            RegulatedOutcome(
+                regime=f"price cap {p_bar:g}",
+                price=chosen,
+                revenue=equilibrium.state.revenue,
+                welfare=equilibrium.state.welfare,
+                utilization=equilibrium.state.utilization,
+                equilibrium=equilibrium,
+                binding=binding,
+            )
+        )
+    return outcomes

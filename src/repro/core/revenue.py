@@ -1,0 +1,181 @@
+"""§5.1 / Theorem 7: ISP revenue and its price derivative.
+
+Theorem 7 decomposes the marginal revenue under equilibrium subsidization:
+
+    dR/dp = Σ_i θ_i + Υ · Σ_i ε^{m_i}_p · θ_i                      (13)
+    Υ = 1 + Σ_j ε^{λ_j}_{m_j},
+    ε^{λ_j}_{m_j} = m_j·λ'_j(φ)/(dg/dφ)                            (14)
+    ε^{m_i}_p = (p/m_i)·(dm_i/dt_i)·(1 − ∂s_i/∂p)
+
+with ``∂s_i/∂p`` from Theorem 6 — and ``∂s_i/∂p = 0`` recovering the
+one-sided-pricing case of §3.2. The module also provides the revenue curve
+``R(p)`` under equilibrium response (Figures 4 and 7) and the ISP's
+revenue-optimal price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dynamics import EquilibriumSensitivity, equilibrium_sensitivity
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.providers.market import Market, MarketState
+from repro.solvers.scalar_opt import ScalarMaxResult, grid_polish_maximize
+
+__all__ = [
+    "MarginalRevenue",
+    "marginal_revenue_one_sided",
+    "marginal_revenue_decomposition",
+    "revenue_curve",
+    "optimal_price",
+    "OptimalPrice",
+]
+
+
+@dataclass(frozen=True)
+class MarginalRevenue:
+    """The Theorem 7 decomposition evaluated at one price.
+
+    Attributes
+    ----------
+    total:
+        ``dR/dp`` from equation (13).
+    direct_term:
+        ``Σ_i θ_i`` — revenue gained on existing traffic.
+    demand_term:
+        ``Υ·Σ_i ε^{m_i}_p·θ_i`` — revenue lost to departing demand,
+        amplified by the congestion-relief factor ``Υ``.
+    upsilon:
+        The physical factor ``Υ = 1 + Σ_j ε^{λ_j}_{m_j}``.
+    demand_elasticities:
+        Per-CP ``ε^{m_i}_p`` including the subsidy feedback ``∂s_i/∂p``.
+    """
+
+    total: float
+    direct_term: float
+    demand_term: float
+    upsilon: float
+    demand_elasticities: np.ndarray
+
+
+def _upsilon(state: MarketState, market: Market) -> float:
+    phi = state.utilization
+    eps_lambda_m = np.array(
+        [
+            state.populations[j] * cp.throughput.d_rate(phi) / state.gap_slope
+            for j, cp in enumerate(market.providers)
+        ]
+    )
+    return 1.0 + float(np.sum(eps_lambda_m))
+
+
+def _decomposition(
+    market: Market,
+    state: MarketState,
+    ds_dp: np.ndarray,
+) -> MarginalRevenue:
+    p = market.isp.price
+    upsilon = _upsilon(state, market)
+    eps_m_p = np.zeros(market.size)
+    for i, cp in enumerate(market.providers):
+        m = state.populations[i]
+        if m == 0.0:
+            continue
+        eps_m_p[i] = (
+            (p / m)
+            * cp.demand.d_population(state.effective_prices[i])
+            * (1.0 - ds_dp[i])
+        )
+    direct = float(np.sum(state.throughputs))
+    demand = upsilon * float(np.dot(eps_m_p, state.throughputs))
+    return MarginalRevenue(
+        total=direct + demand,
+        direct_term=direct,
+        demand_term=demand,
+        upsilon=upsilon,
+        demand_elasticities=eps_m_p,
+    )
+
+
+def marginal_revenue_one_sided(market: Market) -> MarginalRevenue:
+    """Theorem 7 with no subsidization feedback (``∂s_i/∂p = 0``, §3.2)."""
+    state = market.solve()
+    return _decomposition(market, state, np.zeros(market.size))
+
+
+def marginal_revenue_decomposition(
+    game: SubsidizationGame,
+    subsidies,
+    sensitivity: EquilibriumSensitivity | None = None,
+) -> MarginalRevenue:
+    """Theorem 7 at an equilibrium, with ``∂s/∂p`` from Theorem 6."""
+    s = np.asarray(subsidies, dtype=float)
+    if sensitivity is None:
+        sensitivity = equilibrium_sensitivity(game, s)
+    state = game.state(s)
+    return _decomposition(game.market, state, sensitivity.ds_dp)
+
+
+def revenue_curve(
+    market: Market,
+    prices,
+    *,
+    cap: float = 0.0,
+    warm_start: bool = True,
+) -> list[EquilibriumResult]:
+    """Equilibrium results along a price sweep (the data behind Figs 4/7).
+
+    For each price the subsidization game under policy ``cap`` is solved;
+    ``cap = 0`` reduces to the one-sided model. With ``warm_start`` each
+    solve starts from the previous equilibrium, which keeps dense sweeps
+    cheap and continuous branches coherent.
+    """
+    results: list[EquilibriumResult] = []
+    initial = None
+    for p in prices:
+        game = SubsidizationGame(market.with_price(float(p)), cap)
+        result = solve_equilibrium(game, initial=initial)
+        results.append(result)
+        if warm_start:
+            initial = result.subsidies
+    return results
+
+
+@dataclass(frozen=True)
+class OptimalPrice:
+    """Revenue-maximizing price and the equilibrium it induces."""
+
+    price: float
+    revenue: float
+    equilibrium: EquilibriumResult
+
+
+def optimal_price(
+    market: Market,
+    *,
+    cap: float = 0.0,
+    price_range: tuple[float, float] = (0.0, 5.0),
+    grid_points: int = 48,
+    xtol: float = 1e-8,
+) -> OptimalPrice:
+    """ISP's revenue-optimal price given CPs' equilibrium response.
+
+    The revenue curve is single-peaked in the paper's scenarios but has no
+    global concavity guarantee (equilibrium kinks at partition changes), so
+    a coarse grid scan precedes the golden-section polish.
+    """
+
+    def revenue_at(p: float) -> float:
+        game = SubsidizationGame(market.with_price(p), cap)
+        return solve_equilibrium(game).state.revenue
+
+    best: ScalarMaxResult = grid_polish_maximize(
+        revenue_at, price_range[0], price_range[1],
+        grid_points=grid_points, xtol=xtol,
+    )
+    game = SubsidizationGame(market.with_price(best.x), cap)
+    equilibrium = solve_equilibrium(game)
+    return OptimalPrice(price=best.x, revenue=best.value, equilibrium=equilibrium)

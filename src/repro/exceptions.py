@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ModelError(ReproError):
+    """A model object was constructed with invalid parameters."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual (solver-specific meaning), or ``None`` if unknown.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class BracketError(ReproError):
+    """A root-bracketing search failed to enclose a sign change."""
+
+
+class EquilibriumError(ReproError):
+    """A game-theoretic equilibrium could not be computed or validated."""

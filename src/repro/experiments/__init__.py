@@ -1,0 +1,37 @@
+"""Regeneration of every data-bearing figure of the paper.
+
+Figures 1–3 and 6 are schematic block diagrams with no data; everything
+else is reproduced:
+
+* :mod:`repro.experiments.fig04` — aggregate throughput and ISP revenue
+  versus price (§3.2, 9-CP scenario).
+* :mod:`repro.experiments.fig05` — per-CP throughput versus price.
+* :mod:`repro.experiments.fig07` — ISP revenue and welfare over the
+  (price × policy) grid (§5, 8-CP scenario).
+* :mod:`repro.experiments.fig08` — equilibrium subsidies.
+* :mod:`repro.experiments.fig09` — equilibrium user populations.
+* :mod:`repro.experiments.fig10` — equilibrium throughput.
+* :mod:`repro.experiments.fig11` — equilibrium utilities.
+
+Each module exposes ``compute(...) -> ExperimentResult``; the CLI
+(``python -m repro.experiments`` or the ``repro-experiments`` script) runs
+any subset, writes CSVs, renders ASCII charts, and evaluates the qualitative
+shape checks recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.base import ExperimentResult, ShapeCheck
+from repro.experiments.scenarios import (
+    FIGURE_PRICE_GRID,
+    POLICY_LEVELS,
+    section3_market,
+    section5_market,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FIGURE_PRICE_GRID",
+    "POLICY_LEVELS",
+    "ShapeCheck",
+    "section3_market",
+    "section5_market",
+]

@@ -1,0 +1,122 @@
+"""Common result container and shape-check machinery for experiments.
+
+Reproducing a figure means two things here:
+
+1. regenerating its *data* — the :class:`~repro.analysis.series.FigureData`
+   objects written to CSV, and
+2. verifying its *shape* — the qualitative claims the paper reads off the
+   figure ("revenue is single-peaked", "welfare increases with q", ...),
+   encoded as named :class:`ShapeCheck` predicates whose pass/fail status
+   is reported by the CLI and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.ascii_plot import render_chart
+from repro.analysis.series import FigureData
+
+__all__ = [
+    "ShapeCheck",
+    "ExperimentResult",
+    "is_nonincreasing",
+    "is_nondecreasing",
+    "is_single_peaked",
+    "peak_location",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """A named qualitative claim about a reproduced figure."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything a figure regeneration produces.
+
+    Attributes
+    ----------
+    experiment_id:
+        e.g. ``"fig4"``.
+    title:
+        Human-readable description.
+    figures:
+        The regenerated data (one or more panels).
+    checks:
+        Qualitative shape checks with their verdicts.
+    """
+
+    experiment_id: str
+    title: str
+    figures: tuple[FigureData, ...]
+    checks: tuple[ShapeCheck, ...]
+
+    def all_passed(self) -> bool:
+        """Whether every shape check holds."""
+        return all(check.passed for check in self.checks)
+
+    def write_csv(self, out_dir: str | Path) -> list[Path]:
+        """Write one CSV per panel into ``out_dir``; returns the paths."""
+        out_dir = Path(out_dir)
+        paths = []
+        for figure in self.figures:
+            path = out_dir / f"{figure.figure_id}.csv"
+            figure.to_csv(path)
+            paths.append(path)
+        return paths
+
+    def render(self, *, width: int = 72, height: int = 18) -> str:
+        """ASCII rendering of all panels plus the check report."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for figure in self.figures:
+            parts.append(render_chart(figure, width=width, height=height))
+            parts.append("")
+        for check in self.checks:
+            verdict = "PASS" if check.passed else "FAIL"
+            detail = f"  ({check.detail})" if check.detail else ""
+            parts.append(f"[{verdict}] {check.name}{detail}")
+        return "\n".join(parts)
+
+
+def is_nonincreasing(values, *, tol: float = 1e-9) -> bool:
+    """Whether a sequence never rises by more than ``tol``."""
+    arr = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(arr) <= tol))
+
+
+def is_nondecreasing(values, *, tol: float = 1e-9) -> bool:
+    """Whether a sequence never falls by more than ``tol``."""
+    arr = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(arr) >= -tol))
+
+
+def is_single_peaked(values, *, tol: float = 1e-9) -> bool:
+    """Whether a sequence rises (weakly) then falls (weakly) — one peak.
+
+    Flat stretches are tolerated; a second strict rise after a strict fall
+    fails the check.
+    """
+    arr = np.asarray(values, dtype=float)
+    diffs = np.diff(arr)
+    falling = False
+    for d in diffs:
+        if d < -tol:
+            falling = True
+        elif d > tol and falling:
+            return False
+    return True
+
+
+def peak_location(x, values) -> float:
+    """x-position of a sequence's maximum."""
+    arr = np.asarray(values, dtype=float)
+    return float(np.asarray(x, dtype=float)[int(np.argmax(arr))])

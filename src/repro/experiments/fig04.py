@@ -1,0 +1,79 @@
+"""Figure 4: aggregate throughput θ(p) and ISP revenue R(p) (§3.2).
+
+Scenario: the 9-CP exponential market of §3 under one-sided pricing
+(no subsidies). Paper's qualitative claims:
+
+* aggregate throughput strictly decreases with the price (Theorem 2);
+* revenue ``R = p·θ`` is single-peaked in ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import FigureData, Series
+from repro.experiments.base import (
+    ExperimentResult,
+    ShapeCheck,
+    is_nonincreasing,
+    is_single_peaked,
+    peak_location,
+)
+from repro.experiments.scenarios import FIGURE_PRICE_GRID, section3_market
+
+__all__ = ["compute"]
+
+
+def compute(prices=None) -> ExperimentResult:
+    """Regenerate both panels of Figure 4."""
+    if prices is None:
+        prices = FIGURE_PRICE_GRID
+    prices = np.asarray(prices, dtype=float)
+    market = section3_market()
+    throughput = np.empty(prices.size)
+    revenue = np.empty(prices.size)
+    for j, p in enumerate(prices):
+        state = market.with_price(float(p)).solve()
+        throughput[j] = state.aggregate_throughput
+        revenue[j] = state.revenue
+
+    left = FigureData(
+        figure_id="fig4-left",
+        title="Aggregate throughput θ vs price p (9-CP §3 scenario)",
+        x_label="p",
+        y_label="θ",
+        x=prices,
+        series=(Series("theta", throughput),),
+        notes="Φ=θ/µ, µ=1, λ_i=e^{-β_i φ}, m_i=e^{-α_i p}, α,β ∈ {1,3,5}",
+    )
+    right = FigureData(
+        figure_id="fig4-right",
+        title="ISP revenue R = p·θ vs price p (9-CP §3 scenario)",
+        x_label="p",
+        y_label="R",
+        x=prices,
+        series=(Series("revenue", revenue),),
+        notes=left.notes,
+    )
+
+    checks = (
+        ShapeCheck(
+            name="aggregate throughput decreases with price (Theorem 2)",
+            passed=is_nonincreasing(throughput),
+        ),
+        ShapeCheck(
+            name="revenue is single-peaked in price",
+            passed=is_single_peaked(revenue),
+            detail=f"peak at p ≈ {peak_location(prices, revenue):.3f}",
+        ),
+        ShapeCheck(
+            name="revenue peak is interior (0 < p* < 2)",
+            passed=0.0 < peak_location(prices, revenue) < 2.0,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Aggregate throughput and ISP revenue under one-sided pricing",
+        figures=(left, right),
+        checks=checks,
+    )

@@ -1,0 +1,96 @@
+"""Figure 5: per-CP throughput θ_i(p) for the nine §3 CP types.
+
+Paper's qualitative claims:
+
+* every θ_i eventually decreases in ``p`` (condition (8) must fail for
+  large ``p``);
+* CPs with a *small* ratio ``α_i/β_i`` (price-insensitive but congestion-
+  sensitive users) show an initial *increasing* region: as the price thins
+  out other traffic, their per-user rate gain outweighs their population
+  loss;
+* throughput levels order by sensitivity: large ``α_i`` and ``β_i`` mean
+  low throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import FigureData, Series
+from repro.experiments.base import ExperimentResult, ShapeCheck, is_nonincreasing
+from repro.experiments.scenarios import (
+    FIGURE_PRICE_GRID,
+    SECTION3_ALPHAS,
+    SECTION3_BETAS,
+    section3_market,
+)
+
+__all__ = ["compute"]
+
+
+def compute(prices=None) -> ExperimentResult:
+    """Regenerate the 3×3 panel grid of Figure 5 as one multi-series figure."""
+    if prices is None:
+        prices = FIGURE_PRICE_GRID
+    prices = np.asarray(prices, dtype=float)
+    market = section3_market()
+    theta = np.empty((market.size, prices.size))
+    for j, p in enumerate(prices):
+        theta[:, j] = market.with_price(float(p)).solve().throughputs
+
+    names = market.provider_names()
+    figure = FigureData(
+        figure_id="fig5",
+        title="Per-CP throughput θ_i vs price p (9-CP §3 scenario)",
+        x_label="p",
+        y_label="θ_i",
+        x=prices,
+        series=tuple(Series(names[i], theta[i]) for i in range(market.size)),
+        notes="rows: α ∈ {1,3,5}; cols: β ∈ {1,3,5}",
+    )
+
+    checks = []
+    # Row-major order matches scenarios.section3_market.
+    index = 0
+    increasing_somewhere = []
+    for alpha in SECTION3_ALPHAS:
+        for beta in SECTION3_BETAS:
+            series = theta[index]
+            rises = bool(np.any(np.diff(series) > 1e-9))
+            increasing_somewhere.append((alpha, beta, rises))
+            # Tail behaviour: the slowest-peaking CP (α=1, β=5) tops out at
+            # p = 1.5, so test decline on the last 15% of the axis only.
+            tail = series[int(0.85 * len(series)) :]
+            checks.append(
+                ShapeCheck(
+                    name=f"θ(α={alpha:g},β={beta:g}) eventually decreases",
+                    passed=is_nonincreasing(tail),
+                )
+            )
+            index += 1
+    # The paper singles out small α/β CPs as the ones with an increasing
+    # region. Check the extreme corners explicitly.
+    def rises_for(alpha: float, beta: float) -> bool:
+        for a, b, rises in increasing_somewhere:
+            if a == alpha and b == beta:
+                return rises
+        raise LookupError(f"no CP with α={alpha}, β={beta}")
+
+    checks.append(
+        ShapeCheck(
+            name="θ(α=1,β=5) (smallest α/β) has an increasing region",
+            passed=rises_for(1.0, 5.0),
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            name="θ(α=5,β=1) (largest α/β) is monotone decreasing",
+            passed=not rises_for(5.0, 1.0),
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Per-CP throughput under one-sided pricing",
+        figures=(figure,),
+        checks=tuple(checks),
+    )

@@ -1,0 +1,106 @@
+"""Figure 7: ISP revenue R(p, q) and system welfare W(p, q) (§5).
+
+Scenario: the 8-CP §5 market; one curve per policy level
+``q ∈ {0, 0.5, 1, 1.5, 2}`` against the price axis. Paper's claims:
+
+* at any fixed price, both revenue and welfare are (weakly) higher under a
+  more relaxed policy ``q`` (Corollary 1 / Corollary 2);
+* under any fixed policy, welfare eventually decreases with the price —
+  the "high access prices, not subsidization" message;
+* the revenue-maximizing price under ``q = 2`` sits a bit below 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import FigureData, Series
+from repro.experiments.base import (
+    ExperimentResult,
+    ShapeCheck,
+    is_nondecreasing,
+    is_nonincreasing,
+    peak_location,
+)
+from repro.experiments.grid import section5_grid
+
+__all__ = ["compute"]
+
+
+def compute(prices=None, caps=None) -> ExperimentResult:
+    """Regenerate both panels of Figure 7."""
+    grid = section5_grid(prices, caps)
+    revenue = grid.quantity(lambda eq: eq.state.revenue)  # [cap, price]
+    welfare = grid.quantity(lambda eq: eq.state.welfare)
+
+    def q_series(matrix: np.ndarray) -> tuple[Series, ...]:
+        return tuple(
+            Series(f"q={grid.caps[k]:g}", matrix[k]) for k in range(grid.caps.size)
+        )
+
+    left = FigureData(
+        figure_id="fig7-left",
+        title="ISP revenue R vs price p at five policy levels (8-CP §5 scenario)",
+        x_label="p",
+        y_label="R",
+        x=grid.prices,
+        series=q_series(revenue),
+        notes="α,β ∈ {2,5}, v ∈ {0.5,1}, µ=1",
+    )
+    right = FigureData(
+        figure_id="fig7-right",
+        title="System welfare W vs price p at five policy levels",
+        x_label="p",
+        y_label="W",
+        x=grid.prices,
+        series=q_series(welfare),
+        notes=left.notes,
+    )
+
+    checks = []
+    # Monotonicity in q at every price point.
+    checks.append(
+        ShapeCheck(
+            name="revenue non-decreasing in q at every fixed price (Cor. 1)",
+            passed=all(
+                is_nondecreasing(revenue[:, j], tol=1e-7)
+                for j in range(grid.prices.size)
+            ),
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            name="welfare non-decreasing in q at every fixed price (Cor. 2)",
+            passed=all(
+                is_nondecreasing(welfare[:, j], tol=1e-7)
+                for j in range(grid.prices.size)
+            ),
+        )
+    )
+    # Welfare falls with price once p is positive.
+    positive = grid.prices >= 0.049
+    checks.append(
+        ShapeCheck(
+            name="welfare decreases with price for p ≥ 0.05 under every q",
+            passed=all(
+                is_nonincreasing(welfare[k][positive], tol=1e-7)
+                for k in range(grid.caps.size)
+            ),
+        )
+    )
+    # The q=2 revenue peak sits a bit below p=1 (paper: "a bit less than 1").
+    top_q = int(np.argmax(grid.caps))
+    p_star = peak_location(grid.prices, revenue[top_q])
+    checks.append(
+        ShapeCheck(
+            name="revenue-optimal price under q=2 is a bit below 1",
+            passed=0.5 <= p_star < 1.0,
+            detail=f"p* ≈ {p_star:.3f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="ISP revenue and system welfare over the (p, q) grid",
+        figures=(left, right),
+        checks=tuple(checks),
+    )

@@ -1,0 +1,77 @@
+"""Figure 11: equilibrium CP utilities U_i(p, q) (§5).
+
+Paper's qualitative claims:
+
+* utilities are non-negative (a CP can always play ``s_i = 0``);
+* CPs with high demand elasticity *and* high value (``α = 5, v = 1``)
+  gain utility as the policy relaxes — subsidies buy them population and
+  throughput worth more than the transfer;
+* CPs with low demand elasticity and high congestion elasticity
+  (``α = 2, β = 5``) lose utility under deregulation — they suffer the
+  congestion externality without an effective subsidy lever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, ShapeCheck
+from repro.experiments.fig08 import _per_cp_figures
+from repro.experiments.fig10 import _index_of
+from repro.experiments.grid import section5_grid
+from repro.experiments.scenarios import SECTION5_PARAMETERS
+
+__all__ = ["compute"]
+
+
+def compute(prices=None, caps=None) -> ExperimentResult:
+    """Regenerate the eight panels of Figure 11."""
+    grid = section5_grid(prices, caps)
+    utilities = grid.provider_quantity(lambda eq: eq.state.utilities)
+    figures = _per_cp_figures(
+        grid, utilities, figure_id="fig11",
+        quantity="Equilibrium utility U_i", y_label="U_i",
+    )
+
+    params = SECTION5_PARAMETERS
+    top_q = int(np.argmax(grid.caps))
+    base_q = int(np.argmin(grid.caps))
+    checks = []
+    checks.append(
+        ShapeCheck(
+            name="equilibrium utilities are non-negative",
+            passed=bool(np.all(utilities >= -1e-9)),
+        )
+    )
+    # Winners: α=5, v=1 CPs gain utility under deregulation for most prices.
+    for beta in (2.0, 5.0):
+        winner = _index_of(params, 5.0, beta, 1.0)
+        gains = utilities[top_q, :, winner] >= utilities[base_q, :, winner] - 1e-9
+        checks.append(
+            ShapeCheck(
+                name=f"U(α=5,β={beta:g},v=1) under q=2 ≥ baseline for most prices",
+                passed=bool(np.mean(gains) >= 0.7),
+                detail=f"gains at {100 * float(np.mean(gains)):.0f}% of prices",
+            )
+        )
+    # Losers: α=2, β=5 CPs lose utility under deregulation at small prices.
+    for value in (0.5, 1.0):
+        loser = _index_of(params, 2.0, 5.0, value)
+        small_p = grid.prices <= 0.51
+        checks.append(
+            ShapeCheck(
+                name=f"U(α=2,β=5,v={value:g}) under q=2 below baseline at small p",
+                passed=bool(
+                    np.any(
+                        utilities[top_q, small_p, loser]
+                        < utilities[base_q, small_p, loser] - 1e-9
+                    )
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Equilibrium utilities of the 8 CP types",
+        figures=figures,
+        checks=tuple(checks),
+    )

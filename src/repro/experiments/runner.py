@@ -1,0 +1,105 @@
+"""Command-line entry point regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.experiments all            # every figure
+    python -m repro.experiments fig4 fig7      # a subset
+    python -m repro.experiments fig10 --out results --quiet
+
+Writes one CSV per panel into the output directory, renders ASCII charts to
+stdout (unless ``--quiet``), reports each figure's qualitative shape checks
+and exits non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiments", "main"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig4": fig04.compute,
+    "fig5": fig05.compute,
+    "fig7": fig07.compute,
+    "fig8": fig08.compute,
+    "fig9": fig09.compute,
+    "fig10": fig10.compute,
+    "fig11": fig11.compute,
+}
+
+
+def run_experiments(
+    names: Sequence[str],
+    *,
+    out_dir: str | Path = "results",
+    quiet: bool = False,
+) -> list[ExperimentResult]:
+    """Run the named experiments, write CSVs, return results."""
+    results = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(EXPERIMENTS)} or 'all'"
+            )
+        result = EXPERIMENTS[name]()
+        paths = result.write_csv(out_dir)
+        results.append(result)
+        if not quiet:
+            print(result.render())
+            print(f"wrote {len(paths)} csv file(s) to {Path(out_dir).resolve()}")
+            print()
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Ma, 'Subsidization Competition' "
+        "(CoNEXT 2014).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--out", default="results", help="output directory for CSV files"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress ASCII chart rendering"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    try:
+        results = run_experiments(names, out_dir=args.out, quiet=args.quiet)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    failed = [
+        (result.experiment_id, check.name)
+        for result in results
+        for check in result.checks
+        if not check.passed
+    ]
+    total_checks = sum(len(result.checks) for result in results)
+    print(
+        f"{len(results)} experiment(s), {total_checks} shape check(s), "
+        f"{len(failed)} failure(s)"
+    )
+    for experiment_id, check_name in failed:
+        print(f"  FAIL {experiment_id}: {check_name}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The paper's two numerical scenarios.
+
+§3.2 (Figures 4–5): ``Φ = θ/µ`` with ``µ = 1``; nine CP types with
+``(α_i, β_i)`` drawn from ``{1, 3, 5} × {1, 3, 5}``; throughput
+``λ_i = e^{−β_i φ}``; demand ``m_i = e^{−α_i t_i}``. Profitabilities play no
+role (no subsidization yet).
+
+§5 (Figures 7–11): same physics; eight CP types over
+``(α_i, β_i, v_i) ∈ {2, 5} × {2, 5} × {0.5, 1}``; policy levels
+``q ∈ {0, 0.5, 1.0, 1.5, 2.0}``; prices ``p ∈ [0, 2]``.
+
+By Lemma 2 each type stands for an aggregate of CPs with similar traffic
+characteristics, which is exactly how the paper motivates the setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.providers.content_provider import exponential_cp
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+
+__all__ = [
+    "SECTION3_ALPHAS",
+    "SECTION3_BETAS",
+    "SECTION5_PARAMETERS",
+    "FIGURE_PRICE_GRID",
+    "POLICY_LEVELS",
+    "section3_market",
+    "section5_market",
+]
+
+#: §3 grid of price/congestion sensitivities (9 CP types).
+SECTION3_ALPHAS = (1.0, 3.0, 5.0)
+SECTION3_BETAS = (1.0, 3.0, 5.0)
+
+#: §5 CP types: (alpha, beta, value), in the paper's sub-figure order —
+#: value-0.5 CPs first ("upper sub-figures"), then value-1.0 ("lower").
+SECTION5_PARAMETERS = tuple(
+    (alpha, beta, value)
+    for value in (0.5, 1.0)
+    for alpha in (2.0, 5.0)
+    for beta in (2.0, 5.0)
+)
+
+#: Price axis of every figure (p ∈ [0, 2]).
+FIGURE_PRICE_GRID = np.round(np.linspace(0.0, 2.0, 41), 10)
+
+#: The five policy levels of Figures 7–11.
+POLICY_LEVELS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+def section3_market(price: float = 1.0, *, capacity: float = 1.0) -> Market:
+    """The 9-CP market of Figures 4–5.
+
+    CP order is row-major over ``(α, β)``: ``(1,1), (1,3), ..., (5,5)``.
+    """
+    providers = [
+        exponential_cp(alpha, beta, value=0.0, name=f"a{alpha:g}b{beta:g}")
+        for alpha in SECTION3_ALPHAS
+        for beta in SECTION3_BETAS
+    ]
+    return Market(providers, AccessISP(price=price, capacity=capacity))
+
+
+def section5_market(price: float = 1.0, *, capacity: float = 1.0) -> Market:
+    """The 8-CP market of Figures 7–11 (order of :data:`SECTION5_PARAMETERS`)."""
+    providers = [
+        exponential_cp(
+            alpha, beta, value=value, name=f"a{alpha:g}b{beta:g}v{value:g}"
+        )
+        for alpha, beta, value in SECTION5_PARAMETERS
+    ]
+    return Market(providers, AccessISP(price=price, capacity=capacity))

@@ -1,0 +1,169 @@
+"""Scenario (de)serialization: markets to/from JSON.
+
+Lets users version experiment scenarios, share calibrated markets, and
+round-trip the paper's instances:
+
+    from repro.io import save_market, load_market
+    save_market(market, "scenario.json")
+    market = load_market("scenario.json")
+
+Every functional-family class in :mod:`repro.network` is a frozen
+dataclass, so serialization is generic: ``{"type": <class name>,
+"params": {field: value}}`` with recursion for wrapper families
+(:class:`~repro.network.demand.ScaledDemand`). Unknown type names raise
+:class:`~repro.exceptions.ModelError` — the registry is explicit, not
+import-driven, so loading a file can never execute arbitrary classes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ModelError
+from repro.network.demand import (
+    DemandFunction,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ScaledDemand,
+    ShiftedPowerDemand,
+)
+from repro.network.throughput import (
+    ExponentialThroughput,
+    PowerLawThroughput,
+    RationalThroughput,
+    ThroughputFunction,
+)
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+    UtilizationFunction,
+)
+from repro.providers.content_provider import ContentProvider
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+
+__all__ = [
+    "market_to_dict",
+    "market_from_dict",
+    "save_market",
+    "load_market",
+]
+
+_FAMILIES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ExponentialDemand,
+        LogitDemand,
+        LinearDemand,
+        ShiftedPowerDemand,
+        ScaledDemand,
+        ExponentialThroughput,
+        PowerLawThroughput,
+        RationalThroughput,
+        LinearUtilization,
+        PowerLawUtilization,
+        MM1Utilization,
+    )
+}
+
+_NESTED_FIELDS = {"inner"}
+
+
+def _function_to_dict(func: Any) -> dict:
+    name = type(func).__name__
+    if name not in _FAMILIES:
+        raise ModelError(
+            f"{name} is not a serializable family; registered families: "
+            f"{sorted(_FAMILIES)}"
+        )
+    params = {}
+    for field in dataclasses.fields(func):
+        value = getattr(func, field.name)
+        if field.name in _NESTED_FIELDS:
+            params[field.name] = _function_to_dict(value)
+        else:
+            params[field.name] = value
+    return {"type": name, "params": params}
+
+
+def _function_from_dict(payload: dict) -> Any:
+    try:
+        name = payload["type"]
+        params = dict(payload["params"])
+    except (TypeError, KeyError) as exc:
+        raise ModelError(f"malformed function payload: {payload!r}") from exc
+    if name not in _FAMILIES:
+        raise ModelError(f"unknown function family {name!r}")
+    for key in list(params):
+        if key in _NESTED_FIELDS:
+            params[key] = _function_from_dict(params[key])
+    return _FAMILIES[name](**params)
+
+
+def market_to_dict(market: Market) -> dict:
+    """JSON-ready dictionary for a market (providers + ISP)."""
+    isp = market.isp
+    return {
+        "format": "repro-market/1",
+        "isp": {
+            "price": isp.price,
+            "capacity": isp.capacity,
+            "name": isp.name,
+            "utilization": _function_to_dict(isp.utilization),
+        },
+        "providers": [
+            {
+                "name": cp.name,
+                "value": cp.value,
+                "demand": _function_to_dict(cp.demand),
+                "throughput": _function_to_dict(cp.throughput),
+            }
+            for cp in market.providers
+        ],
+    }
+
+
+def market_from_dict(payload: dict) -> Market:
+    """Rebuild a market from :func:`market_to_dict` output."""
+    if payload.get("format") != "repro-market/1":
+        raise ModelError(
+            f"unsupported market format {payload.get('format')!r}"
+        )
+    isp_data = payload["isp"]
+    isp = AccessISP(
+        price=isp_data["price"],
+        capacity=isp_data["capacity"],
+        utilization=_function_from_dict(isp_data["utilization"]),
+        name=isp_data.get("name", "access-isp"),
+    )
+    providers = [
+        ContentProvider(
+            demand=_function_from_dict(item["demand"]),
+            throughput=_function_from_dict(item["throughput"]),
+            value=item["value"],
+            name=item.get("name", ""),
+        )
+        for item in payload["providers"]
+    ]
+    return Market(providers, isp)
+
+
+def save_market(market: Market, path: str | Path, *, indent: int = 2) -> None:
+    """Serialize a market to a JSON file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(market_to_dict(market), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_market(path: str | Path) -> Market:
+    """Load a market from a JSON file written by :func:`save_market`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return market_from_dict(payload)

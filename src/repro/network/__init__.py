@@ -1,0 +1,77 @@
+"""Physical and demand substrate of the macroscopic Internet model (§3).
+
+This package implements everything "below" the game:
+
+* :mod:`repro.network.utilization` — capacity-utilization functions
+  ``Φ(θ, µ)`` and their inverses ``Θ(φ, µ)`` (Assumption 1),
+* :mod:`repro.network.throughput` — per-user throughput families ``λ(φ)``
+  decaying in utilization (Assumption 1),
+* :mod:`repro.network.demand` — user-population demand families ``m(t)``
+  decaying in the per-unit usage price (Assumption 2),
+* :mod:`repro.network.system` — the congestion fixed point of Definition 1 /
+  Lemma 1 and the resulting :class:`~repro.network.system.SystemState`,
+* :mod:`repro.network.sensitivity` — the comparative statics of Theorems 1
+  and 2,
+* :mod:`repro.network.elasticity` — elasticity algebra (Definition 2),
+* :mod:`repro.network.aggregation` — CP aggregation/equivalence (Lemma 2).
+"""
+
+from repro.network.aggregation import aggregate_equivalent_classes, rescale_class
+from repro.network.demand import (
+    DemandFunction,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ScaledDemand,
+    ShiftedPowerDemand,
+)
+from repro.network.elasticity import elasticity_of, log_derivative
+from repro.network.sensitivity import (
+    PriceSensitivity,
+    SystemSensitivity,
+    price_sensitivity,
+    system_sensitivity,
+    throughput_increases_with_price,
+)
+from repro.network.system import CongestionSystem, SystemState, TrafficClass
+from repro.network.throughput import (
+    ExponentialThroughput,
+    PowerLawThroughput,
+    RationalThroughput,
+    ThroughputFunction,
+)
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+    UtilizationFunction,
+)
+
+__all__ = [
+    "CongestionSystem",
+    "DemandFunction",
+    "ExponentialDemand",
+    "ExponentialThroughput",
+    "LinearDemand",
+    "LinearUtilization",
+    "LogitDemand",
+    "MM1Utilization",
+    "PowerLawThroughput",
+    "PowerLawUtilization",
+    "PriceSensitivity",
+    "RationalThroughput",
+    "ScaledDemand",
+    "ShiftedPowerDemand",
+    "SystemSensitivity",
+    "SystemState",
+    "ThroughputFunction",
+    "TrafficClass",
+    "UtilizationFunction",
+    "aggregate_equivalent_classes",
+    "elasticity_of",
+    "log_derivative",
+    "price_sensitivity",
+    "rescale_class",
+    "system_sensitivity",
+    "throughput_increases_with_price",
+]

@@ -1,0 +1,92 @@
+"""CP aggregation and rescaling equivalence (Lemma 2).
+
+Lemma 2: replacing CP ``i`` by CP ``j`` with the same peak *total* demand
+``m_j·λ_j(0) = m_i·λ_i(0)`` and the same φ-elasticity profile leaves the
+system utilization (and everyone else's throughput) unchanged. Consequences:
+
+* a CP's traffic can be rescaled to a "single big user"
+  (``m̃ = 1``, ``λ̃(0) = m·λ(0)``) — :func:`rescale_class`;
+* CPs sharing an elasticity profile (same ``β`` within a family) can be
+  merged into one class with summed peak demand —
+  :func:`aggregate_equivalent_classes`.
+
+This is what licenses the paper's numerical sections to model a handful of
+"CP types", each standing for a population of similar providers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ModelError
+from repro.network.system import TrafficClass
+
+__all__ = ["rescale_class", "aggregate_equivalent_classes", "elasticity_signature"]
+
+
+def rescale_class(cls: TrafficClass, kappa: float) -> TrafficClass:
+    """Lemma 2 rescaling: ``m → m/κ``, ``λ(0) → κ·λ(0)``.
+
+    The returned class induces the same utilization and total throughput as
+    the original in any system. Requires the throughput family to expose a
+    ``with_peak`` constructor (all built-in families do).
+    """
+    if kappa <= 0.0:
+        raise ModelError(f"kappa must be positive, got {kappa}")
+    throughput = cls.throughput
+    if not hasattr(throughput, "with_peak") or not hasattr(throughput, "peak"):
+        raise ModelError(
+            f"throughput family {type(throughput).__name__} does not support "
+            "peak rescaling"
+        )
+    rescaled = throughput.with_peak(kappa * throughput.peak)
+    return TrafficClass(cls.population / kappa, rescaled, cls.label)
+
+
+def elasticity_signature(cls: TrafficClass) -> tuple:
+    """Hashable φ-elasticity profile of a class's throughput family.
+
+    Two classes share a signature iff they have identical ``ε^λ_φ(·)``
+    curves, which for the built-in one-parameter families means the same
+    (family, β) pair.
+    """
+    throughput = cls.throughput
+    beta = getattr(throughput, "beta", None)
+    if beta is None:
+        raise ModelError(
+            f"throughput family {type(throughput).__name__} exposes no beta; "
+            "cannot build an elasticity signature"
+        )
+    return (type(throughput).__name__, float(beta))
+
+
+def aggregate_equivalent_classes(
+    classes: Sequence[TrafficClass],
+) -> list[TrafficClass]:
+    """Merge classes with identical elasticity signatures (Lemma 2).
+
+    Each group collapses to a single class with ``population = 1`` and peak
+    rate equal to the group's total peak demand ``Σ m_i·λ_i(0)``, preserving
+    the system utilization exactly. Order of first appearance is kept.
+    """
+    groups: dict[tuple, float] = {}
+    representative: dict[tuple, TrafficClass] = {}
+    order: list[tuple] = []
+    for cls in classes:
+        sig = elasticity_signature(cls)
+        peak_demand = cls.population * cls.throughput.peak_rate()
+        if sig not in groups:
+            groups[sig] = 0.0
+            representative[sig] = cls
+            order.append(sig)
+        groups[sig] += peak_demand
+    merged = []
+    for sig in order:
+        rep = representative[sig]
+        total_peak = groups[sig]
+        if total_peak == 0.0:
+            merged.append(TrafficClass(0.0, rep.throughput, rep.label))
+            continue
+        throughput = rep.throughput.with_peak(total_peak)
+        merged.append(TrafficClass(1.0, throughput, rep.label))
+    return merged

@@ -1,0 +1,235 @@
+"""User-population demand families ``m(t)`` (Assumption 2).
+
+Assumption 2 requires ``m_i(t_i)`` — the population of CP ``i``'s users as a
+function of the *effective* per-unit usage price ``t_i = p − s_i`` — to be
+continuously differentiable, decreasing, with ``m(t) → 0`` as ``t → ∞``.
+
+Because a CP's subsidy may exceed the ISP price, demand functions must accept
+*negative* effective prices (users are then paid to consume; demand exceeds
+the ``t = 0`` level). All families below are defined on the whole real line.
+
+* :class:`ExponentialDemand` — ``m(t) = scale·e^{−αt}``, the paper's family;
+  t-elasticity is the closed form ``−αt``.
+* :class:`LogitDemand` — ``m(t) = scale/(1 + e^{α(t − t₀)})``, a saturating
+  population with a finite user base.
+* :class:`LinearDemand` — ``m(t) = max(0, base − slope·t)``, the textbook
+  linear demand (smoothly clamped near zero to preserve differentiability).
+* :class:`ShiftedPowerDemand` — ``m(t) = scale·(1 + max(t, 0))^{−α}·e^{−t⁻}``
+  style heavy-tail alternative implemented as ``scale·(1 + softplus) ``;
+  see class docstring.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "DemandFunction",
+    "ExponentialDemand",
+    "LogitDemand",
+    "LinearDemand",
+    "ScaledDemand",
+    "ShiftedPowerDemand",
+]
+
+
+class DemandFunction(ABC):
+    """Interface for user-population demand versus effective price."""
+
+    @abstractmethod
+    def population(self, price: float) -> float:
+        """Population ``m(t)`` at effective per-unit price ``t`` (any real)."""
+
+    @abstractmethod
+    def d_population(self, price: float) -> float:
+        """Derivative ``dm/dt`` (non-positive under Assumption 2)."""
+
+    def elasticity(self, price: float) -> float:
+        """t-elasticity of demand ``ε^m_t = (dm/dt)·(t/m)`` (Definition 2)."""
+        m = self.population(price)
+        if m == 0.0:
+            return float("-inf")
+        return self.d_population(price) * price / m
+
+
+@dataclass(frozen=True)
+class ExponentialDemand(DemandFunction):
+    """Exponential demand ``m(t) = scale·e^{−αt}`` (the paper's family).
+
+    ``alpha`` is the price sensitivity (the paper's ``α_i``). Elasticity is
+    exactly ``−αt``. Defined for all real ``t``; a negative effective price
+    (subsidy above the ISP price) yields population above ``scale``.
+    """
+
+    alpha: float
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ModelError(f"alpha must be positive, got {self.alpha}")
+        if self.scale <= 0.0:
+            raise ModelError(f"scale must be positive, got {self.scale}")
+
+    def population(self, price: float) -> float:
+        return self.scale * math.exp(-self.alpha * price)
+
+    def d_population(self, price: float) -> float:
+        return -self.alpha * self.scale * math.exp(-self.alpha * price)
+
+    def elasticity(self, price: float) -> float:
+        return -self.alpha * price
+
+
+@dataclass(frozen=True)
+class LogitDemand(DemandFunction):
+    """Logit demand ``m(t) = scale/(1 + e^{α(t − midpoint)})``.
+
+    Models a finite addressable user base ``scale``: essentially everyone
+    subscribes at deeply subsidized prices, essentially nobody at prices far
+    above ``midpoint``. Strictly decreasing and smooth on all of ℝ.
+    """
+
+    alpha: float
+    midpoint: float = 1.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ModelError(f"alpha must be positive, got {self.alpha}")
+        if self.scale <= 0.0:
+            raise ModelError(f"scale must be positive, got {self.scale}")
+
+    def population(self, price: float) -> float:
+        z = self.alpha * (price - self.midpoint)
+        # Guard exp overflow for very large prices.
+        if z > 700.0:
+            return 0.0
+        return self.scale / (1.0 + math.exp(z))
+
+    def d_population(self, price: float) -> float:
+        z = self.alpha * (price - self.midpoint)
+        if abs(z) > 700.0:
+            return 0.0
+        ez = math.exp(z)
+        return -self.alpha * self.scale * ez / (1.0 + ez) ** 2
+
+
+@dataclass(frozen=True)
+class LinearDemand(DemandFunction):
+    """Linear demand ``m(t) = base − slope·t``, smoothly clamped at zero.
+
+    The hard kink of ``max(0, ·)`` would violate Assumption 2's
+    differentiability exactly where solvers probe, so below population level
+    ``smoothing`` the line is replaced by an exponential tail matched in
+    value and slope at the switch point. The tail keeps ``m`` positive,
+    decreasing and C¹ while converging to 0 as ``t → ∞``.
+    """
+
+    base: float
+    slope: float
+    smoothing: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.base <= 0.0:
+            raise ModelError(f"base must be positive, got {self.base}")
+        if self.slope <= 0.0:
+            raise ModelError(f"slope must be positive, got {self.slope}")
+        if not 0.0 < self.smoothing < self.base:
+            raise ModelError(
+                f"smoothing must lie in (0, base), got {self.smoothing}"
+            )
+
+    def _switch_price(self) -> float:
+        """Price at which the line reaches the smoothing level."""
+        return (self.base - self.smoothing) / self.slope
+
+    def population(self, price: float) -> float:
+        t_star = self._switch_price()
+        if price <= t_star:
+            return self.base - self.slope * price
+        # Exponential tail m = smoothing·exp(−slope·(t − t*)/smoothing):
+        # value and first derivative match the line at t*.
+        return self.smoothing * math.exp(
+            -self.slope * (price - t_star) / self.smoothing
+        )
+
+    def d_population(self, price: float) -> float:
+        t_star = self._switch_price()
+        if price <= t_star:
+            return -self.slope
+        return -self.slope * math.exp(-self.slope * (price - t_star) / self.smoothing)
+
+
+@dataclass(frozen=True)
+class ShiftedPowerDemand(DemandFunction):
+    """Heavy-tailed demand ``m(t) = scale·(1 + softplus(t))^{−α}``.
+
+    ``softplus(t) = log(1 + e^t)`` maps ℝ onto (0, ∞) smoothly, so the
+    composite is defined for all real prices, strictly decreasing, and decays
+    like ``t^{−α}`` for large ``t`` — much slower than the exponential
+    family. Captures markets with a long tail of price-insensitive users.
+    """
+
+    alpha: float
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ModelError(f"alpha must be positive, got {self.alpha}")
+        if self.scale <= 0.0:
+            raise ModelError(f"scale must be positive, got {self.scale}")
+
+    @staticmethod
+    def _softplus(t: float) -> float:
+        if t > 700.0:
+            return t
+        return math.log1p(math.exp(t))
+
+    @staticmethod
+    def _sigmoid(t: float) -> float:
+        if t >= 0.0:
+            z = math.exp(-t)
+            return 1.0 / (1.0 + z)
+        z = math.exp(t)
+        return z / (1.0 + z)
+
+    def population(self, price: float) -> float:
+        return self.scale * (1.0 + self._softplus(price)) ** (-self.alpha)
+
+    def d_population(self, price: float) -> float:
+        sp = self._softplus(price)
+        return (
+            -self.alpha
+            * self.scale
+            * (1.0 + sp) ** (-self.alpha - 1.0)
+            * self._sigmoid(price)
+        )
+
+
+@dataclass(frozen=True)
+class ScaledDemand(DemandFunction):
+    """A demand function multiplied by a constant market-share weight.
+
+    Used by the ISP-competition extension: when a fraction ``weight`` of
+    the user base subscribes to a given access ISP, each CP's demand on
+    that ISP is the base demand scaled by that share. Elasticities are
+    unchanged (the weight cancels), which is why the per-ISP subsidization
+    games decouple given the shares.
+    """
+
+    inner: DemandFunction
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight or not math.isfinite(self.weight):
+            raise ModelError(f"weight must be finite and non-negative, got {self.weight}")
+
+    def population(self, price: float) -> float:
+        return self.weight * self.inner.population(price)
+
+    def d_population(self, price: float) -> float:
+        return self.weight * self.inner.d_population(price)

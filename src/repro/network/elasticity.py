@@ -1,0 +1,73 @@
+"""Elasticity algebra (Definition 2).
+
+The paper expresses every comparative static in elasticity form:
+``ε^y_x = (∂y/∂x)·(x/y)`` is the percentage change of ``y`` per percentage
+change of ``x``. Conditions (7), (8) and (17) as well as the threshold
+``τ_i`` of Theorem 3 are all elasticity inequalities, so the library needs a
+small, well-tested toolkit for computing and composing them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.solvers.differentiation import derivative
+
+__all__ = ["elasticity_of", "log_derivative", "chain_elasticity"]
+
+
+def elasticity_of(
+    func: Callable[[float], float],
+    x: float,
+    *,
+    dfunc: Callable[[float], float] | None = None,
+) -> float:
+    """Elasticity ``ε^f_x = f'(x)·x/f(x)`` of a scalar function at ``x``.
+
+    Uses the analytical derivative when supplied, central differences
+    otherwise. Returns ``0.0`` at ``x = 0`` whenever ``f(0) ≠ 0`` (the
+    elasticity vanishes with the percentage base) and ``±inf`` when
+    ``f(x) = 0`` with a nonzero slope.
+    """
+    fx = func(x)
+    slope = dfunc(x) if dfunc is not None else derivative(func, x)
+    if fx == 0.0:
+        if slope == 0.0 or x == 0.0:
+            return 0.0
+        return float("inf") if slope * x > 0 else float("-inf")
+    return slope * x / fx
+
+
+def log_derivative(
+    func: Callable[[float], float],
+    x: float,
+    *,
+    dfunc: Callable[[float], float] | None = None,
+) -> float:
+    """Logarithmic derivative ``f'(x)/f(x)`` — elasticity without the ``x``.
+
+    This is the natural object for the Theorem 3 threshold, where the
+    strategy ``s_i`` may be zero and the raw elasticity degenerates.
+    """
+    fx = func(x)
+    slope = dfunc(x) if dfunc is not None else derivative(func, x)
+    if fx == 0.0:
+        return float("inf") if slope > 0 else float("-inf") if slope < 0 else 0.0
+    return slope / fx
+
+
+def chain_elasticity(*factors: float) -> float:
+    """Compose elasticities along a chain: ``ε^z_x = ε^z_y · ε^y_x``.
+
+    The paper repeatedly decomposes, e.g. ``ε^{λ_j}_{m_j} = ε^φ_{m_j} ·
+    ε^{λ_j}_φ`` (equation (14)). Multiplying with correct inf/0 handling
+    (``0 · ±inf`` is treated as 0, matching the limit of a vanishing
+    percentage base) keeps those derivations honest numerically.
+    """
+    product = 1.0
+    for factor in factors:
+        if factor == 0.0:
+            return 0.0
+    for factor in factors:
+        product *= factor
+    return product

@@ -1,0 +1,194 @@
+"""Comparative statics of the physical system (Theorems 1 and 2).
+
+Every formula here is the paper's analytical expression evaluated at a solved
+:class:`~repro.network.system.SystemState`; the test suite validates each
+against central finite differences of re-solved systems.
+
+Theorem 1 (capacity and user effect):
+
+    ∂φ/∂µ   = −(dg/dφ)⁻¹ · ∂Θ/∂µ                < 0
+    ∂φ/∂m_i = (dg/dφ)⁻¹ · λ_i                    > 0
+    ∂θ_i/∂µ   = m_i·λ'_i(φ)·∂φ/∂µ                > 0
+    ∂θ_i/∂m_i = λ_i + m_i·λ'_i(φ)·∂φ/∂m_i        > 0
+    ∂θ_j/∂m_i = m_j·λ'_j(φ)·∂φ/∂m_i              < 0   (j ≠ i)
+
+Theorem 2 (price effect, one-sided pricing ``t_i = p`` for all ``i``):
+
+    ∂φ/∂p = (dg/dφ)⁻¹ · Σ_k m'_k(p)·λ_k          ≤ 0
+    θ_i increases with p  ⟺  ε^{m_i}_p / ε^{λ_i}_φ < −ε^φ_p    (condition (7))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.demand import DemandFunction
+from repro.network.system import CongestionSystem, SystemState, TrafficClass
+
+__all__ = [
+    "SystemSensitivity",
+    "PriceSensitivity",
+    "system_sensitivity",
+    "price_sensitivity",
+    "throughput_increases_with_price",
+]
+
+
+@dataclass(frozen=True)
+class SystemSensitivity:
+    """Theorem 1 derivatives evaluated at a system state.
+
+    Attributes
+    ----------
+    dphi_dmu:
+        Capacity effect on utilization ``∂φ/∂µ`` (negative).
+    dphi_dm:
+        Vector of user effects ``∂φ/∂m_i`` (positive), equation (4).
+    dtheta_dmu:
+        Vector ``∂θ_i/∂µ`` (positive).
+    dtheta_dm:
+        Matrix ``dtheta_dm[i, j] = ∂θ_i/∂m_j`` — positive diagonal, negative
+        off-diagonal (the congestion externality of Lemma 3).
+    """
+
+    dphi_dmu: float
+    dphi_dm: np.ndarray
+    dtheta_dmu: np.ndarray
+    dtheta_dm: np.ndarray
+
+
+@dataclass(frozen=True)
+class PriceSensitivity:
+    """Theorem 2 derivatives under uniform one-sided pricing.
+
+    Attributes
+    ----------
+    dphi_dp:
+        Utilization response ``∂φ/∂p`` (non-positive), equation (5).
+    dtheta_dp:
+        Per-CP throughput responses ``dθ_i/dp`` (either sign — condition (7)).
+    aggregate_dtheta_dp:
+        Aggregate response ``dθ/dp`` (non-positive), equation (6).
+    """
+
+    dphi_dp: float
+    dtheta_dp: np.ndarray
+    aggregate_dtheta_dp: float
+
+
+def system_sensitivity(
+    system: CongestionSystem,
+    classes: Sequence[TrafficClass],
+    state: SystemState | None = None,
+) -> SystemSensitivity:
+    """Evaluate the Theorem 1 comparative statics at the fixed point.
+
+    Parameters
+    ----------
+    system:
+        The physical system ``(Φ, µ)``.
+    classes:
+        Traffic classes the state was (or will be) solved under.
+    state:
+        Optional pre-solved state; re-solved when omitted.
+    """
+    if state is None:
+        state = system.solve(classes)
+    if state.size != len(classes):
+        raise ModelError(
+            f"state has {state.size} classes but {len(classes)} were supplied"
+        )
+    phi = state.utilization
+    slope = state.gap_slope
+    if slope <= 0.0:
+        raise ModelError(f"gap slope must be positive, got {slope}")
+
+    dtheta_sup_dmu = system.utilization_function.dtheta_dmu(phi, system.capacity)
+    dphi_dmu = -dtheta_sup_dmu / slope
+    dphi_dm = state.rates / slope  # equation (4)
+
+    d_rates = np.array([cls.throughput.d_rate(phi) for cls in classes])
+    m = state.populations
+    dtheta_dmu = m * d_rates * dphi_dmu
+
+    n = len(classes)
+    dtheta_dm = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            dtheta_dm[i, j] = m[i] * d_rates[i] * dphi_dm[j]
+            if i == j:
+                dtheta_dm[i, j] += state.rates[i]
+    return SystemSensitivity(
+        dphi_dmu=dphi_dmu,
+        dphi_dm=dphi_dm,
+        dtheta_dmu=dtheta_dmu,
+        dtheta_dm=dtheta_dm,
+    )
+
+
+def price_sensitivity(
+    system: CongestionSystem,
+    demands: Sequence[DemandFunction],
+    throughputs: Sequence,
+    price: float,
+) -> PriceSensitivity:
+    """Evaluate the Theorem 2 price effect under uniform pricing ``t_i = p``.
+
+    Parameters
+    ----------
+    system:
+        The physical system ``(Φ, µ)``.
+    demands:
+        Per-CP demand functions ``m_i(·)`` (Assumption 2).
+    throughputs:
+        Per-CP throughput functions ``λ_i(·)`` (Assumption 1), same order.
+    price:
+        The uniform usage price ``p``.
+    """
+    if len(demands) != len(throughputs):
+        raise ModelError(
+            f"got {len(demands)} demand but {len(throughputs)} throughput functions"
+        )
+    classes = [
+        TrafficClass(dem.population(price), thr)
+        for dem, thr in zip(demands, throughputs)
+    ]
+    state = system.solve(classes)
+    phi = state.utilization
+    slope = state.gap_slope
+
+    dm_dp = np.array([dem.d_population(price) for dem in demands])
+    dphi_dp = float(np.dot(dm_dp, state.rates)) / slope  # equation (5)
+
+    d_rates = np.array([thr.d_rate(phi) for thr in throughputs])
+    dtheta_dp = dm_dp * state.rates + state.populations * d_rates * dphi_dp
+    return PriceSensitivity(
+        dphi_dp=dphi_dp,
+        dtheta_dp=dtheta_dp,
+        aggregate_dtheta_dp=float(np.sum(dtheta_dp)),
+    )
+
+
+def throughput_increases_with_price(
+    demand: DemandFunction,
+    throughput,
+    price: float,
+    phi: float,
+    dphi_dp: float,
+) -> bool:
+    """Condition (7) of Theorem 2: does CP ``i``'s throughput rise with ``p``?
+
+    ``θ_i`` increases at ``p`` iff ``ε^{m_i}_p / ε^{λ_i}_φ < −ε^φ_p`` where
+    ``ε^φ_p = (∂φ/∂p)·(p/φ)``. Handles the boundary cases ``p = 0`` or
+    ``φ = 0`` (where elasticities degenerate) by falling back to the raw
+    derivative inequality ``m'_i λ_i + m_i λ'_i ∂φ/∂p > 0`` the condition is
+    equivalent to.
+    """
+    m = demand.population(price)
+    lam = throughput.rate(phi)
+    raw = demand.d_population(price) * lam + m * throughput.d_rate(phi) * dphi_dp
+    return raw > 0.0

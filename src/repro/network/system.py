@@ -1,0 +1,190 @@
+"""The congestion fixed point (Definition 1, Lemma 1).
+
+A *traffic class* is a user population attached to a throughput function —
+the physical footprint of one CP. Given capacity ``µ`` and classes
+``(m_i, λ_i)``, the system utilization is the unique ``φ`` solving
+
+    φ = Φ( Σ_k m_k·λ_k(φ), µ )            (Definition 1)
+
+equivalently the unique root of the strictly increasing gap function
+
+    g(φ) = Θ(φ, µ) − Σ_k m_k·λ_k(φ)        (Lemma 1)
+
+:class:`CongestionSystem` owns the utilization metric and capacity and
+produces a :class:`SystemState` — the frozen snapshot (φ, per-class rates and
+throughputs, gap slope) that every higher layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.throughput import ThroughputFunction
+from repro.network.utilization import UtilizationFunction
+from repro.solvers.rootfind import solve_increasing
+
+__all__ = ["TrafficClass", "SystemState", "CongestionSystem"]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One CP's physical footprint: a population on a throughput law.
+
+    Attributes
+    ----------
+    population:
+        Number of users ``m_i ≥ 0`` (fractional populations are fine — the
+        model is macroscopic).
+    throughput:
+        The per-user throughput function ``λ_i(φ)``.
+    label:
+        Optional display name carried through to reports.
+    """
+
+    population: float
+    throughput: ThroughputFunction
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.population < 0.0 or not np.isfinite(self.population):
+            raise ModelError(
+                f"population must be finite and non-negative, got {self.population}"
+            )
+
+    def demand_at(self, phi: float) -> float:
+        """Class throughput demand ``m_i·λ_i(φ)`` at utilization ``φ``."""
+        return self.population * self.throughput.rate(phi)
+
+    def with_population(self, population: float) -> "TrafficClass":
+        """Copy with a different population (demand layers use this)."""
+        return TrafficClass(population, self.throughput, self.label)
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """Solved snapshot of a system ``(m, µ)`` at its unique utilization.
+
+    Attributes
+    ----------
+    utilization:
+        The fixed-point utilization ``φ(m, µ)``.
+    rates:
+        Per-class per-user throughput ``λ_i(φ)``.
+    throughputs:
+        Per-class total throughput ``θ_i = m_i·λ_i(φ)``.
+    populations:
+        The populations ``m_i`` the state was solved under.
+    gap_slope:
+        ``dg/dφ = ∂Θ/∂φ − Σ m_k·λ'_k(φ) > 0`` (equation (2)) — the
+        normalizer of every comparative-static in Theorems 1, 2, 6 and 8.
+    capacity:
+        Capacity ``µ`` of the solve.
+    """
+
+    utilization: float
+    rates: np.ndarray
+    throughputs: np.ndarray
+    populations: np.ndarray
+    gap_slope: float
+    capacity: float
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total system throughput ``θ = Σ_k θ_k``."""
+        return float(np.sum(self.throughputs))
+
+    @property
+    def size(self) -> int:
+        """Number of traffic classes."""
+        return int(self.throughputs.size)
+
+
+class CongestionSystem:
+    """The physical system ``(Φ, µ)`` that resolves congestion fixed points.
+
+    Parameters
+    ----------
+    utilization:
+        A utilization metric satisfying Assumption 1.
+    capacity:
+        Capacity ``µ > 0``.
+    xtol:
+        Absolute tolerance of the Brent solve for ``φ``.
+
+    Examples
+    --------
+    >>> from repro.network import (CongestionSystem, LinearUtilization,
+    ...                            ExponentialThroughput, TrafficClass)
+    >>> system = CongestionSystem(LinearUtilization(), capacity=1.0)
+    >>> classes = [TrafficClass(1.0, ExponentialThroughput(beta=3.0))]
+    >>> state = system.solve(classes)
+    >>> round(state.utilization, 6)
+    0.349969
+    """
+
+    def __init__(
+        self,
+        utilization: UtilizationFunction,
+        capacity: float,
+        *,
+        xtol: float = 1e-12,
+    ) -> None:
+        if capacity <= 0.0 or not np.isfinite(capacity):
+            raise ModelError(f"capacity must be positive and finite, got {capacity}")
+        self._utilization = utilization
+        self._capacity = float(capacity)
+        self._xtol = xtol
+
+    @property
+    def utilization_function(self) -> UtilizationFunction:
+        """The utilization metric ``Φ``."""
+        return self._utilization
+
+    @property
+    def capacity(self) -> float:
+        """Capacity ``µ``."""
+        return self._capacity
+
+    def with_capacity(self, capacity: float) -> "CongestionSystem":
+        """Copy of this system with a different capacity (Theorem 1 sweeps)."""
+        return CongestionSystem(self._utilization, capacity, xtol=self._xtol)
+
+    def gap(self, phi: float, classes: Sequence[TrafficClass]) -> float:
+        """Throughput gap ``g(φ) = Θ(φ, µ) − Σ m_k λ_k(φ)`` (Lemma 1)."""
+        supply = self._utilization.theta(phi, self._capacity)
+        demand = sum(cls.demand_at(phi) for cls in classes)
+        return supply - demand
+
+    def gap_slope(self, phi: float, classes: Sequence[TrafficClass]) -> float:
+        """Gap derivative ``dg/dφ`` from equation (2); strictly positive."""
+        supply_slope = self._utilization.dtheta_dphi(phi, self._capacity)
+        demand_slope = sum(
+            cls.population * cls.throughput.d_rate(phi) for cls in classes
+        )
+        return supply_slope - demand_slope
+
+    def solve_utilization(self, classes: Sequence[TrafficClass]) -> float:
+        """Unique fixed-point utilization ``φ(m, µ)`` of Definition 1."""
+        if not classes or all(cls.population == 0.0 for cls in classes):
+            return 0.0
+        return solve_increasing(
+            lambda phi: self.gap(phi, classes), lo=0.0, xtol=self._xtol
+        )
+
+    def solve(self, classes: Sequence[TrafficClass]) -> SystemState:
+        """Solve the fixed point and return the full :class:`SystemState`."""
+        phi = self.solve_utilization(classes)
+        rates = np.array([cls.throughput.rate(phi) for cls in classes])
+        populations = np.array([cls.population for cls in classes])
+        return SystemState(
+            utilization=phi,
+            rates=rates,
+            throughputs=populations * rates,
+            populations=populations,
+            gap_slope=self.gap_slope(phi, classes),
+            capacity=self._capacity,
+        )

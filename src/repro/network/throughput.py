@@ -1,0 +1,164 @@
+"""Per-user throughput families ``λ(φ)`` (Assumption 1).
+
+Assumption 1 requires each ``λ_i(φ)`` to be differentiable, strictly
+decreasing in the utilization ``φ`` and to vanish as ``φ → ∞``: users obtain
+less throughput the more congested the system is.
+
+* :class:`ExponentialThroughput` — ``λ(φ) = λ(0)·e^{−βφ}``, the paper's
+  numerical family. Its φ-elasticity is the closed form ``ε^λ_φ = −βφ``
+  used throughout §3–§5.
+* :class:`PowerLawThroughput` — ``λ(φ) = λ(0)/(1 + φ)^β``, heavier tail.
+* :class:`RationalThroughput` — ``λ(φ) = λ(0)/(1 + βφ)``, the TCP-like
+  inverse-congestion law.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import math
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "ThroughputFunction",
+    "ExponentialThroughput",
+    "PowerLawThroughput",
+    "RationalThroughput",
+]
+
+
+class ThroughputFunction(ABC):
+    """Interface for per-user throughput as a function of utilization."""
+
+    @abstractmethod
+    def rate(self, phi: float) -> float:
+        """Per-user throughput ``λ(φ)`` at utilization ``φ ≥ 0``."""
+
+    @abstractmethod
+    def d_rate(self, phi: float) -> float:
+        """Derivative ``dλ/dφ`` (strictly negative under Assumption 1)."""
+
+    def elasticity(self, phi: float) -> float:
+        """φ-elasticity of throughput ``ε^λ_φ = (dλ/dφ)·(φ/λ)`` (Def. 2).
+
+        This is the congestion-sensitivity measure entering condition (7)
+        of Theorem 2 and the threshold ``τ_i`` of Theorem 3.
+        """
+        lam = self.rate(phi)
+        if lam == 0.0:
+            return float("-inf")
+        return self.d_rate(phi) * phi / lam
+
+    def peak_rate(self) -> float:
+        """Uncongested throughput ``λ(0)``."""
+        return self.rate(0.0)
+
+    @staticmethod
+    def _require_utilization(phi: float) -> None:
+        if phi < 0.0 or math.isnan(phi):
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+
+
+@dataclass(frozen=True)
+class ExponentialThroughput(ThroughputFunction):
+    """Exponential congestion decay ``λ(φ) = peak·e^{−βφ}``.
+
+    ``beta`` is the congestion sensitivity (the paper's ``β_i``); larger
+    values mean user throughput collapses faster as the system loads up.
+    φ-elasticity is exactly ``−βφ``.
+    """
+
+    beta: float
+    peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ModelError(f"beta must be positive, got {self.beta}")
+        if self.peak <= 0.0:
+            raise ModelError(f"peak rate must be positive, got {self.peak}")
+
+    def rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return self.peak * math.exp(-self.beta * phi)
+
+    def d_rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * self.peak * math.exp(-self.beta * phi)
+
+    def elasticity(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * phi
+
+    def with_peak(self, peak: float) -> "ExponentialThroughput":
+        """Copy with a different uncongested rate (used by Lemma 2 rescaling)."""
+        return ExponentialThroughput(beta=self.beta, peak=peak)
+
+
+@dataclass(frozen=True)
+class PowerLawThroughput(ThroughputFunction):
+    """Power-law decay ``λ(φ) = peak·(1 + φ)^{−β}``.
+
+    Decays slower than exponential at high utilization; its elasticity
+    ``−βφ/(1 + φ)`` saturates at ``−β`` instead of growing without bound.
+    """
+
+    beta: float
+    peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ModelError(f"beta must be positive, got {self.beta}")
+        if self.peak <= 0.0:
+            raise ModelError(f"peak rate must be positive, got {self.peak}")
+
+    def rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return self.peak * (1.0 + phi) ** (-self.beta)
+
+    def d_rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * self.peak * (1.0 + phi) ** (-self.beta - 1.0)
+
+    def elasticity(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * phi / (1.0 + phi)
+
+    def with_peak(self, peak: float) -> "PowerLawThroughput":
+        """Copy with a different uncongested rate (used by Lemma 2 rescaling)."""
+        return PowerLawThroughput(beta=self.beta, peak=peak)
+
+
+@dataclass(frozen=True)
+class RationalThroughput(ThroughputFunction):
+    """Inverse-congestion law ``λ(φ) = peak/(1 + βφ)``.
+
+    The hyperbolic decay characteristic of rate-fair congestion control:
+    per-user rate inversely proportional to (an affine function of) load.
+    """
+
+    beta: float
+    peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ModelError(f"beta must be positive, got {self.beta}")
+        if self.peak <= 0.0:
+            raise ModelError(f"peak rate must be positive, got {self.peak}")
+
+    def rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return self.peak / (1.0 + self.beta * phi)
+
+    def d_rate(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * self.peak / (1.0 + self.beta * phi) ** 2
+
+    def elasticity(self, phi: float) -> float:
+        self._require_utilization(phi)
+        return -self.beta * phi / (1.0 + self.beta * phi)
+
+    def with_peak(self, peak: float) -> "RationalThroughput":
+        """Copy with a different uncongested rate (used by Lemma 2 rescaling)."""
+        return RationalThroughput(beta=self.beta, peak=peak)

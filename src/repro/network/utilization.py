@@ -1,0 +1,186 @@
+"""Capacity-utilization functions ``Φ(θ, µ)`` and inverses ``Θ(φ, µ)``.
+
+Assumption 1 of the paper requires ``Φ`` to be differentiable, strictly
+increasing in aggregate throughput ``θ``, strictly decreasing in capacity
+``µ``, with ``Φ(0, µ) = 0``. The inverse in ``θ`` for fixed ``µ``,
+``Θ(φ, µ) = Φ⁻¹(φ, µ)``, is then strictly increasing in both arguments; it is
+the "throughput supply" at utilization ``φ`` and the first term of the gap
+function ``g(φ)`` of Lemma 1.
+
+Three concrete families:
+
+* :class:`LinearUtilization` — ``Φ = θ/µ``, the paper's numerical choice
+  (per-capacity throughput as the utilization metric).
+* :class:`PowerLawUtilization` — ``Φ = (θ/µ)^γ``, a curvature ablation.
+* :class:`MM1Utilization` — ``Φ = θ/(µ − θ)``, the normalized queueing-delay
+  metric of an M/M/1 station: utilization blows up as demand approaches
+  capacity, modelling hard capacity walls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "UtilizationFunction",
+    "LinearUtilization",
+    "PowerLawUtilization",
+    "MM1Utilization",
+]
+
+
+class UtilizationFunction(ABC):
+    """Interface for utilization metrics satisfying Assumption 1.
+
+    Implementations must be valid for all ``θ ≥ 0`` within their stated
+    domain and all ``µ > 0``; utilization values range over ``[0, ∞)``.
+    """
+
+    @abstractmethod
+    def phi(self, theta: float, mu: float) -> float:
+        """Utilization ``Φ(θ, µ)`` induced by aggregate throughput ``θ``."""
+
+    @abstractmethod
+    def theta(self, phi: float, mu: float) -> float:
+        """Inverse ``Θ(φ, µ)``: throughput that induces utilization ``φ``."""
+
+    @abstractmethod
+    def dtheta_dphi(self, phi: float, mu: float) -> float:
+        """Partial ``∂Θ/∂φ`` — the supply slope in the gap derivative (2)."""
+
+    @abstractmethod
+    def dtheta_dmu(self, phi: float, mu: float) -> float:
+        """Partial ``∂Θ/∂µ`` — drives the capacity effect of Theorem 1."""
+
+    def max_throughput(self, mu: float) -> float:
+        """Least upper bound of feasible aggregate throughput (∞ if none)."""
+        return float("inf")
+
+    @staticmethod
+    def _require_positive_capacity(mu: float) -> None:
+        if mu <= 0.0:
+            raise ModelError(f"capacity must be positive, got {mu}")
+
+
+@dataclass(frozen=True)
+class LinearUtilization(UtilizationFunction):
+    """Per-capacity throughput metric ``Φ(θ, µ) = θ/µ`` (the paper's choice).
+
+    ``Θ(φ, µ) = φ·µ``; the gap derivative contribution is ``∂Θ/∂φ = µ`` —
+    this is the ``µ`` term in the paper's expression
+    ``dg/dφ = µ + Σ β_i θ_i`` for the exponential family.
+    """
+
+    def phi(self, theta: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if theta < 0.0:
+            raise ModelError(f"throughput must be non-negative, got {theta}")
+        return theta / mu
+
+    def theta(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return phi * mu
+
+    def dtheta_dphi(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        return mu
+
+    def dtheta_dmu(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        return phi
+
+
+@dataclass(frozen=True)
+class PowerLawUtilization(UtilizationFunction):
+    """Power-law metric ``Φ(θ, µ) = (θ/µ)^γ`` with curvature ``γ > 0``.
+
+    ``γ > 1`` makes utilization insensitive at low load and sharply
+    increasing near ``θ = µ``; ``γ < 1`` the opposite. Used for ablations
+    showing the paper's qualitative results do not hinge on ``Φ = θ/µ``.
+    """
+
+    gamma: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0.0:
+            raise ModelError(f"gamma must be positive, got {self.gamma}")
+
+    def phi(self, theta: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if theta < 0.0:
+            raise ModelError(f"throughput must be non-negative, got {theta}")
+        return (theta / mu) ** self.gamma
+
+    def theta(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return mu * phi ** (1.0 / self.gamma)
+
+    def dtheta_dphi(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        if phi == 0.0:
+            # Limit of (µ/γ)·φ^{1/γ − 1}: 0 for γ < 1, µ for γ = 1, ∞ for γ > 1.
+            if self.gamma < 1.0:
+                return 0.0
+            if self.gamma == 1.0:
+                return mu
+            return float("inf")
+        return (mu / self.gamma) * phi ** (1.0 / self.gamma - 1.0)
+
+    def dtheta_dmu(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return phi ** (1.0 / self.gamma)
+
+
+@dataclass(frozen=True)
+class MM1Utilization(UtilizationFunction):
+    """Queueing-delay metric ``Φ(θ, µ) = θ/(µ − θ)`` for ``θ < µ``.
+
+    Proportional to the mean number in system of an M/M/1 queue with load
+    ``ρ = θ/µ``: ``ρ/(1 − ρ)``. Captures a *hard* capacity wall — utilization
+    diverges as throughput approaches capacity — unlike the linear metric
+    where ``φ`` grows without physical bound. ``Θ(φ, µ) = µ·φ/(1 + φ)``.
+    """
+
+    def phi(self, theta: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if theta < 0.0:
+            raise ModelError(f"throughput must be non-negative, got {theta}")
+        if theta >= mu:
+            raise ModelError(
+                f"M/M/1 utilization undefined at or above capacity "
+                f"(theta={theta}, mu={mu})"
+            )
+        return theta / (mu - theta)
+
+    def theta(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return mu * phi / (1.0 + phi)
+
+    def dtheta_dphi(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return mu / (1.0 + phi) ** 2
+
+    def dtheta_dmu(self, phi: float, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        if phi < 0.0:
+            raise ModelError(f"utilization must be non-negative, got {phi}")
+        return phi / (1.0 + phi)
+
+    def max_throughput(self, mu: float) -> float:
+        self._require_positive_capacity(mu)
+        return mu

@@ -1,0 +1,25 @@
+"""Domain objects of the two-sided market: content providers, the access
+ISP, and the market that wires them to the physical substrate.
+
+* :class:`~repro.providers.content_provider.ContentProvider` — a CP with a
+  demand function ``m_i(t)``, a throughput function ``λ_i(φ)`` and a per-unit
+  traffic profitability ``v_i``.
+* :class:`~repro.providers.isp.AccessISP` — the access provider with usage
+  price ``p``, capacity ``µ`` and a utilization metric ``Φ``.
+* :class:`~repro.providers.market.Market` — an ISP plus a set of CPs; maps a
+  subsidy profile ``s`` to the solved
+  :class:`~repro.providers.market.MarketState` (populations, congestion
+  fixed point, throughput, utilities, revenue, welfare).
+"""
+
+from repro.providers.content_provider import ContentProvider, exponential_cp
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market, MarketState
+
+__all__ = [
+    "AccessISP",
+    "ContentProvider",
+    "Market",
+    "MarketState",
+    "exponential_cp",
+]

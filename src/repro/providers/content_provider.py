@@ -1,0 +1,111 @@
+"""Content providers: demand + throughput + profitability.
+
+A CP in the model is fully described by three objects (§3–§4):
+
+* a demand function ``m_i(t_i)`` — how many users consume its content at
+  effective per-unit price ``t_i = p − s_i`` (Assumption 2),
+* a throughput function ``λ_i(φ)`` — per-user rate under congestion
+  (Assumption 1),
+* a scalar profitability ``v_i`` — average profit per unit of delivered
+  traffic, so utility is ``U_i = (v_i − s_i)·θ_i`` once subsidies exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.demand import DemandFunction, ExponentialDemand
+from repro.network.system import TrafficClass
+from repro.network.throughput import ExponentialThroughput, ThroughputFunction
+
+__all__ = ["ContentProvider", "exponential_cp"]
+
+
+@dataclass(frozen=True)
+class ContentProvider:
+    """One content provider of the market.
+
+    Attributes
+    ----------
+    demand:
+        User-population demand ``m_i(·)`` versus effective price.
+    throughput:
+        Per-user throughput ``λ_i(·)`` versus utilization.
+    value:
+        Per-unit traffic profitability ``v_i ≥ 0`` (the paper's ``v_i``).
+    name:
+        Display label used by reports and experiments.
+    """
+
+    demand: DemandFunction
+    throughput: ThroughputFunction
+    value: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0 or not np.isfinite(self.value):
+            raise ModelError(
+                f"profitability must be finite and non-negative, got {self.value}"
+            )
+
+    def population(self, effective_price: float) -> float:
+        """Users attracted at effective per-unit price ``t = p − s``."""
+        return self.demand.population(effective_price)
+
+    def traffic_class(self, effective_price: float) -> TrafficClass:
+        """The CP's physical footprint at a given effective price."""
+        return TrafficClass(
+            population=self.population(effective_price),
+            throughput=self.throughput,
+            label=self.name,
+        )
+
+    def utility(self, subsidy: float, throughput: float) -> float:
+        """CP utility ``U_i = (v_i − s_i)·θ_i`` (§4.1)."""
+        return (self.value - subsidy) * throughput
+
+    def with_value(self, value: float) -> "ContentProvider":
+        """Copy with a different profitability (Theorem 5 experiments)."""
+        return ContentProvider(self.demand, self.throughput, value, self.name)
+
+
+def exponential_cp(
+    alpha: float,
+    beta: float,
+    value: float = 0.0,
+    *,
+    name: str = "",
+    demand_scale: float = 1.0,
+    peak_rate: float = 1.0,
+) -> ContentProvider:
+    """Build a CP of the paper's exponential family.
+
+    ``m(t) = demand_scale·e^{−αt}`` and ``λ(φ) = peak_rate·e^{−βφ}``, so the
+    CP's throughput under uniform pricing is the paper's
+    ``θ_i = e^{−(α_i p + β_i φ)}`` (with unit scales). This is the
+    constructor behind every numerical scenario in the paper.
+
+    Parameters
+    ----------
+    alpha:
+        Price sensitivity of demand (``α_i``).
+    beta:
+        Congestion sensitivity of throughput (``β_i``).
+    value:
+        Per-unit profitability ``v_i``.
+    name:
+        Optional label; defaults to ``"cp(α=…, β=…[, v=…])"``.
+    demand_scale, peak_rate:
+        Scale factors for demand and peak throughput.
+    """
+    if not name:
+        name = f"cp(a={alpha:g},b={beta:g}" + (f",v={value:g})" if value else ")")
+    return ContentProvider(
+        demand=ExponentialDemand(alpha=alpha, scale=demand_scale),
+        throughput=ExponentialThroughput(beta=beta, peak=peak_rate),
+        value=value,
+        name=name,
+    )

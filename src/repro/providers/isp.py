@@ -1,0 +1,73 @@
+"""The access ISP: uniform usage price, capacity, utilization metric.
+
+Under net neutrality the ISP neither differentiates traffic nor charges CPs;
+its only levers are the uniform per-unit usage price ``p`` charged to users
+and (in the long run) the capacity ``µ``. Its revenue is ``R = p·θ`` where
+``θ`` is aggregate delivered throughput (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.system import CongestionSystem
+from repro.network.utilization import LinearUtilization, UtilizationFunction
+
+__all__ = ["AccessISP"]
+
+
+@dataclass(frozen=True)
+class AccessISP:
+    """The (single) access ISP of the market.
+
+    Attributes
+    ----------
+    price:
+        Uniform per-unit usage price ``p ≥ 0`` charged to end-users.
+    capacity:
+        Access capacity ``µ > 0``.
+    utilization:
+        Utilization metric ``Φ(θ, µ)``; defaults to the paper's ``θ/µ``.
+    name:
+        Display label.
+    """
+
+    price: float
+    capacity: float
+    utilization: UtilizationFunction = field(default_factory=LinearUtilization)
+    name: str = "access-isp"
+
+    def __post_init__(self) -> None:
+        if self.price < 0.0 or not np.isfinite(self.price):
+            raise ModelError(f"price must be finite and non-negative, got {self.price}")
+        if self.capacity <= 0.0 or not np.isfinite(self.capacity):
+            raise ModelError(
+                f"capacity must be finite and positive, got {self.capacity}"
+            )
+
+    def congestion_system(self) -> CongestionSystem:
+        """The physical system ``(Φ, µ)`` this ISP operates."""
+        return CongestionSystem(self.utilization, self.capacity)
+
+    def revenue(self, aggregate_throughput: float) -> float:
+        """Usage revenue ``R = p·θ``.
+
+        Note the ISP collects the *full* price on every unit; CP subsidies
+        reimburse users, they do not reduce what the ISP receives.
+        """
+        if aggregate_throughput < 0.0:
+            raise ModelError(
+                f"aggregate throughput must be non-negative, got {aggregate_throughput}"
+            )
+        return self.price * aggregate_throughput
+
+    def with_price(self, price: float) -> "AccessISP":
+        """Copy with a different usage price (pricing sweeps, §5.1)."""
+        return AccessISP(price, self.capacity, self.utilization, self.name)
+
+    def with_capacity(self, capacity: float) -> "AccessISP":
+        """Copy with a different capacity (investment experiments, §6)."""
+        return AccessISP(self.price, capacity, self.utilization, self.name)

@@ -1,0 +1,216 @@
+"""The market: an access ISP serving a set of content providers.
+
+:class:`Market` is the object every higher layer works with. It maps a
+subsidy profile ``s`` (and implicitly the ISP's price ``p``) to a fully
+solved :class:`MarketState`:
+
+    t_i = p − s_i  →  m_i = m_i(t_i)  →  φ = fixed point  →
+    θ_i = m_i·λ_i(φ)  →  U_i = (v_i − s_i)·θ_i,  R = p·θ,  W = Σ v_i·θ_i
+
+The zero-subsidy case reproduces the one-sided-pricing model of §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.system import CongestionSystem, SystemState, TrafficClass
+from repro.providers.content_provider import ContentProvider
+from repro.providers.isp import AccessISP
+
+__all__ = ["Market", "MarketState"]
+
+
+@dataclass(frozen=True)
+class MarketState:
+    """Complete solved snapshot of the market under a subsidy profile.
+
+    Attributes
+    ----------
+    subsidies:
+        The profile ``s`` the state was solved under.
+    effective_prices:
+        ``t_i = p − s_i`` per CP.
+    populations:
+        Realized user populations ``m_i(t_i)``.
+    utilization:
+        Fixed-point system utilization ``φ``.
+    rates:
+        Per-user throughput ``λ_i(φ)``.
+    throughputs:
+        CP throughput ``θ_i = m_i·λ_i(φ)``.
+    utilities:
+        CP utilities ``U_i = (v_i − s_i)·θ_i``.
+    revenue:
+        ISP revenue ``R = p·θ``.
+    welfare:
+        System welfare ``W = Σ_i v_i·θ_i`` (Corollary 2's metric).
+    gap_slope:
+        ``dg/dφ`` at the fixed point (normalizer of all sensitivities).
+    price:
+        The ISP price ``p`` of the solve.
+    capacity:
+        The capacity ``µ`` of the solve.
+    """
+
+    subsidies: np.ndarray
+    effective_prices: np.ndarray
+    populations: np.ndarray
+    utilization: float
+    rates: np.ndarray
+    throughputs: np.ndarray
+    utilities: np.ndarray
+    revenue: float
+    welfare: float
+    gap_slope: float
+    price: float
+    capacity: float
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total delivered throughput ``θ = Σ θ_i``."""
+        return float(np.sum(self.throughputs))
+
+    @property
+    def size(self) -> int:
+        """Number of CPs."""
+        return int(self.throughputs.size)
+
+
+class Market:
+    """An access ISP together with the CPs whose traffic it terminates.
+
+    Parameters
+    ----------
+    providers:
+        The content providers (order defines the strategy-vector order).
+    isp:
+        The access ISP (price, capacity, utilization metric).
+
+    Examples
+    --------
+    >>> from repro.providers import Market, AccessISP, exponential_cp
+    >>> market = Market(
+    ...     [exponential_cp(2.0, 2.0, value=1.0),
+    ...      exponential_cp(5.0, 5.0, value=0.5)],
+    ...     AccessISP(price=1.0, capacity=1.0),
+    ... )
+    >>> state = market.solve()          # no subsidies: §3.2 baseline
+    >>> state.revenue > 0
+    True
+    """
+
+    def __init__(self, providers: Sequence[ContentProvider], isp: AccessISP) -> None:
+        providers = list(providers)
+        if not providers:
+            raise ModelError("a market needs at least one content provider")
+        self._providers: tuple[ContentProvider, ...] = tuple(providers)
+        self._isp = isp
+        self._system = isp.congestion_system()
+        self._values = np.array([cp.value for cp in providers])
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def providers(self) -> tuple[ContentProvider, ...]:
+        """The CPs, in strategy-vector order."""
+        return self._providers
+
+    @property
+    def isp(self) -> AccessISP:
+        """The access ISP."""
+        return self._isp
+
+    @property
+    def system(self) -> CongestionSystem:
+        """The physical congestion system the ISP operates."""
+        return self._system
+
+    @property
+    def size(self) -> int:
+        """Number of CPs."""
+        return len(self._providers)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Vector of CP profitabilities ``v``."""
+        return self._values.copy()
+
+    def with_price(self, price: float) -> "Market":
+        """Same market under a different ISP price (pricing sweeps)."""
+        return Market(self._providers, self._isp.with_price(price))
+
+    def with_capacity(self, capacity: float) -> "Market":
+        """Same market under a different capacity (investment sweeps)."""
+        return Market(self._providers, self._isp.with_capacity(capacity))
+
+    def with_provider(self, index: int, provider: ContentProvider) -> "Market":
+        """Copy with provider ``index`` replaced (Theorem 5 experiments)."""
+        providers = list(self._providers)
+        providers[index] = provider
+        return Market(providers, self._isp)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def _as_subsidy_vector(self, subsidies) -> np.ndarray:
+        if subsidies is None:
+            return np.zeros(self.size)
+        arr = np.asarray(subsidies, dtype=float)
+        if arr.shape != (self.size,):
+            raise ModelError(
+                f"subsidy profile must have shape ({self.size},), got {arr.shape}"
+            )
+        if np.any(arr < -1e-12) or not np.all(np.isfinite(arr)):
+            raise ModelError("subsidies must be finite and non-negative")
+        return np.clip(arr, 0.0, None)
+
+    def traffic_classes(self, subsidies=None) -> list[TrafficClass]:
+        """Physical traffic classes induced by a subsidy profile."""
+        s = self._as_subsidy_vector(subsidies)
+        price = self._isp.price
+        return [
+            cp.traffic_class(price - s[i]) for i, cp in enumerate(self._providers)
+        ]
+
+    def utilization(self, subsidies=None) -> float:
+        """Fixed-point utilization ``φ(s)`` without building a full state."""
+        return self._system.solve_utilization(self.traffic_classes(subsidies))
+
+    def solve(self, subsidies=None) -> MarketState:
+        """Solve the market under subsidy profile ``s`` (zeros by default)."""
+        s = self._as_subsidy_vector(subsidies)
+        price = self._isp.price
+        effective = price - s
+        classes = [
+            cp.traffic_class(effective[i]) for i, cp in enumerate(self._providers)
+        ]
+        state: SystemState = self._system.solve(classes)
+        throughputs = state.throughputs
+        utilities = (self._values - s) * throughputs
+        aggregate = float(np.sum(throughputs))
+        return MarketState(
+            subsidies=s,
+            effective_prices=effective,
+            populations=state.populations,
+            utilization=state.utilization,
+            rates=state.rates,
+            throughputs=throughputs,
+            utilities=utilities,
+            revenue=self._isp.revenue(aggregate),
+            welfare=float(np.dot(self._values, throughputs)),
+            gap_slope=state.gap_slope,
+            price=price,
+            capacity=self._isp.capacity,
+        )
+
+    def provider_names(self) -> list[str]:
+        """Display names for reports (auto-filled when blank)."""
+        return [
+            cp.name if cp.name else f"cp{i}" for i, cp in enumerate(self._providers)
+        ]

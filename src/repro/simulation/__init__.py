@@ -1,0 +1,41 @@
+"""Off-equilibrium market simulation and capacity planning (§6 extensions).
+
+The paper's framework is a *static* equilibrium model; §6 explicitly lists
+two things it cannot capture:
+
+1. **short-term off-equilibrium dynamics** — "players' decisions are not
+   rational or optimal". :mod:`repro.simulation.dynamics` runs the market in
+   discrete time: CPs adapt subsidies by damped best responses or gradient
+   steps (optionally with noise and stale information), while user
+   populations adjust toward their demand level with inertia. Static Nash
+   equilibria are fixed points of the dynamic; experiments verify they are
+   *attractors*.
+2. **the ISP's capacity-planning decision** — stated future work.
+   :mod:`repro.simulation.capacity` closes the investment loop: the ISP
+   reinvests a fraction of revenue into capacity each period, linking the
+   "subsidization → utilization → revenue → investment" chain the paper's
+   policy argument relies on.
+"""
+
+from repro.simulation.agents import (
+    BestResponseStrategy,
+    FixedStrategy,
+    GradientStrategy,
+    SubsidyStrategy,
+)
+from repro.simulation.capacity import CapacityPlan, simulate_capacity_expansion
+from repro.simulation.dynamics import MarketSimulation, SimulationConfig
+from repro.simulation.trace import SimulationTrace, TraceRecord
+
+__all__ = [
+    "BestResponseStrategy",
+    "CapacityPlan",
+    "FixedStrategy",
+    "GradientStrategy",
+    "MarketSimulation",
+    "SimulationConfig",
+    "SimulationTrace",
+    "SubsidyStrategy",
+    "TraceRecord",
+    "simulate_capacity_expansion",
+]

@@ -1,0 +1,137 @@
+"""ISP capacity planning — the paper's stated future work (§6).
+
+The paper's policy argument is a feedback loop: subsidization raises
+utilization and revenue, improved margins fund capacity expansion, expansion
+relieves the congestion that hurt congestion-sensitive CPs. This module
+closes that loop in the simplest faithful way:
+
+* each period the CPs play the subsidization equilibrium under the current
+  capacity (statics nested inside dynamics),
+* the ISP converts a fraction ``reinvestment_rate`` of revenue into new
+  capacity at ``capacity_cost`` per unit, while existing capacity
+  depreciates at rate ``depreciation``,
+* optionally, the ISP re-optimizes its price each period.
+
+The resulting trajectory shows whether a policy regime ``q`` funds a growth
+path or stagnates — the quantity regulators care about in §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.core.revenue import optimal_price
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+
+__all__ = ["CapacityPlan", "simulate_capacity_expansion"]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Trajectory of the revenue-funded capacity expansion loop.
+
+    All arrays are indexed by period (length ``periods + 1``; entry 0 is the
+    initial condition).
+    """
+
+    capacities: np.ndarray
+    prices: np.ndarray
+    revenues: np.ndarray
+    utilizations: np.ndarray
+    welfares: np.ndarray
+    subsidies: np.ndarray
+
+    @property
+    def periods(self) -> int:
+        """Number of simulated periods."""
+        return len(self.capacities) - 1
+
+    def capacity_growth(self) -> float:
+        """Total relative capacity growth over the run."""
+        return float(self.capacities[-1] / self.capacities[0] - 1.0)
+
+
+def simulate_capacity_expansion(
+    market: Market,
+    cap: float,
+    periods: int,
+    *,
+    reinvestment_rate: float = 0.2,
+    capacity_cost: float = 1.0,
+    depreciation: float = 0.0,
+    reoptimize_price: bool = False,
+    price_range: tuple[float, float] = (0.0, 3.0),
+) -> CapacityPlan:
+    """Run the revenue → investment → capacity loop for ``periods`` periods.
+
+    Parameters
+    ----------
+    market:
+        Starting market (initial price and capacity).
+    cap:
+        Policy cap ``q`` in force throughout.
+    periods:
+        Number of investment periods.
+    reinvestment_rate:
+        Fraction of per-period revenue converted into investment.
+    capacity_cost:
+        Cost of one unit of capacity.
+    depreciation:
+        Per-period fractional capacity decay.
+    reoptimize_price:
+        When ``True`` the ISP re-solves its revenue-optimal price each
+        period (slower); otherwise the price stays fixed.
+    price_range:
+        Search interval for the optimal price when re-optimizing.
+    """
+    if periods < 0:
+        raise ModelError(f"periods must be non-negative, got {periods}")
+    if not 0.0 <= reinvestment_rate <= 1.0:
+        raise ModelError(
+            f"reinvestment_rate must lie in [0, 1], got {reinvestment_rate}"
+        )
+    if capacity_cost <= 0.0:
+        raise ModelError(f"capacity_cost must be positive, got {capacity_cost}")
+    if not 0.0 <= depreciation < 1.0:
+        raise ModelError(f"depreciation must lie in [0, 1), got {depreciation}")
+
+    capacities = [market.isp.capacity]
+    prices = []
+    revenues = []
+    utilizations = []
+    welfares = []
+    subsidy_rows = []
+
+    current = market
+    for _ in range(periods + 1):
+        if reoptimize_price:
+            best = optimal_price(current, cap=cap, price_range=price_range)
+            current = current.with_price(best.price)
+            equilibrium = best.equilibrium
+        else:
+            equilibrium = solve_equilibrium(SubsidizationGame(current, cap))
+        state = equilibrium.state
+        prices.append(current.isp.price)
+        revenues.append(state.revenue)
+        utilizations.append(state.utilization)
+        welfares.append(state.welfare)
+        subsidy_rows.append(equilibrium.subsidies.copy())
+
+        investment = reinvestment_rate * state.revenue / capacity_cost
+        next_capacity = (1.0 - depreciation) * current.isp.capacity + investment
+        capacities.append(next_capacity)
+        current = current.with_capacity(next_capacity)
+
+    return CapacityPlan(
+        capacities=np.array(capacities[: periods + 1]),
+        prices=np.array(prices),
+        revenues=np.array(revenues),
+        utilizations=np.array(utilizations),
+        welfares=np.array(welfares),
+        subsidies=np.array(subsidy_rows),
+    )

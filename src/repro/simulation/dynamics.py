@@ -1,0 +1,186 @@
+"""Discrete-time market dynamics (the §6 "off-equilibrium" extension).
+
+Each period:
+
+1. **CP updates** — every CP proposes a next subsidy through its
+   :class:`~repro.simulation.agents.SubsidyStrategy`, either sequentially
+   (each sees predecessors' fresh choices — Gauss–Seidel style) or
+   simultaneously (all see the stale profile — Jacobi style).
+2. **User adjustment** — populations move toward their demand level with
+   inertia ``ρ``: ``m_i ← (1 − ρ)·m_i + ρ·m_i(p − s_i)``. ``ρ = 1`` is the
+   paper's instantaneous-demand assumption; ``ρ < 1`` models subscription
+   stickiness the static model abstracts away.
+3. **Congestion resolution** — the utilization fixed point is re-solved for
+   the lagged populations and the period's throughput, utilities, revenue
+   and welfare are recorded.
+
+Static Nash equilibria (with ``ρ = 1``, noiseless best responses) are fixed
+points of this dynamic; the test-suite and EXPERIMENTS.md verify they are
+attractors from random initial conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+from repro.simulation.agents import BestResponseStrategy, SubsidyStrategy
+from repro.simulation.trace import SimulationTrace, TraceRecord
+
+__all__ = ["SimulationConfig", "MarketSimulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the market simulator.
+
+    Attributes
+    ----------
+    population_inertia:
+        Adjustment speed ``ρ ∈ (0, 1]`` of populations toward demand.
+    update:
+        ``"sequential"`` (Gauss–Seidel) or ``"simultaneous"`` (Jacobi)
+        CP updates within a period.
+    seed:
+        Seed of the simulator's private random generator (decision noise).
+    """
+
+    population_inertia: float = 1.0
+    update: str = "sequential"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.population_inertia <= 1.0:
+            raise ModelError(
+                f"population_inertia must lie in (0, 1], got "
+                f"{self.population_inertia}"
+            )
+        if self.update not in {"sequential", "simultaneous"}:
+            raise ModelError(f"unknown update schedule {self.update!r}")
+
+
+class MarketSimulation:
+    """Runs the subsidization market forward in discrete time.
+
+    Parameters
+    ----------
+    market:
+        The market (fixed ISP price and capacity throughout the run).
+    cap:
+        Policy cap ``q`` bounding every subsidy.
+    strategies:
+        One strategy per CP; defaults to noiseless full best response for
+        everyone (whose fixed points are the static Nash equilibria).
+    config:
+        Simulation knobs; see :class:`SimulationConfig`.
+    """
+
+    def __init__(
+        self,
+        market: Market,
+        cap: float,
+        strategies: list[SubsidyStrategy] | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self._market = market
+        self._game = SubsidizationGame(market, cap)
+        if strategies is None:
+            strategies = [BestResponseStrategy() for _ in range(market.size)]
+        if len(strategies) != market.size:
+            raise ModelError(
+                f"expected {market.size} strategies, got {len(strategies)}"
+            )
+        self._strategies = list(strategies)
+        self._config = config if config is not None else SimulationConfig()
+        self._rng = np.random.default_rng(self._config.seed)
+
+    @property
+    def game(self) -> SubsidizationGame:
+        """The static game the simulator plays out of equilibrium."""
+        return self._game
+
+    def _record(
+        self, step: int, subsidies: np.ndarray, populations: np.ndarray
+    ) -> TraceRecord:
+        """Resolve congestion for lagged populations and snapshot the period."""
+        classes = [
+            cls.with_population(populations[i])
+            for i, cls in enumerate(self._market.traffic_classes(subsidies))
+        ]
+        state = self._market.system.solve(classes)
+        throughputs = state.throughputs
+        utilities = (self._market.values - subsidies) * throughputs
+        aggregate = float(np.sum(throughputs))
+        return TraceRecord(
+            step=step,
+            subsidies=subsidies.copy(),
+            populations=populations.copy(),
+            utilization=state.utilization,
+            throughputs=throughputs,
+            utilities=utilities,
+            revenue=self._market.isp.revenue(aggregate),
+            welfare=float(np.dot(self._market.values, throughputs)),
+        )
+
+    def run(
+        self,
+        steps: int,
+        *,
+        initial_subsidies=None,
+        initial_populations=None,
+    ) -> SimulationTrace:
+        """Simulate ``steps`` periods and return the full trace.
+
+        The trace includes the initial condition as step 0, so it holds
+        ``steps + 1`` records.
+        """
+        if steps < 0:
+            raise ModelError(f"steps must be non-negative, got {steps}")
+        n = self._market.size
+        s = (
+            np.zeros(n)
+            if initial_subsidies is None
+            else np.clip(np.asarray(initial_subsidies, dtype=float), 0.0, self._game.cap)
+        )
+        if s.shape != (n,):
+            raise ModelError(f"initial subsidies must have shape ({n},)")
+        demand_now = np.array(
+            [
+                cp.population(self._market.isp.price - s[i])
+                for i, cp in enumerate(self._market.providers)
+            ]
+        )
+        m = (
+            demand_now
+            if initial_populations is None
+            else np.asarray(initial_populations, dtype=float).copy()
+        )
+        if m.shape != (n,) or np.any(m < 0.0):
+            raise ModelError(f"initial populations must be non-negative, shape ({n},)")
+
+        trace = SimulationTrace()
+        trace.append(self._record(0, s, m))
+        rho = self._config.population_inertia
+        for step in range(1, steps + 1):
+            if self._config.update == "sequential":
+                for i, strategy in enumerate(self._strategies):
+                    s[i] = strategy.propose(self._game, i, s, self._rng)
+            else:
+                proposals = [
+                    strategy.propose(self._game, i, s, self._rng)
+                    for i, strategy in enumerate(self._strategies)
+                ]
+                s = np.array(proposals)
+            demand_target = np.array(
+                [
+                    cp.population(self._market.isp.price - s[i])
+                    for i, cp in enumerate(self._market.providers)
+                ]
+            )
+            m = (1.0 - rho) * m + rho * demand_target
+            trace.append(self._record(step, s, m))
+        return trace

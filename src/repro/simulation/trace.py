@@ -1,0 +1,139 @@
+"""Time-series records produced by the market simulator."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["TraceRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One simulated period of the market.
+
+    Attributes
+    ----------
+    step:
+        Period index (0 is the initial condition, before any update).
+    subsidies:
+        Subsidy profile in force during the period.
+    populations:
+        Realized (inertia-lagged) user populations.
+    utilization:
+        Congestion fixed point given those populations.
+    throughputs:
+        Per-CP delivered throughput.
+    utilities:
+        Per-CP utilities.
+    revenue:
+        ISP usage revenue.
+    welfare:
+        Gross-profit welfare ``Σ v_i·θ_i``.
+    """
+
+    step: int
+    subsidies: np.ndarray
+    populations: np.ndarray
+    utilization: float
+    throughputs: np.ndarray
+    utilities: np.ndarray
+    revenue: float
+    welfare: float
+
+
+class SimulationTrace:
+    """Ordered collection of :class:`TraceRecord` with array accessors."""
+
+    def __init__(self, records: Sequence[TraceRecord] | None = None) -> None:
+        self._records: list[TraceRecord] = list(records) if records else []
+
+    def append(self, record: TraceRecord) -> None:
+        """Append the next period's record (steps must be increasing)."""
+        if self._records and record.step <= self._records[-1].step:
+            raise ModelError(
+                f"trace steps must increase, got {record.step} after "
+                f"{self._records[-1].step}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def final(self) -> TraceRecord:
+        """The last recorded period."""
+        if not self._records:
+            raise ModelError("trace is empty")
+        return self._records[-1]
+
+    def steps(self) -> np.ndarray:
+        """Array of period indices."""
+        return np.array([r.step for r in self._records])
+
+    def subsidies(self) -> np.ndarray:
+        """Matrix ``[period, cp]`` of subsidies."""
+        return np.array([r.subsidies for r in self._records])
+
+    def populations(self) -> np.ndarray:
+        """Matrix ``[period, cp]`` of populations."""
+        return np.array([r.populations for r in self._records])
+
+    def utilizations(self) -> np.ndarray:
+        """Per-period utilization series."""
+        return np.array([r.utilization for r in self._records])
+
+    def revenues(self) -> np.ndarray:
+        """Per-period ISP revenue series."""
+        return np.array([r.revenue for r in self._records])
+
+    def welfares(self) -> np.ndarray:
+        """Per-period welfare series."""
+        return np.array([r.welfare for r in self._records])
+
+    def distance_to_profile(self, profile) -> np.ndarray:
+        """Per-period ``‖s(t) − s*‖_∞`` — convergence-to-equilibrium metric."""
+        target = np.asarray(profile, dtype=float)
+        return np.array(
+            [float(np.max(np.abs(r.subsidies - target))) for r in self._records]
+        )
+
+    def to_csv(self, path: str | Path, *, labels: Sequence[str] | None = None) -> None:
+        """Write the trace to CSV (one row per period, wide format)."""
+        if not self._records:
+            raise ModelError("trace is empty")
+        n = self._records[0].subsidies.size
+        if labels is None:
+            labels = [f"cp{i}" for i in range(n)]
+        if len(labels) != n:
+            raise ModelError(f"expected {n} labels, got {len(labels)}")
+        header = (
+            ["step", "utilization", "revenue", "welfare"]
+            + [f"s_{name}" for name in labels]
+            + [f"m_{name}" for name in labels]
+            + [f"theta_{name}" for name in labels]
+            + [f"U_{name}" for name in labels]
+        )
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for r in self._records:
+                writer.writerow(
+                    [r.step, r.utilization, r.revenue, r.welfare]
+                    + list(r.subsidies)
+                    + list(r.populations)
+                    + list(r.throughputs)
+                    + list(r.utilities)
+                )

@@ -1,0 +1,150 @@
+"""Vector fixed-point iteration with damping and Anderson acceleration.
+
+Used by the best-response Nash solver (:mod:`repro.core.equilibrium`) — a
+Nash equilibrium is exactly a fixed point of the (damped) best-response map —
+and by the off-equilibrium simulator for user-population inertia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["FixedPointResult", "damped_fixed_point", "anderson_fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point iteration.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Number of map evaluations performed.
+    residual:
+        Final infinity-norm of ``G(x) − x``.
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    """
+
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def damped_fixed_point(
+    mapping: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    damping: float = 1.0,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    raise_on_failure: bool = True,
+) -> FixedPointResult:
+    """Iterate ``x ← (1 − damping)·x + damping·G(x)`` until convergence.
+
+    Parameters
+    ----------
+    mapping:
+        The map ``G`` whose fixed point is sought.
+    x0:
+        Starting iterate (copied, never mutated).
+    damping:
+        Step size in (0, 1]; 1 is undamped Picard iteration. Damping below 1
+        stabilizes best-response cycles in near-zero-sum directions.
+    tol:
+        Convergence threshold on ``‖G(x) − x‖_∞``.
+    max_iter:
+        Iteration budget.
+    raise_on_failure:
+        When ``True`` (default) raise :class:`ConvergenceError` on exhausting
+        the budget; otherwise return the last iterate flagged unconverged.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping}")
+    x = np.asarray(x0, dtype=float).copy()
+    residual = np.inf
+    for iteration in range(1, max_iter + 1):
+        gx = np.asarray(mapping(x), dtype=float)
+        residual = float(np.max(np.abs(gx - x))) if x.size else 0.0
+        if residual <= tol:
+            return FixedPointResult(gx, iteration, residual, True)
+        x = (1.0 - damping) * x + damping * gx
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"fixed point not reached in {max_iter} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})",
+            iterations=max_iter,
+            residual=residual,
+        )
+    return FixedPointResult(x, max_iter, residual, False)
+
+
+def anderson_fixed_point(
+    mapping: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    memory: int = 5,
+    tol: float = 1e-10,
+    max_iter: int = 2_000,
+    regularization: float = 1e-10,
+    raise_on_failure: bool = True,
+) -> FixedPointResult:
+    """Anderson-accelerated fixed-point iteration.
+
+    Maintains a short history of residuals ``F_k = G(x_k) − x_k`` and takes
+    the least-squares combination of recent iterates that minimizes the
+    extrapolated residual. Falls back to plain Picard steps whenever the
+    least-squares system is degenerate.
+
+    Anderson acceleration typically converges in an order of magnitude fewer
+    map evaluations than Picard on the near-linear best-response maps that
+    arise in the subsidization game, which matters for the dense ``(p, q)``
+    sweeps behind Figures 7–11.
+    """
+    if memory < 1:
+        raise ValueError(f"memory must be >= 1, got {memory}")
+    x = np.asarray(x0, dtype=float).copy()
+    xs: list[np.ndarray] = []
+    fs: list[np.ndarray] = []
+    residual = np.inf
+    for iteration in range(1, max_iter + 1):
+        gx = np.asarray(mapping(x), dtype=float)
+        f = gx - x
+        residual = float(np.max(np.abs(f))) if x.size else 0.0
+        if residual <= tol:
+            return FixedPointResult(gx, iteration, residual, True)
+        xs.append(x.copy())
+        fs.append(f.copy())
+        if len(xs) > memory + 1:
+            xs.pop(0)
+            fs.pop(0)
+        m = len(xs)
+        if m == 1:
+            x = gx
+            continue
+        # Solve min ‖Σ w_j F_j‖ subject to Σ w_j = 1 via the difference form.
+        df = np.stack([fs[j + 1] - fs[j] for j in range(m - 1)], axis=1)
+        try:
+            gram = df.T @ df + regularization * np.eye(m - 1)
+            gamma = np.linalg.solve(gram, df.T @ f)
+        except np.linalg.LinAlgError:
+            x = gx
+            continue
+        dx = np.stack([xs[j + 1] - xs[j] for j in range(m - 1)], axis=1)
+        x = gx - (dx + df) @ gamma
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"Anderson iteration not converged in {max_iter} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})",
+            iterations=max_iter,
+            residual=residual,
+        )
+    return FixedPointResult(x, max_iter, residual, False)

@@ -1,0 +1,132 @@
+"""Bounded scalar maximization.
+
+Two consumers inside the library:
+
+* **Best responses** (Definition 3): each CP maximizes ``U_i(s_i; s_-i)``
+  over ``s_i ∈ [0, q]``. Under condition (10) the utility is concave in own
+  strategy, so golden-section search is exact; we still polish with a short
+  Brent pass on the derivative when available.
+* **ISP pricing** (Section 5): the ISP maximizes its revenue ``R(p)`` which
+  is single-peaked in the paper's examples (Figure 4) but not guaranteed
+  concave — hence :func:`grid_polish_maximize`, a coarse-grid scan followed
+  by local refinement, robust to mild multimodality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ScalarMaxResult",
+    "golden_section_maximize",
+    "grid_polish_maximize",
+    "maximize_on_interval",
+]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/φ ≈ 0.618
+
+
+@dataclass(frozen=True)
+class ScalarMaxResult:
+    """Maximizer and value returned by the scalar optimizers."""
+
+    x: float
+    value: float
+    evaluations: int
+
+
+def golden_section_maximize(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    xtol: float = 1e-12,
+    max_iter: int = 200,
+) -> ScalarMaxResult:
+    """Golden-section search for the maximum of a unimodal function.
+
+    Exact (to ``xtol``) for concave/unimodal objectives — which covers each
+    CP's own-strategy utility under the paper's concavity condition. For
+    non-unimodal objectives use :func:`grid_polish_maximize`.
+    """
+    if hi < lo:
+        raise ValueError(f"invalid interval [{lo}, {hi}]")
+    if hi == lo:
+        return ScalarMaxResult(lo, func(lo), 1)
+    a, b = lo, hi
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = func(c), func(d)
+    evals = 2
+    for _ in range(max_iter):
+        if b - a <= xtol:
+            break
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = func(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = func(d)
+        evals += 1
+    x = 0.5 * (a + b)
+    # The true maximizer may sit exactly on the original boundary; compare.
+    candidates = [(x, func(x)), (lo, func(lo)), (hi, func(hi))]
+    evals += 3
+    best_x, best_v = max(candidates, key=lambda pair: pair[1])
+    return ScalarMaxResult(best_x, best_v, evals)
+
+
+def grid_polish_maximize(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    grid_points: int = 64,
+    xtol: float = 1e-10,
+) -> ScalarMaxResult:
+    """Coarse grid scan followed by golden-section polishing.
+
+    Evaluates ``func`` on a uniform grid, then runs golden-section search on
+    the bracket around the best grid point. Robust to objectives with a few
+    local maxima (e.g. revenue curves under kinked equilibrium responses).
+    """
+    if grid_points < 3:
+        raise ValueError(f"grid_points must be >= 3, got {grid_points}")
+    if hi < lo:
+        raise ValueError(f"invalid interval [{lo}, {hi}]")
+    if hi == lo:
+        return ScalarMaxResult(lo, func(lo), 1)
+    step = (hi - lo) / (grid_points - 1)
+    xs = [lo + k * step for k in range(grid_points)]
+    values = [func(x) for x in xs]
+    best = max(range(grid_points), key=values.__getitem__)
+    left = xs[max(best - 1, 0)]
+    right = xs[min(best + 1, grid_points - 1)]
+    polished = golden_section_maximize(func, left, right, xtol=xtol)
+    evals = grid_points + polished.evaluations
+    if values[best] > polished.value:
+        return ScalarMaxResult(xs[best], values[best], evals)
+    return ScalarMaxResult(polished.x, polished.value, evals)
+
+
+def maximize_on_interval(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    unimodal: bool = True,
+    xtol: float = 1e-12,
+    grid_points: int = 64,
+) -> ScalarMaxResult:
+    """Dispatch to the appropriate bounded maximizer.
+
+    ``unimodal=True`` (the concave best-response case) uses golden-section
+    search directly; otherwise a grid scan guards against local maxima.
+    """
+    if unimodal:
+        return golden_section_maximize(func, lo, hi, xtol=xtol)
+    return grid_polish_maximize(func, lo, hi, grid_points=grid_points, xtol=xtol)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.analysis.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import render_chart
+from repro.analysis.series import FigureData, Series
+from repro.exceptions import ModelError
+
+
+def make_figure(ys=None):
+    x = np.linspace(0.0, 2.0, 21)
+    if ys is None:
+        ys = (Series("up", x), Series("down", 2.0 - x))
+    return FigureData(
+        figure_id="f1",
+        title="Chart",
+        x_label="p",
+        y_label="y",
+        x=x,
+        series=ys,
+    )
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self):
+        out = render_chart(make_figure())
+        assert "Chart" in out
+        assert "o up" in out
+        assert "* down" in out
+
+    def test_has_requested_height(self):
+        out = render_chart(make_figure(), height=12)
+        grid_rows = [line for line in out.splitlines() if "|" in line]
+        assert len(grid_rows) == 12
+
+    def test_markers_land_on_extremes(self):
+        out = render_chart(make_figure())
+        lines = [l for l in out.splitlines() if "|" in l]
+        # Increasing series must put a marker in the last column of the top
+        # row and the first column of the bottom row.
+        assert lines[0].rstrip().endswith("o|") or "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_constant_series_renders(self):
+        figure = make_figure(ys=(Series("flat", np.full(21, 3.0)),))
+        out = render_chart(figure)
+        assert "flat" in out
+
+    def test_skips_non_finite_values(self):
+        y = np.linspace(0.0, 1.0, 21)
+        y[5] = np.nan
+        out = render_chart(make_figure(ys=(Series("gappy", y),)))
+        assert "gappy" in out
+
+    def test_rejects_empty_figure(self):
+        figure = FigureData(
+            figure_id="empty",
+            title="t",
+            x_label="x",
+            y_label="y",
+            x=np.array([]),
+            series=(),
+        )
+        with pytest.raises(ModelError):
+            render_chart(figure)
+
+    def test_rejects_all_nan(self):
+        figure = make_figure(ys=(Series("nan", np.full(21, np.nan)),))
+        with pytest.raises(ModelError):
+            render_chart(figure)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ModelError):
+            render_chart(make_figure(), width=5, height=2)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.analysis.continuation — equilibrium path tracing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.continuation import trace_equilibrium_path
+from repro.core.characterization import classify_providers
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.experiments.scenarios import section5_market
+
+
+@pytest.fixture(scope="module")
+def kinked_path():
+    """q = 0.45 on the §5 market: one CP leaves the cap and returns."""
+    return trace_equilibrium_path(
+        section5_market(), np.linspace(0.05, 2.0, 25), cap=0.45
+    )
+
+
+class TestPathStructure:
+    def test_shapes(self, kinked_path):
+        assert kinked_path.subsidies.shape == (25, 8)
+        assert len(kinked_path.partitions) == 25
+
+    def test_path_points_are_equilibria(self, kinked_path):
+        market = section5_market()
+        for k in (0, 12, 24):
+            p = float(kinked_path.prices[k])
+            direct = solve_equilibrium(
+                SubsidizationGame(market.with_price(p), 0.45)
+            )
+            np.testing.assert_allclose(
+                kinked_path.subsidies[k], direct.subsidies, atol=1e-7
+            )
+
+    def test_path_is_continuous(self, kinked_path):
+        jumps = np.max(np.abs(np.diff(kinked_path.subsidies, axis=0)), axis=1)
+        assert np.max(jumps) < 0.1  # no equilibrium-branch jumping
+
+
+class TestBreakpoints:
+    def test_detects_the_two_kinks(self, kinked_path):
+        locations = [bp.price for bp in kinked_path.breakpoints]
+        assert len(locations) == 2
+        assert locations[0] == pytest.approx(0.67, abs=0.05)
+        assert locations[1] == pytest.approx(1.64, abs=0.05)
+
+    def test_partitions_actually_differ_across_each_breakpoint(
+        self, kinked_path
+    ):
+        for bp in kinked_path.breakpoints:
+            assert (
+                bp.before.zero,
+                bp.before.capped,
+                bp.before.interior,
+            ) != (bp.after.zero, bp.after.capped, bp.after.interior)
+
+    def test_breakpoints_verified_by_direct_solves(self, kinked_path):
+        # Just left/right of each refined breakpoint, the partition from a
+        # cold solve matches the recorded sides.
+        market = section5_market()
+        bp = kinked_path.breakpoints[0]
+        delta = 5e-3
+        for price, expected in (
+            (bp.price - delta, bp.before),
+            (bp.price + delta, bp.after),
+        ):
+            game = SubsidizationGame(market.with_price(price), 0.45)
+            eq = solve_equilibrium(game)
+            partition = classify_providers(game, eq.subsidies, boundary_tol=1e-7)
+            assert partition.capped == expected.capped
+
+    def test_smooth_segments_cover_the_axis(self, kinked_path):
+        segments = kinked_path.smooth_segments()
+        assert segments[0][0] == pytest.approx(0.05)
+        assert segments[-1][1] == pytest.approx(2.0)
+        assert len(segments) == len(kinked_path.breakpoints) + 1
+        for (a, b) in segments:
+            assert a < b
+
+    def test_no_breakpoints_on_a_stable_partition(self):
+        path = trace_equilibrium_path(
+            section5_market(), np.linspace(0.1, 1.0, 8), cap=0.3
+        )
+        assert path.breakpoints == ()
+        assert len(path.smooth_segments()) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_grids(self):
+        market = section5_market()
+        with pytest.raises(ModelError):
+            trace_equilibrium_path(market, [1.0], cap=0.5)
+        with pytest.raises(ModelError):
+            trace_equilibrium_path(market, [1.0, 0.5], cap=0.5)

@@ -1,0 +1,45 @@
+"""Unit tests for repro.analysis.reporting."""
+
+import csv
+
+import pytest
+
+from repro.analysis.reporting import format_table, write_csv
+from repro.exceptions import ModelError
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_formats_floats(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.23457" in out
+
+    def test_accepts_custom_float_format(self):
+        out = format_table(["v"], [[1.23456789]], float_format="{:.2f}")
+        assert "1.23" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ModelError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_renders_header(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestWriteCsv:
+    def test_writes_and_creates_directories(self, tmp_path):
+        path = tmp_path / "deep" / "file.csv"
+        write_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ModelError):
+            write_csv(tmp_path / "f.csv", ["a"], [[1, 2]])

@@ -1,0 +1,64 @@
+"""Unit tests for repro.analysis.series."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import FigureData, Series
+from repro.exceptions import ModelError
+
+
+def make_figure():
+    x = np.linspace(0.0, 1.0, 5)
+    return FigureData(
+        figure_id="test-fig",
+        title="A test figure",
+        x_label="p",
+        y_label="y",
+        x=x,
+        series=(Series("a", x**2), Series("b", 1.0 - x)),
+    )
+
+
+class TestSeries:
+    def test_coerces_to_float_array(self):
+        s = Series("x", [1, 2, 3])
+        assert s.y.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ModelError):
+            Series("x", np.zeros((2, 2)))
+
+
+class TestFigureData:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ModelError):
+            FigureData(
+                figure_id="f",
+                title="t",
+                x_label="x",
+                y_label="y",
+                x=np.arange(3.0),
+                series=(Series("a", np.arange(4.0)),),
+            )
+
+    def test_series_lookup(self):
+        figure = make_figure()
+        assert figure.series_by_name("b").y[0] == 1.0
+        with pytest.raises(KeyError):
+            figure.series_by_name("missing")
+
+    def test_names_in_order(self):
+        assert make_figure().names() == ["a", "b"]
+
+    def test_csv_round_trip(self, tmp_path):
+        figure = make_figure()
+        path = tmp_path / "sub" / "fig.csv"
+        figure.to_csv(path)  # creates parent directories
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["p", "a", "b"]
+        assert len(rows) == 6
+        # repr round-trip preserves exact float values.
+        assert float(rows[3][1]) == figure.series[0].y[2]

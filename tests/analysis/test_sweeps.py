@@ -1,0 +1,55 @@
+"""Unit tests for repro.analysis.sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import policy_grid, price_sweep
+from repro.exceptions import ModelError
+
+
+class TestPriceSweep:
+    def test_one_result_per_price(self, two_cp_market):
+        results = price_sweep(two_cp_market, [0.5, 1.0, 1.5], cap=0.5)
+        assert len(results) == 3
+        for result, p in zip(results, [0.5, 1.0, 1.5]):
+            assert result.state.price == pytest.approx(p)
+
+    def test_warm_start_matches_cold_start(self, two_cp_market):
+        prices = np.linspace(0.2, 1.4, 7)
+        warm = price_sweep(two_cp_market, prices, cap=0.8, warm_start=True)
+        cold = price_sweep(two_cp_market, prices, cap=0.8, warm_start=False)
+        for a, b in zip(warm, cold):
+            np.testing.assert_allclose(a.subsidies, b.subsidies, atol=1e-7)
+
+    def test_zero_cap_equals_plain_solve(self, two_cp_market):
+        results = price_sweep(two_cp_market, [0.7], cap=0.0)
+        assert results[0].state.revenue == pytest.approx(
+            two_cp_market.with_price(0.7).solve().revenue
+        )
+
+
+class TestPolicyGrid:
+    def test_grid_shape_and_accessors(self, two_cp_market):
+        grid = policy_grid(two_cp_market, [0.5, 1.0], [0.0, 0.4])
+        assert grid.prices.shape == (2,)
+        assert grid.caps.shape == (2,)
+        assert grid.at(1, 0).state.price == pytest.approx(0.5)
+
+    def test_quantity_matrix(self, two_cp_market):
+        grid = policy_grid(two_cp_market, [0.5, 1.0], [0.0, 0.4])
+        revenue = grid.quantity(lambda eq: eq.state.revenue)
+        assert revenue.shape == (2, 2)
+        assert revenue[0, 0] == pytest.approx(grid.at(0, 0).state.revenue)
+
+    def test_provider_quantity_cube(self, two_cp_market):
+        grid = policy_grid(two_cp_market, [0.5, 1.0], [0.0, 0.4])
+        subsidies = grid.provider_quantity(lambda eq: eq.subsidies)
+        assert subsidies.shape == (2, 2, 2)
+        # q = 0 row must be all zeros.
+        np.testing.assert_array_equal(subsidies[0], 0.0)
+
+    def test_validates_axes(self, two_cp_market):
+        with pytest.raises(ModelError):
+            policy_grid(two_cp_market, [], [0.0])
+        with pytest.raises(ModelError):
+            policy_grid(two_cp_market, [1.0], [])

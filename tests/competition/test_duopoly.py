@@ -1,0 +1,152 @@
+"""Unit tests for repro.competition.duopoly."""
+
+import numpy as np
+import pytest
+
+from repro.competition import Duopoly, solve_price_competition
+from repro.core.revenue import optimal_price
+from repro.exceptions import ModelError
+from repro.providers import AccessISP, Market, exponential_cp
+
+
+def providers():
+    return [
+        exponential_cp(2.0, 2.0, value=1.0),
+        exponential_cp(5.0, 3.0, value=0.6),
+    ]
+
+
+def symmetric_duopoly(switching=2.0, cap=0.0):
+    return Duopoly(
+        providers(),
+        AccessISP(price=1.0, capacity=0.5, name="isp-a"),
+        AccessISP(price=1.0, capacity=0.5, name="isp-b"),
+        switching=switching,
+        cap=cap,
+    )
+
+
+class TestShares:
+    def test_equal_prices_split_evenly(self):
+        duo = symmetric_duopoly()
+        assert duo.shares(1.0, 1.0) == pytest.approx((0.5, 0.5))
+
+    def test_cheaper_carrier_wins_share(self):
+        duo = symmetric_duopoly(switching=3.0)
+        w_a, w_b = duo.shares(0.5, 1.0)
+        assert w_a > 0.5 > w_b
+        assert w_a + w_b == pytest.approx(1.0)
+
+    def test_zero_switching_is_captive(self):
+        duo = symmetric_duopoly(switching=0.0)
+        assert duo.shares(0.1, 2.0) == pytest.approx((0.5, 0.5))
+
+    def test_extreme_prices_do_not_overflow(self):
+        duo = symmetric_duopoly(switching=10.0)
+        w_a, w_b = duo.shares(0.0, 1000.0)
+        assert w_a == pytest.approx(1.0)
+        assert w_b == pytest.approx(0.0)
+
+
+class TestCarrierDecomposition:
+    def test_carrier_market_scales_demand_by_share(self):
+        duo = symmetric_duopoly(switching=2.0)
+        prices = (0.8, 1.2)
+        w_a, _ = duo.shares(*prices)
+        market = duo.carrier_market(0, prices)
+        base = providers()[0].population(0.8)
+        assert market.providers[0].population(0.8) == pytest.approx(w_a * base)
+
+    def test_solve_state_consistency(self):
+        duo = symmetric_duopoly(cap=0.3)
+        state = duo.solve(0.9, 1.1)
+        assert state.prices == (0.9, 1.1)
+        assert state.shares[0] > state.shares[1]  # cheaper carrier bigger
+        for k in range(2):
+            assert state.revenues[k] == pytest.approx(
+                state.equilibria[k].state.revenue
+            )
+        assert state.total_revenue == pytest.approx(sum(state.revenues))
+
+    def test_symmetric_prices_give_symmetric_outcomes(self):
+        duo = symmetric_duopoly(cap=0.3)
+        state = duo.solve(1.0, 1.0)
+        np.testing.assert_allclose(
+            state.equilibria[0].subsidies, state.equilibria[1].subsidies,
+            atol=1e-8,
+        )
+        assert state.revenues[0] == pytest.approx(state.revenues[1], rel=1e-8)
+
+
+class TestPriceCompetition:
+    @pytest.fixture(scope="class")
+    def equilibrium(self):
+        duo = symmetric_duopoly(switching=2.0, cap=0.3)
+        return solve_price_competition(
+            duo, tol=1e-4, grid_points=16, price_range=(0.05, 2.0)
+        )
+
+    def test_converges_to_symmetric_prices(self, equilibrium):
+        p_a, p_b = equilibrium.state.prices
+        assert p_a == pytest.approx(p_b, abs=1e-3)
+
+    def test_competition_undercuts_monopoly(self, equilibrium):
+        # A monopolist serving the same total demand at the same capacity
+        # per head prices higher than either duopolist.
+        monopoly_market = Market(
+            providers(), AccessISP(price=1.0, capacity=1.0)
+        )
+        monopoly = optimal_price(
+            monopoly_market, cap=0.3, price_range=(0.05, 2.0)
+        )
+        assert equilibrium.state.prices[0] < monopoly.price
+
+    def test_competition_result_is_a_mutual_best_response(self, equilibrium):
+        duo = symmetric_duopoly(switching=2.0, cap=0.3)
+        p_a, p_b = equilibrium.state.prices
+        br_a = duo.best_response_price(
+            0, p_b, price_range=(0.05, 2.0), grid_points=16
+        )
+        assert br_a == pytest.approx(p_a, abs=0.02)
+
+
+class TestSwitchingSensitivity:
+    def test_more_switching_means_lower_prices(self):
+        sticky = solve_price_competition(
+            symmetric_duopoly(switching=0.5, cap=0.0),
+            tol=1e-3, grid_points=14, price_range=(0.05, 2.0),
+        )
+        fluid = solve_price_competition(
+            symmetric_duopoly(switching=4.0, cap=0.0),
+            tol=1e-3, grid_points=14, price_range=(0.05, 2.0),
+        )
+        assert fluid.state.prices[0] < sticky.state.prices[0]
+
+
+class TestSubsidizationUnderCompetition:
+    def test_deregulation_raises_both_carriers_revenue(self):
+        # §6's conjecture: competition plus subsidization still pays.
+        base = symmetric_duopoly(cap=0.0).solve(0.6, 0.6)
+        dereg = symmetric_duopoly(cap=0.5).solve(0.6, 0.6)
+        assert dereg.revenues[0] > base.revenues[0]
+        assert dereg.revenues[1] > base.revenues[1]
+        assert dereg.welfare > base.welfare
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            Duopoly(
+                providers(),
+                AccessISP(price=1.0, capacity=1.0),
+                AccessISP(price=1.0, capacity=1.0),
+                switching=-1.0,
+            )
+        with pytest.raises(ModelError):
+            Duopoly(
+                [],
+                AccessISP(price=1.0, capacity=1.0),
+                AccessISP(price=1.0, capacity=1.0),
+            )
+        with pytest.raises(ValueError):
+            solve_price_competition(symmetric_duopoly(), damping=0.0)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.providers.content_provider import exponential_cp
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+
+
+def finite_difference(func, x: float, h: float = 1e-6) -> float:
+    """Plain central difference used to validate analytic derivatives."""
+    return (func(x + h) - func(x - h)) / (2.0 * h)
+
+
+@pytest.fixture
+def two_cp_market() -> Market:
+    """A tiny asymmetric market: profitable/price-elastic vs cheap/sticky."""
+    return Market(
+        [
+            exponential_cp(5.0, 2.0, value=1.0, name="big"),
+            exponential_cp(2.0, 5.0, value=0.4, name="small"),
+        ],
+        AccessISP(price=1.0, capacity=1.0),
+    )
+
+
+@pytest.fixture
+def four_cp_market() -> Market:
+    """A four-type market spanning the §5 parameter corners."""
+    return Market(
+        [
+            exponential_cp(2.0, 2.0, value=1.0, name="a2b2v1"),
+            exponential_cp(5.0, 5.0, value=0.5, name="a5b5v05"),
+            exponential_cp(2.0, 5.0, value=1.0, name="a2b5v1"),
+            exponential_cp(5.0, 2.0, value=0.5, name="a5b2v05"),
+        ],
+        AccessISP(price=1.0, capacity=1.0),
+    )

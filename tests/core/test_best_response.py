@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.best_response."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import best_response, best_response_profile
+from repro.core.game import SubsidizationGame
+
+
+class TestBestResponse:
+    def test_zero_value_cp_never_subsidizes(self, two_cp_market):
+        zeroed = two_cp_market.with_provider(
+            0, two_cp_market.providers[0].with_value(0.0)
+        )
+        game = SubsidizationGame(zeroed, 1.0)
+        assert best_response(game, 0, np.zeros(2)) == 0.0
+
+    def test_response_is_within_bounds(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.3)
+        for i in range(4):
+            response = best_response(game, i, np.full(4, 0.1))
+            assert 0.0 <= response <= 0.3
+
+    def test_response_never_exceeds_profitability(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 5.0)
+        for i, cp in enumerate(four_cp_market.providers):
+            response = best_response(game, i, np.zeros(4))
+            assert response <= cp.value + 1e-12
+
+    def test_response_is_a_local_optimum(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        profile = np.array([0.1, 0.2, 0.3, 0.1])
+        i = 0
+        response = best_response(game, i, profile)
+        trial = profile.copy()
+        trial[i] = response
+        best_value = game.utility(i, trial)
+        for delta in (-0.01, 0.01):
+            candidate = np.clip(response + delta, 0.0, 1.0)
+            trial[i] = candidate
+            assert game.utility(i, trial) <= best_value + 1e-12
+
+    def test_beats_grid_search(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        profile = np.array([0.0, 0.1])
+        response = best_response(game, 0, profile)
+        trial = profile.copy()
+        trial[0] = response
+        best_value = game.utility(0, trial)
+        for si in np.linspace(0.0, 1.0, 201):
+            trial[0] = si
+            assert game.utility(0, trial) <= best_value + 1e-10
+
+    def test_root_and_maximize_methods_agree(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        profile = np.array([0.2, 0.1, 0.0, 0.25])
+        for i in range(4):
+            via_root = best_response(game, i, profile, method="root")
+            via_max = best_response(game, i, profile, method="maximize")
+            assert via_root == pytest.approx(via_max, abs=1e-6)
+
+    def test_cap_binds_when_value_is_high(self, two_cp_market):
+        # With a tiny cap the profitable CP wants the corner.
+        game = SubsidizationGame(two_cp_market, 0.05)
+        assert best_response(game, 0, np.zeros(2)) == pytest.approx(0.05)
+
+    def test_rejects_unknown_method(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        with pytest.raises(ValueError):
+            best_response(game, 0, np.zeros(2), method="newton")
+
+    def test_ignores_own_entry_in_profile(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        a = best_response(game, 0, np.array([0.0, 0.2]))
+        b = best_response(game, 0, np.array([0.9, 0.2]))
+        assert a == pytest.approx(b, abs=1e-10)
+
+
+class TestBestResponseProfile:
+    def test_shape_and_bounds(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.5)
+        profile = best_response_profile(game, np.zeros(4))
+        assert profile.shape == (4,)
+        assert np.all(profile >= 0.0) and np.all(profile <= 0.5)
+
+    def test_jacobi_semantics(self, four_cp_market):
+        # All components respond to the SAME input profile.
+        game = SubsidizationGame(four_cp_market, 1.0)
+        s = np.array([0.1, 0.3, 0.2, 0.0])
+        profile = best_response_profile(game, s)
+        for i in range(4):
+            assert profile[i] == pytest.approx(
+                best_response(game, i, s), abs=1e-12
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.characterization — Theorem 3."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import (
+    classify_providers,
+    is_equilibrium,
+    kkt_residual,
+    thresholds,
+)
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+
+
+class TestThresholds:
+    def test_equilibrium_satisfies_threshold_equation(self, four_cp_market):
+        # Theorem 3: s_i = min(tau_i(s), q) at every equilibrium.
+        game = SubsidizationGame(four_cp_market, 0.35)
+        eq = solve_equilibrium(game)
+        tau = thresholds(game, eq.subsidies)
+        implied = np.minimum(tau, game.cap)
+        np.testing.assert_allclose(eq.subsidies, implied, atol=1e-7)
+
+    def test_threshold_signals_desire_to_move(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        # Perturb one interior CP downward: its threshold must now exceed
+        # its subsidy (it wants to move back up).
+        s = eq.subsidies.copy()
+        interior = [i for i in range(4) if 1e-6 < s[i] < 1.0 - 1e-6]
+        assert interior, "test scenario must have an interior CP"
+        i = interior[0]
+        s[i] *= 0.5
+        tau = thresholds(game, s)
+        assert tau[i] > s[i]
+
+    def test_zero_subsidy_has_zero_threshold(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        tau = thresholds(game, np.zeros(2))
+        np.testing.assert_allclose(tau, 0.0, atol=1e-12)
+
+
+class TestKktResidual:
+    def test_zero_at_equilibrium(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        assert kkt_residual(game, eq.subsidies) < 1e-8
+
+    def test_positive_off_equilibrium(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        assert kkt_residual(game, np.zeros(4)) > 1e-3
+
+    def test_is_equilibrium_wrapper(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        assert is_equilibrium(game, eq.subsidies)
+        assert not is_equilibrium(game, np.zeros(4))
+
+    def test_is_equilibrium_rejects_infeasible(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        assert not is_equilibrium(game, np.full(4, 2.0))
+
+
+class TestClassification:
+    def test_partition_is_exhaustive_and_disjoint(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.35)
+        eq = solve_equilibrium(game)
+        partition = classify_providers(game, eq.subsidies)
+        all_indices = sorted(
+            partition.zero + partition.capped + partition.interior
+        )
+        assert all_indices == [0, 1, 2, 3]
+
+    def test_capped_cp_detected_under_tight_policy(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.05)
+        eq = solve_equilibrium(game)
+        partition = classify_providers(game, eq.subsidies)
+        assert partition.capped  # at q = 0.05 every valuable CP hits the cap
+
+    def test_zero_value_cp_classified_as_zero(self, two_cp_market):
+        zeroed = two_cp_market.with_provider(
+            1, two_cp_market.providers[1].with_value(0.0)
+        )
+        game = SubsidizationGame(zeroed, 1.0)
+        eq = solve_equilibrium(game)
+        partition = classify_providers(game, eq.subsidies)
+        assert 1 in partition.zero
+
+    def test_q_zero_resolves_overlap_to_zero_set(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.0)
+        partition = classify_providers(game, np.zeros(2))
+        assert partition.zero == (0, 1)
+        assert not partition.capped

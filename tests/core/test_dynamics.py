@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.dynamics — Theorems 5, 6 and Corollary 1.
+
+The Theorem 6 formulas are validated against finite differences of fully
+re-solved equilibria — the strongest available check that the variational-
+inequality sensitivity analysis is implemented correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import (
+    deregulation_effect,
+    equilibrium_sensitivity,
+    profitability_comparative_static,
+)
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+
+
+def resolve_subsidies(game):
+    return solve_equilibrium(game).subsidies
+
+
+class TestTheoremSix:
+    def test_ds_dp_matches_finite_difference(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        h = 1e-5
+        fd = (
+            resolve_subsidies(game.with_price(1.0 + h))
+            - resolve_subsidies(game.with_price(1.0 - h))
+        ) / (2.0 * h)
+        np.testing.assert_allclose(sens.ds_dp, fd, atol=5e-5)
+
+    def test_ds_dq_matches_finite_difference(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.35)  # mixes N+ and interior
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        h = 1e-5
+        fd = (
+            resolve_subsidies(game.with_cap(0.35 + h))
+            - resolve_subsidies(game.with_cap(0.35 - h))
+        ) / (2.0 * h)
+        np.testing.assert_allclose(sens.ds_dq, fd, atol=5e-5)
+
+    def test_capped_cps_track_the_cap(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.05)
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        for j in sens.partition.capped:
+            assert sens.ds_dq[j] == 1.0
+            assert sens.ds_dp[j] == 0.0
+
+    def test_zero_cps_do_not_move(self, two_cp_market):
+        zeroed = two_cp_market.with_provider(
+            1, two_cp_market.providers[1].with_value(0.0)
+        )
+        game = SubsidizationGame(zeroed, 1.0)
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        assert 1 in sens.partition.zero
+        assert sens.ds_dq[1] == 0.0
+        assert sens.ds_dp[1] == 0.0
+
+    def test_all_interior_implies_zero_ds_dq(self, four_cp_market):
+        # With a loose cap everyone is interior; relaxing q further changes
+        # nothing (first case structure of equation (11)).
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        assert sens.partition.interior == (0, 1, 2, 3)
+        np.testing.assert_allclose(sens.ds_dq, 0.0, atol=1e-12)
+
+
+class TestCorollaryOne:
+    def test_deregulation_raises_phi_and_revenue(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.2)  # binding cap
+        eq = solve_equilibrium(game)
+        effect = deregulation_effect(game, eq.subsidies)
+        assert effect.dphi_dq >= 0.0
+        assert effect.drevenue_dq >= 0.0
+        assert np.all(effect.ds_dq >= -1e-12)
+
+    def test_dphi_dq_matches_finite_difference(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.2)
+        eq = solve_equilibrium(game)
+        effect = deregulation_effect(game, eq.subsidies)
+        h = 1e-5
+
+        def phi_at(cap):
+            g = game.with_cap(cap)
+            return solve_equilibrium(g).state.utilization
+
+        fd = (phi_at(0.2 + h) - phi_at(0.2 - h)) / (2.0 * h)
+        assert effect.dphi_dq == pytest.approx(fd, rel=1e-3)
+
+    def test_drevenue_dq_matches_finite_difference(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.2)
+        eq = solve_equilibrium(game)
+        effect = deregulation_effect(game, eq.subsidies)
+        h = 1e-5
+
+        def revenue_at(cap):
+            return solve_equilibrium(game.with_cap(cap)).state.revenue
+
+        fd = (revenue_at(0.2 + h) - revenue_at(0.2 - h)) / (2.0 * h)
+        assert effect.drevenue_dq == pytest.approx(fd, rel=1e-3)
+
+    def test_saturated_policy_has_no_effect(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)  # loose cap
+        eq = solve_equilibrium(game)
+        effect = deregulation_effect(game, eq.subsidies)
+        assert effect.dphi_dq == pytest.approx(0.0, abs=1e-12)
+        assert effect.drevenue_dq == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTheoremFive:
+    @pytest.mark.parametrize("index", [0, 1, 2, 3])
+    def test_raising_profitability_raises_subsidy(self, four_cp_market, index):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        old_value = four_cp_market.providers[index].value
+        before, after = profitability_comparative_static(
+            game, index, old_value + 0.3
+        )
+        assert after[index] >= before[index] - 1e-9
+
+    def test_higher_profitability_raises_own_throughput(self, four_cp_market):
+        # Theorem 5 + Lemma 3: the richer CP subsidizes more and gains
+        # throughput.
+        game = SubsidizationGame(four_cp_market, 1.0)
+        base = solve_equilibrium(game)
+        richer = solve_equilibrium(game.with_value(1, 0.9))
+        assert richer.subsidies[1] > base.subsidies[1]
+        assert richer.state.throughputs[1] > base.state.throughputs[1]

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.game — utilities and marginal utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.solvers.differentiation import derivative
+
+
+class TestConstruction:
+    def test_rejects_negative_cap(self, two_cp_market):
+        with pytest.raises(ModelError):
+            SubsidizationGame(two_cp_market, -0.5)
+
+    def test_zero_cap_is_the_regulated_baseline(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.0)
+        state = game.state()
+        assert state.utilization == pytest.approx(
+            two_cp_market.solve().utilization
+        )
+
+    def test_with_cap_and_price_copy(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        assert game.with_cap(2.0).cap == 2.0
+        assert game.with_price(0.3).price == 0.3
+        assert game.cap == 1.0 and game.price == 1.0
+
+    def test_with_value_replaces_one_provider(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        richer = game.with_value(1, 0.9)
+        np.testing.assert_allclose(richer.market.values, [1.0, 0.9])
+
+
+class TestFeasibility:
+    def test_accepts_box_points(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        assert game.feasible(np.array([0.0, 1.0]))
+        assert game.feasible(np.array([0.5, 0.5]))
+
+    def test_rejects_outside_box(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        assert not game.feasible(np.array([1.5, 0.0]))
+        assert not game.feasible(np.array([0.0, -0.1]))
+        assert not game.feasible(np.array([0.5]))
+
+
+class TestUtilities:
+    def test_utility_matches_state(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        s = np.array([0.2, 0.1, 0.0, 0.3])
+        state = game.state(s)
+        np.testing.assert_allclose(game.utilities(s), state.utilities)
+        assert game.utility(2, s) == pytest.approx(state.utilities[2])
+
+    def test_lemma3_unilateral_subsidy_raises_own_utilization_and_throughput(
+        self, four_cp_market
+    ):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        s_lo = np.array([0.1, 0.1, 0.1, 0.1])
+        s_hi = np.array([0.4, 0.1, 0.1, 0.1])
+        state_lo, state_hi = game.state(s_lo), game.state(s_hi)
+        assert state_hi.utilization > state_lo.utilization
+        assert state_hi.throughputs[0] > state_lo.throughputs[0]
+        for j in (1, 2, 3):
+            assert state_hi.throughputs[j] < state_lo.throughputs[j]
+
+
+class TestMarginalUtilities:
+    def test_matches_finite_difference(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        s = np.array([0.25, 0.05, 0.4, 0.15])
+        analytic = game.marginal_utilities(s)
+        for i in range(4):
+            def utility_of_own(si, i=i):
+                trial = s.copy()
+                trial[i] = si
+                return game.utility(i, trial)
+
+            fd = derivative(utility_of_own, s[i])
+            assert analytic[i] == pytest.approx(fd, rel=1e-6, abs=1e-9)
+
+    def test_diagnostics_signs(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        diag = game.marginal_diagnostics(np.array([0.1, 0.1, 0.1, 0.1]))
+        assert np.all(diag.dm_ds > 0.0)        # subsidy attracts users
+        assert np.all(diag.dphi_ds > 0.0)      # and congests the system
+        assert np.all(diag.dtheta_own_ds > 0.0)  # but raises own throughput
+
+    def test_negated_operator_is_minus_u(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        s = np.array([0.2, 0.2, 0.2, 0.2])
+        np.testing.assert_allclose(
+            game.negated_marginal_utilities(s), -game.marginal_utilities(s)
+        )
+
+    def test_marginal_utility_single_crossing_in_own_subsidy(self, two_cp_market):
+        # u_i need not be monotone (exponential demand can make it rise
+        # first), but it must cross zero exactly once from above — which is
+        # what makes the best response unique and the root solver valid.
+        game = SubsidizationGame(two_cp_market, 1.0)
+        grid = np.linspace(0.0, 0.99, 100)
+        values = np.array(
+            [game.marginal_utility(0, np.array([si, 0.2])) for si in grid]
+        )
+        signs = np.sign(values)
+        crossings = np.sum(np.abs(np.diff(signs)) > 0)
+        assert crossings == 1
+        assert values[0] > 0.0 and values[-1] < 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.newton — the semismooth Newton solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_equilibrium_best_response
+from repro.core.game import SubsidizationGame
+from repro.core.newton import solve_equilibrium_newton
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("cap", [0.2, 0.5, 1.0])
+    def test_matches_best_response_solver(self, four_cp_market, cap):
+        game = SubsidizationGame(four_cp_market, cap)
+        newton = solve_equilibrium_newton(game)
+        reference = solve_equilibrium_best_response(game, tol=1e-11)
+        np.testing.assert_allclose(
+            newton.subsidies, reference.subsidies, atol=1e-8
+        )
+        assert newton.kkt_residual < 1e-9
+
+    def test_matches_on_section5_scenario(self):
+        from repro.experiments.scenarios import section5_market
+
+        game = SubsidizationGame(section5_market(), 1.0)
+        newton = solve_equilibrium_newton(game)
+        reference = solve_equilibrium_best_response(game, tol=1e-11)
+        np.testing.assert_allclose(
+            newton.subsidies, reference.subsidies, atol=1e-8
+        )
+
+
+class TestConvergenceBehavior:
+    def test_warm_start_converges_in_few_steps(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        base = solve_equilibrium_newton(game)
+        nearby = solve_equilibrium_newton(
+            game.with_price(1.02), initial=base.subsidies
+        )
+        assert nearby.iterations <= 4
+
+    def test_zero_cap_shortcut(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.0)
+        result = solve_equilibrium_newton(game)
+        np.testing.assert_array_equal(result.subsidies, [0.0, 0.0])
+        assert result.iterations == 0
+        assert result.method == "newton"
+
+    def test_handles_active_bounds(self, four_cp_market):
+        # Tight cap: everyone pinned; Newton must identify the active set.
+        game = SubsidizationGame(four_cp_market, 0.05)
+        result = solve_equilibrium_newton(game)
+        reference = solve_equilibrium_best_response(game, tol=1e-11)
+        np.testing.assert_allclose(
+            result.subsidies, reference.subsidies, atol=1e-9
+        )
+
+    def test_handles_zero_value_cp(self, two_cp_market):
+        zeroed = two_cp_market.with_provider(
+            1, two_cp_market.providers[1].with_value(0.0)
+        )
+        game = SubsidizationGame(zeroed, 1.0)
+        result = solve_equilibrium_newton(game)
+        assert result.subsidies[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_initial_profile_is_projected(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.5)
+        result = solve_equilibrium_newton(game, initial=np.array([5.0, -1.0]))
+        assert np.all(result.subsidies >= 0.0)
+        assert np.all(result.subsidies <= 0.5 + 1e-12)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.policy — Theorem 8."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.core.policy import policy_effect, price_response_derivative
+
+
+class TestPolicyEffectFixedPrice:
+    """With dp/dq = 0 Theorem 8 specializes to Corollary 1's fixed-price case."""
+
+    def test_matches_finite_difference_of_populations(self, four_cp_market):
+        q = 0.2
+        effect = policy_effect(four_cp_market, q)
+        h = 1e-5
+
+        def populations_at(cap):
+            game = SubsidizationGame(four_cp_market, cap)
+            return solve_equilibrium(game).state.populations
+
+        fd = (populations_at(q + h) - populations_at(q - h)) / (2.0 * h)
+        np.testing.assert_allclose(effect.dm_dq, fd, atol=1e-4)
+
+    def test_matches_finite_difference_of_throughputs(self, four_cp_market):
+        q = 0.2
+        effect = policy_effect(four_cp_market, q)
+        h = 1e-5
+
+        def throughputs_at(cap):
+            game = SubsidizationGame(four_cp_market, cap)
+            return solve_equilibrium(game).state.throughputs
+
+        fd = (throughputs_at(q + h) - throughputs_at(q - h)) / (2.0 * h)
+        np.testing.assert_allclose(effect.dtheta_dq, fd, atol=1e-4)
+
+    def test_utilization_rises_with_policy(self, four_cp_market):
+        effect = policy_effect(four_cp_market, 0.2)
+        assert effect.dphi_dq >= 0.0
+
+    def test_condition_17_equals_derivative_sign(self, four_cp_market):
+        effect = policy_effect(four_cp_market, 0.2)
+        for i in range(4):
+            assert effect.throughput_rises(i) == (effect.dtheta_dq[i] > 0.0)
+
+    def test_welfare_derivative_aggregates_throughput_effects(
+        self, four_cp_market
+    ):
+        effect = policy_effect(four_cp_market, 0.2)
+        expected = float(np.dot(four_cp_market.values, effect.dtheta_dq))
+        assert effect.dwelfare_dq == pytest.approx(expected, rel=1e-12)
+
+
+class TestPolicyEffectWithPriceResponse:
+    def test_price_response_shifts_effective_prices(self, four_cp_market):
+        fixed = policy_effect(four_cp_market, 0.2, dp_dq=0.0)
+        responsive = policy_effect(four_cp_market, 0.2, dp_dq=0.5)
+        # A rising price pushes every effective price up relative to the
+        # fixed-price case.
+        assert np.all(responsive.dt_dq >= fixed.dt_dq - 1e-12)
+
+    def test_total_derivative_matches_chained_finite_difference(
+        self, four_cp_market
+    ):
+        # Model an exogenous linear price response p(q) = 1 + 0.3(q - 0.2).
+        q0, slope = 0.2, 0.3
+        effect = policy_effect(four_cp_market, q0, dp_dq=slope)
+        h = 1e-5
+
+        def throughputs_at(q):
+            market = four_cp_market.with_price(1.0 + slope * (q - q0))
+            return solve_equilibrium(SubsidizationGame(market, q)).state.throughputs
+
+        fd = (throughputs_at(q0 + h) - throughputs_at(q0 - h)) / (2.0 * h)
+        np.testing.assert_allclose(effect.dtheta_dq, fd, atol=1e-4)
+
+    def test_strong_price_response_can_hurt_welfare(self, four_cp_market):
+        gentle = policy_effect(four_cp_market, 0.2, dp_dq=0.0)
+        harsh = policy_effect(four_cp_market, 0.2, dp_dq=5.0)
+        assert harsh.dwelfare_dq < gentle.dwelfare_dq
+
+    def test_explicit_price_override(self, four_cp_market):
+        effect = policy_effect(four_cp_market, 0.2, price=0.7)
+        assert effect.state.price == pytest.approx(0.7)
+
+
+class TestPriceResponseDerivative:
+    def test_linear_rule_recovered(self, four_cp_market):
+        slope = price_response_derivative(
+            four_cp_market, lambda q: 1.0 + 0.4 * q, 0.5
+        )
+        assert slope == pytest.approx(0.4, rel=1e-6)
+
+    def test_clamps_at_zero_policy(self, four_cp_market):
+        slope = price_response_derivative(
+            four_cp_market, lambda q: 2.0 * q, 0.0
+        )
+        assert slope == pytest.approx(2.0, rel=1e-5)

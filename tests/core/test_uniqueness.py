@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.uniqueness — Theorem 4 / Corollary 1 conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.core.uniqueness import (
+    is_off_diagonally_monotone,
+    jacobian_p_matrix_margin,
+    marginal_utility_jacobian,
+    p_function_violations,
+)
+
+
+class TestPFunctionSampling:
+    def test_no_violations_on_paper_family(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        assert p_function_violations(game, samples=12, seed=3) == []
+
+    def test_zero_cap_trivially_clean(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.0)
+        assert p_function_violations(game) == []
+
+    def test_deterministic_given_seed(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        a = p_function_violations(game, samples=8, seed=11)
+        b = p_function_violations(game, samples=8, seed=11)
+        assert len(a) == len(b)
+
+
+class TestJacobian:
+    def test_diagonal_is_negative(self, four_cp_market):
+        # Own-strategy concavity: du_i/ds_i < 0.
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        jac = marginal_utility_jacobian(game, eq.subsidies)
+        assert np.all(np.diag(jac) < 0.0)
+
+    def test_p_matrix_margin_positive_at_equilibrium(self, four_cp_market):
+        # The differential form of condition (10) holds on the paper family.
+        game = SubsidizationGame(four_cp_market, 1.0)
+        eq = solve_equilibrium(game)
+        assert jacobian_p_matrix_margin(game, eq.subsidies) > 0.0
+
+    def test_probes_stay_feasible_at_boundary(self, two_cp_market):
+        # A CP at s = 0 must not cause probes below zero (would raise).
+        zeroed = two_cp_market.with_provider(
+            1, two_cp_market.providers[1].with_value(0.0)
+        )
+        game = SubsidizationGame(zeroed, 1.0)
+        eq = solve_equilibrium(game)
+        assert eq.subsidies[1] == 0.0
+        jac = marginal_utility_jacobian(game, eq.subsidies)
+        assert jac.shape == (2, 2)
+
+
+class TestOffDiagonalMonotonicity:
+    def test_holds_on_a_mild_two_cp_scenario(self):
+        # Leontief condition of Corollary 1: rivals' subsidies raise my
+        # marginal benefit of subsidizing. Holds for mildly heterogeneous
+        # CPs at moderate prices.
+        from repro.providers import AccessISP, Market, exponential_cp
+
+        market = Market(
+            [
+                exponential_cp(1.0, 2.0, value=1.0),
+                exponential_cp(2.0, 1.0, value=0.8),
+            ],
+            AccessISP(price=1.5, capacity=1.0),
+        )
+        game = SubsidizationGame(market, 0.3)
+        eq = solve_equilibrium(game)
+        assert is_off_diagonally_monotone(game, eq.subsidies, tol=1e-6)
+
+    def test_can_fail_at_tight_caps_on_the_section5_family(self, four_cp_market):
+        # The condition is sufficient, not necessary: at q = 0.2 with all
+        # CPs pinned at the cap, some cross-derivatives go (slightly)
+        # negative — yet ds/dq >= 0 still holds empirically (see the
+        # dynamics tests). Documented in EXPERIMENTS.md.
+        game = SubsidizationGame(four_cp_market, 0.2)
+        eq = solve_equilibrium(game)
+        assert not is_off_diagonally_monotone(game, eq.subsidies, tol=1e-9)

@@ -1,0 +1,35 @@
+"""Unit tests for the shared §5 equilibrium grid cache."""
+
+import numpy as np
+
+from repro.experiments.grid import clear_cache, section5_grid
+
+
+class TestGridCache:
+    def test_same_axes_hit_the_cache(self):
+        clear_cache()
+        prices = np.linspace(0.2, 1.0, 3)
+        caps = (0.0, 0.5)
+        first = section5_grid(prices, caps)
+        second = section5_grid(prices, caps)
+        assert first is second
+
+    def test_different_axes_miss(self):
+        clear_cache()
+        a = section5_grid(np.linspace(0.2, 1.0, 3), (0.0, 0.5))
+        b = section5_grid(np.linspace(0.2, 1.0, 4), (0.0, 0.5))
+        assert a is not b
+
+    def test_clear_cache_forces_recompute(self):
+        clear_cache()
+        prices = np.linspace(0.2, 1.0, 3)
+        first = section5_grid(prices, (0.0,))
+        clear_cache()
+        second = section5_grid(prices, (0.0,))
+        assert first is not second
+        # Determinism: the recomputed grid carries identical numbers.
+        np.testing.assert_allclose(
+            first.quantity(lambda eq: eq.state.revenue),
+            second.quantity(lambda eq: eq.state.revenue),
+            rtol=1e-12,
+        )

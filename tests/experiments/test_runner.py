@@ -1,0 +1,66 @@
+"""Unit tests for the experiments CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig04
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+        }
+
+
+class TestRunExperiments:
+    def test_runs_and_writes(self, tmp_path, capsys):
+        results = run_experiments(["fig4"], out_dir=tmp_path, quiet=True)
+        assert len(results) == 1
+        assert (tmp_path / "fig4-left.csv").exists()
+        assert (tmp_path / "fig4-right.csv").exists()
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"], out_dir=tmp_path)
+
+    def test_verbose_mode_renders_charts(self, tmp_path, capsys):
+        run_experiments(["fig4"], out_dir=tmp_path, quiet=False)
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "PASS" in out
+
+
+class TestMain:
+    def test_exit_zero_on_success(self, tmp_path, capsys):
+        code = main(["fig4", "--out", str(tmp_path), "--quiet"])
+        assert code == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_name(self, tmp_path, capsys):
+        code = main(["nope", "--out", str(tmp_path)])
+        assert code == 2
+
+    def test_exit_one_on_failed_check(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.base import ExperimentResult, ShapeCheck
+
+        def fake_compute():
+            real = fig04.compute(np.linspace(0.0, 2.0, 5))
+            return ExperimentResult(
+                experiment_id=real.experiment_id,
+                title=real.title,
+                figures=real.figures,
+                checks=(ShapeCheck(name="forced failure", passed=False),),
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "fig4", fake_compute)
+        code = main(["fig4", "--out", str(tmp_path), "--quiet"])
+        assert code == 1
+        assert "forced failure" in capsys.readouterr().err

@@ -1,0 +1,65 @@
+"""Unit tests for repro.experiments.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    FIGURE_PRICE_GRID,
+    POLICY_LEVELS,
+    SECTION5_PARAMETERS,
+    section3_market,
+    section5_market,
+)
+
+
+class TestSection3Market:
+    def test_has_nine_types(self):
+        market = section3_market()
+        assert market.size == 9
+
+    def test_covers_the_alpha_beta_grid(self):
+        market = section3_market()
+        pairs = {
+            (cp.demand.alpha, cp.throughput.beta) for cp in market.providers
+        }
+        assert pairs == {(a, b) for a in (1.0, 3.0, 5.0) for b in (1.0, 3.0, 5.0)}
+
+    def test_paper_capacity_and_price(self):
+        market = section3_market(price=0.7)
+        assert market.isp.capacity == 1.0
+        assert market.isp.price == 0.7
+
+    def test_values_are_zero(self):
+        # §3 has no subsidization; profitabilities are unused placeholders.
+        assert np.all(section3_market().values == 0.0)
+
+
+class TestSection5Market:
+    def test_has_eight_types(self):
+        market = section5_market()
+        assert market.size == 8
+
+    def test_covers_the_parameter_cube(self):
+        market = section5_market()
+        triples = {
+            (cp.demand.alpha, cp.throughput.beta, cp.value)
+            for cp in market.providers
+        }
+        assert triples == set(SECTION5_PARAMETERS)
+
+    def test_order_matches_parameter_constant(self):
+        market = section5_market()
+        for cp, (alpha, beta, value) in zip(market.providers, SECTION5_PARAMETERS):
+            assert cp.demand.alpha == alpha
+            assert cp.throughput.beta == beta
+            assert cp.value == value
+
+
+class TestAxes:
+    def test_price_grid_spans_zero_to_two(self):
+        assert FIGURE_PRICE_GRID[0] == 0.0
+        assert FIGURE_PRICE_GRID[-1] == 2.0
+        assert np.all(np.diff(FIGURE_PRICE_GRID) > 0.0)
+
+    def test_policy_levels_match_paper(self):
+        assert POLICY_LEVELS == (0.0, 0.5, 1.0, 1.5, 2.0)

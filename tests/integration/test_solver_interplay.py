@@ -1,0 +1,67 @@
+"""Integration tests of the numerical substrate against the game layer.
+
+These exercise solver components *on the game's own maps* (rather than toy
+functions): Anderson acceleration on the Jacobi best-response map, the
+basic projection method on −u, and failure-injection paths of the
+certified front-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import best_response_profile
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import EquilibriumError
+from repro.solvers.fixed_point import anderson_fixed_point, damped_fixed_point
+from repro.solvers.vi import projection_method_box
+
+
+class TestFixedPointSolversOnTheGame:
+    def test_anderson_accelerates_jacobi_best_response(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        mapping = lambda s: best_response_profile(game, s)  # noqa: E731
+        picard = damped_fixed_point(mapping, np.zeros(4), tol=1e-9)
+        anderson = anderson_fixed_point(mapping, np.zeros(4), tol=1e-9)
+        np.testing.assert_allclose(anderson.x, picard.x, atol=1e-7)
+        reference = solve_equilibrium(game)
+        np.testing.assert_allclose(anderson.x, reference.subsidies, atol=1e-7)
+
+    def test_projection_method_solves_the_game_vi(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.8)
+        result = projection_method_box(
+            game.negated_marginal_utilities,
+            np.zeros(2),
+            0.0,
+            0.8,
+            step=0.5,
+            tol=1e-9,
+        )
+        reference = solve_equilibrium(game)
+        np.testing.assert_allclose(result.x, reference.subsidies, atol=1e-6)
+
+
+class TestFailureInjection:
+    def test_front_end_reports_all_attempts_on_total_failure(
+        self, two_cp_market, monkeypatch
+    ):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        # Make every marginal utility NaN: no solver can certify anything.
+        monkeypatch.setattr(
+            SubsidizationGame,
+            "marginal_utilities",
+            lambda self, s=None: np.full(self.size, np.nan),
+        )
+        with pytest.raises(EquilibriumError) as excinfo:
+            solve_equilibrium(game)
+        message = str(excinfo.value)
+        assert "best_response" in message
+        assert "vi" in message
+
+    def test_certification_rejects_near_misses(self, four_cp_market):
+        # An absurdly tight certification tolerance cannot be met by the
+        # default solver tolerances; the front-end must refuse rather than
+        # return an uncertified profile.
+        game = SubsidizationGame(four_cp_market, 1.0)
+        with pytest.raises(EquilibriumError):
+            solve_equilibrium(game, tol=1e-6, certify_tol=1e-15)

@@ -1,0 +1,252 @@
+"""End-to-end numerical verification of every theorem in the paper.
+
+One test class per result, on the paper's own exponential family. These are
+the library's strongest correctness guarantees: each of the paper's
+analytical statements is checked against brute-force computation on solved
+models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import thresholds
+from repro.core.dynamics import (
+    deregulation_effect,
+    equilibrium_sensitivity,
+    profitability_comparative_static,
+)
+from repro.core.equilibrium import (
+    solve_equilibrium,
+    solve_equilibrium_best_response,
+    solve_equilibrium_vi,
+)
+from repro.core.game import SubsidizationGame
+from repro.core.policy import policy_effect
+from repro.core.revenue import marginal_revenue_decomposition
+from repro.core.uniqueness import p_function_violations
+from repro.core.welfare import marginal_welfare_criterion
+from repro.network.sensitivity import price_sensitivity, system_sensitivity
+from repro.network.system import CongestionSystem, TrafficClass
+from repro.network.throughput import ExponentialThroughput
+from repro.network.utilization import LinearUtilization
+from repro.providers import AccessISP, Market, exponential_cp
+
+
+def paper_market(price=1.0) -> Market:
+    """Four CP types spanning the §5 parameter corners."""
+    return Market(
+        [
+            exponential_cp(2.0, 2.0, value=1.0),
+            exponential_cp(5.0, 5.0, value=0.5),
+            exponential_cp(2.0, 5.0, value=1.0),
+            exponential_cp(5.0, 2.0, value=0.5),
+        ],
+        AccessISP(price=price, capacity=1.0),
+    )
+
+
+class TestLemma1Uniqueness:
+    def test_fixed_point_is_unique_along_gap(self):
+        system = CongestionSystem(LinearUtilization(), 1.0)
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=2.0)),
+            TrafficClass(0.5, ExponentialThroughput(beta=4.0)),
+        ]
+        phi_star = system.solve_utilization(classes)
+        # The gap changes sign exactly once over a wide scan.
+        grid = np.linspace(0.0, 5.0, 2001)
+        signs = np.sign([system.gap(p, classes) for p in grid])
+        assert np.sum(np.abs(np.diff(signs)) > 0) == 1
+        assert system.gap(phi_star, classes) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestTheorem1:
+    def test_capacity_and_user_effects(self):
+        system = CongestionSystem(LinearUtilization(), 1.0)
+        classes = [
+            TrafficClass(0.8, ExponentialThroughput(beta=1.0)),
+            TrafficClass(0.4, ExponentialThroughput(beta=3.0)),
+        ]
+        sens = system_sensitivity(system, classes)
+        assert sens.dphi_dmu < 0.0
+        assert np.all(sens.dphi_dm > 0.0)
+        assert np.all(sens.dtheta_dmu > 0.0)
+        # Own-population effect positive, cross effect negative.
+        assert sens.dtheta_dm[0, 0] > 0.0 > sens.dtheta_dm[0, 1]
+
+
+class TestTheorem2:
+    def test_price_depresses_utilization_and_aggregate_throughput(self):
+        market = paper_market()
+        demands = [cp.demand for cp in market.providers]
+        throughputs = [cp.throughput for cp in market.providers]
+        for p in (0.1, 0.5, 1.0, 1.8):
+            sens = price_sensitivity(market.system, demands, throughputs, p)
+            assert sens.dphi_dp <= 0.0
+            assert sens.aggregate_dtheta_dp <= 0.0
+
+
+class TestTheorem3:
+    def test_threshold_equation_at_equilibria(self):
+        for cap in (0.2, 0.5, 1.0):
+            game = SubsidizationGame(paper_market(), cap)
+            eq = solve_equilibrium(game)
+            tau = thresholds(game, eq.subsidies)
+            np.testing.assert_allclose(
+                eq.subsidies, np.minimum(tau, cap), atol=1e-7
+            )
+
+    def test_corner_condition_for_non_subsidizers(self):
+        # v_i <= theta_i / (dtheta_i/ds_i) whenever s_i = 0.
+        market = paper_market(price=1.5)
+        game = SubsidizationGame(market, 1.0)
+        eq = solve_equilibrium(game)
+        diag = game.marginal_diagnostics(eq.subsidies)
+        for i in range(market.size):
+            if eq.subsidies[i] < 1e-10:
+                bound = diag.state.throughputs[i] / diag.dtheta_own_ds[i]
+                assert market.providers[i].value <= bound + 1e-8
+
+
+class TestTheorem4:
+    def test_p_function_condition_sampled_clean(self):
+        game = SubsidizationGame(paper_market(), 1.0)
+        assert p_function_violations(game, samples=15, seed=1) == []
+
+    def test_solvers_agree_on_the_unique_equilibrium(self):
+        game = SubsidizationGame(paper_market(), 1.0)
+        br = solve_equilibrium_best_response(game, tol=1e-11)
+        vi = solve_equilibrium_vi(game, tol=1e-10)
+        np.testing.assert_allclose(br.subsidies, vi.subsidies, atol=1e-6)
+
+    def test_unique_from_many_starting_points(self):
+        game = SubsidizationGame(paper_market(), 1.0)
+        reference = solve_equilibrium(game).subsidies
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            start = rng.uniform(0.0, 1.0, 4)
+            result = solve_equilibrium(game, initial=start)
+            np.testing.assert_allclose(result.subsidies, reference, atol=1e-8)
+
+
+class TestTheorem5:
+    def test_profitability_monotonicity_across_scenarios(self):
+        for price in (0.6, 1.0, 1.4):
+            for cap in (0.3, 1.0):
+                game = SubsidizationGame(paper_market(price), cap)
+                for i in (0, 1):
+                    old = game.market.providers[i].value
+                    before, after = profitability_comparative_static(
+                        game, i, old + 0.25
+                    )
+                    assert after[i] >= before[i] - 1e-9
+
+
+class TestTheorem6:
+    def test_sensitivities_match_finite_differences(self):
+        game = SubsidizationGame(paper_market(), 0.35)
+        eq = solve_equilibrium(game)
+        sens = equilibrium_sensitivity(game, eq.subsidies)
+        h = 1e-5
+        fd_q = (
+            solve_equilibrium(game.with_cap(0.35 + h)).subsidies
+            - solve_equilibrium(game.with_cap(0.35 - h)).subsidies
+        ) / (2.0 * h)
+        fd_p = (
+            solve_equilibrium(game.with_price(1.0 + h)).subsidies
+            - solve_equilibrium(game.with_price(1.0 - h)).subsidies
+        ) / (2.0 * h)
+        np.testing.assert_allclose(sens.ds_dq, fd_q, atol=1e-4)
+        np.testing.assert_allclose(sens.ds_dp, fd_p, atol=1e-4)
+
+
+class TestCorollary1:
+    def test_deregulation_monotonicity(self):
+        # phi, R and s all (weakly) rise with q, at fixed price.
+        game = SubsidizationGame(paper_market(price=0.8), 0.25)
+        eq = solve_equilibrium(game)
+        effect = deregulation_effect(game, eq.subsidies)
+        assert effect.dphi_dq >= 0.0
+        assert effect.drevenue_dq >= 0.0
+        assert np.all(effect.ds_dq >= -1e-12)
+
+    def test_monotone_along_a_global_sweep(self):
+        market = paper_market(price=0.8)
+        caps = np.linspace(0.0, 1.5, 13)
+        phis, revenues = [], []
+        previous = None
+        for q in caps:
+            eq = solve_equilibrium(
+                SubsidizationGame(market, float(q)), initial=previous
+            )
+            previous = eq.subsidies
+            phis.append(eq.state.utilization)
+            revenues.append(eq.state.revenue)
+        assert np.all(np.diff(phis) >= -1e-9)
+        assert np.all(np.diff(revenues) >= -1e-9)
+
+
+class TestTheorem7:
+    def test_decomposition_at_several_prices(self):
+        for p in (0.6, 0.9, 1.3):
+            market = paper_market(p)
+            game = SubsidizationGame(market, 1.0)
+            eq = solve_equilibrium(game)
+            decomposition = marginal_revenue_decomposition(game, eq.subsidies)
+            h = 1e-5
+
+            def revenue_at(price):
+                return solve_equilibrium(
+                    SubsidizationGame(market.with_price(price), 1.0),
+                    initial=eq.subsidies,
+                ).state.revenue
+
+            fd = (revenue_at(p + h) - revenue_at(p - h)) / (2.0 * h)
+            assert decomposition.total == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+
+class TestTheorem8:
+    def test_full_policy_effect_with_price_response(self):
+        market = paper_market()
+        q0, slope = 0.2, 0.4
+        effect = policy_effect(market, q0, dp_dq=slope)
+        h = 1e-5
+
+        def states_at(q):
+            priced = market.with_price(1.0 + slope * (q - q0))
+            eq = solve_equilibrium(SubsidizationGame(priced, q))
+            return eq.state
+
+        hi, lo = states_at(q0 + h), states_at(q0 - h)
+        np.testing.assert_allclose(
+            effect.dm_dq, (hi.populations - lo.populations) / (2 * h), atol=1e-4
+        )
+        assert effect.dphi_dq == pytest.approx(
+            (hi.utilization - lo.utilization) / (2 * h), abs=1e-4
+        )
+        np.testing.assert_allclose(
+            effect.dtheta_dq, (hi.throughputs - lo.throughputs) / (2 * h),
+            atol=1e-4,
+        )
+
+
+class TestCorollary2:
+    def test_welfare_criterion_sign(self):
+        market = paper_market(price=0.8)
+        for q in (0.1, 0.25, 0.4):
+            effect = policy_effect(market, q)
+            criterion = marginal_welfare_criterion(market, effect)
+            if criterion.applicable and abs(criterion.dwelfare_dq) > 1e-10:
+                assert criterion.predicts_increase() == (
+                    criterion.dwelfare_dq > 0.0
+                )
+
+    def test_welfare_rises_under_deregulation_at_fixed_price(self):
+        market = paper_market(price=0.8)
+        welfare_q0 = solve_equilibrium(
+            SubsidizationGame(market, 0.0)
+        ).state.welfare
+        welfare_q1 = solve_equilibrium(
+            SubsidizationGame(market, 1.0)
+        ).state.welfare
+        assert welfare_q1 > welfare_q0

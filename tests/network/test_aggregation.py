@@ -1,0 +1,112 @@
+"""Unit tests for repro.network.aggregation (Lemma 2)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.aggregation import (
+    aggregate_equivalent_classes,
+    elasticity_signature,
+    rescale_class,
+)
+from repro.network.system import CongestionSystem, TrafficClass
+from repro.network.throughput import ExponentialThroughput, PowerLawThroughput
+from repro.network.utilization import LinearUtilization
+
+
+def solve_phi(classes, capacity=1.0):
+    return CongestionSystem(LinearUtilization(), capacity).solve_utilization(classes)
+
+
+class TestRescaleClass:
+    def test_preserves_utilization(self):
+        # Lemma 2: m -> m/kappa with lambda(0) -> kappa*lambda(0) leaves the
+        # system fixed point unchanged.
+        original = [
+            TrafficClass(2.0, ExponentialThroughput(beta=3.0)),
+            TrafficClass(1.0, ExponentialThroughput(beta=1.0)),
+        ]
+        for kappa in (0.5, 2.0, 10.0):
+            rescaled = [rescale_class(original[0], kappa), original[1]]
+            assert solve_phi(rescaled) == pytest.approx(
+                solve_phi(original), abs=1e-11
+            )
+
+    def test_preserves_other_cp_throughput(self):
+        system = CongestionSystem(LinearUtilization(), 1.0)
+        original = [
+            TrafficClass(2.0, ExponentialThroughput(beta=3.0)),
+            TrafficClass(1.0, ExponentialThroughput(beta=1.0)),
+        ]
+        base = system.solve(original)
+        rescaled = system.solve([rescale_class(original[0], 4.0), original[1]])
+        assert rescaled.throughputs[1] == pytest.approx(
+            base.throughputs[1], rel=1e-10
+        )
+        # The rescaled class keeps its *total* throughput too.
+        assert rescaled.throughputs[0] == pytest.approx(
+            base.throughputs[0], rel=1e-10
+        )
+
+    def test_single_big_user_form(self):
+        # The paper's remark: any CP can be treated as one big user.
+        cls = TrafficClass(5.0, ExponentialThroughput(beta=2.0, peak=0.3))
+        big = rescale_class(cls, 5.0)
+        assert big.population == pytest.approx(1.0)
+        assert big.throughput.peak == pytest.approx(1.5)
+
+    def test_rejects_bad_kappa(self):
+        cls = TrafficClass(1.0, ExponentialThroughput(beta=1.0))
+        with pytest.raises(ModelError):
+            rescale_class(cls, 0.0)
+
+
+class TestSignature:
+    def test_same_family_same_beta_share_signature(self):
+        a = TrafficClass(1.0, ExponentialThroughput(beta=2.0, peak=1.0))
+        b = TrafficClass(3.0, ExponentialThroughput(beta=2.0, peak=9.0))
+        assert elasticity_signature(a) == elasticity_signature(b)
+
+    def test_different_beta_or_family_differ(self):
+        a = TrafficClass(1.0, ExponentialThroughput(beta=2.0))
+        b = TrafficClass(1.0, ExponentialThroughput(beta=3.0))
+        c = TrafficClass(1.0, PowerLawThroughput(beta=2.0))
+        assert elasticity_signature(a) != elasticity_signature(b)
+        assert elasticity_signature(a) != elasticity_signature(c)
+
+
+class TestAggregation:
+    def test_merging_preserves_utilization(self):
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=2.0, peak=0.5)),
+            TrafficClass(2.0, ExponentialThroughput(beta=2.0, peak=1.0)),
+            TrafficClass(0.5, ExponentialThroughput(beta=4.0)),
+        ]
+        merged = aggregate_equivalent_classes(classes)
+        assert len(merged) == 2
+        assert solve_phi(merged) == pytest.approx(solve_phi(classes), abs=1e-11)
+
+    def test_merged_peak_demand_is_sum(self):
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=2.0, peak=0.5)),
+            TrafficClass(2.0, ExponentialThroughput(beta=2.0, peak=1.0)),
+        ]
+        merged = aggregate_equivalent_classes(classes)
+        assert len(merged) == 1
+        assert merged[0].population * merged[0].throughput.peak_rate() == (
+            pytest.approx(1.0 * 0.5 + 2.0 * 1.0)
+        )
+
+    def test_zero_population_group_survives_as_empty_class(self):
+        classes = [TrafficClass(0.0, ExponentialThroughput(beta=1.0))]
+        merged = aggregate_equivalent_classes(classes)
+        assert len(merged) == 1
+        assert merged[0].population == 0.0
+
+    def test_preserves_first_appearance_order(self):
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=5.0), label="later"),
+            TrafficClass(1.0, ExponentialThroughput(beta=1.0), label="first"),
+            TrafficClass(1.0, ExponentialThroughput(beta=5.0), label="later2"),
+        ]
+        merged = aggregate_equivalent_classes(classes)
+        assert [cls.label for cls in merged] == ["later", "first"]

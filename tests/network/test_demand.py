@@ -1,0 +1,153 @@
+"""Unit tests for repro.network.demand (Assumption 2 compliance)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.demand import (
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ShiftedPowerDemand,
+)
+from repro.solvers.differentiation import derivative
+
+ALL_FAMILIES = [
+    ExponentialDemand(alpha=2.0),
+    ExponentialDemand(alpha=5.0, scale=3.0),
+    LogitDemand(alpha=4.0, midpoint=1.0),
+    # Gentle smoothing so the exponential tail is resolvable by the finite
+    # differences this parametrized suite applies.
+    LinearDemand(base=2.0, slope=1.0, smoothing=0.1),
+    ShiftedPowerDemand(alpha=3.0),
+]
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES, ids=lambda f: repr(f))
+class TestAssumptionTwo:
+    def test_decreasing_in_price(self, family):
+        prices = [-1.0, 0.0, 0.5, 1.0, 2.0, 5.0]
+        pops = [family.population(t) for t in prices]
+        assert all(b <= a for a, b in zip(pops, pops[1:]))
+
+    def test_vanishes_at_high_prices(self, family):
+        assert family.population(200.0) < 1e-6
+
+    def test_positive_at_zero_price(self, family):
+        assert family.population(0.0) > 0.0
+
+    def test_defined_for_negative_prices(self, family):
+        # Subsidies above the ISP price produce negative effective prices;
+        # the demand functions must handle them (users get paid to consume).
+        assert family.population(-0.5) >= family.population(0.0)
+
+    def test_derivative_matches_finite_difference(self, family):
+        for t in (-0.5, 0.0, 0.7, 2.0):
+            fd = derivative(family.population, t)
+            assert family.d_population(t) == pytest.approx(fd, rel=1e-5, abs=1e-10)
+
+    def test_derivative_non_positive(self, family):
+        for t in (-1.0, 0.0, 1.0, 3.0):
+            assert family.d_population(t) <= 0.0
+
+
+class TestExponentialDemand:
+    def test_closed_form(self):
+        d = ExponentialDemand(alpha=3.0, scale=2.0)
+        assert d.population(0.5) == pytest.approx(2.0 * math.exp(-1.5))
+
+    def test_elasticity_is_minus_alpha_t(self):
+        d = ExponentialDemand(alpha=4.0)
+        assert d.elasticity(0.25) == pytest.approx(-1.0)
+        assert d.elasticity(0.0) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            ExponentialDemand(alpha=-1.0)
+        with pytest.raises(ModelError):
+            ExponentialDemand(alpha=1.0, scale=0.0)
+
+
+class TestLogitDemand:
+    def test_half_population_at_midpoint(self):
+        d = LogitDemand(alpha=3.0, midpoint=0.8, scale=2.0)
+        assert d.population(0.8) == pytest.approx(1.0)
+
+    def test_saturates_at_scale(self):
+        d = LogitDemand(alpha=3.0, midpoint=1.0, scale=5.0)
+        assert d.population(-100.0) == pytest.approx(5.0, rel=1e-9)
+
+    def test_extreme_prices_do_not_overflow(self):
+        d = LogitDemand(alpha=10.0)
+        assert d.population(1e3) == 0.0
+        assert d.d_population(1e3) == 0.0
+
+
+class TestLinearDemand:
+    def test_linear_region(self):
+        d = LinearDemand(base=2.0, slope=0.5)
+        assert d.population(1.0) == pytest.approx(1.5)
+        assert d.d_population(1.0) == pytest.approx(-0.5)
+
+    def test_smooth_tail_stays_positive(self):
+        d = LinearDemand(base=1.0, slope=1.0, smoothing=0.1)
+        assert 0.0 < d.population(10.0) < 0.1
+
+    def test_c1_at_switch_point(self):
+        d = LinearDemand(base=1.0, slope=1.0, smoothing=1e-2)
+        t_star = (d.base - d.smoothing) / d.slope
+        eps = 1e-9
+        left = d.d_population(t_star - eps)
+        right = d.d_population(t_star + eps)
+        assert left == pytest.approx(right, rel=1e-5)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ModelError):
+            LinearDemand(base=1.0, slope=1.0, smoothing=2.0)
+
+
+class TestShiftedPowerDemand:
+    def test_heavy_tail_dominates_exponential(self):
+        power = ShiftedPowerDemand(alpha=2.0)
+        exp = ExponentialDemand(alpha=2.0)
+        assert power.population(10.0) > exp.population(10.0)
+
+    def test_bounded_at_negative_prices(self):
+        d = ShiftedPowerDemand(alpha=2.0)
+        assert d.population(-100.0) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestScaledDemand:
+    def test_scales_population_and_derivative(self):
+        from repro.network.demand import ScaledDemand
+
+        base = ExponentialDemand(alpha=2.0)
+        scaled = ScaledDemand(base, 0.25)
+        assert scaled.population(0.5) == pytest.approx(0.25 * base.population(0.5))
+        assert scaled.d_population(0.5) == pytest.approx(
+            0.25 * base.d_population(0.5)
+        )
+
+    def test_elasticity_is_weight_invariant(self):
+        from repro.network.demand import ScaledDemand
+
+        base = LogitDemand(alpha=3.0, midpoint=0.8)
+        scaled = ScaledDemand(base, 0.4)
+        for t in (-0.5, 0.0, 1.0):
+            assert scaled.elasticity(t) == pytest.approx(base.elasticity(t))
+
+    def test_zero_weight_is_an_empty_market_segment(self):
+        from repro.network.demand import ScaledDemand
+
+        scaled = ScaledDemand(ExponentialDemand(alpha=1.0), 0.0)
+        assert scaled.population(1.0) == 0.0
+        assert scaled.d_population(1.0) == 0.0
+
+    def test_rejects_bad_weight(self):
+        from repro.network.demand import ScaledDemand
+
+        with pytest.raises(ModelError):
+            ScaledDemand(ExponentialDemand(alpha=1.0), -0.1)
+        with pytest.raises(ModelError):
+            ScaledDemand(ExponentialDemand(alpha=1.0), float("nan"))

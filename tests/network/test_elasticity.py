@@ -1,0 +1,81 @@
+"""Unit tests for repro.network.elasticity (Definition 2)."""
+
+import math
+
+import pytest
+
+from repro.network.elasticity import chain_elasticity, elasticity_of, log_derivative
+
+
+class TestElasticityOf:
+    def test_power_function_has_constant_elasticity(self):
+        # y = x^3 has elasticity exactly 3 everywhere.
+        for x in (0.5, 1.0, 7.0):
+            assert elasticity_of(lambda v: v**3, x) == pytest.approx(3.0, rel=1e-6)
+
+    def test_exponential_family_closed_form(self):
+        # m = e^{-2t}: elasticity -2t (the paper's running example).
+        assert elasticity_of(lambda t: math.exp(-2.0 * t), 0.75) == pytest.approx(
+            -1.5, rel=1e-6
+        )
+
+    def test_uses_analytic_derivative_when_given(self):
+        value = elasticity_of(
+            lambda x: x**2, 3.0, dfunc=lambda x: 2.0 * x
+        )
+        assert value == pytest.approx(2.0, rel=1e-12)
+
+    def test_zero_at_origin_when_function_nonzero(self):
+        assert elasticity_of(lambda x: math.exp(x), 0.0) == 0.0
+
+    def test_infinite_when_function_vanishes(self):
+        assert elasticity_of(lambda x: x - 1.0, 1.0, dfunc=lambda x: 1.0) == float(
+            "inf"
+        )
+
+
+class TestLogDerivative:
+    def test_exponential(self):
+        assert log_derivative(lambda x: math.exp(3.0 * x), 0.4) == pytest.approx(
+            3.0, rel=1e-6
+        )
+
+    def test_sign_conventions_at_zero(self):
+        assert log_derivative(lambda x: x, 0.0, dfunc=lambda x: 1.0) == float("inf")
+        assert log_derivative(lambda x: -x, 0.0, dfunc=lambda x: -1.0) == float(
+            "-inf"
+        )
+
+
+class TestChainElasticity:
+    def test_multiplies(self):
+        assert chain_elasticity(2.0, -3.0) == -6.0
+
+    def test_zero_dominates_infinity(self):
+        # 0 · inf -> 0: a vanishing percentage base kills the chain.
+        assert chain_elasticity(0.0, float("inf")) == 0.0
+        assert chain_elasticity(float("-inf"), 0.0) == 0.0
+
+    def test_decomposition_matches_paper_equation_14(self):
+        # eps^lambda_m = eps^phi_m * eps^lambda_phi for the exponential
+        # family on a solved system.
+        from repro.network.system import CongestionSystem, TrafficClass
+        from repro.network.throughput import ExponentialThroughput
+        from repro.network.utilization import LinearUtilization
+
+        system = CongestionSystem(LinearUtilization(), capacity=1.0)
+        throughput = ExponentialThroughput(beta=2.0)
+        cls = TrafficClass(1.0, throughput)
+        state = system.solve([cls])
+        phi = state.utilization
+        eps_phi_m = (state.rates[0] / state.gap_slope) * (
+            state.populations[0] / phi
+        )
+        eps_lambda_phi = throughput.elasticity(phi)
+        # Direct: eps^lambda_m = m * lambda'(phi) / (dg/dphi) per (14).
+        direct = (
+            state.populations[0] * throughput.d_rate(phi) / state.gap_slope
+        )
+        assert chain_elasticity(eps_phi_m, eps_lambda_phi) == pytest.approx(
+            direct, rel=1e-10
+        )

@@ -1,0 +1,201 @@
+"""Unit tests for repro.network.sensitivity — Theorems 1 and 2.
+
+Each analytic formula is validated against central finite differences of
+freshly re-solved systems, which is the library's standard of proof for the
+paper's comparative statics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.demand import ExponentialDemand
+from repro.network.sensitivity import (
+    price_sensitivity,
+    system_sensitivity,
+    throughput_increases_with_price,
+)
+from repro.network.system import CongestionSystem, TrafficClass
+from repro.network.throughput import ExponentialThroughput
+from repro.network.utilization import LinearUtilization, MM1Utilization
+
+BETAS = (1.0, 3.0, 5.0)
+POPULATIONS = (0.8, 1.0, 0.5)
+
+
+def make_system(capacity=1.0, utilization=None):
+    return CongestionSystem(utilization or LinearUtilization(), capacity)
+
+
+def make_classes():
+    return [
+        TrafficClass(m, ExponentialThroughput(beta=b))
+        for m, b in zip(POPULATIONS, BETAS)
+    ]
+
+
+class TestTheoremOne:
+    def test_signs(self):
+        system = make_system()
+        classes = make_classes()
+        sens = system_sensitivity(system, classes)
+        assert sens.dphi_dmu < 0.0
+        assert np.all(sens.dphi_dm > 0.0)
+        assert np.all(sens.dtheta_dmu > 0.0)
+        assert np.all(np.diag(sens.dtheta_dm) > 0.0)
+        off_diag = sens.dtheta_dm[~np.eye(3, dtype=bool)]
+        assert np.all(off_diag < 0.0)
+
+    def test_dphi_dmu_matches_finite_difference(self):
+        classes = make_classes()
+        h = 1e-6
+        phi_hi = make_system(1.0 + h).solve_utilization(classes)
+        phi_lo = make_system(1.0 - h).solve_utilization(classes)
+        fd = (phi_hi - phi_lo) / (2.0 * h)
+        sens = system_sensitivity(make_system(), classes)
+        assert sens.dphi_dmu == pytest.approx(fd, rel=1e-5)
+
+    def test_dphi_dm_matches_finite_difference(self):
+        system = make_system()
+        classes = make_classes()
+        sens = system_sensitivity(system, classes)
+        h = 1e-7
+        for i in range(len(classes)):
+            perturbed_hi = list(classes)
+            perturbed_lo = list(classes)
+            perturbed_hi[i] = classes[i].with_population(POPULATIONS[i] + h)
+            perturbed_lo[i] = classes[i].with_population(POPULATIONS[i] - h)
+            fd = (
+                system.solve_utilization(perturbed_hi)
+                - system.solve_utilization(perturbed_lo)
+            ) / (2.0 * h)
+            assert sens.dphi_dm[i] == pytest.approx(fd, rel=1e-4)
+
+    def test_dtheta_dm_matches_finite_difference(self):
+        system = make_system()
+        classes = make_classes()
+        sens = system_sensitivity(system, classes)
+        h = 1e-7
+        for j in range(len(classes)):
+            hi = list(classes)
+            lo = list(classes)
+            hi[j] = classes[j].with_population(POPULATIONS[j] + h)
+            lo[j] = classes[j].with_population(POPULATIONS[j] - h)
+            fd = (system.solve(hi).throughputs - system.solve(lo).throughputs) / (
+                2.0 * h
+            )
+            np.testing.assert_allclose(sens.dtheta_dm[:, j], fd, rtol=1e-4)
+
+    def test_user_effect_proportional_to_rates(self):
+        # Equation (4) implies dphi/dm_i : dphi/dm_j = lambda_i : lambda_j.
+        system = make_system()
+        classes = make_classes()
+        state = system.solve(classes)
+        sens = system_sensitivity(system, classes, state)
+        ratios = sens.dphi_dm / state.rates
+        assert np.ptp(ratios) == pytest.approx(0.0, abs=1e-12)
+
+    def test_works_for_mm1_utilization(self):
+        system = make_system(utilization=MM1Utilization(), capacity=3.0)
+        classes = make_classes()
+        sens = system_sensitivity(system, classes)
+        assert sens.dphi_dmu < 0.0
+        assert np.all(sens.dphi_dm > 0.0)
+
+    def test_rejects_mismatched_state(self):
+        system = make_system()
+        classes = make_classes()
+        state = system.solve(classes[:2])
+        with pytest.raises(ModelError):
+            system_sensitivity(system, classes, state)
+
+
+class TestTheoremTwo:
+    ALPHAS = (1.0, 3.0, 5.0)
+
+    def make_demands(self):
+        return [ExponentialDemand(alpha=a) for a in self.ALPHAS]
+
+    def make_throughputs(self):
+        return [ExponentialThroughput(beta=b) for b in BETAS]
+
+    def test_phi_decreases_with_price(self):
+        sens = price_sensitivity(
+            make_system(), self.make_demands(), self.make_throughputs(), price=1.0
+        )
+        assert sens.dphi_dp < 0.0
+        assert sens.aggregate_dtheta_dp < 0.0
+
+    def test_dphi_dp_matches_finite_difference(self):
+        system = make_system()
+        demands = self.make_demands()
+        throughputs = self.make_throughputs()
+
+        def phi_at(p):
+            classes = [
+                TrafficClass(d.population(p), t)
+                for d, t in zip(demands, throughputs)
+            ]
+            return system.solve_utilization(classes)
+
+        h = 1e-6
+        fd = (phi_at(1.0 + h) - phi_at(1.0 - h)) / (2.0 * h)
+        sens = price_sensitivity(system, demands, throughputs, price=1.0)
+        assert sens.dphi_dp == pytest.approx(fd, rel=1e-5)
+
+    def test_per_cp_dtheta_dp_matches_finite_difference(self):
+        system = make_system()
+        demands = self.make_demands()
+        throughputs = self.make_throughputs()
+
+        def theta_at(p):
+            classes = [
+                TrafficClass(d.population(p), t)
+                for d, t in zip(demands, throughputs)
+            ]
+            return system.solve(classes).throughputs
+
+        h = 1e-6
+        fd = (theta_at(1.0 + h) - theta_at(1.0 - h)) / (2.0 * h)
+        sens = price_sensitivity(system, demands, throughputs, price=1.0)
+        np.testing.assert_allclose(sens.dtheta_dp, fd, rtol=1e-4)
+
+    def test_condition_seven_agrees_with_derivative_sign(self):
+        # Condition (7) is equivalent to dtheta_i/dp > 0; check both at a
+        # price where the a=1, b=5 CP's throughput is still rising.
+        system = make_system()
+        demands = self.make_demands()
+        throughputs = self.make_throughputs()
+        price = 0.2
+        sens = price_sensitivity(system, demands, throughputs, price)
+        classes = [
+            TrafficClass(d.population(price), t)
+            for d, t in zip(demands, throughputs)
+        ]
+        phi = system.solve_utilization(classes)
+        for i, (demand, throughput) in enumerate(zip(demands, throughputs)):
+            predicted = throughput_increases_with_price(
+                demand, throughput, price, phi, sens.dphi_dp
+            )
+            assert predicted == (sens.dtheta_dp[i] > 0.0)
+
+    def test_low_alpha_high_beta_cp_gains_from_price_increase(self):
+        # The paper's Figure 5 observation: alpha=1, beta=5 rises initially.
+        system = make_system()
+        demands = [ExponentialDemand(alpha=1.0), ExponentialDemand(alpha=5.0)]
+        throughputs = [
+            ExponentialThroughput(beta=5.0),
+            ExponentialThroughput(beta=1.0),
+        ]
+        sens = price_sensitivity(system, demands, throughputs, price=0.1)
+        assert sens.dtheta_dp[0] > 0.0  # congestion relief dominates
+        assert sens.dtheta_dp[1] < 0.0  # demand loss dominates
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(ModelError):
+            price_sensitivity(
+                make_system(),
+                [ExponentialDemand(alpha=1.0)],
+                [],
+                price=1.0,
+            )

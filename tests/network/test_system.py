@@ -1,0 +1,146 @@
+"""Unit tests for repro.network.system — Definition 1 / Lemma 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.system import CongestionSystem, TrafficClass
+from repro.network.throughput import ExponentialThroughput, RationalThroughput
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+)
+
+
+def unit_system(**kwargs) -> CongestionSystem:
+    return CongestionSystem(LinearUtilization(), capacity=1.0, **kwargs)
+
+
+class TestTrafficClass:
+    def test_demand_at_multiplies_population_and_rate(self):
+        cls = TrafficClass(2.0, ExponentialThroughput(beta=1.0))
+        assert cls.demand_at(0.0) == pytest.approx(2.0)
+        assert cls.demand_at(1.0) == pytest.approx(2.0 * math.exp(-1.0))
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ModelError):
+            TrafficClass(-1.0, ExponentialThroughput(beta=1.0))
+
+    def test_with_population_copies(self):
+        cls = TrafficClass(1.0, ExponentialThroughput(beta=1.0), label="x")
+        other = cls.with_population(3.0)
+        assert other.population == 3.0
+        assert other.label == "x"
+        assert cls.population == 1.0
+
+
+class TestFixedPoint:
+    def test_single_class_solves_transcendental_equation(self):
+        # phi = e^{-3 phi} for m = mu = 1 (Lambert-W form: 3phi e^{3phi} = 3).
+        system = unit_system()
+        phi = system.solve_utilization(
+            [TrafficClass(1.0, ExponentialThroughput(beta=3.0))]
+        )
+        assert phi == pytest.approx(math.exp(-3.0 * phi), abs=1e-11)
+
+    def test_definition_one_holds_exactly(self):
+        system = CongestionSystem(LinearUtilization(), capacity=2.5)
+        classes = [
+            TrafficClass(1.2, ExponentialThroughput(beta=2.0)),
+            TrafficClass(0.7, RationalThroughput(beta=5.0)),
+        ]
+        state = system.solve(classes)
+        induced = sum(cls.demand_at(state.utilization) for cls in classes)
+        assert state.utilization == pytest.approx(
+            system.utilization_function.phi(induced, 2.5), abs=1e-10
+        )
+
+    def test_empty_or_zero_population_gives_zero_utilization(self):
+        system = unit_system()
+        assert system.solve_utilization([]) == 0.0
+        assert (
+            system.solve_utilization(
+                [TrafficClass(0.0, ExponentialThroughput(beta=1.0))]
+            )
+            == 0.0
+        )
+
+    def test_gap_is_zero_at_solution(self):
+        system = unit_system()
+        classes = [TrafficClass(2.0, ExponentialThroughput(beta=1.5))]
+        phi = system.solve_utilization(classes)
+        assert system.gap(phi, classes) == pytest.approx(0.0, abs=1e-10)
+
+    def test_gap_strictly_increasing(self):
+        system = unit_system()
+        classes = [TrafficClass(2.0, ExponentialThroughput(beta=1.5))]
+        phis = np.linspace(0.0, 3.0, 25)
+        gaps = [system.gap(p, classes) for p in phis]
+        assert all(b > a for a, b in zip(gaps, gaps[1:]))
+
+    def test_gap_slope_positive_and_matches_closed_form(self):
+        # For Phi = theta/mu and exponential throughput:
+        # dg/dphi = mu + sum beta_i theta_i.
+        system = CongestionSystem(LinearUtilization(), capacity=1.7)
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=2.0)),
+            TrafficClass(0.5, ExponentialThroughput(beta=4.0)),
+        ]
+        state = system.solve(classes)
+        expected = 1.7 + 2.0 * state.throughputs[0] + 4.0 * state.throughputs[1]
+        assert state.gap_slope == pytest.approx(expected, rel=1e-10)
+
+    def test_state_fields_consistent(self):
+        system = unit_system()
+        classes = [
+            TrafficClass(1.0, ExponentialThroughput(beta=1.0), label="a"),
+            TrafficClass(2.0, ExponentialThroughput(beta=3.0), label="b"),
+        ]
+        state = system.solve(classes)
+        np.testing.assert_allclose(
+            state.throughputs, state.populations * state.rates
+        )
+        assert state.aggregate_throughput == pytest.approx(
+            float(np.sum(state.throughputs))
+        )
+        assert state.size == 2
+        assert state.capacity == 1.0
+
+
+class TestAcrossUtilizationFamilies:
+    @pytest.mark.parametrize(
+        "utilization",
+        [LinearUtilization(), PowerLawUtilization(gamma=2.0), MM1Utilization()],
+        ids=lambda u: repr(u),
+    )
+    def test_unique_fixed_point_exists(self, utilization):
+        system = CongestionSystem(utilization, capacity=2.0)
+        classes = [
+            TrafficClass(1.5, ExponentialThroughput(beta=2.0)),
+            TrafficClass(0.5, ExponentialThroughput(beta=0.5)),
+        ]
+        phi = system.solve_utilization(classes)
+        assert phi > 0.0
+        assert system.gap(phi, classes) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mm1_never_exceeds_capacity(self):
+        system = CongestionSystem(MM1Utilization(), capacity=1.0)
+        # Demand far above capacity: the fixed point throttles throughput.
+        classes = [TrafficClass(100.0, ExponentialThroughput(beta=1.0))]
+        state = system.solve(classes)
+        assert state.aggregate_throughput < 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ModelError):
+            CongestionSystem(LinearUtilization(), capacity=0.0)
+
+    def test_with_capacity_creates_new_system(self):
+        system = unit_system()
+        bigger = system.with_capacity(4.0)
+        assert bigger.capacity == 4.0
+        assert system.capacity == 1.0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.network.throughput (Assumption 1 compliance)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.throughput import (
+    ExponentialThroughput,
+    PowerLawThroughput,
+    RationalThroughput,
+)
+from repro.solvers.differentiation import derivative
+
+ALL_FAMILIES = [
+    ExponentialThroughput(beta=3.0),
+    ExponentialThroughput(beta=0.5, peak=2.0),
+    PowerLawThroughput(beta=2.0),
+    RationalThroughput(beta=4.0, peak=1.5),
+]
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES, ids=lambda f: repr(f))
+class TestAssumptionOne:
+    def test_strictly_decreasing(self, family):
+        phis = [0.0, 0.5, 1.0, 2.0, 5.0]
+        rates = [family.rate(phi) for phi in phis]
+        assert all(b < a for a, b in zip(rates, rates[1:]))
+
+    def test_vanishes_at_high_utilization(self, family):
+        assert family.rate(500.0) < 1e-3 * family.peak_rate()
+
+    def test_derivative_matches_finite_difference(self, family):
+        for phi in (0.1, 1.0, 3.0):
+            fd = derivative(family.rate, phi)
+            assert family.d_rate(phi) == pytest.approx(fd, rel=1e-6)
+
+    def test_elasticity_matches_definition(self, family):
+        # Definition 2: eps = (dlambda/dphi) * phi / lambda.
+        for phi in (0.2, 1.5):
+            expected = family.d_rate(phi) * phi / family.rate(phi)
+            assert family.elasticity(phi) == pytest.approx(expected, rel=1e-10)
+
+    def test_elasticity_zero_at_zero_utilization(self, family):
+        assert family.elasticity(0.0) == 0.0
+
+    def test_rejects_negative_utilization(self, family):
+        with pytest.raises(ModelError):
+            family.rate(-0.1)
+
+    def test_peak_rescaling_preserves_elasticity(self, family):
+        scaled = family.with_peak(7.0)
+        assert scaled.peak_rate() == pytest.approx(7.0)
+        assert scaled.elasticity(1.3) == pytest.approx(family.elasticity(1.3))
+
+
+class TestExponentialThroughput:
+    def test_closed_form(self):
+        t = ExponentialThroughput(beta=2.0, peak=3.0)
+        assert t.rate(0.5) == pytest.approx(3.0 * math.exp(-1.0))
+
+    def test_elasticity_is_minus_beta_phi(self):
+        # The paper's closed form used throughout Sections 3-5.
+        t = ExponentialThroughput(beta=4.0)
+        assert t.elasticity(0.25) == pytest.approx(-1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            ExponentialThroughput(beta=0.0)
+        with pytest.raises(ModelError):
+            ExponentialThroughput(beta=1.0, peak=-1.0)
+
+
+class TestPowerLawThroughput:
+    def test_elasticity_saturates_at_minus_beta(self):
+        t = PowerLawThroughput(beta=3.0)
+        assert t.elasticity(1e6) == pytest.approx(-3.0, rel=1e-5)
+
+    def test_decays_slower_than_exponential(self):
+        exp = ExponentialThroughput(beta=3.0)
+        power = PowerLawThroughput(beta=3.0)
+        assert power.rate(5.0) > exp.rate(5.0)
+
+
+class TestRationalThroughput:
+    def test_closed_form(self):
+        t = RationalThroughput(beta=2.0, peak=4.0)
+        assert t.rate(1.0) == pytest.approx(4.0 / 3.0)
+
+    def test_halves_at_unit_beta_phi(self):
+        t = RationalThroughput(beta=1.0)
+        assert t.rate(1.0) == pytest.approx(0.5)

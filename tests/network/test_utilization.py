@@ -1,0 +1,110 @@
+"""Unit tests for repro.network.utilization (Assumption 1 compliance)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+)
+from repro.solvers.differentiation import derivative
+
+ALL_FAMILIES = [
+    LinearUtilization(),
+    PowerLawUtilization(gamma=0.5),
+    PowerLawUtilization(gamma=2.0),
+    MM1Utilization(),
+]
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES, ids=lambda f: repr(f))
+class TestAssumptionOne:
+    """Every family must satisfy the structural requirements of Assumption 1."""
+
+    def test_phi_vanishes_at_zero_throughput(self, family):
+        assert family.phi(0.0, 1.0) == 0.0
+
+    def test_phi_increases_in_throughput(self, family):
+        thetas = [0.1, 0.2, 0.4, 0.8]
+        mu = 1.0
+        values = [family.phi(min(t, 0.9), mu) for t in thetas]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_phi_decreases_in_capacity(self, family):
+        assert family.phi(0.5, 1.0) > family.phi(0.5, 2.0)
+
+    def test_theta_inverts_phi(self, family):
+        phi = family.phi(0.6, 1.5)
+        assert family.theta(phi, 1.5) == pytest.approx(0.6, rel=1e-12)
+
+    def test_dtheta_dphi_matches_finite_difference(self, family):
+        phi, mu = 0.7, 1.3
+        fd = derivative(lambda x: family.theta(x, mu), phi)
+        assert family.dtheta_dphi(phi, mu) == pytest.approx(fd, rel=1e-6)
+
+    def test_dtheta_dmu_matches_finite_difference(self, family):
+        phi, mu = 0.7, 1.3
+        fd = derivative(lambda m: family.theta(phi, m), mu)
+        assert family.dtheta_dmu(phi, mu) == pytest.approx(fd, rel=1e-6)
+
+    def test_rejects_non_positive_capacity(self, family):
+        with pytest.raises(ModelError):
+            family.phi(0.1, 0.0)
+        with pytest.raises(ModelError):
+            family.theta(0.1, -1.0)
+
+    def test_rejects_negative_throughput(self, family):
+        with pytest.raises(ModelError):
+            family.phi(-0.1, 1.0)
+
+
+class TestLinearUtilization:
+    def test_is_per_capacity_throughput(self):
+        u = LinearUtilization()
+        assert u.phi(0.3, 2.0) == pytest.approx(0.15)
+        assert u.theta(0.15, 2.0) == pytest.approx(0.3)
+
+    def test_supply_slope_is_capacity(self):
+        # This is the µ term in dg/dφ = µ + Σβ_iθ_i of the paper's example.
+        assert LinearUtilization().dtheta_dphi(0.42, 3.0) == 3.0
+
+    def test_unbounded_throughput(self):
+        assert LinearUtilization().max_throughput(1.0) == float("inf")
+
+
+class TestPowerLawUtilization:
+    def test_reduces_to_linear_at_gamma_one(self):
+        power = PowerLawUtilization(gamma=1.0)
+        linear = LinearUtilization()
+        assert power.phi(0.3, 1.5) == pytest.approx(linear.phi(0.3, 1.5))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ModelError):
+            PowerLawUtilization(gamma=0.0)
+
+    def test_boundary_slope_cases(self):
+        assert PowerLawUtilization(gamma=0.5).dtheta_dphi(0.0, 1.0) == 0.0
+        assert PowerLawUtilization(gamma=1.0).dtheta_dphi(0.0, 2.0) == 2.0
+        assert PowerLawUtilization(gamma=2.0).dtheta_dphi(0.0, 1.0) == float("inf")
+
+
+class TestMM1Utilization:
+    def test_diverges_approaching_capacity(self):
+        u = MM1Utilization()
+        assert u.phi(0.99, 1.0) > 90.0
+
+    def test_rejects_at_or_above_capacity(self):
+        with pytest.raises(ModelError):
+            MM1Utilization().phi(1.0, 1.0)
+
+    def test_theta_saturates_below_capacity(self):
+        u = MM1Utilization()
+        assert u.theta(1e9, 2.0) < 2.0
+        assert u.max_throughput(2.0) == 2.0
+
+    def test_matches_queueing_formula(self):
+        # rho/(1 - rho) with rho = theta/mu.
+        u = MM1Utilization()
+        assert u.phi(0.5, 1.0) == pytest.approx(1.0)
+        assert u.phi(0.75, 1.0) == pytest.approx(3.0)

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) on the subsidization game.
+
+Random markets from the paper's exponential family; the properties are the
+game-theoretic invariants of §4 (feasibility, Lemma 3 monotonicity, KKT
+certification, value bounds).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import best_response
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.providers import AccessISP, Market, exponential_cp
+
+alphas = st.floats(0.5, 6.0)
+betas = st.floats(0.5, 6.0)
+values = st.floats(0.0, 1.5)
+prices = st.floats(0.1, 2.0)
+caps = st.floats(0.05, 2.0)
+
+
+@st.composite
+def markets(draw, min_size=1, max_size=4):
+    size = draw(st.integers(min_size, max_size))
+    providers = [
+        exponential_cp(draw(alphas), draw(betas), value=draw(values))
+        for _ in range(size)
+    ]
+    return Market(providers, AccessISP(price=draw(prices), capacity=1.0))
+
+
+@st.composite
+def games(draw, **market_kwargs):
+    return SubsidizationGame(draw(markets(**market_kwargs)), draw(caps))
+
+
+class TestBestResponseProperties:
+    @given(game=games())
+    @settings(max_examples=30, deadline=None)
+    def test_response_feasible_and_value_bounded(self, game):
+        profile = np.zeros(game.size)
+        for i in range(game.size):
+            response = best_response(game, i, profile)
+            assert 0.0 <= response <= game.cap + 1e-12
+            assert response <= game.market.providers[i].value + 1e-9
+
+    @given(game=games(min_size=2, max_size=3), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_response_is_optimal_on_a_grid(self, game, data):
+        i = data.draw(st.integers(0, game.size - 1))
+        profile = np.array(
+            [
+                data.draw(st.floats(0.0, float(game.cap)))
+                for _ in range(game.size)
+            ]
+        )
+        response = best_response(game, i, profile)
+        trial = profile.copy()
+        trial[i] = response
+        best_value = game.utility(i, trial)
+        for s in np.linspace(0.0, game.cap, 33):
+            trial[i] = s
+            assert game.utility(i, trial) <= best_value + 1e-8
+
+
+class TestLemma3Property:
+    @given(game=games(min_size=2, max_size=4), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_unilateral_subsidy_monotonicity(self, game, data):
+        i = data.draw(st.integers(0, game.size - 1))
+        base = np.array(
+            [
+                data.draw(st.floats(0.0, float(game.cap) / 2.0))
+                for _ in range(game.size)
+            ]
+        )
+        bumped = base.copy()
+        bumped[i] = base[i] + game.cap / 2.0
+        lo, hi = game.state(base), game.state(bumped)
+        assert hi.utilization >= lo.utilization - 1e-12
+        assert hi.throughputs[i] >= lo.throughputs[i] - 1e-12
+        for j in range(game.size):
+            if j != i:
+                assert hi.throughputs[j] <= lo.throughputs[j] + 1e-12
+
+
+class TestEquilibriumProperties:
+    @given(game=games(max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_solver_always_certifies(self, game):
+        eq = solve_equilibrium(game)
+        assert eq.kkt_residual <= 1e-7
+        assert np.all(eq.subsidies >= -1e-12)
+        assert np.all(eq.subsidies <= game.cap + 1e-9)
+
+    @given(game=games(max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_equilibrium_utilities_non_negative(self, game):
+        # Playing 0 guarantees U_i >= 0, so no equilibrium can leave a CP
+        # with negative utility.
+        eq = solve_equilibrium(game)
+        assert np.all(eq.state.utilities >= -1e-9)
+
+    @given(game=games(max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_deregulated_revenue_dominates_regulated(self, game):
+        base = game.market.solve().revenue
+        assert solve_equilibrium(game).state.revenue >= base - 1e-9

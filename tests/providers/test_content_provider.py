@@ -1,0 +1,63 @@
+"""Unit tests for repro.providers.content_provider."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.demand import ExponentialDemand
+from repro.network.throughput import ExponentialThroughput
+from repro.providers.content_provider import ContentProvider, exponential_cp
+
+
+class TestContentProvider:
+    def test_population_delegates_to_demand(self):
+        cp = exponential_cp(2.0, 3.0)
+        assert cp.population(0.5) == pytest.approx(math.exp(-1.0))
+
+    def test_traffic_class_carries_name_and_population(self):
+        cp = exponential_cp(2.0, 3.0, name="video")
+        cls = cp.traffic_class(1.0)
+        assert cls.label == "video"
+        assert cls.population == pytest.approx(math.exp(-2.0))
+
+    def test_utility_formula(self):
+        cp = exponential_cp(1.0, 1.0, value=0.8)
+        assert cp.utility(subsidy=0.3, throughput=2.0) == pytest.approx(1.0)
+
+    def test_negative_margin_gives_negative_utility(self):
+        cp = exponential_cp(1.0, 1.0, value=0.2)
+        assert cp.utility(subsidy=0.5, throughput=1.0) < 0.0
+
+    def test_with_value_copies(self):
+        cp = exponential_cp(1.0, 1.0, value=0.2, name="x")
+        richer = cp.with_value(0.9)
+        assert richer.value == 0.9
+        assert richer.name == "x"
+        assert cp.value == 0.2
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ModelError):
+            ContentProvider(
+                ExponentialDemand(alpha=1.0),
+                ExponentialThroughput(beta=1.0),
+                value=-0.1,
+            )
+
+
+class TestExponentialCpFactory:
+    def test_builds_paper_family(self):
+        cp = exponential_cp(3.0, 4.0, value=0.5)
+        assert isinstance(cp.demand, ExponentialDemand)
+        assert isinstance(cp.throughput, ExponentialThroughput)
+        assert cp.demand.alpha == 3.0
+        assert cp.throughput.beta == 4.0
+
+    def test_default_name_encodes_parameters(self):
+        assert exponential_cp(2.0, 5.0).name == "cp(a=2,b=5)"
+        assert "v=1" in exponential_cp(2.0, 5.0, value=1.0).name
+
+    def test_scales(self):
+        cp = exponential_cp(1.0, 1.0, demand_scale=4.0, peak_rate=2.0)
+        assert cp.population(0.0) == pytest.approx(4.0)
+        assert cp.throughput.peak_rate() == pytest.approx(2.0)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.providers.isp."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.network.utilization import LinearUtilization, MM1Utilization
+from repro.providers.isp import AccessISP
+
+
+class TestAccessISP:
+    def test_revenue_is_price_times_throughput(self):
+        isp = AccessISP(price=1.5, capacity=1.0)
+        assert isp.revenue(2.0) == pytest.approx(3.0)
+
+    def test_revenue_rejects_negative_throughput(self):
+        with pytest.raises(ModelError):
+            AccessISP(price=1.0, capacity=1.0).revenue(-0.1)
+
+    def test_defaults_to_linear_utilization(self):
+        isp = AccessISP(price=1.0, capacity=2.0)
+        assert isinstance(isp.utilization, LinearUtilization)
+
+    def test_congestion_system_inherits_parameters(self):
+        isp = AccessISP(price=1.0, capacity=2.5, utilization=MM1Utilization())
+        system = isp.congestion_system()
+        assert system.capacity == 2.5
+        assert isinstance(system.utilization_function, MM1Utilization)
+
+    def test_with_price_and_capacity_copy(self):
+        isp = AccessISP(price=1.0, capacity=2.0, name="isp-a")
+        repriced = isp.with_price(0.5)
+        expanded = isp.with_capacity(4.0)
+        assert repriced.price == 0.5 and repriced.capacity == 2.0
+        assert expanded.capacity == 4.0 and expanded.price == 1.0
+        assert repriced.name == expanded.name == "isp-a"
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AccessISP(price=-1.0, capacity=1.0)
+        with pytest.raises(ModelError):
+            AccessISP(price=1.0, capacity=0.0)
+        with pytest.raises(ModelError):
+            AccessISP(price=float("nan"), capacity=1.0)
+
+    def test_zero_price_is_legal(self):
+        # p = 0 is the left end of every figure's price axis.
+        isp = AccessISP(price=0.0, capacity=1.0)
+        assert isp.revenue(5.0) == 0.0

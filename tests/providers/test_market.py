@@ -1,0 +1,106 @@
+"""Unit tests for repro.providers.market."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.providers.content_provider import exponential_cp
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+
+
+class TestConstruction:
+    def test_requires_providers(self):
+        with pytest.raises(ModelError):
+            Market([], AccessISP(price=1.0, capacity=1.0))
+
+    def test_values_vector(self, two_cp_market):
+        np.testing.assert_allclose(two_cp_market.values, [1.0, 0.4])
+
+    def test_values_returns_copy(self, two_cp_market):
+        values = two_cp_market.values
+        values[0] = 99.0
+        assert two_cp_market.values[0] == 1.0
+
+
+class TestSolve:
+    def test_zero_subsidies_by_default(self, two_cp_market):
+        state = two_cp_market.solve()
+        np.testing.assert_array_equal(state.subsidies, [0.0, 0.0])
+        np.testing.assert_allclose(state.effective_prices, [1.0, 1.0])
+
+    def test_populations_follow_demand(self, two_cp_market):
+        state = two_cp_market.solve()
+        np.testing.assert_allclose(
+            state.populations, [math.exp(-5.0), math.exp(-2.0)], rtol=1e-12
+        )
+
+    def test_revenue_and_welfare_formulas(self, two_cp_market):
+        state = two_cp_market.solve([0.2, 0.0])
+        assert state.revenue == pytest.approx(1.0 * state.aggregate_throughput)
+        assert state.welfare == pytest.approx(
+            1.0 * state.throughputs[0] + 0.4 * state.throughputs[1]
+        )
+
+    def test_utilities_subtract_subsidy(self, two_cp_market):
+        state = two_cp_market.solve([0.3, 0.1])
+        np.testing.assert_allclose(
+            state.utilities,
+            [(1.0 - 0.3) * state.throughputs[0], (0.4 - 0.1) * state.throughputs[1]],
+        )
+
+    def test_subsidy_increases_own_population(self, two_cp_market):
+        base = two_cp_market.solve()
+        subsidized = two_cp_market.solve([0.5, 0.0])
+        assert subsidized.populations[0] > base.populations[0]
+        assert subsidized.populations[1] == pytest.approx(base.populations[1])
+
+    def test_consistency_with_congestion_fixed_point(self, two_cp_market):
+        state = two_cp_market.solve([0.2, 0.1])
+        classes = two_cp_market.traffic_classes([0.2, 0.1])
+        phi = two_cp_market.system.solve_utilization(classes)
+        assert state.utilization == pytest.approx(phi, abs=1e-12)
+
+    def test_rejects_bad_profiles(self, two_cp_market):
+        with pytest.raises(ModelError):
+            two_cp_market.solve([0.1])
+        with pytest.raises(ModelError):
+            two_cp_market.solve([0.1, -0.5])
+        with pytest.raises(ModelError):
+            two_cp_market.solve([0.1, float("nan")])
+
+    def test_accepts_tiny_negative_noise(self, two_cp_market):
+        # Solver round-off may produce -1e-15; it must clip, not raise.
+        state = two_cp_market.solve([0.0, -1e-15])
+        assert state.subsidies[1] == 0.0
+
+
+class TestCopies:
+    def test_with_price(self, two_cp_market):
+        cheaper = two_cp_market.with_price(0.5)
+        assert cheaper.isp.price == 0.5
+        assert two_cp_market.isp.price == 1.0
+        assert cheaper.solve().utilization > two_cp_market.solve().utilization
+
+    def test_with_capacity(self, two_cp_market):
+        bigger = two_cp_market.with_capacity(10.0)
+        assert bigger.solve().utilization < two_cp_market.solve().utilization
+
+    def test_with_provider(self, two_cp_market):
+        richer = two_cp_market.with_provider(
+            1, two_cp_market.providers[1].with_value(0.9)
+        )
+        assert richer.values[1] == 0.9
+        assert two_cp_market.values[1] == 0.4
+
+    def test_provider_names_fill_blanks(self):
+        market = Market(
+            [exponential_cp(1.0, 1.0, name=""), exponential_cp(2.0, 2.0, name="b")],
+            AccessISP(price=1.0, capacity=1.0),
+        )
+        # Blank names fall back to positional labels.
+        names = market.provider_names()
+        assert names[0] == "cp0" or names[0].startswith("cp(")
+        assert names[1] == "b"

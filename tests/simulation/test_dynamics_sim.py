@@ -1,0 +1,160 @@
+"""Unit tests for repro.simulation.dynamics — off-equilibrium play."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.exceptions import ModelError
+from repro.simulation.agents import (
+    BestResponseStrategy,
+    FixedStrategy,
+    GradientStrategy,
+)
+from repro.simulation.dynamics import MarketSimulation, SimulationConfig
+
+
+class TestConfig:
+    def test_validates_inertia(self):
+        with pytest.raises(ModelError):
+            SimulationConfig(population_inertia=0.0)
+        with pytest.raises(ModelError):
+            SimulationConfig(population_inertia=1.5)
+
+    def test_validates_schedule(self):
+        with pytest.raises(ModelError):
+            SimulationConfig(update="random")
+
+
+class TestRunMechanics:
+    def test_trace_length_and_steps(self, two_cp_market):
+        sim = MarketSimulation(two_cp_market, cap=1.0)
+        trace = sim.run(5)
+        assert len(trace) == 6
+        np.testing.assert_array_equal(trace.steps(), np.arange(6))
+
+    def test_zero_steps_returns_initial_condition_only(self, two_cp_market):
+        sim = MarketSimulation(two_cp_market, cap=1.0)
+        trace = sim.run(0, initial_subsidies=[0.2, 0.1])
+        assert len(trace) == 1
+        np.testing.assert_allclose(trace[0].subsidies, [0.2, 0.1])
+
+    def test_rejects_bad_inputs(self, two_cp_market):
+        sim = MarketSimulation(two_cp_market, cap=1.0)
+        with pytest.raises(ModelError):
+            sim.run(-1)
+        with pytest.raises(ModelError):
+            sim.run(1, initial_subsidies=[0.1])
+        with pytest.raises(ModelError):
+            sim.run(1, initial_populations=[-1.0, 0.5])
+
+    def test_strategy_count_must_match(self, two_cp_market):
+        with pytest.raises(ModelError):
+            MarketSimulation(two_cp_market, cap=1.0, strategies=[FixedStrategy(0.1)])
+
+    def test_record_consistency(self, two_cp_market):
+        sim = MarketSimulation(two_cp_market, cap=1.0)
+        trace = sim.run(3)
+        for record in trace:
+            assert record.revenue == pytest.approx(
+                1.0 * float(np.sum(record.throughputs))
+            )
+            assert record.welfare == pytest.approx(
+                float(np.dot(two_cp_market.values, record.throughputs))
+            )
+
+
+class TestConvergenceToNash:
+    def test_best_response_play_converges(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        sim = MarketSimulation(four_cp_market, cap=1.0)
+        trace = sim.run(25)
+        assert trace.distance_to_profile(equilibrium.subsidies)[-1] < 1e-8
+
+    def test_convergence_from_random_start(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        rng = np.random.default_rng(7)
+        sim = MarketSimulation(four_cp_market, cap=1.0)
+        trace = sim.run(30, initial_subsidies=rng.uniform(0.0, 1.0, 4))
+        assert trace.distance_to_profile(equilibrium.subsidies)[-1] < 1e-7
+
+    def test_gradient_play_approaches_equilibrium(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        sim = MarketSimulation(
+            two_cp_market,
+            cap=1.0,
+            strategies=[GradientStrategy(0.5), GradientStrategy(0.5)],
+        )
+        trace = sim.run(200)
+        assert trace.distance_to_profile(equilibrium.subsidies)[-1] < 1e-3
+
+    def test_population_inertia_slows_but_does_not_break_convergence(
+        self, two_cp_market
+    ):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        sim = MarketSimulation(
+            two_cp_market,
+            cap=1.0,
+            config=SimulationConfig(population_inertia=0.3),
+        )
+        trace = sim.run(60)
+        assert trace.distance_to_profile(equilibrium.subsidies)[-1] < 1e-6
+        # Populations lag their demand targets early in the run.
+        early = trace[1]
+        demand_target = np.array(
+            [
+                cp.population(1.0 - early.subsidies[i])
+                for i, cp in enumerate(two_cp_market.providers)
+            ]
+        )
+        assert not np.allclose(early.populations, demand_target)
+
+    def test_jacobi_schedule_also_converges_here(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        sim = MarketSimulation(
+            four_cp_market,
+            cap=1.0,
+            config=SimulationConfig(update="simultaneous"),
+        )
+        trace = sim.run(40)
+        assert trace.distance_to_profile(equilibrium.subsidies)[-1] < 1e-6
+
+    def test_holdout_cp_shifts_the_rest_point(self, four_cp_market):
+        # If CP 0 refuses to subsidize, play settles at the best responses
+        # to the holdout — not at the Nash equilibrium (where CP 0 would
+        # subsidize ~0.38 and the rivals respond to that).
+        game = SubsidizationGame(four_cp_market, 1.0)
+        nash = solve_equilibrium(game)
+        assert nash.subsidies[0] > 0.1
+        sim = MarketSimulation(
+            four_cp_market,
+            cap=1.0,
+            strategies=[FixedStrategy(0.0)] + [BestResponseStrategy()] * 3,
+        )
+        trace = sim.run(25)
+        assert trace.final.subsidies[0] == 0.0
+        # The congestion relief from CP 0's absence shifts the rivals too.
+        rival_shift = np.max(
+            np.abs(trace.final.subsidies[1:] - nash.subsidies[1:])
+        )
+        assert rival_shift > 1e-4
+
+
+class TestNoiseRobustness:
+    def test_noisy_play_stays_near_equilibrium(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        equilibrium = solve_equilibrium(game)
+        sim = MarketSimulation(
+            four_cp_market,
+            cap=1.0,
+            strategies=[BestResponseStrategy(noise=0.01) for _ in range(4)],
+            config=SimulationConfig(seed=5),
+        )
+        trace = sim.run(30)
+        tail = trace.distance_to_profile(equilibrium.subsidies)[-10:]
+        assert np.max(tail) < 0.1

@@ -1,0 +1,74 @@
+"""Unit tests for repro.simulation.trace."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.simulation.trace import SimulationTrace, TraceRecord
+
+
+def make_record(step, s=(0.1, 0.2)):
+    s = np.asarray(s, dtype=float)
+    return TraceRecord(
+        step=step,
+        subsidies=s,
+        populations=np.array([1.0, 2.0]),
+        utilization=0.3,
+        throughputs=np.array([0.5, 0.4]),
+        utilities=np.array([0.2, 0.1]),
+        revenue=0.9,
+        welfare=0.7,
+    )
+
+
+class TestSimulationTrace:
+    def test_append_enforces_increasing_steps(self):
+        trace = SimulationTrace([make_record(0)])
+        trace.append(make_record(1))
+        with pytest.raises(ModelError):
+            trace.append(make_record(1))
+
+    def test_final_raises_on_empty(self):
+        with pytest.raises(ModelError):
+            SimulationTrace().final
+
+    def test_array_accessors(self):
+        trace = SimulationTrace([make_record(0), make_record(1, (0.3, 0.4))])
+        assert trace.subsidies().shape == (2, 2)
+        assert trace.populations().shape == (2, 2)
+        np.testing.assert_array_equal(trace.utilizations(), [0.3, 0.3])
+        np.testing.assert_array_equal(trace.revenues(), [0.9, 0.9])
+        np.testing.assert_array_equal(trace.welfares(), [0.7, 0.7])
+
+    def test_distance_to_profile(self):
+        trace = SimulationTrace([make_record(0), make_record(1, (0.5, 0.2))])
+        distances = trace.distance_to_profile([0.5, 0.2])
+        assert distances[0] == pytest.approx(0.4)
+        assert distances[1] == pytest.approx(0.0)
+
+    def test_indexing_and_iteration(self):
+        records = [make_record(0), make_record(1)]
+        trace = SimulationTrace(records)
+        assert trace[1].step == 1
+        assert [r.step for r in trace] == [0, 1]
+
+    def test_to_csv_round_trip(self, tmp_path):
+        trace = SimulationTrace([make_record(0), make_record(1)])
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path, labels=["a", "b"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:4] == ["step", "utilization", "revenue", "welfare"]
+        assert "s_a" in rows[0] and "U_b" in rows[0]
+        assert len(rows) == 3
+
+    def test_to_csv_validates_labels(self, tmp_path):
+        trace = SimulationTrace([make_record(0)])
+        with pytest.raises(ModelError):
+            trace.to_csv(tmp_path / "x.csv", labels=["only-one"])
+
+    def test_to_csv_rejects_empty_trace(self, tmp_path):
+        with pytest.raises(ModelError):
+            SimulationTrace().to_csv(tmp_path / "x.csv")

@@ -1,0 +1,89 @@
+"""Unit tests for repro.solvers.fixed_point."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.solvers.fixed_point import anderson_fixed_point, damped_fixed_point
+
+
+def contraction(x):
+    """An affine contraction with fixed point (2, -1)."""
+    matrix = np.array([[0.3, 0.1], [-0.2, 0.4]])
+    target = np.array([2.0, -1.0])
+    return target + matrix @ (x - target)
+
+
+class TestDampedFixedPoint:
+    def test_converges_on_contraction(self):
+        result = damped_fixed_point(contraction, np.zeros(2), tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, [2.0, -1.0], atol=1e-10)
+
+    def test_damping_stabilizes_oscillating_map(self):
+        # x -> -x + 1 has fixed point 0.5 but undamped iteration cycles.
+        mapping = lambda x: -x + 1.0  # noqa: E731
+        with pytest.raises(ConvergenceError):
+            damped_fixed_point(mapping, np.array([0.0]), max_iter=100)
+        result = damped_fixed_point(
+            mapping, np.array([0.0]), damping=0.5, tol=1e-12
+        )
+        assert result.x[0] == pytest.approx(0.5, abs=1e-10)
+
+    def test_reports_failure_without_raising_when_asked(self):
+        result = damped_fixed_point(
+            lambda x: x + 1.0,
+            np.zeros(1),
+            max_iter=10,
+            raise_on_failure=False,
+        )
+        assert not result.converged
+        assert result.iterations == 10
+        assert result.residual == pytest.approx(1.0)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            damped_fixed_point(contraction, np.zeros(2), damping=0.0)
+        with pytest.raises(ValueError):
+            damped_fixed_point(contraction, np.zeros(2), damping=1.5)
+
+    def test_does_not_mutate_initial_guess(self):
+        x0 = np.array([5.0, 5.0])
+        damped_fixed_point(contraction, x0, tol=1e-10)
+        np.testing.assert_array_equal(x0, [5.0, 5.0])
+
+    def test_immediate_convergence_at_fixed_point(self):
+        result = damped_fixed_point(contraction, np.array([2.0, -1.0]))
+        assert result.iterations == 1
+
+
+class TestAndersonFixedPoint:
+    def test_matches_picard_solution(self):
+        picard = damped_fixed_point(contraction, np.zeros(2), tol=1e-12)
+        anderson = anderson_fixed_point(contraction, np.zeros(2), tol=1e-12)
+        np.testing.assert_allclose(anderson.x, picard.x, atol=1e-9)
+
+    def test_accelerates_slow_linear_map(self):
+        # Contraction factor 0.99: Picard needs thousands of iterations.
+        slow = lambda x: 0.99 * x + 0.01  # noqa: E731
+        anderson = anderson_fixed_point(slow, np.zeros(3), tol=1e-12)
+        picard = damped_fixed_point(slow, np.zeros(3), tol=1e-12, max_iter=10_000)
+        assert anderson.converged
+        np.testing.assert_allclose(anderson.x, 1.0, atol=1e-8)
+        assert anderson.iterations < picard.iterations / 10
+
+    def test_rejects_bad_memory(self):
+        with pytest.raises(ValueError):
+            anderson_fixed_point(contraction, np.zeros(2), memory=0)
+
+    def test_solves_divergent_affine_map_by_extrapolation(self):
+        # Picard diverges on x -> 2x + 1 (spectral radius 2), but Anderson's
+        # least-squares extrapolation solves affine maps exactly: x* = -1.
+        result = anderson_fixed_point(
+            lambda x: 2.0 * x + 1.0, np.ones(2), tol=1e-10
+        )
+        np.testing.assert_allclose(result.x, -1.0, atol=1e-8)
+
+    def test_raises_when_no_fixed_point_exists(self):
+        with pytest.raises(ConvergenceError):
+            anderson_fixed_point(lambda x: x + 1.0, np.ones(2), max_iter=50)

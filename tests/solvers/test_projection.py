@@ -1,0 +1,42 @@
+"""Unit tests for repro.solvers.projection."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.projection import clip_scalar, project_box
+
+
+class TestProjectBox:
+    def test_interior_point_unchanged(self):
+        x = np.array([0.5, 0.2])
+        np.testing.assert_array_equal(project_box(x, 0.0, 1.0), x)
+
+    def test_clips_both_sides(self):
+        result = project_box(np.array([-1.0, 2.0]), 0.0, 1.0)
+        np.testing.assert_array_equal(result, [0.0, 1.0])
+
+    def test_broadcasts_vector_bounds(self):
+        result = project_box(
+            np.array([5.0, 5.0]), np.array([0.0, 6.0]), np.array([1.0, 10.0])
+        )
+        np.testing.assert_array_equal(result, [1.0, 6.0])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            project_box(np.array([0.0]), 1.0, 0.0)
+
+    def test_idempotent(self):
+        x = np.array([-3.0, 0.4, 9.0])
+        once = project_box(x, 0.0, 1.0)
+        np.testing.assert_array_equal(project_box(once, 0.0, 1.0), once)
+
+
+class TestClipScalar:
+    def test_clips(self):
+        assert clip_scalar(-1.0, 0.0, 2.0) == 0.0
+        assert clip_scalar(3.0, 0.0, 2.0) == 2.0
+        assert clip_scalar(1.0, 0.0, 2.0) == 1.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            clip_scalar(0.0, 2.0, 1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.solvers.rootfind."""
+
+import math
+
+import pytest
+
+from repro.exceptions import BracketError
+from repro.solvers.rootfind import (
+    bisect_increasing,
+    bracket_increasing,
+    solve_increasing,
+)
+
+
+class TestBracketIncreasing:
+    def test_brackets_simple_linear_root(self):
+        bracket = bracket_increasing(lambda x: x - 3.0)
+        assert bracket.f_lo <= 0.0 <= bracket.f_hi
+        assert bracket.lo <= 3.0 <= bracket.hi
+
+    def test_root_at_left_boundary_returns_degenerate_bracket(self):
+        bracket = bracket_increasing(lambda x: x + 1.0, lo=0.0)
+        assert bracket.lo == bracket.hi == 0.0
+
+    def test_expands_geometrically_to_reach_distant_roots(self):
+        bracket = bracket_increasing(lambda x: x - 1e6, initial_width=1.0)
+        assert bracket.hi >= 1e6
+        assert bracket.contains_root()
+
+    def test_raises_when_function_never_crosses_zero(self):
+        with pytest.raises(BracketError):
+            bracket_increasing(lambda x: -1.0, max_expansions=20)
+
+    def test_rejects_invalid_growth(self):
+        with pytest.raises(ValueError):
+            bracket_increasing(lambda x: x, growth=1.0)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            bracket_increasing(lambda x: x, initial_width=0.0)
+
+
+class TestBisectIncreasing:
+    def test_finds_linear_root(self):
+        root = bisect_increasing(lambda x: x - 2.0, 0.0, 10.0, xtol=1e-12)
+        assert root == pytest.approx(2.0, abs=1e-10)
+
+    def test_finds_transcendental_root(self):
+        # x = e^{-x} has the Omega constant as its root.
+        root = bisect_increasing(lambda x: x - math.exp(-x), 0.0, 1.0, xtol=1e-12)
+        assert root == pytest.approx(0.5671432904097838, abs=1e-9)
+
+    def test_returns_lo_when_already_non_negative(self):
+        assert bisect_increasing(lambda x: x + 5.0, 0.0, 1.0) == 0.0
+
+    def test_raises_without_sign_change(self):
+        with pytest.raises(BracketError):
+            bisect_increasing(lambda x: x - 100.0, 0.0, 1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 1.0, 0.0)
+
+
+class TestSolveIncreasing:
+    def test_agrees_with_bisection(self):
+        func = lambda x: x**3 - 7.0  # noqa: E731
+        brent = solve_increasing(func)
+        bisect = bisect_increasing(func, 0.0, 10.0, xtol=1e-13)
+        assert brent == pytest.approx(bisect, abs=1e-9)
+        assert brent == pytest.approx(7.0 ** (1.0 / 3.0), abs=1e-10)
+
+    def test_root_exactly_at_zero(self):
+        assert solve_increasing(lambda x: x) == 0.0
+
+    def test_congestion_style_fixed_point(self):
+        # g(phi) = phi - e^{-3 phi}: the utilization equation of a unit
+        # system with one class; root satisfies phi = e^{-3 phi}.
+        phi = solve_increasing(lambda x: x - math.exp(-3.0 * x))
+        assert phi == pytest.approx(math.exp(-3.0 * phi), abs=1e-10)
+
+    def test_steep_function(self):
+        root = solve_increasing(lambda x: math.expm1(50.0 * (x - 0.3)))
+        assert root == pytest.approx(0.3, abs=1e-9)
+
+    def test_tiny_root_with_large_initial_width(self):
+        root = solve_increasing(lambda x: x - 1e-9, initial_width=100.0)
+        assert root == pytest.approx(1e-9, abs=1e-12)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.solvers.scalar_opt."""
+
+import math
+
+import pytest
+
+from repro.solvers.scalar_opt import (
+    golden_section_maximize,
+    grid_polish_maximize,
+    maximize_on_interval,
+)
+
+
+class TestGoldenSection:
+    def test_concave_quadratic(self):
+        result = golden_section_maximize(lambda x: -(x - 0.7) ** 2, 0.0, 2.0)
+        assert result.x == pytest.approx(0.7, abs=1e-9)
+        assert result.value == pytest.approx(0.0, abs=1e-15)
+
+    def test_maximum_at_left_boundary(self):
+        result = golden_section_maximize(lambda x: -x, 0.0, 1.0)
+        assert result.x == 0.0
+
+    def test_maximum_at_right_boundary(self):
+        result = golden_section_maximize(lambda x: x, 0.0, 1.0)
+        assert result.x == 1.0
+
+    def test_degenerate_interval(self):
+        result = golden_section_maximize(lambda x: x**2, 3.0, 3.0)
+        assert result.x == 3.0
+        assert result.value == 9.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            golden_section_maximize(lambda x: x, 1.0, 0.0)
+
+    def test_revenue_style_objective(self):
+        # p * e^{-p}: the canonical single-peaked revenue shape, max at 1.
+        result = golden_section_maximize(lambda p: p * math.exp(-p), 0.0, 5.0)
+        assert result.x == pytest.approx(1.0, abs=1e-8)
+
+
+class TestGridPolish:
+    def test_finds_global_peak_among_local_ones(self):
+        # Two peaks: x = 0.2 (value ~1) and x = 0.8 (value ~1.5).
+        def bimodal(x):
+            return math.exp(-200 * (x - 0.2) ** 2) + 1.5 * math.exp(
+                -200 * (x - 0.8) ** 2
+            )
+
+        result = grid_polish_maximize(bimodal, 0.0, 1.0, grid_points=64)
+        assert result.x == pytest.approx(0.8, abs=1e-6)
+
+    def test_rejects_too_few_grid_points(self):
+        with pytest.raises(ValueError):
+            grid_polish_maximize(lambda x: x, 0.0, 1.0, grid_points=2)
+
+    def test_matches_golden_section_on_unimodal(self):
+        func = lambda x: -(x - 1.3) ** 2  # noqa: E731
+        golden = golden_section_maximize(func, 0.0, 3.0)
+        grid = grid_polish_maximize(func, 0.0, 3.0)
+        assert grid.x == pytest.approx(golden.x, abs=1e-7)
+
+
+class TestDispatch:
+    def test_unimodal_path(self):
+        result = maximize_on_interval(lambda x: -(x**2), -1.0, 1.0)
+        assert result.x == pytest.approx(0.0, abs=1e-9)
+
+    def test_multimodal_path(self):
+        def nasty(x):
+            return math.sin(5.0 * x) + 0.5 * x
+
+        grid = maximize_on_interval(nasty, 0.0, 3.0, unimodal=False)
+        brute = max(nasty(0.001 * k) for k in range(3001))
+        # The polished optimum must match or beat a fine brute-force grid.
+        assert grid.value >= brute - 1e-9

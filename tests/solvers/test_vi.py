@@ -1,0 +1,95 @@
+"""Unit tests for repro.solvers.vi."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.solvers.vi import extragradient_box, natural_residual, projection_method_box
+
+
+def strongly_monotone(x):
+    """F(x) = A(x - x*) with A symmetric positive definite, x* = (1, -2)."""
+    matrix = np.array([[2.0, 0.5], [0.5, 1.0]])
+    return matrix @ (x - np.array([1.0, -2.0]))
+
+
+def rotation(x):
+    """A monotone but NOT strongly monotone operator (pure rotation)."""
+    return np.array([x[1], -x[0]])
+
+
+class TestNaturalResidual:
+    def test_zero_at_interior_solution(self):
+        x = np.array([1.0, 0.0])
+        fx = np.zeros(2)
+        assert natural_residual(fx, x, -10.0, 10.0) == 0.0
+
+    def test_zero_at_boundary_solution(self):
+        # At x = lo with F(x) > 0, the VI is satisfied.
+        x = np.array([0.0])
+        fx = np.array([5.0])
+        assert natural_residual(fx, x, 0.0, 1.0) == 0.0
+
+    def test_positive_off_solution(self):
+        x = np.array([0.5])
+        fx = np.array([1.0])
+        assert natural_residual(fx, x, 0.0, 1.0) > 0.0
+
+
+class TestProjectionMethod:
+    def test_interior_solution(self):
+        result = projection_method_box(
+            strongly_monotone, np.zeros(2), -10.0, 10.0, tol=1e-11
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [1.0, -2.0], atol=1e-9)
+
+    def test_boundary_solution(self):
+        # Unconstrained solution (1, -2) projected into [0, 10]^2 clamps x2.
+        result = projection_method_box(
+            strongly_monotone, np.ones(2), 0.0, 10.0, tol=1e-11
+        )
+        assert result.converged
+        assert result.x[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_raises_on_budget_exhaustion(self):
+        with pytest.raises(ConvergenceError):
+            projection_method_box(
+                rotation, np.array([5.0, 5.0]), -10.0, 10.0,
+                tol=1e-14, max_iter=50,
+            )
+
+
+class TestExtragradient:
+    def test_interior_solution(self):
+        result = extragradient_box(
+            strongly_monotone, np.zeros(2), -10.0, 10.0, tol=1e-11
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [1.0, -2.0], atol=1e-9)
+
+    def test_handles_monotone_rotation(self):
+        # Pure rotation defeats the basic projection method but extragradient
+        # converges to the solution x* = 0 of VI(rotation, box).
+        result = extragradient_box(
+            rotation, np.array([3.0, 4.0]), -10.0, 10.0, tol=1e-9
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [0.0, 0.0], atol=1e-7)
+
+    def test_agrees_with_projection_method(self):
+        a = projection_method_box(
+            strongly_monotone, np.zeros(2), 0.0, 10.0, tol=1e-11
+        )
+        b = extragradient_box(
+            strongly_monotone, np.zeros(2), 0.0, 10.0, tol=1e-11
+        )
+        np.testing.assert_allclose(a.x, b.x, atol=1e-8)
+
+    def test_unconverged_result_returned_when_not_raising(self):
+        result = extragradient_box(
+            rotation, np.array([5.0, 5.0]), -10.0, 10.0,
+            tol=1e-14, max_iter=10, raise_on_failure=False,
+        )
+        assert not result.converged
+        assert result.iterations == 10

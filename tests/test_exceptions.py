@@ -1,0 +1,38 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    BracketError,
+    ConvergenceError,
+    EquilibriumError,
+    ModelError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [ModelError, ConvergenceError, BracketError, EquilibriumError],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_single_except_clause_catches_library_errors(self):
+        for exc in (ModelError("m"), BracketError("b"), EquilibriumError("e")):
+            with pytest.raises(ReproError):
+                raise exc
+
+
+class TestConvergenceError:
+    def test_carries_diagnostics(self):
+        error = ConvergenceError("failed", iterations=42, residual=1e-3)
+        assert error.iterations == 42
+        assert error.residual == 1e-3
+        assert "failed" in str(error)
+
+    def test_diagnostics_optional(self):
+        error = ConvergenceError("failed")
+        assert error.iterations is None
+        assert error.residual is None

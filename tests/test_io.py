@@ -1,0 +1,108 @@
+"""Unit tests for repro.io — market serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import load_market, market_from_dict, market_to_dict, save_market
+from repro.network.demand import LogitDemand, ScaledDemand
+from repro.network.throughput import PowerLawThroughput
+from repro.network.utilization import MM1Utilization
+from repro.providers import AccessISP, ContentProvider, Market, exponential_cp
+
+
+def rich_market() -> Market:
+    """A market touching every serializable family."""
+    return Market(
+        [
+            exponential_cp(2.0, 3.0, value=1.0, name="exp-cp"),
+            ContentProvider(
+                demand=ScaledDemand(LogitDemand(alpha=4.0, midpoint=0.7), 0.3),
+                throughput=PowerLawThroughput(beta=2.5, peak=1.2),
+                value=0.4,
+                name="wrapped-cp",
+            ),
+        ],
+        AccessISP(price=0.9, capacity=2.0, utilization=MM1Utilization(), name="isp"),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_behavior(self):
+        market = rich_market()
+        rebuilt = market_from_dict(market_to_dict(market))
+        s = [0.2, 0.1]
+        original = market.solve(s)
+        copy = rebuilt.solve(s)
+        assert copy.utilization == pytest.approx(original.utilization, rel=1e-12)
+        np.testing.assert_allclose(copy.throughputs, original.throughputs)
+        np.testing.assert_allclose(copy.utilities, original.utilities)
+
+    def test_file_round_trip(self, tmp_path):
+        market = rich_market()
+        path = tmp_path / "nested" / "market.json"
+        save_market(market, path)
+        rebuilt = load_market(path)
+        assert rebuilt.isp.price == market.isp.price
+        assert rebuilt.provider_names() == market.provider_names()
+
+    def test_paper_scenarios_round_trip(self, tmp_path):
+        from repro.experiments.scenarios import section3_market, section5_market
+
+        for market in (section3_market(), section5_market()):
+            path = tmp_path / "m.json"
+            save_market(market, path)
+            rebuilt = load_market(path)
+            assert rebuilt.solve().utilization == pytest.approx(
+                market.solve().utilization, rel=1e-12
+            )
+
+    def test_output_is_plain_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        save_market(rich_market(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-market/1"
+        assert payload["isp"]["utilization"]["type"] == "MM1Utilization"
+
+
+class TestErrorHandling:
+    def test_unknown_family_rejected(self):
+        payload = market_to_dict(rich_market())
+        payload["isp"]["utilization"]["type"] = "EvilClass"
+        with pytest.raises(ModelError):
+            market_from_dict(payload)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError):
+            market_from_dict({"format": "something-else"})
+
+    def test_malformed_function_payload_rejected(self):
+        payload = market_to_dict(rich_market())
+        payload["providers"][0]["demand"] = {"nope": 1}
+        with pytest.raises(ModelError):
+            market_from_dict(payload)
+
+    def test_unserializable_family_rejected(self):
+        from repro.network.demand import DemandFunction
+
+        class CustomDemand(DemandFunction):
+            def population(self, price):
+                return 1.0
+
+            def d_population(self, price):
+                return 0.0
+
+        market = Market(
+            [
+                ContentProvider(
+                    demand=CustomDemand(),
+                    throughput=PowerLawThroughput(beta=1.0),
+                    value=0.1,
+                )
+            ],
+            AccessISP(price=1.0, capacity=1.0),
+        )
+        with pytest.raises(ModelError):
+            market_to_dict(market)
