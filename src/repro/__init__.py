@@ -43,6 +43,7 @@ from repro.core import (
     thresholds,
     welfare,
 )
+from repro.engine import GridEngine, SolveCache
 from repro.exceptions import (
     BracketError,
     ConvergenceError,
@@ -70,6 +71,7 @@ from repro.providers import (
     ContentProvider,
     Market,
     MarketState,
+    MarketStateBatch,
     exponential_cp,
 )
 
@@ -83,6 +85,7 @@ __all__ = [
     "ConvergenceError",
     "EquilibriumError",
     "EquilibriumResult",
+    "GridEngine",
     "ExponentialDemand",
     "ExponentialThroughput",
     "LinearDemand",
@@ -91,7 +94,9 @@ __all__ = [
     "MM1Utilization",
     "Market",
     "MarketState",
+    "MarketStateBatch",
     "ModelError",
+    "SolveCache",
     "PowerLawThroughput",
     "PowerLawUtilization",
     "RationalThroughput",

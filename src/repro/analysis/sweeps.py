@@ -1,21 +1,21 @@
-"""Equilibrium computations over price/policy grids.
+"""Equilibrium computations over price/policy grids (engine front door).
 
 The §5 figures all live on the same grid: ISP price ``p`` on the x-axis, one
-curve per policy level ``q``. :func:`policy_grid` computes every equilibrium
-on that grid once (with warm starts along the price axis) and hands the
-result to all downstream figure modules, so a full Figure 7–11 regeneration
-performs each solve exactly once.
+curve per policy level ``q``. The heavy lifting — row scheduling, optional
+row-parallelism, warm-start chains, content-keyed caching — lives in
+:mod:`repro.engine`; this module keeps the historical analysis-layer entry
+points (:func:`price_sweep`, :func:`policy_grid`, :class:`EquilibriumGrid`)
+as thin delegations so downstream code and notebooks keep working.
+
+Solves are array-native end to end: each equilibrium runs the vectorized
+Jacobi best-response sweep (batched marginal utilities over ``(N, N)`` trial
+profiles, warm-started congestion roots), and ``workers > 1`` additionally
+spreads cap rows over a process pool with bitwise-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
-from repro.core.game import SubsidizationGame
-from repro.exceptions import ModelError
+from repro.engine.grid_engine import EquilibriumGrid, GridEngine
 from repro.providers.market import Market
 
 __all__ = ["price_sweep", "EquilibriumGrid", "policy_grid"]
@@ -27,65 +27,15 @@ def price_sweep(
     *,
     cap: float = 0.0,
     warm_start: bool = True,
-) -> list[EquilibriumResult]:
+):
     """Equilibria along a price axis under a fixed policy cap.
 
     With ``cap = 0`` this is the one-sided model of §3.2 (the "solve" is
     then just the congestion fixed point at zero subsidies).
     """
-    results: list[EquilibriumResult] = []
-    initial = None
-    for p in np.asarray(prices, dtype=float):
-        game = SubsidizationGame(market.with_price(float(p)), cap)
-        result = solve_equilibrium(game, initial=initial)
-        results.append(result)
-        if warm_start:
-            initial = result.subsidies
-    return results
-
-
-@dataclass(frozen=True)
-class EquilibriumGrid:
-    """All equilibria of a (price × policy) grid.
-
-    Attributes
-    ----------
-    prices:
-        The price axis.
-    caps:
-        The policy levels.
-    results:
-        ``results[k][j]`` is the equilibrium at ``caps[k]``, ``prices[j]``.
-    """
-
-    prices: np.ndarray
-    caps: np.ndarray
-    results: tuple[tuple[EquilibriumResult, ...], ...]
-
-    def at(self, cap_index: int, price_index: int) -> EquilibriumResult:
-        """The equilibrium at grid node ``(caps[cap_index], prices[price_index])``."""
-        return self.results[cap_index][price_index]
-
-    def quantity(self, extractor) -> np.ndarray:
-        """Matrix ``[cap, price]`` of a scalar pulled from each equilibrium.
-
-        ``extractor`` maps an :class:`EquilibriumResult` to a float, e.g.
-        ``lambda eq: eq.state.revenue``.
-        """
-        return np.array(
-            [[float(extractor(eq)) for eq in row] for row in self.results]
-        )
-
-    def provider_quantity(self, extractor) -> np.ndarray:
-        """Array ``[cap, price, cp]`` of per-CP vectors from each equilibrium.
-
-        ``extractor`` maps an :class:`EquilibriumResult` to a 1-D array,
-        e.g. ``lambda eq: eq.state.throughputs``.
-        """
-        return np.array(
-            [[np.asarray(extractor(eq), dtype=float) for eq in row]
-             for row in self.results]
-        )
+    return GridEngine().price_sweep(
+        market, prices, cap=cap, warm_start=warm_start
+    )
 
 
 def policy_grid(
@@ -94,17 +44,15 @@ def policy_grid(
     caps,
     *,
     warm_start: bool = True,
+    workers: int | None = None,
 ) -> EquilibriumGrid:
-    """Solve the full (policy × price) equilibrium grid behind Figures 7–11."""
-    prices = np.asarray(prices, dtype=float)
-    caps = np.asarray(caps, dtype=float)
-    if prices.ndim != 1 or prices.size == 0:
-        raise ModelError("prices must be a non-empty 1-D array")
-    if caps.ndim != 1 or caps.size == 0:
-        raise ModelError("caps must be a non-empty 1-D array")
-    rows = []
-    for q in caps:
-        rows.append(
-            tuple(price_sweep(market, prices, cap=float(q), warm_start=warm_start))
-        )
-    return EquilibriumGrid(prices=prices, caps=caps, results=tuple(rows))
+    """Solve the full (policy × price) equilibrium grid behind Figures 7–11.
+
+    ``workers`` spreads policy rows over a process pool (see
+    :class:`repro.engine.GridEngine`); any schedule returns bitwise-equal
+    results, so the default of ``None`` (engine default, usually 1) is a
+    pure performance choice.
+    """
+    return GridEngine(workers=workers).solve_grid(
+        market, prices, caps, warm_start=warm_start
+    )

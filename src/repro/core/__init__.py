@@ -18,7 +18,11 @@ Layer map (paper section → module):
 * Corollary 2 welfare — :mod:`repro.core.welfare`
 """
 
-from repro.core.best_response import best_response, best_response_profile
+from repro.core.best_response import (
+    best_response,
+    best_response_profile,
+    best_response_profile_vectorized,
+)
 from repro.core.characterization import (
     classify_providers,
     is_equilibrium,
@@ -32,11 +36,16 @@ from repro.core.dynamics import (
 )
 from repro.core.equilibrium import (
     EquilibriumResult,
+    kkt_residuals_batch,
     solve_equilibrium,
     solve_equilibrium_best_response,
     solve_equilibrium_vi,
 )
-from repro.core.game import SubsidizationGame
+from repro.core.game import (
+    BatchedMarginalDiagnostics,
+    BatchedProfileEvaluator,
+    SubsidizationGame,
+)
 from repro.core.newton import solve_equilibrium_newton
 from repro.core.investment import (
     InvestmentOutcome,
@@ -67,6 +76,8 @@ from repro.core.welfare import (
 )
 
 __all__ = [
+    "BatchedMarginalDiagnostics",
+    "BatchedProfileEvaluator",
     "EquilibriumResult",
     "EquilibriumSensitivity",
     "InvestmentOutcome",
@@ -80,11 +91,13 @@ __all__ = [
     "price_cap_analysis",
     "best_response",
     "best_response_profile",
+    "best_response_profile_vectorized",
     "classify_providers",
     "equilibrium_sensitivity",
     "is_equilibrium",
     "is_off_diagonally_monotone",
     "kkt_residual",
+    "kkt_residuals_batch",
     "marginal_revenue_decomposition",
     "marginal_revenue_one_sided",
     "marginal_welfare_criterion",

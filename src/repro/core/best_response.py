@@ -20,11 +20,16 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import brentq
 
-from repro.core.game import SubsidizationGame
+from repro.core.game import BatchedProfileEvaluator, SubsidizationGame
 from repro.exceptions import EquilibriumError
+from repro.solvers.batch_rootfind import bracketed_root_batch
 from repro.solvers.scalar_opt import grid_polish_maximize
 
-__all__ = ["best_response", "best_response_profile"]
+__all__ = [
+    "best_response",
+    "best_response_profile",
+    "best_response_profile_vectorized",
+]
 
 
 def _own_marginal(game: SubsidizationGame, index: int, profile: np.ndarray):
@@ -134,3 +139,91 @@ def best_response_profile(
             for i in range(game.size)
         ]
     )
+
+
+def best_response_profile_vectorized(
+    game: SubsidizationGame,
+    profile,
+    *,
+    xtol: float = 1e-12,
+    evaluator: BatchedProfileEvaluator | None = None,
+) -> np.ndarray:
+    """Simultaneous best responses via one batched root solve.
+
+    The vectorized counterpart of :func:`best_response_profile`: all ``N``
+    players' responses against the incoming profile are found together. Each
+    root-finding iteration evaluates a single ``(N, N)`` trial batch — row
+    ``i`` is the incoming profile with player ``i``'s strategy replaced by
+    its current trial — through the batched marginal-utility path, and reads
+    player ``i``'s marginal off the diagonal. Corner cases (``u_i(0) ≤ 0``
+    or ``u_i`` still positive at the cap/margin) resolve from the first two
+    evaluations, exactly as in the scalar root path.
+
+    Assumes the root path's concavity condition (marginal utility decreasing
+    in own strategy); the scalar :func:`best_response` retains the
+    maximization fallback for exotic families.
+
+    Parameters
+    ----------
+    game:
+        The subsidization game.
+    profile:
+        The incoming full strategy profile.
+    xtol:
+        Root bracketing tolerance per player.
+    evaluator:
+        Optional :class:`~repro.core.game.BatchedProfileEvaluator` reused
+        across sweeps so congestion roots warm start from the last batch.
+    """
+    s = np.asarray(profile, dtype=float).copy()
+    n = game.size
+    if s.shape != (n,):
+        raise ValueError(f"profile must have shape ({n},), got {s.shape}")
+    if evaluator is None:
+        evaluator = BatchedProfileEvaluator(game)
+    hi = np.minimum(game.cap, game.market.values)
+    responses = np.zeros(n)
+    playable = hi > 0.0
+    if not np.any(playable):
+        return responses
+
+    index = np.arange(n)
+
+    def own_marginals(own: np.ndarray) -> np.ndarray:
+        trials = np.tile(s, (n, 1))
+        trials[index, index] = np.clip(own, 0.0, None)
+        return np.diagonal(evaluator.marginal_utilities(trials)).copy()
+
+    u_zero = own_marginals(np.zeros(n))
+    u_cap = own_marginals(np.where(playable, hi, 0.0))
+    if not np.all(np.isfinite(u_zero[playable])) or not np.all(
+        np.isfinite(u_cap[playable])
+    ):
+        bad = int(
+            np.flatnonzero(
+                playable & ~(np.isfinite(u_zero) & np.isfinite(u_cap))
+            )[0]
+        )
+        raise EquilibriumError(
+            f"marginal utility of player {bad} is not finite on [0, {hi[bad]}] "
+            "(degenerate model parameters?)"
+        )
+    # Corners: non-positive marginal at zero pins to 0; still-positive
+    # marginal at the cap (or full margin) pins to the upper end.
+    at_cap = playable & (u_cap >= 0.0)
+    responses[at_cap] = hi[at_cap]
+    interior = playable & (u_zero > 0.0) & ~at_cap
+    if np.any(interior):
+        roots = bracketed_root_batch(
+            own_marginals,
+            np.zeros(n),
+            hi,
+            u_zero,
+            u_cap,
+            active=interior,
+            xtol=xtol,
+            bisect_iters=6,
+            max_iter=100,
+        )
+        responses[interior] = roots[interior]
+    return responses

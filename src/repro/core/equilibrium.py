@@ -1,13 +1,21 @@
 """Nash equilibrium solvers for the subsidization game.
 
-Primary solver: damped Gauss–Seidel best-response iteration — each sweep
-updates players in order against the freshest profile; under the paper's
-uniqueness condition (Theorem 4) the iteration contracts to the unique
+Primary solver: damped best-response iteration. The default sweep is the
+*vectorized Jacobi* path — every player's best response against the current
+profile is found in one batched root solve (one ``(N, N)`` trial batch per
+root iteration, congestion roots warm-started across iterations) and the
+profile moves by a damped simultaneous step. The scalar *Gauss–Seidel*
+sweep (players updated in order against the freshest profile, one Brent
+solve each) is retained both as an explicit option and as the automatic
+fallback when the Jacobi iteration fails to contract; under the paper's
+uniqueness condition (Theorem 4) both iterations converge to the unique
 equilibrium. Secondary solver: extragradient on the equivalent variational
 inequality ``VI(−u, [0, q]^N)`` (the reformulation used in Theorem 6's
 proof). The public entry point :func:`solve_equilibrium` runs the primary
 path and certifies the result with the Theorem 3 KKT residual, falling back
-to the VI solver when certification fails.
+to the VI solver when certification fails. :func:`kkt_residuals_batch`
+certifies whole profile batches (e.g. every equilibrium of a grid row) in
+one vectorized evaluation.
 """
 
 from __future__ import annotations
@@ -16,8 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.best_response import best_response
-from repro.core.game import SubsidizationGame
+from repro.core.best_response import (
+    best_response,
+    best_response_profile_vectorized,
+)
+from repro.core.game import BatchedProfileEvaluator, SubsidizationGame
 from repro.exceptions import ConvergenceError, EquilibriumError, ReproError
 from repro.providers.market import MarketState
 from repro.solvers.projection import project_box
@@ -25,6 +36,8 @@ from repro.solvers.vi import extragradient_box
 
 __all__ = [
     "EquilibriumResult",
+    "kkt_residuals_batch",
+    "natural_map_residuals",
     "solve_equilibrium",
     "solve_equilibrium_best_response",
     "solve_equilibrium_vi",
@@ -60,10 +73,213 @@ class EquilibriumResult:
     method: str
 
 
+def natural_map_residuals(profiles: np.ndarray, marginals: np.ndarray, cap) -> np.ndarray:
+    """Residual norms ``‖s − Π_{[0,q]}(s + u)‖_∞`` per profile row.
+
+    The single definition of the Theorem 3 certification residual; every
+    scalar, batched and grid-level certification path funnels through it.
+    ``cap`` may be a scalar or broadcast per row (the grid audit certifies
+    several policy levels at once).
+    """
+    if profiles.size == 0:
+        return np.zeros(profiles.shape[0])
+    projected = project_box(profiles + marginals, 0.0, cap)
+    return np.max(np.abs(profiles - projected), axis=-1)
+
+
 def _kkt_residual(game: SubsidizationGame, subsidies: np.ndarray) -> float:
     u = game.marginal_utilities(subsidies)
-    projected = project_box(subsidies + u, 0.0, game.cap)
-    return float(np.max(np.abs(subsidies - projected))) if subsidies.size else 0.0
+    return float(
+        natural_map_residuals(subsidies[None, :], u[None, :], game.cap)[0]
+    )
+
+
+def kkt_residuals_batch(game: SubsidizationGame, profiles) -> np.ndarray:
+    """Natural-map residuals for a ``(B, N)`` profile batch, shape ``(B,)``.
+
+    One batched marginal-utility evaluation certifies every profile at once
+    — this is how the grid engine re-checks a whole row of equilibria.
+    """
+    s = np.asarray(profiles, dtype=float)
+    if s.ndim == 1:
+        s = s[None, :]
+    if s.size == 0:
+        return np.zeros(s.shape[0])
+    u = game.marginal_utilities_batch(s)
+    return natural_map_residuals(s, u, game.cap)
+
+
+def _zero_cap_result(game: SubsidizationGame) -> EquilibriumResult:
+    """The degenerate ``q = 0`` equilibrium (the regulated baseline).
+
+    With a zero cap the strategy space collapses to the origin, so the
+    equilibrium needs no iteration — just a solved state and its residual.
+    The returned profile is a fresh array owned by the caller.
+    """
+    s = np.zeros(game.size)
+    return EquilibriumResult(
+        subsidies=s.copy(),
+        state=game.state(s),
+        kkt_residual=_kkt_residual(game, s),
+        iterations=0,
+        method="best_response",
+    )
+
+
+#: Per-sweep change below which the vectorized path hands over to Newton.
+_NEWTON_TRIGGER = 1e-3
+
+#: Line-search scales evaluated in a single batched residual check.
+_LINESEARCH_SCALES = (1.0, 0.5, 0.25, 0.125, 0.0625, 0.015625)
+
+
+def _batched_residuals(
+    evaluator: BatchedProfileEvaluator, cap: float, profiles: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Natural-map residual norms (and ``u``) for ``(B, N)`` profiles."""
+    u = evaluator.marginal_utilities(profiles)
+    return natural_map_residuals(profiles, u, cap), u
+
+
+def _newton_polish(
+    game: SubsidizationGame,
+    evaluator: BatchedProfileEvaluator,
+    s: np.ndarray,
+    *,
+    tol: float,
+    max_iter: int = 15,
+    active_tol: float = 1e-12,
+) -> tuple[np.ndarray, int] | None:
+    """Semismooth Newton on the natural map with batched linear algebra.
+
+    The scalar sibling (:func:`repro.core.newton.solve_equilibrium_newton`)
+    pays ``2N`` market solves per finite-difference Jacobian; here the whole
+    Jacobian is one ``(N, N)`` batched evaluation (row ``j`` perturbs player
+    ``j``) and the backtracking line search checks every candidate scale in
+    a second. Returns ``(profile, evaluations)`` once the residual is at or
+    below ``tol``, or ``None`` if Newton stalls (caller resumes sweeping).
+    """
+    n = game.size
+    q = game.cap
+    identity = np.eye(n)
+    residuals, u = _batched_residuals(evaluator, q, s[None, :])
+    residual = float(residuals[0])
+    u = u[0]
+    for iteration in range(1, max_iter + 1):
+        if residual <= tol:
+            return s, iteration - 1
+        shifted = s + u
+        lower_active = shifted <= active_tol
+        upper_active = shifted >= q - active_tol
+        inactive = ~(lower_active | upper_active)
+
+        step = np.zeros(n)
+        step[lower_active] = -s[lower_active]
+        step[upper_active] = q - s[upper_active]
+        # Forward-difference Jacobian from one batched evaluation; probes
+        # flip direction where a forward step would leave the box.
+        h = 1e-7 * (1.0 + np.abs(s))
+        h = np.where(s + h <= q, h, -h)
+        perturbed = evaluator.marginal_utilities(s[None, :] + h[:, None] * identity)
+        jac = (perturbed - u[None, :]).T / h[None, :]
+        if np.any(inactive):
+            idx = np.flatnonzero(inactive)
+            active_idx = np.flatnonzero(~inactive)
+            rhs = -u[idx]
+            if active_idx.size:
+                rhs = rhs - jac[np.ix_(idx, active_idx)] @ step[active_idx]
+            block = jac[np.ix_(idx, idx)]
+            try:
+                step[idx] = np.linalg.solve(block, rhs)
+            except np.linalg.LinAlgError:
+                # Singular inactive block: projected gradient step instead.
+                step[idx] = u[idx]
+
+        scales = np.array(_LINESEARCH_SCALES)
+        trials = project_box(s[None, :] + scales[:, None] * step[None, :], 0.0, q)
+        trial_residuals, trial_u = _batched_residuals(evaluator, q, trials)
+        improving = np.flatnonzero(trial_residuals < residual)
+        if improving.size == 0:
+            return None
+        best = int(improving[0])
+        s, u, residual = trials[best], trial_u[best], float(trial_residuals[best])
+    return (s, max_iter) if residual <= tol else None
+
+
+def _vector_solve(
+    game: SubsidizationGame,
+    s: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    max_sweeps: int,
+) -> tuple[np.ndarray, int] | None:
+    """The vectorized Jacobi + Newton hybrid.
+
+    Damped Jacobi sweeps (all best responses from one batched root solve
+    per iteration) globalize and identify the active sets; root tolerances
+    are coarsened to the current sweep change so early sweeps stay cheap.
+    Once the iteration is inside Newton's basin the batched semismooth
+    polish finishes quadratically. Returns ``(profile, sweeps)`` on
+    convergence — certified by the natural-map residual at ``tol`` — or
+    ``None`` when the sweep budget runs out.
+    """
+    evaluator = BatchedProfileEvaluator(game)
+    residual_tol = max(tol, 1e-12)
+    # The initial residual seeds the change estimate so a warm start lands
+    # straight in the Newton polish instead of paying a first full sweep.
+    initial_residuals, _ = _batched_residuals(evaluator, game.cap, s[None, :])
+    largest_change = float(initial_residuals[0])
+    newton_barrier = np.inf
+    for sweep in range(1, max_sweeps + 1):
+        if largest_change <= min(_NEWTON_TRIGGER, newton_barrier):
+            polished = _newton_polish(game, evaluator, s, tol=residual_tol)
+            if polished is not None:
+                solution, newton_iters = polished
+                return solution, sweep - 1 + newton_iters
+            # Newton stalled: keep sweeping until the change shrinks a lot
+            # before paying for another polish attempt.
+            newton_barrier = largest_change / 4.0
+        root_xtol = float(np.clip(0.05 * largest_change, 1e-12, 5e-4))
+        responses = best_response_profile_vectorized(
+            game, s, evaluator=evaluator, xtol=root_xtol
+        )
+        step = damping * (responses - s)
+        largest_change = float(np.max(np.abs(step))) if step.size else 0.0
+        s = s + step
+        if largest_change <= tol:
+            residuals, _ = _batched_residuals(evaluator, game.cap, s[None, :])
+            if float(residuals[0]) <= residual_tol:
+                return s, sweep
+    return None
+
+
+def _gauss_seidel_sweeps(
+    game: SubsidizationGame,
+    s: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    max_sweeps: int,
+) -> tuple[np.ndarray, int]:
+    """Damped Gauss–Seidel iteration with scalar per-player best responses."""
+    s = s.copy()
+    largest_change = float("inf")
+    for sweep in range(1, max_sweeps + 1):
+        largest_change = 0.0
+        for i in range(game.size):
+            response = best_response(game, i, s)
+            step = damping * (response - s[i])
+            largest_change = max(largest_change, abs(step))
+            s[i] += step
+        if largest_change <= tol:
+            return s, sweep
+    raise ConvergenceError(
+        f"best-response iteration not converged in {max_sweeps} sweeps "
+        f"(last change {largest_change:.3e})",
+        iterations=max_sweeps,
+        residual=largest_change,
+    )
 
 
 def solve_equilibrium_best_response(
@@ -73,8 +289,9 @@ def solve_equilibrium_best_response(
     damping: float = 1.0,
     tol: float = 1e-10,
     max_sweeps: int = 500,
+    sweep: str = "auto",
 ) -> EquilibriumResult:
-    """Damped Gauss–Seidel best-response iteration.
+    """Damped best-response iteration (vectorized Jacobi / Gauss–Seidel).
 
     Parameters
     ----------
@@ -88,44 +305,50 @@ def solve_equilibrium_best_response(
         Convergence threshold on the per-sweep maximum strategy change.
     max_sweeps:
         Sweep budget; :class:`~repro.exceptions.ConvergenceError` beyond it.
+    sweep:
+        ``"vector"`` — batched Jacobi sweeps only,
+        ``"scalar"`` — the classic per-player Gauss–Seidel iteration,
+        ``"auto"`` — Jacobi first, Gauss–Seidel on non-contraction (default).
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must lie in (0, 1], got {damping}")
-    n = game.size
+    if sweep not in {"auto", "vector", "scalar"}:
+        raise ValueError(f"unknown sweep mode {sweep!r}")
     if game.cap == 0.0:
-        s = np.zeros(n)
-        return EquilibriumResult(
-            subsidies=s,
-            state=game.state(s),
-            kkt_residual=_kkt_residual(game, s),
-            iterations=0,
-            method="best_response",
-        )
+        return _zero_cap_result(game)
+    n = game.size
     s = (
         np.zeros(n)
         if initial is None
         else project_box(np.asarray(initial, dtype=float), 0.0, game.cap)
     )
-    for sweep in range(1, max_sweeps + 1):
-        largest_change = 0.0
-        for i in range(n):
-            response = best_response(game, i, s)
-            step = damping * (response - s[i])
-            largest_change = max(largest_change, abs(step))
-            s[i] += step
-        if largest_change <= tol:
-            return EquilibriumResult(
-                subsidies=s.copy(),
-                state=game.state(s),
-                kkt_residual=_kkt_residual(game, s),
-                iterations=sweep,
-                method="best_response",
+    iterations = 0
+    solution = None
+    if sweep in {"auto", "vector"}:
+        # The Jacobi map can cycle where Gauss–Seidel contracts, so a spent
+        # budget falls through rather than raising when fallback is allowed.
+        jacobi_budget = max_sweeps if sweep == "vector" else min(max_sweeps, 120)
+        outcome = _vector_solve(
+            game, s, damping=damping, tol=tol, max_sweeps=jacobi_budget
+        )
+        if outcome is not None:
+            solution, iterations = outcome
+        elif sweep == "vector":
+            raise ConvergenceError(
+                f"vectorized best-response iteration not converged in "
+                f"{jacobi_budget} sweeps",
+                iterations=jacobi_budget,
             )
-    raise ConvergenceError(
-        f"best-response iteration not converged in {max_sweeps} sweeps "
-        f"(last change {largest_change:.3e})",
-        iterations=max_sweeps,
-        residual=largest_change,
+    if solution is None:
+        solution, iterations = _gauss_seidel_sweeps(
+            game, s, damping=damping, tol=tol, max_sweeps=max_sweeps
+        )
+    return EquilibriumResult(
+        subsidies=solution.copy(),
+        state=game.state(solution),
+        kkt_residual=_kkt_residual(game, solution),
+        iterations=iterations,
+        method="best_response",
     )
 
 
@@ -143,6 +366,15 @@ def solve_equilibrium_vi(
     monotonicity of ``−u``; used as the independent cross-check and as the
     fallback when best-response certification fails.
     """
+    if game.cap == 0.0:
+        result = _zero_cap_result(game)
+        return EquilibriumResult(
+            subsidies=result.subsidies,
+            state=result.state,
+            kkt_residual=result.kkt_residual,
+            iterations=0,
+            method="vi",
+        )
     n = game.size
     x0 = np.zeros(n) if initial is None else np.asarray(initial, dtype=float)
     result = extragradient_box(
@@ -173,8 +405,9 @@ def solve_equilibrium(
 ) -> EquilibriumResult:
     """Solve and certify a Nash equilibrium.
 
-    Runs Gauss–Seidel best response; if the resulting profile's KKT residual
-    exceeds ``certify_tol``, retries with damping, then falls back to the
+    Runs best-response iteration (vectorized Jacobi with Gauss–Seidel
+    fallback); if the resulting profile's KKT residual exceeds
+    ``certify_tol``, retries with damping, then falls back to the
     extragradient VI solver. Raises
     :class:`~repro.exceptions.EquilibriumError` if no solver produces a
     certified equilibrium.

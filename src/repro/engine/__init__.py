@@ -1,0 +1,29 @@
+"""Parallel grid engine and content-keyed solve caching.
+
+The engine layer sits between the Nash solvers (:mod:`repro.core`) and the
+figure/analysis layers: it owns the *scheduling* of many equilibrium solves
+— row-parallel (price × policy) grids with warm-start chains preserved along
+each price axis — and the *memoization* of whole solved grids keyed by the
+content of the request. Sequential and parallel schedules are bitwise
+interchangeable, so ``workers`` is purely a throughput knob.
+"""
+
+from repro.engine.cache import SolveCache, grid_key, market_fingerprint
+from repro.engine.grid_engine import (
+    EquilibriumGrid,
+    GridEngine,
+    get_default_workers,
+    set_default_workers,
+    solve_cap_row,
+)
+
+__all__ = [
+    "EquilibriumGrid",
+    "GridEngine",
+    "SolveCache",
+    "get_default_workers",
+    "grid_key",
+    "market_fingerprint",
+    "set_default_workers",
+    "solve_cap_row",
+]

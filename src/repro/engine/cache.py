@@ -1,0 +1,102 @@
+"""Content-keyed caching of grid solves.
+
+The five §5 figures read different quantities off the *same* equilibrium
+grid, so the engine caches solved grids under a key derived from the
+*content* of the request — a fingerprint of the market's economic primitives
+plus the exact grid axes and solve options — rather than from object
+identity. Two `Market` instances built from equal parameters hit the same
+entry; any change to a provider, the ISP, the axes or the options misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.providers.market import Market
+
+__all__ = ["market_fingerprint", "grid_key", "SolveCache"]
+
+
+def market_fingerprint(market: Market) -> str:
+    """Deterministic digest of a market's economic content.
+
+    Built from the dataclass reprs of the providers (demand and throughput
+    families with all parameters, profitabilities, names) and the ISP
+    (price, capacity, utilization metric). Custom function objects take
+    part through their ``repr``; give them a parameter-revealing ``__repr__``
+    to be cache-distinguishable.
+    """
+    payload = "\n".join(
+        [
+            *(repr(cp) for cp in market.providers),
+            repr(market.isp),
+            type(market.isp.utilization).__name__,
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def grid_key(
+    market: Market,
+    prices: np.ndarray,
+    caps: np.ndarray,
+    *,
+    warm_start: bool,
+) -> tuple:
+    """Cache key for one grid solve: market content + axes + options."""
+    prices = np.ascontiguousarray(np.asarray(prices, dtype=float))
+    caps = np.ascontiguousarray(np.asarray(caps, dtype=float))
+    return (
+        market_fingerprint(market),
+        prices.tobytes(),
+        caps.tobytes(),
+        bool(warm_start),
+    )
+
+
+class SolveCache:
+    """A bounded, thread-safe, content-keyed store of solved grids.
+
+    Entries evict oldest-first once ``maxsize`` is exceeded; ``hits`` and
+    ``misses`` counters make cache behavior observable in benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """The cached value for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` under ``key``, evicting oldest entries if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (benchmarks use this to measure cold solves)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,40 +1,48 @@
 """Shared (price × policy) equilibrium grid for Figures 7–11.
 
 All five §5 figures read different quantities off the *same* set of
-equilibria, so the grid is computed once per (prices, caps) pair and cached
-in-process. A full 41-price × 5-policy grid is ~200 equilibrium solves.
+equilibria, so the grid is computed once per (prices, caps) pair by a
+module-level :class:`~repro.engine.GridEngine` with a content-keyed
+:class:`~repro.engine.SolveCache`. A full 41-price × 5-policy grid is ~200
+equilibrium solves; ``workers`` (or the ``--workers`` CLI flag / the
+``REPRO_WORKERS`` environment variable) spreads the policy rows over a
+process pool with bitwise-identical results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.sweeps import EquilibriumGrid, policy_grid
+from repro.engine import EquilibriumGrid, GridEngine, SolveCache
 from repro.experiments.scenarios import (
     FIGURE_PRICE_GRID,
     POLICY_LEVELS,
     section5_market,
 )
 
-__all__ = ["section5_grid", "clear_cache"]
+__all__ = ["section5_grid", "clear_cache", "engine"]
 
-_CACHE: dict[tuple, EquilibriumGrid] = {}
+_ENGINE = GridEngine(cache=SolveCache())
 
 
-def section5_grid(prices=None, caps=None) -> EquilibriumGrid:
-    """The §5 equilibrium grid (cached per axes)."""
+def engine() -> GridEngine:
+    """The shared engine behind every §5 figure (exposed for diagnostics)."""
+    return _ENGINE
+
+
+def section5_grid(
+    prices=None, caps=None, *, workers: int | None = None
+) -> EquilibriumGrid:
+    """The §5 equilibrium grid (content-cached per axes)."""
     if prices is None:
         prices = FIGURE_PRICE_GRID
     if caps is None:
         caps = POLICY_LEVELS
     prices = np.asarray(prices, dtype=float)
     caps = np.asarray(caps, dtype=float)
-    key = (tuple(prices.tolist()), tuple(caps.tolist()))
-    if key not in _CACHE:
-        _CACHE[key] = policy_grid(section5_market(), prices, caps)
-    return _CACHE[key]
+    return _ENGINE.solve_grid(section5_market(), prices, caps, workers=workers)
 
 
 def clear_cache() -> None:
     """Drop all cached grids (benchmarks use this to measure cold solves)."""
-    _CACHE.clear()
+    _ENGINE.cache.clear()

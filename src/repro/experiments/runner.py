@@ -4,24 +4,30 @@ Usage::
 
     python -m repro.experiments all            # every figure
     python -m repro.experiments fig4 fig7      # a subset
-    python -m repro.experiments fig10 --out results --quiet
+    python -m repro.experiments fig04 fig07    # zero-padded spellings work too
+    python -m repro.experiments fig10 --out results --quiet --workers 4
 
 Writes one CSV per panel into the output directory, renders ASCII charts to
 stdout (unless ``--quiet``), reports each figure's qualitative shape checks
-and exits non-zero if any check fails.
+and exits non-zero if any check fails. The check summary and any per-check
+FAIL lines travel together: both go to stderr when something failed,
+both to stdout when everything passed. ``--workers`` spreads grid rows over
+a process pool (bitwise-identical results; see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.engine import get_default_workers, set_default_workers
 from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiments", "main"]
+__all__ = ["EXPERIMENTS", "canonical_experiment", "run_experiments", "main"]
 
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig4": fig04.compute,
@@ -33,6 +39,21 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig11": fig11.compute,
 }
 
+_FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
+
+
+def canonical_experiment(name: str) -> str:
+    """Map CLI spellings onto registry keys.
+
+    Module names are zero-padded (``fig04.py``) while registry keys are not
+    (``fig4``); accept both. Unknown names pass through unchanged so the
+    registry lookup produces its usual error.
+    """
+    match = _FIGURE_ID.fullmatch(name.strip().lower())
+    if match:
+        return f"fig{int(match.group(1))}"
+    return name
+
 
 def run_experiments(
     names: Sequence[str],
@@ -43,12 +64,13 @@ def run_experiments(
     """Run the named experiments, write CSVs, return results."""
     results = []
     for name in names:
-        if name not in EXPERIMENTS:
+        key = canonical_experiment(name)
+        if key not in EXPERIMENTS:
             raise KeyError(
                 f"unknown experiment {name!r}; choose from "
                 f"{sorted(EXPERIMENTS)} or 'all'"
             )
-        result = EXPERIMENTS[name]()
+        result = EXPERIMENTS[key]()
         paths = result.write_csv(out_dir)
         results.append(result)
         if not quiet:
@@ -68,7 +90,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'; "
+        "zero-padded spellings like fig04 are accepted",
     )
     parser.add_argument(
         "--out", default="results", help="output directory for CSV files"
@@ -76,14 +99,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress ASCII chart rendering"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid solves (default: $REPRO_WORKERS or 1)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    try:
+        # Resolve the default eagerly so a malformed $REPRO_WORKERS fails
+        # with a CLI error up front, not a traceback mid-computation.
+        get_default_workers()
+    except ValueError as exc:
+        parser.error(str(exc))
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.workers is not None:
+        set_default_workers(args.workers)
     try:
         results = run_experiments(names, out_dir=args.out, quiet=args.quiet)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    finally:
+        if args.workers is not None:
+            set_default_workers(None)
 
     failed = [
         (result.experiment_id, check.name)
@@ -92,12 +135,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not check.passed
     ]
     total_checks = sum(len(result.checks) for result in results)
+    # Summary and FAIL detail share one stream so they never interleave
+    # inconsistently: diagnostics to stderr on failure, stdout on success.
+    stream = sys.stderr if failed else sys.stdout
     print(
         f"{len(results)} experiment(s), {total_checks} shape check(s), "
-        f"{len(failed)} failure(s)"
+        f"{len(failed)} failure(s)",
+        file=stream,
     )
     for experiment_id, check_name in failed:
-        print(f"  FAIL {experiment_id}: {check_name}", file=sys.stderr)
+        print(f"  FAIL {experiment_id}: {check_name}", file=stream)
     return 1 if failed else 0
 
 

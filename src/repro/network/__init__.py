@@ -16,16 +16,21 @@ This package implements everything "below" the game:
 * :mod:`repro.network.aggregation` — CP aggregation/equivalence (Lemma 2).
 """
 
-from repro.network.aggregation import aggregate_equivalent_classes, rescale_class
+from repro.network.aggregation import (
+    aggregate_equivalent_classes,
+    peak_demands,
+    rescale_class,
+)
 from repro.network.demand import (
     DemandFunction,
+    DemandTable,
     ExponentialDemand,
     LinearDemand,
     LogitDemand,
     ScaledDemand,
     ShiftedPowerDemand,
 )
-from repro.network.elasticity import elasticity_of, log_derivative
+from repro.network.elasticity import chain_elasticity, elasticity_of, log_derivative
 from repro.network.sensitivity import (
     PriceSensitivity,
     SystemSensitivity,
@@ -33,9 +38,15 @@ from repro.network.sensitivity import (
     system_sensitivity,
     throughput_increases_with_price,
 )
-from repro.network.system import CongestionSystem, SystemState, TrafficClass
+from repro.network.system import (
+    BatchedSystemState,
+    CongestionSystem,
+    SystemState,
+    TrafficClass,
+)
 from repro.network.throughput import (
     ExponentialThroughput,
+    ThroughputTable,
     PowerLawThroughput,
     RationalThroughput,
     ThroughputFunction,
@@ -48,7 +59,9 @@ from repro.network.utilization import (
 )
 
 __all__ = [
+    "BatchedSystemState",
     "CongestionSystem",
+    "DemandTable",
     "DemandFunction",
     "ExponentialDemand",
     "ExponentialThroughput",
@@ -65,11 +78,14 @@ __all__ = [
     "SystemSensitivity",
     "SystemState",
     "ThroughputFunction",
+    "ThroughputTable",
     "TrafficClass",
     "UtilizationFunction",
     "aggregate_equivalent_classes",
     "elasticity_of",
+    "chain_elasticity",
     "log_derivative",
+    "peak_demands",
     "price_sensitivity",
     "rescale_class",
     "system_sensitivity",

@@ -18,10 +18,31 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import ModelError
 from repro.network.system import TrafficClass
 
-__all__ = ["rescale_class", "aggregate_equivalent_classes", "elasticity_signature"]
+__all__ = [
+    "rescale_class",
+    "aggregate_equivalent_classes",
+    "elasticity_signature",
+    "peak_demands",
+]
+
+
+def peak_demands(classes: Sequence[TrafficClass]) -> np.ndarray:
+    """Peak total demands ``m_i·λ_i(0)`` of a class list, as one vector.
+
+    This is the invariant Lemma 2 preserves; computing it array-wise keeps
+    aggregation and its tests on the same batched footing as the rest of
+    the evaluation stack.
+    """
+    if not classes:
+        return np.zeros(0)
+    populations = np.array([cls.population for cls in classes])
+    peaks = np.array([cls.throughput.peak_rate() for cls in classes])
+    return populations * peaks
 
 
 def rescale_class(cls: TrafficClass, kappa: float) -> TrafficClass:
@@ -72,14 +93,14 @@ def aggregate_equivalent_classes(
     groups: dict[tuple, float] = {}
     representative: dict[tuple, TrafficClass] = {}
     order: list[tuple] = []
-    for cls in classes:
+    demands = peak_demands(classes)
+    for cls, peak_demand in zip(classes, demands):
         sig = elasticity_signature(cls)
-        peak_demand = cls.population * cls.throughput.peak_rate()
         if sig not in groups:
             groups[sig] = 0.0
             representative[sig] = cls
             order.append(sig)
-        groups[sig] += peak_demand
+        groups[sig] += float(peak_demand)
     merged = []
     for sig in order:
         rep = representative[sig]

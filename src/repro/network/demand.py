@@ -1,4 +1,4 @@
-"""User-population demand families ``m(t)`` (Assumption 2).
+"""User-population demand families ``m(t)`` (Assumption 2) — array-native.
 
 Assumption 2 requires ``m_i(t_i)`` — the population of CP ``i``'s users as a
 function of the *effective* per-unit usage price ``t_i = p − s_i`` — to be
@@ -8,15 +8,23 @@ Because a CP's subsidy may exceed the ISP price, demand functions must accept
 *negative* effective prices (users are then paid to consume; demand exceeds
 the ``t = 0`` level). All families below are defined on the whole real line.
 
+Every family is **array-native**: ``population``, ``d_population`` and
+``elasticity`` accept a scalar or a NumPy array of effective prices and
+return a matching scalar or array, so a whole subsidy profile — or a whole
+``(B, N)`` batch of profiles — evaluates in one call. Scalar calls keep the
+cheap ``math``-based fast path; array calls broadcast through ``numpy``.
+:class:`DemandTable` stacks the demand functions of a market column-wise for
+single-shot ``(B, N)`` evaluation, with a closed-form fast path when every
+column is exponential (the batched demand-collection idiom).
+
 * :class:`ExponentialDemand` — ``m(t) = scale·e^{−αt}``, the paper's family;
   t-elasticity is the closed form ``−αt``.
 * :class:`LogitDemand` — ``m(t) = scale/(1 + e^{α(t − t₀)})``, a saturating
   population with a finite user base.
 * :class:`LinearDemand` — ``m(t) = max(0, base − slope·t)``, the textbook
   linear demand (smoothly clamped near zero to preserve differentiability).
-* :class:`ShiftedPowerDemand` — ``m(t) = scale·(1 + max(t, 0))^{−α}·e^{−t⁻}``
-  style heavy-tail alternative implemented as ``scale·(1 + softplus) ``;
-  see class docstring.
+* :class:`ShiftedPowerDemand` — ``m(t) = scale·(1 + softplus(t))^{−α}``,
+  a heavy-tail alternative; see class docstring.
 """
 
 from __future__ import annotations
@@ -24,11 +32,15 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.exceptions import ModelError
 
 __all__ = [
     "DemandFunction",
+    "DemandTable",
     "ExponentialDemand",
     "LogitDemand",
     "LinearDemand",
@@ -36,24 +48,44 @@ __all__ = [
     "ShiftedPowerDemand",
 ]
 
+#: Exponent magnitude beyond which ``e^z`` over/underflows a float64.
+_EXP_LIMIT = 700.0
+
+
+def _is_scalar(x) -> bool:
+    """Whether ``x`` should take the scalar ``math`` fast path."""
+    return isinstance(x, (int, float))
+
 
 class DemandFunction(ABC):
-    """Interface for user-population demand versus effective price."""
+    """Interface for user-population demand versus effective price.
+
+    All methods accept either a scalar effective price or an ndarray of
+    prices and return a matching scalar or ndarray.
+    """
 
     @abstractmethod
-    def population(self, price: float) -> float:
+    def population(self, price):
         """Population ``m(t)`` at effective per-unit price ``t`` (any real)."""
 
     @abstractmethod
-    def d_population(self, price: float) -> float:
+    def d_population(self, price):
         """Derivative ``dm/dt`` (non-positive under Assumption 2)."""
 
-    def elasticity(self, price: float) -> float:
+    def elasticity(self, price):
         """t-elasticity of demand ``ε^m_t = (dm/dt)·(t/m)`` (Definition 2)."""
         m = self.population(price)
-        if m == 0.0:
-            return float("-inf")
-        return self.d_population(price) * price / m
+        if _is_scalar(price):
+            if m == 0.0:
+                return float("-inf")
+            return self.d_population(price) * price / m
+        price = np.asarray(price, dtype=float)
+        m = np.asarray(m, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(
+                m == 0.0, -np.inf, self.d_population(price) * price / m
+            )
+        return out
 
 
 @dataclass(frozen=True)
@@ -74,14 +106,20 @@ class ExponentialDemand(DemandFunction):
         if self.scale <= 0.0:
             raise ModelError(f"scale must be positive, got {self.scale}")
 
-    def population(self, price: float) -> float:
-        return self.scale * math.exp(-self.alpha * price)
+    def population(self, price):
+        if _is_scalar(price):
+            return self.scale * math.exp(-self.alpha * price)
+        return self.scale * np.exp(-self.alpha * np.asarray(price, dtype=float))
 
-    def d_population(self, price: float) -> float:
-        return -self.alpha * self.scale * math.exp(-self.alpha * price)
+    def d_population(self, price):
+        if _is_scalar(price):
+            return -self.alpha * self.scale * math.exp(-self.alpha * price)
+        return -self.alpha * self.population(price)
 
-    def elasticity(self, price: float) -> float:
-        return -self.alpha * price
+    def elasticity(self, price):
+        if _is_scalar(price):
+            return -self.alpha * price
+        return -self.alpha * np.asarray(price, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -103,19 +141,31 @@ class LogitDemand(DemandFunction):
         if self.scale <= 0.0:
             raise ModelError(f"scale must be positive, got {self.scale}")
 
-    def population(self, price: float) -> float:
-        z = self.alpha * (price - self.midpoint)
-        # Guard exp overflow for very large prices.
-        if z > 700.0:
-            return 0.0
-        return self.scale / (1.0 + math.exp(z))
+    def population(self, price):
+        if _is_scalar(price):
+            z = self.alpha * (price - self.midpoint)
+            # Guard exp overflow for very large prices.
+            if z > _EXP_LIMIT:
+                return 0.0
+            return self.scale / (1.0 + math.exp(z))
+        z = self.alpha * (np.asarray(price, dtype=float) - self.midpoint)
+        overflow = z > _EXP_LIMIT
+        safe = np.where(overflow, 0.0, z)
+        return np.where(overflow, 0.0, self.scale / (1.0 + np.exp(safe)))
 
-    def d_population(self, price: float) -> float:
-        z = self.alpha * (price - self.midpoint)
-        if abs(z) > 700.0:
-            return 0.0
-        ez = math.exp(z)
-        return -self.alpha * self.scale * ez / (1.0 + ez) ** 2
+    def d_population(self, price):
+        if _is_scalar(price):
+            z = self.alpha * (price - self.midpoint)
+            if abs(z) > _EXP_LIMIT:
+                return 0.0
+            ez = math.exp(z)
+            return -self.alpha * self.scale * ez / (1.0 + ez) ** 2
+        z = self.alpha * (np.asarray(price, dtype=float) - self.midpoint)
+        overflow = np.abs(z) > _EXP_LIMIT
+        ez = np.exp(np.where(overflow, 0.0, z))
+        return np.where(
+            overflow, 0.0, -self.alpha * self.scale * ez / (1.0 + ez) ** 2
+        )
 
 
 @dataclass(frozen=True)
@@ -147,21 +197,37 @@ class LinearDemand(DemandFunction):
         """Price at which the line reaches the smoothing level."""
         return (self.base - self.smoothing) / self.slope
 
-    def population(self, price: float) -> float:
+    def population(self, price):
         t_star = self._switch_price()
-        if price <= t_star:
-            return self.base - self.slope * price
-        # Exponential tail m = smoothing·exp(−slope·(t − t*)/smoothing):
-        # value and first derivative match the line at t*.
-        return self.smoothing * math.exp(
-            -self.slope * (price - t_star) / self.smoothing
+        if _is_scalar(price):
+            if price <= t_star:
+                return self.base - self.slope * price
+            # Exponential tail m = smoothing·exp(−slope·(t − t*)/smoothing):
+            # value and first derivative match the line at t*.
+            return self.smoothing * math.exp(
+                -self.slope * (price - t_star) / self.smoothing
+            )
+        price = np.asarray(price, dtype=float)
+        exponent = np.minimum(-self.slope * (price - t_star) / self.smoothing, 0.0)
+        return np.where(
+            price <= t_star,
+            self.base - self.slope * price,
+            self.smoothing * np.exp(exponent),
         )
 
-    def d_population(self, price: float) -> float:
+    def d_population(self, price):
         t_star = self._switch_price()
-        if price <= t_star:
-            return -self.slope
-        return -self.slope * math.exp(-self.slope * (price - t_star) / self.smoothing)
+        if _is_scalar(price):
+            if price <= t_star:
+                return -self.slope
+            return -self.slope * math.exp(
+                -self.slope * (price - t_star) / self.smoothing
+            )
+        price = np.asarray(price, dtype=float)
+        exponent = np.minimum(-self.slope * (price - t_star) / self.smoothing, 0.0)
+        return np.where(
+            price <= t_star, -self.slope, -self.slope * np.exp(exponent)
+        )
 
 
 @dataclass(frozen=True)
@@ -184,23 +250,32 @@ class ShiftedPowerDemand(DemandFunction):
             raise ModelError(f"scale must be positive, got {self.scale}")
 
     @staticmethod
-    def _softplus(t: float) -> float:
-        if t > 700.0:
-            return t
-        return math.log1p(math.exp(t))
+    def _softplus(t):
+        if _is_scalar(t):
+            if t > _EXP_LIMIT:
+                return t
+            return math.log1p(math.exp(t))
+        t = np.asarray(t, dtype=float)
+        return np.where(
+            t > _EXP_LIMIT, t, np.log1p(np.exp(np.minimum(t, _EXP_LIMIT)))
+        )
 
     @staticmethod
-    def _sigmoid(t: float) -> float:
-        if t >= 0.0:
-            z = math.exp(-t)
-            return 1.0 / (1.0 + z)
-        z = math.exp(t)
-        return z / (1.0 + z)
+    def _sigmoid(t):
+        if _is_scalar(t):
+            if t >= 0.0:
+                z = math.exp(-t)
+                return 1.0 / (1.0 + z)
+            z = math.exp(t)
+            return z / (1.0 + z)
+        t = np.asarray(t, dtype=float)
+        z_neg = np.exp(np.minimum(-np.abs(t), 0.0))
+        return np.where(t >= 0.0, 1.0 / (1.0 + z_neg), z_neg / (1.0 + z_neg))
 
-    def population(self, price: float) -> float:
+    def population(self, price):
         return self.scale * (1.0 + self._softplus(price)) ** (-self.alpha)
 
-    def d_population(self, price: float) -> float:
+    def d_population(self, price):
         sp = self._softplus(price)
         return (
             -self.alpha
@@ -228,8 +303,59 @@ class ScaledDemand(DemandFunction):
         if not 0.0 <= self.weight or not math.isfinite(self.weight):
             raise ModelError(f"weight must be finite and non-negative, got {self.weight}")
 
-    def population(self, price: float) -> float:
+    def population(self, price):
         return self.weight * self.inner.population(price)
 
-    def d_population(self, price: float) -> float:
+    def d_population(self, price):
         return self.weight * self.inner.d_population(price)
+
+
+class DemandTable:
+    """Column-stacked demand evaluation for a fixed list of demand laws.
+
+    Given the ``N`` demand functions of a market, evaluates populations and
+    their price derivatives for a whole ``(B, N)`` matrix of effective
+    prices in one shot. When every column is an :class:`ExponentialDemand`
+    the closed form ``m = scale·e^{−α t}``, ``m' = −α·m`` evaluates with a
+    single ``np.exp`` over the matrix; otherwise each column dispatches to
+    its function's own array-native methods.
+    """
+
+    def __init__(self, demands: Sequence[DemandFunction]) -> None:
+        self._demands: tuple[DemandFunction, ...] = tuple(demands)
+        if not self._demands:
+            raise ModelError("a demand table needs at least one demand function")
+        self._exponential = all(
+            type(d) is ExponentialDemand for d in self._demands
+        )
+        if self._exponential:
+            self._alphas = np.array([d.alpha for d in self._demands])
+            self._scales = np.array([d.scale for d in self._demands])
+
+    @property
+    def size(self) -> int:
+        """Number of columns (demand functions)."""
+        return len(self._demands)
+
+    def _columns(self, method: str, prices: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [
+                getattr(d, method)(prices[..., i])
+                for i, d in enumerate(self._demands)
+            ],
+            axis=-1,
+        )
+
+    def populations(self, prices) -> np.ndarray:
+        """Populations ``m_i(t_{b,i})`` for a ``(..., N)`` price matrix."""
+        prices = np.asarray(prices, dtype=float)
+        if self._exponential:
+            return self._scales * np.exp(-self._alphas * prices)
+        return self._columns("population", prices)
+
+    def d_populations(self, prices) -> np.ndarray:
+        """Derivatives ``m'_i(t_{b,i})`` for a ``(..., N)`` price matrix."""
+        prices = np.asarray(prices, dtype=float)
+        if self._exponential:
+            return -self._alphas * self.populations(prices)
+        return self._columns("d_population", prices)

@@ -1,69 +1,126 @@
-"""Elasticity algebra (Definition 2).
+"""Elasticity algebra (Definition 2) — array-native.
 
 The paper expresses every comparative static in elasticity form:
 ``ε^y_x = (∂y/∂x)·(x/y)`` is the percentage change of ``y`` per percentage
 change of ``x``. Conditions (7), (8) and (17) as well as the threshold
 ``τ_i`` of Theorem 3 are all elasticity inequalities, so the library needs a
 small, well-tested toolkit for computing and composing them.
+
+All helpers accept scalar or ndarray evaluation points (and, for
+:func:`chain_elasticity`, scalar or ndarray factors) and return a matching
+scalar or array, so elasticity conditions can be checked over whole grids
+of prices or utilizations in one call.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.solvers.differentiation import derivative
 
 __all__ = ["elasticity_of", "log_derivative", "chain_elasticity"]
 
 
+def _is_scalar(x) -> bool:
+    return isinstance(x, (int, float))
+
+
+def _slope_at(func, x, dfunc):
+    if dfunc is not None:
+        return dfunc(x)
+    # Central differences broadcast element-wise for array-native ``func``;
+    # the step is scaled per element to mirror the scalar helper.
+    if _is_scalar(x):
+        return derivative(func, x)
+    x = np.asarray(x, dtype=float)
+    h = float(np.finfo(float).eps) ** (1.0 / 3.0) * np.maximum(1.0, np.abs(x))
+    return (func(x + h) - func(x - h)) / (2.0 * h)
+
+
 def elasticity_of(
-    func: Callable[[float], float],
-    x: float,
+    func: Callable,
+    x,
     *,
-    dfunc: Callable[[float], float] | None = None,
-) -> float:
-    """Elasticity ``ε^f_x = f'(x)·x/f(x)`` of a scalar function at ``x``.
+    dfunc: Callable | None = None,
+):
+    """Elasticity ``ε^f_x = f'(x)·x/f(x)`` of a function at ``x``.
 
     Uses the analytical derivative when supplied, central differences
     otherwise. Returns ``0.0`` at ``x = 0`` whenever ``f(0) ≠ 0`` (the
     elasticity vanishes with the percentage base) and ``±inf`` when
-    ``f(x) = 0`` with a nonzero slope.
+    ``f(x) = 0`` with a nonzero slope. ``x`` may be a scalar or an array of
+    evaluation points.
     """
     fx = func(x)
-    slope = dfunc(x) if dfunc is not None else derivative(func, x)
-    if fx == 0.0:
-        if slope == 0.0 or x == 0.0:
-            return 0.0
-        return float("inf") if slope * x > 0 else float("-inf")
-    return slope * x / fx
+    slope = _slope_at(func, x, dfunc)
+    if _is_scalar(x):
+        if fx == 0.0:
+            if slope == 0.0 or x == 0.0:
+                return 0.0
+            return float("inf") if slope * x > 0 else float("-inf")
+        return slope * x / fx
+    x = np.asarray(x, dtype=float)
+    fx = np.asarray(fx, dtype=float)
+    slope = np.asarray(slope, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        regular = slope * x / np.where(fx == 0.0, 1.0, fx)
+    degenerate = np.where(
+        (slope == 0.0) | (x == 0.0),
+        0.0,
+        np.where(slope * x > 0, np.inf, -np.inf),
+    )
+    return np.where(fx == 0.0, degenerate, regular)
 
 
 def log_derivative(
-    func: Callable[[float], float],
-    x: float,
+    func: Callable,
+    x,
     *,
-    dfunc: Callable[[float], float] | None = None,
-) -> float:
+    dfunc: Callable | None = None,
+):
     """Logarithmic derivative ``f'(x)/f(x)`` — elasticity without the ``x``.
 
     This is the natural object for the Theorem 3 threshold, where the
     strategy ``s_i`` may be zero and the raw elasticity degenerates.
+    ``x`` may be a scalar or an array of evaluation points.
     """
     fx = func(x)
-    slope = dfunc(x) if dfunc is not None else derivative(func, x)
-    if fx == 0.0:
-        return float("inf") if slope > 0 else float("-inf") if slope < 0 else 0.0
-    return slope / fx
+    slope = _slope_at(func, x, dfunc)
+    if _is_scalar(x):
+        if fx == 0.0:
+            return float("inf") if slope > 0 else float("-inf") if slope < 0 else 0.0
+        return slope / fx
+    fx = np.asarray(fx, dtype=float)
+    slope = np.asarray(slope, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        regular = slope / np.where(fx == 0.0, 1.0, fx)
+    degenerate = np.where(slope > 0, np.inf, np.where(slope < 0, -np.inf, 0.0))
+    return np.where(fx == 0.0, degenerate, regular)
 
 
-def chain_elasticity(*factors: float) -> float:
+def chain_elasticity(*factors):
     """Compose elasticities along a chain: ``ε^z_x = ε^z_y · ε^y_x``.
 
     The paper repeatedly decomposes, e.g. ``ε^{λ_j}_{m_j} = ε^φ_{m_j} ·
     ε^{λ_j}_φ`` (equation (14)). Multiplying with correct inf/0 handling
     (``0 · ±inf`` is treated as 0, matching the limit of a vanishing
-    percentage base) keeps those derivations honest numerically.
+    percentage base) keeps those derivations honest numerically. Factors
+    may be scalars or broadcastable arrays; any array factor makes the
+    result an array with the zero rule applied element-wise.
     """
+    if any(not _is_scalar(f) for f in factors):
+        arrays = np.broadcast_arrays(
+            *(np.asarray(f, dtype=float) for f in factors)
+        )
+        zero = np.zeros(arrays[0].shape, dtype=bool)
+        product = np.ones(arrays[0].shape)
+        for arr in arrays:
+            zero |= arr == 0.0
+        for arr in arrays:
+            product = product * np.where(zero, 1.0, arr)
+        return np.where(zero, 0.0, product)
     product = 1.0
     for factor in factors:
         if factor == 0.0:

@@ -12,7 +12,11 @@ equivalently the unique root of the strictly increasing gap function
 
 :class:`CongestionSystem` owns the utilization metric and capacity and
 produces a :class:`SystemState` — the frozen snapshot (φ, per-class rates and
-throughputs, gap slope) that every higher layer consumes.
+throughputs, gap slope) that every higher layer consumes. The batched entry
+point :meth:`CongestionSystem.solve_population_batch` resolves a whole
+``(B, N)`` matrix of populations (B systems sharing the same throughput
+laws) with one vectorized bracketed solve plus Newton polish, and is the
+engine room of the array-native evaluation stack.
 """
 
 from __future__ import annotations
@@ -23,11 +27,24 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.network.throughput import ThroughputFunction
+from repro.network.throughput import ThroughputFunction, ThroughputTable
 from repro.network.utilization import UtilizationFunction
+from repro.solvers.batch_rootfind import (
+    bracketed_root_batch,
+    expand_bracket_batch,
+    newton_polish_batch,
+)
 from repro.solvers.rootfind import solve_increasing
 
-__all__ = ["TrafficClass", "SystemState", "CongestionSystem"]
+__all__ = [
+    "TrafficClass",
+    "SystemState",
+    "BatchedSystemState",
+    "CongestionSystem",
+]
+
+#: Relative Newton-step threshold treating a utilization root as converged.
+_NEWTON_RTOL = 1e-15
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,49 @@ class SystemState:
         return int(self.throughputs.size)
 
 
+@dataclass(frozen=True)
+class BatchedSystemState:
+    """Solved snapshots of ``B`` systems sharing one set of throughput laws.
+
+    The batched sibling of :class:`SystemState`: row ``b`` holds the fixed
+    point of the system with populations ``populations[b]``. All arrays are
+    ``(B,)`` or ``(B, N)``.
+    """
+
+    utilizations: np.ndarray
+    rates: np.ndarray
+    throughputs: np.ndarray
+    populations: np.ndarray
+    gap_slopes: np.ndarray
+    capacity: float
+
+    @property
+    def batch_size(self) -> int:
+        """Number of solved systems ``B``."""
+        return int(self.utilizations.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of traffic classes ``N``."""
+        return int(self.populations.shape[1])
+
+    @property
+    def aggregate_throughputs(self) -> np.ndarray:
+        """Total throughput ``θ`` per system, shape ``(B,)``."""
+        return self.throughputs.sum(axis=1)
+
+    def state(self, index: int) -> SystemState:
+        """The scalar :class:`SystemState` of batch row ``index``."""
+        return SystemState(
+            utilization=float(self.utilizations[index]),
+            rates=self.rates[index].copy(),
+            throughputs=self.throughputs[index].copy(),
+            populations=self.populations[index].copy(),
+            gap_slope=float(self.gap_slopes[index]),
+            capacity=self.capacity,
+        )
+
+
 class CongestionSystem:
     """The physical system ``(Φ, µ)`` that resolves congestion fixed points.
 
@@ -123,7 +183,7 @@ class CongestionSystem:
     >>> classes = [TrafficClass(1.0, ExponentialThroughput(beta=3.0))]
     >>> state = system.solve(classes)
     >>> round(state.utilization, 6)
-    0.349969
+    0.34997
     """
 
     def __init__(
@@ -171,9 +231,19 @@ class CongestionSystem:
         """Unique fixed-point utilization ``φ(m, µ)`` of Definition 1."""
         if not classes or all(cls.population == 0.0 for cls in classes):
             return 0.0
-        return solve_increasing(
+        phi = solve_increasing(
             lambda phi: self.gap(phi, classes), lo=0.0, xtol=self._xtol
         )
+        # Newton polish to machine precision so scalar and batched solves
+        # agree far below any downstream comparison tolerance.
+        for _ in range(3):
+            step = self.gap(phi, classes) / self.gap_slope(phi, classes)
+            refined = max(phi - step, 0.0)
+            if abs(refined - phi) <= _NEWTON_RTOL * (1.0 + abs(refined)):
+                phi = refined
+                break
+            phi = refined
+        return phi
 
     def solve(self, classes: Sequence[TrafficClass]) -> SystemState:
         """Solve the fixed point and return the full :class:`SystemState`."""
@@ -188,3 +258,125 @@ class CongestionSystem:
             gap_slope=self.gap_slope(phi, classes),
             capacity=self._capacity,
         )
+
+    # ------------------------------------------------------------------
+    # batched solving
+    # ------------------------------------------------------------------
+    def solve_population_batch(
+        self,
+        throughputs: ThroughputTable | Sequence[ThroughputFunction],
+        populations,
+        *,
+        phi0: np.ndarray | None = None,
+    ) -> BatchedSystemState:
+        """Solve ``B`` fixed points sharing one set of throughput laws.
+
+        Parameters
+        ----------
+        throughputs:
+            The ``N`` throughput laws (or a prebuilt
+            :class:`~repro.network.throughput.ThroughputTable`).
+        populations:
+            Matrix of populations, shape ``(B, N)``: row ``b`` is one
+            system's ``m`` vector.
+        phi0:
+            Optional ``(B,)`` warm-start utilizations (e.g. the previous
+            batch's roots). Rows whose warm Newton iteration fails fall
+            back to the cold bracketed solve; warm starts change iteration
+            counts only, never converged values.
+        """
+        table = (
+            throughputs
+            if isinstance(throughputs, ThroughputTable)
+            else ThroughputTable(throughputs)
+        )
+        populations = np.asarray(populations, dtype=float)
+        if populations.ndim != 2 or populations.shape[1] != table.size:
+            raise ModelError(
+                f"populations must have shape (B, {table.size}), "
+                f"got {populations.shape}"
+            )
+        if np.any(populations < 0.0) or not np.all(np.isfinite(populations)):
+            raise ModelError("populations must be finite and non-negative")
+        batch = populations.shape[0]
+        mu = self._capacity
+        util = self._utilization
+
+        def gap_of(phi: np.ndarray) -> np.ndarray:
+            rates = table.rates(phi)
+            demand = np.einsum("bn,bn->b", populations, rates)
+            return util.theta(phi, mu) - demand
+
+        def gap_and_slope(phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            rates = table.rates(phi)
+            d_rates = table.d_rates(phi)
+            demand = np.einsum("bn,bn->b", populations, rates)
+            demand_slope = np.einsum("bn,bn->b", populations, d_rates)
+            gap = util.theta(phi, mu) - demand
+            slope = util.dtheta_dphi(phi, mu) - demand_slope
+            return gap, slope
+
+        idle = ~populations.any(axis=1)
+        phi = np.zeros(batch)
+        solved = idle.copy()
+
+        if phi0 is not None and not np.all(solved):
+            start = np.maximum(np.asarray(phi0, dtype=float), 0.0)
+            start = np.where(np.isfinite(start) & ~solved, start, 0.0)
+            warm, converged = newton_polish_batch(
+                gap_and_slope, start, lower=0.0, rtol=_NEWTON_RTOL, max_iter=25
+            )
+            take = converged & ~solved
+            phi = np.where(take, warm, phi)
+            solved |= take
+
+        if not np.all(solved):
+            cold = self._solve_cold(gap_of, gap_and_slope, batch, ~solved)
+            phi = np.where(solved, phi, cold)
+
+        rates = table.rates(phi)
+        d_rates = table.d_rates(phi)
+        gap_slopes = util.dtheta_dphi(phi, mu) - np.einsum(
+            "bn,bn->b", populations, d_rates
+        )
+        return BatchedSystemState(
+            utilizations=phi,
+            rates=rates,
+            throughputs=populations * rates,
+            populations=populations,
+            gap_slopes=gap_slopes,
+            capacity=mu,
+        )
+
+    def _solve_cold(self, gap_of, gap_and_slope, batch: int, rows) -> np.ndarray:
+        """Bracket + bisect + Newton for the rows selected by ``rows``."""
+        lo, hi, f_lo, f_hi = expand_bracket_batch(gap_of, batch)
+        coarse = bracketed_root_batch(
+            gap_of,
+            lo,
+            hi,
+            f_lo,
+            f_hi,
+            active=np.asarray(rows, dtype=bool),
+            xtol=1e-6,
+            bisect_iters=25,
+            max_iter=30,
+        )
+        polished, converged = newton_polish_batch(
+            gap_and_slope, coarse, lower=0.0, rtol=_NEWTON_RTOL, max_iter=40
+        )
+        if not np.all(converged | ~np.asarray(rows, dtype=bool)):
+            # Extremely defensive: finish stragglers by pure bisection to xtol.
+            refined = bracketed_root_batch(
+                gap_of,
+                lo,
+                hi,
+                f_lo,
+                f_hi,
+                active=np.asarray(rows, dtype=bool) & ~converged,
+                xtol=self._xtol,
+                bisect_iters=200,
+                max_iter=200,
+            )
+            polished = np.where(converged, polished, refined)
+        return polished

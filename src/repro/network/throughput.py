@@ -1,8 +1,13 @@
-"""Per-user throughput families ``λ(φ)`` (Assumption 1).
+"""Per-user throughput families ``λ(φ)`` (Assumption 1) — array-native.
 
 Assumption 1 requires each ``λ_i(φ)`` to be differentiable, strictly
 decreasing in the utilization ``φ`` and to vanish as ``φ → ∞``: users obtain
 less throughput the more congested the system is.
+
+All families accept a scalar utilization or an ndarray of utilizations and
+return a matching scalar or array; :class:`ThroughputTable` stacks a
+market's throughput laws for single-shot ``(B, N)`` rate evaluation with a
+closed-form fast path when every law is exponential.
 
 * :class:`ExponentialThroughput` — ``λ(φ) = λ(0)·e^{−βφ}``, the paper's
   numerical family. Its φ-elasticity is the closed form ``ε^λ_φ = −βφ``
@@ -16,48 +21,69 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
 
 import math
+
+import numpy as np
 
 from repro.exceptions import ModelError
 
 __all__ = [
     "ThroughputFunction",
+    "ThroughputTable",
     "ExponentialThroughput",
     "PowerLawThroughput",
     "RationalThroughput",
 ]
 
 
+def _is_scalar(x) -> bool:
+    """Whether ``x`` should take the scalar ``math`` fast path."""
+    return isinstance(x, (int, float))
+
+
 class ThroughputFunction(ABC):
-    """Interface for per-user throughput as a function of utilization."""
+    """Interface for per-user throughput as a function of utilization.
+
+    All methods accept either a scalar utilization or an ndarray and return
+    a matching scalar or ndarray.
+    """
 
     @abstractmethod
-    def rate(self, phi: float) -> float:
+    def rate(self, phi):
         """Per-user throughput ``λ(φ)`` at utilization ``φ ≥ 0``."""
 
     @abstractmethod
-    def d_rate(self, phi: float) -> float:
+    def d_rate(self, phi):
         """Derivative ``dλ/dφ`` (strictly negative under Assumption 1)."""
 
-    def elasticity(self, phi: float) -> float:
+    def elasticity(self, phi):
         """φ-elasticity of throughput ``ε^λ_φ = (dλ/dφ)·(φ/λ)`` (Def. 2).
 
         This is the congestion-sensitivity measure entering condition (7)
         of Theorem 2 and the threshold ``τ_i`` of Theorem 3.
         """
         lam = self.rate(phi)
-        if lam == 0.0:
-            return float("-inf")
-        return self.d_rate(phi) * phi / lam
+        if _is_scalar(phi):
+            if lam == 0.0:
+                return float("-inf")
+            return self.d_rate(phi) * phi / lam
+        phi = np.asarray(phi, dtype=float)
+        lam = np.asarray(lam, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(lam == 0.0, -np.inf, self.d_rate(phi) * phi / lam)
 
     def peak_rate(self) -> float:
         """Uncongested throughput ``λ(0)``."""
         return self.rate(0.0)
 
     @staticmethod
-    def _require_utilization(phi: float) -> None:
-        if phi < 0.0 or math.isnan(phi):
+    def _require_utilization(phi) -> None:
+        if _is_scalar(phi):
+            if phi < 0.0 or math.isnan(phi):
+                raise ModelError(f"utilization must be non-negative, got {phi}")
+        elif np.any(np.asarray(phi) < 0.0) or np.any(np.isnan(np.asarray(phi))):
             raise ModelError(f"utilization must be non-negative, got {phi}")
 
 
@@ -79,17 +105,23 @@ class ExponentialThroughput(ThroughputFunction):
         if self.peak <= 0.0:
             raise ModelError(f"peak rate must be positive, got {self.peak}")
 
-    def rate(self, phi: float) -> float:
+    def rate(self, phi):
         self._require_utilization(phi)
-        return self.peak * math.exp(-self.beta * phi)
+        if _is_scalar(phi):
+            return self.peak * math.exp(-self.beta * phi)
+        return self.peak * np.exp(-self.beta * np.asarray(phi, dtype=float))
 
-    def d_rate(self, phi: float) -> float:
+    def d_rate(self, phi):
         self._require_utilization(phi)
-        return -self.beta * self.peak * math.exp(-self.beta * phi)
+        if _is_scalar(phi):
+            return -self.beta * self.peak * math.exp(-self.beta * phi)
+        return -self.beta * self.rate(phi)
 
-    def elasticity(self, phi: float) -> float:
+    def elasticity(self, phi):
         self._require_utilization(phi)
-        return -self.beta * phi
+        if _is_scalar(phi):
+            return -self.beta * phi
+        return -self.beta * np.asarray(phi, dtype=float)
 
     def with_peak(self, peak: float) -> "ExponentialThroughput":
         """Copy with a different uncongested rate (used by Lemma 2 rescaling)."""
@@ -113,16 +145,24 @@ class PowerLawThroughput(ThroughputFunction):
         if self.peak <= 0.0:
             raise ModelError(f"peak rate must be positive, got {self.peak}")
 
-    def rate(self, phi: float) -> float:
+    def rate(self, phi):
         self._require_utilization(phi)
-        return self.peak * (1.0 + phi) ** (-self.beta)
+        if _is_scalar(phi):
+            return self.peak * (1.0 + phi) ** (-self.beta)
+        return self.peak * (1.0 + np.asarray(phi, dtype=float)) ** (-self.beta)
 
-    def d_rate(self, phi: float) -> float:
+    def d_rate(self, phi):
         self._require_utilization(phi)
+        if _is_scalar(phi):
+            return -self.beta * self.peak * (1.0 + phi) ** (-self.beta - 1.0)
+        phi = np.asarray(phi, dtype=float)
         return -self.beta * self.peak * (1.0 + phi) ** (-self.beta - 1.0)
 
-    def elasticity(self, phi: float) -> float:
+    def elasticity(self, phi):
         self._require_utilization(phi)
+        if _is_scalar(phi):
+            return -self.beta * phi / (1.0 + phi)
+        phi = np.asarray(phi, dtype=float)
         return -self.beta * phi / (1.0 + phi)
 
     def with_peak(self, peak: float) -> "PowerLawThroughput":
@@ -147,18 +187,73 @@ class RationalThroughput(ThroughputFunction):
         if self.peak <= 0.0:
             raise ModelError(f"peak rate must be positive, got {self.peak}")
 
-    def rate(self, phi: float) -> float:
+    def rate(self, phi):
         self._require_utilization(phi)
-        return self.peak / (1.0 + self.beta * phi)
+        if _is_scalar(phi):
+            return self.peak / (1.0 + self.beta * phi)
+        return self.peak / (1.0 + self.beta * np.asarray(phi, dtype=float))
 
-    def d_rate(self, phi: float) -> float:
+    def d_rate(self, phi):
         self._require_utilization(phi)
+        if _is_scalar(phi):
+            return -self.beta * self.peak / (1.0 + self.beta * phi) ** 2
+        phi = np.asarray(phi, dtype=float)
         return -self.beta * self.peak / (1.0 + self.beta * phi) ** 2
 
-    def elasticity(self, phi: float) -> float:
+    def elasticity(self, phi):
         self._require_utilization(phi)
+        if _is_scalar(phi):
+            return -self.beta * phi / (1.0 + self.beta * phi)
+        phi = np.asarray(phi, dtype=float)
         return -self.beta * phi / (1.0 + self.beta * phi)
 
     def with_peak(self, peak: float) -> "RationalThroughput":
         """Copy with a different uncongested rate (used by Lemma 2 rescaling)."""
         return RationalThroughput(beta=self.beta, peak=peak)
+
+
+class ThroughputTable:
+    """Stacked rate evaluation for a fixed list of throughput laws.
+
+    The batched congestion solver evaluates all ``N`` classes' rates at a
+    ``(B,)`` utilization vector every iteration; this table turns that into
+    one ``(B, N)`` matrix operation. When every law is an
+    :class:`ExponentialThroughput` the whole matrix is a single ``np.exp``
+    of an outer product (bitwise identical to the per-law array path);
+    otherwise each column dispatches to its law's own array-native methods.
+    """
+
+    def __init__(self, throughputs: Sequence[ThroughputFunction]) -> None:
+        self._throughputs: tuple[ThroughputFunction, ...] = tuple(throughputs)
+        if not self._throughputs:
+            raise ModelError("a throughput table needs at least one law")
+        self._exponential = all(
+            type(fn) is ExponentialThroughput for fn in self._throughputs
+        )
+        if self._exponential:
+            self._betas = np.array([fn.beta for fn in self._throughputs])
+            self._peaks = np.array([fn.peak for fn in self._throughputs])
+
+    @property
+    def size(self) -> int:
+        """Number of columns (throughput laws)."""
+        return len(self._throughputs)
+
+    @property
+    def throughputs(self) -> tuple[ThroughputFunction, ...]:
+        """The underlying laws, in column order."""
+        return self._throughputs
+
+    def rates(self, phi: np.ndarray) -> np.ndarray:
+        """Rates ``λ_i(φ_b)`` as a ``(B, N)`` matrix for ``φ`` of shape ``(B,)``."""
+        phi = np.asarray(phi, dtype=float)
+        if self._exponential:
+            return self._peaks * np.exp(-self._betas * phi[:, None])
+        return np.stack([fn.rate(phi) for fn in self._throughputs], axis=1)
+
+    def d_rates(self, phi: np.ndarray) -> np.ndarray:
+        """Derivatives ``λ'_i(φ_b)`` as a ``(B, N)`` matrix."""
+        phi = np.asarray(phi, dtype=float)
+        if self._exponential:
+            return -self._betas * self.rates(phi)
+        return np.stack([fn.d_rate(phi) for fn in self._throughputs], axis=1)

@@ -7,6 +7,11 @@ increasing in aggregate throughput ``θ``, strictly decreasing in capacity
 the "throughput supply" at utilization ``φ`` and the first term of the gap
 function ``g(φ)`` of Lemma 1.
 
+All metrics are array-native: ``theta``/``phi``/``dtheta_*`` accept a scalar
+or an ndarray first argument (utilization or throughput) and broadcast, so
+the batched congestion solver can evaluate the supply side of a whole
+``(B,)`` utilization vector in one call.
+
 Three concrete families:
 
 * :class:`LinearUtilization` — ``Φ = θ/µ``, the paper's numerical choice
@@ -22,6 +27,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ModelError
 
 __all__ = [
@@ -32,27 +39,40 @@ __all__ = [
 ]
 
 
+def _is_scalar(x) -> bool:
+    return isinstance(x, (int, float))
+
+
+def _require_nonnegative(value, label: str) -> None:
+    if _is_scalar(value):
+        if value < 0.0:
+            raise ModelError(f"{label} must be non-negative, got {value}")
+    elif np.any(np.asarray(value) < 0.0):
+        raise ModelError(f"{label} must be non-negative, got {value}")
+
+
 class UtilizationFunction(ABC):
     """Interface for utilization metrics satisfying Assumption 1.
 
     Implementations must be valid for all ``θ ≥ 0`` within their stated
     domain and all ``µ > 0``; utilization values range over ``[0, ∞)``.
+    First arguments may be scalars or ndarrays and broadcast element-wise.
     """
 
     @abstractmethod
-    def phi(self, theta: float, mu: float) -> float:
+    def phi(self, theta, mu: float):
         """Utilization ``Φ(θ, µ)`` induced by aggregate throughput ``θ``."""
 
     @abstractmethod
-    def theta(self, phi: float, mu: float) -> float:
+    def theta(self, phi, mu: float):
         """Inverse ``Θ(φ, µ)``: throughput that induces utilization ``φ``."""
 
     @abstractmethod
-    def dtheta_dphi(self, phi: float, mu: float) -> float:
+    def dtheta_dphi(self, phi, mu: float):
         """Partial ``∂Θ/∂φ`` — the supply slope in the gap derivative (2)."""
 
     @abstractmethod
-    def dtheta_dmu(self, phi: float, mu: float) -> float:
+    def dtheta_dmu(self, phi, mu: float):
         """Partial ``∂Θ/∂µ`` — drives the capacity effect of Theorem 1."""
 
     def max_throughput(self, mu: float) -> float:
@@ -74,23 +94,23 @@ class LinearUtilization(UtilizationFunction):
     ``dg/dφ = µ + Σ β_i θ_i`` for the exponential family.
     """
 
-    def phi(self, theta: float, mu: float) -> float:
+    def phi(self, theta, mu: float):
         self._require_positive_capacity(mu)
-        if theta < 0.0:
-            raise ModelError(f"throughput must be non-negative, got {theta}")
+        _require_nonnegative(theta, "throughput")
         return theta / mu
 
-    def theta(self, phi: float, mu: float) -> float:
+    def theta(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return phi * mu
 
-    def dtheta_dphi(self, phi: float, mu: float) -> float:
+    def dtheta_dphi(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        return mu
+        if _is_scalar(phi):
+            return mu
+        return np.full_like(np.asarray(phi, dtype=float), mu)
 
-    def dtheta_dmu(self, phi: float, mu: float) -> float:
+    def dtheta_dmu(self, phi, mu: float):
         self._require_positive_capacity(mu)
         return phi
 
@@ -110,35 +130,44 @@ class PowerLawUtilization(UtilizationFunction):
         if self.gamma <= 0.0:
             raise ModelError(f"gamma must be positive, got {self.gamma}")
 
-    def phi(self, theta: float, mu: float) -> float:
+    def phi(self, theta, mu: float):
         self._require_positive_capacity(mu)
-        if theta < 0.0:
-            raise ModelError(f"throughput must be non-negative, got {theta}")
+        _require_nonnegative(theta, "throughput")
         return (theta / mu) ** self.gamma
 
-    def theta(self, phi: float, mu: float) -> float:
+    def theta(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return mu * phi ** (1.0 / self.gamma)
 
-    def dtheta_dphi(self, phi: float, mu: float) -> float:
+    def dtheta_dphi(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
-        if phi == 0.0:
-            # Limit of (µ/γ)·φ^{1/γ − 1}: 0 for γ < 1, µ for γ = 1, ∞ for γ > 1.
-            if self.gamma < 1.0:
-                return 0.0
-            if self.gamma == 1.0:
-                return mu
-            return float("inf")
-        return (mu / self.gamma) * phi ** (1.0 / self.gamma - 1.0)
+        _require_nonnegative(phi, "utilization")
+        if _is_scalar(phi):
+            if phi == 0.0:
+                # Limit of (µ/γ)·φ^{1/γ − 1}: 0 for γ < 1, µ for γ = 1, ∞ for γ > 1.
+                if self.gamma < 1.0:
+                    return 0.0
+                if self.gamma == 1.0:
+                    return mu
+                return float("inf")
+            return (mu / self.gamma) * phi ** (1.0 / self.gamma - 1.0)
+        phi = np.asarray(phi, dtype=float)
+        if self.gamma < 1.0:
+            limit = 0.0
+        elif self.gamma == 1.0:
+            limit = mu
+        else:
+            limit = np.inf
+        with np.errstate(divide="ignore"):
+            interior = (mu / self.gamma) * np.where(phi == 0.0, 1.0, phi) ** (
+                1.0 / self.gamma - 1.0
+            )
+        return np.where(phi == 0.0, limit, interior)
 
-    def dtheta_dmu(self, phi: float, mu: float) -> float:
+    def dtheta_dmu(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return phi ** (1.0 / self.gamma)
 
 
@@ -152,33 +181,32 @@ class MM1Utilization(UtilizationFunction):
     where ``φ`` grows without physical bound. ``Θ(φ, µ) = µ·φ/(1 + φ)``.
     """
 
-    def phi(self, theta: float, mu: float) -> float:
+    def phi(self, theta, mu: float):
         self._require_positive_capacity(mu)
-        if theta < 0.0:
-            raise ModelError(f"throughput must be non-negative, got {theta}")
-        if theta >= mu:
+        _require_nonnegative(theta, "throughput")
+        at_capacity = (
+            theta >= mu if _is_scalar(theta) else np.any(np.asarray(theta) >= mu)
+        )
+        if at_capacity:
             raise ModelError(
                 f"M/M/1 utilization undefined at or above capacity "
                 f"(theta={theta}, mu={mu})"
             )
         return theta / (mu - theta)
 
-    def theta(self, phi: float, mu: float) -> float:
+    def theta(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return mu * phi / (1.0 + phi)
 
-    def dtheta_dphi(self, phi: float, mu: float) -> float:
+    def dtheta_dphi(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return mu / (1.0 + phi) ** 2
 
-    def dtheta_dmu(self, phi: float, mu: float) -> float:
+    def dtheta_dmu(self, phi, mu: float):
         self._require_positive_capacity(mu)
-        if phi < 0.0:
-            raise ModelError(f"utilization must be non-negative, got {phi}")
+        _require_nonnegative(phi, "utilization")
         return phi / (1.0 + phi)
 
     def max_throughput(self, mu: float) -> float:

@@ -14,12 +14,13 @@ ISP, and the market that wires them to the physical substrate.
 
 from repro.providers.content_provider import ContentProvider, exponential_cp
 from repro.providers.isp import AccessISP
-from repro.providers.market import Market, MarketState
+from repro.providers.market import Market, MarketState, MarketStateBatch
 
 __all__ = [
     "AccessISP",
     "ContentProvider",
     "Market",
     "MarketState",
+    "MarketStateBatch",
     "exponential_cp",
 ]

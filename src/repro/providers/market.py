@@ -8,6 +8,12 @@ solved :class:`MarketState`:
     θ_i = m_i·λ_i(φ)  →  U_i = (v_i − s_i)·θ_i,  R = p·θ,  W = Σ v_i·θ_i
 
 The zero-subsidy case reproduces the one-sided-pricing model of §3.2.
+
+:meth:`Market.solve_batch` evaluates a whole ``(B, N)`` batch of subsidy
+profiles in one array-native pass — stacked demand collection, one
+vectorized congestion solve, matrix payoff algebra — and returns a
+:class:`MarketStateBatch` whose rows agree with ``B`` scalar solves to well
+below 1e-12.
 """
 
 from __future__ import annotations
@@ -18,11 +24,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.network.system import CongestionSystem, SystemState, TrafficClass
+from repro.network.demand import DemandTable
+from repro.network.system import (
+    BatchedSystemState,
+    CongestionSystem,
+    SystemState,
+    TrafficClass,
+)
+from repro.network.throughput import ThroughputTable
 from repro.providers.content_provider import ContentProvider
 from repro.providers.isp import AccessISP
 
-__all__ = ["Market", "MarketState"]
+__all__ = ["Market", "MarketState", "MarketStateBatch"]
 
 
 @dataclass(frozen=True)
@@ -81,6 +94,61 @@ class MarketState:
         return int(self.throughputs.size)
 
 
+@dataclass(frozen=True)
+class MarketStateBatch:
+    """Solved snapshots of the market under ``B`` subsidy profiles at once.
+
+    The batched sibling of :class:`MarketState`: vector quantities are
+    ``(B, N)`` matrices, scalar quantities are ``(B,)`` vectors. Row ``b``
+    is the market solved under ``subsidies[b]``.
+    """
+
+    subsidies: np.ndarray
+    effective_prices: np.ndarray
+    populations: np.ndarray
+    utilizations: np.ndarray
+    rates: np.ndarray
+    throughputs: np.ndarray
+    utilities: np.ndarray
+    revenues: np.ndarray
+    welfares: np.ndarray
+    gap_slopes: np.ndarray
+    price: float
+    capacity: float
+
+    @property
+    def batch_size(self) -> int:
+        """Number of solved profiles ``B``."""
+        return int(self.subsidies.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of CPs ``N``."""
+        return int(self.subsidies.shape[1])
+
+    @property
+    def aggregate_throughputs(self) -> np.ndarray:
+        """Total delivered throughput per profile, shape ``(B,)``."""
+        return self.throughputs.sum(axis=1)
+
+    def state(self, index: int) -> MarketState:
+        """The scalar :class:`MarketState` of batch row ``index``."""
+        return MarketState(
+            subsidies=self.subsidies[index].copy(),
+            effective_prices=self.effective_prices[index].copy(),
+            populations=self.populations[index].copy(),
+            utilization=float(self.utilizations[index]),
+            rates=self.rates[index].copy(),
+            throughputs=self.throughputs[index].copy(),
+            utilities=self.utilities[index].copy(),
+            revenue=float(self.revenues[index]),
+            welfare=float(self.welfares[index]),
+            gap_slope=float(self.gap_slopes[index]),
+            price=self.price,
+            capacity=self.capacity,
+        )
+
+
 class Market:
     """An access ISP together with the CPs whose traffic it terminates.
 
@@ -112,6 +180,10 @@ class Market:
         self._isp = isp
         self._system = isp.congestion_system()
         self._values = np.array([cp.value for cp in providers])
+        self._demand_table = DemandTable([cp.demand for cp in providers])
+        self._throughput_table = ThroughputTable(
+            [cp.throughput for cp in providers]
+        )
 
     # ------------------------------------------------------------------
     # accessors
@@ -141,6 +213,16 @@ class Market:
         """Vector of CP profitabilities ``v``."""
         return self._values.copy()
 
+    @property
+    def demand_table(self) -> DemandTable:
+        """Column-stacked demand functions (batched evaluation)."""
+        return self._demand_table
+
+    @property
+    def throughput_table(self) -> ThroughputTable:
+        """Column-stacked throughput laws (batched evaluation)."""
+        return self._throughput_table
+
     def with_price(self, price: float) -> "Market":
         """Same market under a different ISP price (pricing sweeps)."""
         return Market(self._providers, self._isp.with_price(price))
@@ -165,6 +247,18 @@ class Market:
         if arr.shape != (self.size,):
             raise ModelError(
                 f"subsidy profile must have shape ({self.size},), got {arr.shape}"
+            )
+        if np.any(arr < -1e-12) or not np.all(np.isfinite(arr)):
+            raise ModelError("subsidies must be finite and non-negative")
+        return np.clip(arr, 0.0, None)
+
+    def _as_subsidy_matrix(self, profiles) -> np.ndarray:
+        arr = np.asarray(profiles, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.size:
+            raise ModelError(
+                f"subsidy batch must have shape (B, {self.size}), got {arr.shape}"
             )
         if np.any(arr < -1e-12) or not np.all(np.isfinite(arr)):
             raise ModelError("subsidies must be finite and non-negative")
@@ -205,6 +299,40 @@ class Market:
             revenue=self._isp.revenue(aggregate),
             welfare=float(np.dot(self._values, throughputs)),
             gap_slope=state.gap_slope,
+            price=price,
+            capacity=self._isp.capacity,
+        )
+
+    def solve_batch(
+        self, profiles, *, phi0: np.ndarray | None = None
+    ) -> MarketStateBatch:
+        """Solve the market under a whole ``(B, N)`` batch of profiles.
+
+        One stacked demand collection, one vectorized congestion solve and
+        matrix payoff algebra replace ``B`` scalar solves. ``phi0`` warm
+        starts the utilization roots (iteration counts only — converged
+        values are start-independent to machine precision).
+        """
+        s = self._as_subsidy_matrix(profiles)
+        price = self._isp.price
+        effective = price - s
+        populations = self._demand_table.populations(effective)
+        system_batch: BatchedSystemState = self._system.solve_population_batch(
+            self._throughput_table, populations, phi0=phi0
+        )
+        throughputs = system_batch.throughputs
+        utilities = (self._values[None, :] - s) * throughputs
+        return MarketStateBatch(
+            subsidies=s,
+            effective_prices=effective,
+            populations=populations,
+            utilizations=system_batch.utilizations,
+            rates=system_batch.rates,
+            throughputs=throughputs,
+            utilities=utilities,
+            revenues=price * throughputs.sum(axis=1),
+            welfares=throughputs @ self._values,
+            gap_slopes=system_batch.gap_slopes,
             price=price,
             capacity=self._isp.capacity,
         )

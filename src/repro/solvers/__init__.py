@@ -15,6 +15,11 @@ Everything here is deliberately dependency-light (numpy + scipy only) and
 deterministic.
 """
 
+from repro.solvers.batch_rootfind import (
+    bracketed_root_batch,
+    expand_bracket_batch,
+    newton_polish_batch,
+)
 from repro.solvers.differentiation import (
     derivative,
     gradient,
@@ -49,15 +54,18 @@ __all__ = [
     "anderson_fixed_point",
     "bisect_increasing",
     "bracket_increasing",
+    "bracketed_root_batch",
     "clip_scalar",
     "damped_fixed_point",
     "derivative",
+    "expand_bracket_batch",
     "extragradient_box",
     "golden_section_maximize",
     "gradient",
     "grid_polish_maximize",
     "jacobian",
     "maximize_on_interval",
+    "newton_polish_batch",
     "project_box",
     "projection_method_box",
     "second_derivative",

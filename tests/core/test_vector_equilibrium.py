@@ -1,0 +1,96 @@
+"""The vectorized Jacobi/Newton sweep versus the scalar Gauss–Seidel path."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import (
+    best_response_profile,
+    best_response_profile_vectorized,
+)
+from repro.core.equilibrium import (
+    solve_equilibrium,
+    solve_equilibrium_best_response,
+)
+from repro.core.game import SubsidizationGame
+
+
+class TestVectorizedBestResponses:
+    def test_matches_scalar_profile_map(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        rng = np.random.default_rng(21)
+        for _ in range(5):
+            s = rng.uniform(0.0, 1.0, size=game.size)
+            vector = best_response_profile_vectorized(game, s)
+            scalar = best_response_profile(game, s)
+            np.testing.assert_allclose(vector, scalar, atol=1e-9)
+
+    def test_zero_cap_all_zero(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.0)
+        out = best_response_profile_vectorized(game, np.zeros(game.size))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_corner_pinning_at_generous_cap(self, two_cp_market):
+        # With cap far above every profitability, responses cap at v_i or
+        # the interior root — never above the margin.
+        game = SubsidizationGame(two_cp_market, 10.0)
+        values = game.market.values
+        out = best_response_profile_vectorized(game, np.zeros(game.size))
+        assert np.all(out <= values + 1e-12)
+
+
+class TestSweepModes:
+    def test_vector_and_scalar_agree(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        vector = solve_equilibrium_best_response(game, sweep="vector")
+        scalar = solve_equilibrium_best_response(game, sweep="scalar")
+        np.testing.assert_allclose(
+            vector.subsidies, scalar.subsidies, atol=1e-8
+        )
+        assert vector.kkt_residual <= 1e-10
+        assert scalar.kkt_residual <= 1e-8
+
+    def test_auto_produces_certified_equilibrium(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 0.7)
+        result = solve_equilibrium_best_response(game)
+        assert result.kkt_residual <= 1e-9
+
+    def test_unknown_sweep_rejected(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 1.0)
+        with pytest.raises(ValueError):
+            solve_equilibrium_best_response(game, sweep="warp")
+
+    def test_vector_warm_start_fast_path(self, four_cp_market):
+        game = SubsidizationGame(four_cp_market, 1.0)
+        cold = solve_equilibrium_best_response(game, sweep="vector")
+        warm = solve_equilibrium_best_response(
+            game, sweep="vector", initial=cold.subsidies
+        )
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(warm.subsidies, cold.subsidies, atol=1e-9)
+
+
+class TestZeroCapShortCircuit:
+    def test_result_subsidies_are_caller_owned(self, two_cp_market):
+        # The q = 0 early return must hand out a private array: mutating it
+        # must affect neither the embedded state nor later solves.
+        game = SubsidizationGame(two_cp_market, 0.0)
+        first = solve_equilibrium_best_response(game)
+        first.subsidies[:] = 99.0
+        np.testing.assert_array_equal(first.state.subsidies, 0.0)
+        second = solve_equilibrium_best_response(game)
+        np.testing.assert_array_equal(second.subsidies, 0.0)
+
+    def test_vi_solver_shares_the_short_circuit(self, two_cp_market):
+        from repro.core.equilibrium import solve_equilibrium_vi
+
+        game = SubsidizationGame(two_cp_market, 0.0)
+        result = solve_equilibrium_vi(game)
+        np.testing.assert_array_equal(result.subsidies, 0.0)
+        assert result.method == "vi"
+        assert result.iterations == 0
+
+    def test_certified_frontend_zero_cap(self, two_cp_market):
+        game = SubsidizationGame(two_cp_market, 0.0)
+        result = solve_equilibrium(game)
+        np.testing.assert_array_equal(result.subsidies, 0.0)
+        assert result.kkt_residual == 0.0

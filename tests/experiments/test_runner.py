@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.experiments import fig04
-from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    canonical_experiment,
+    main,
+    run_experiments,
+)
 
 
 class TestRegistry:
@@ -18,6 +23,23 @@ class TestRegistry:
             "fig10",
             "fig11",
         }
+
+
+class TestCanonicalNames:
+    def test_zero_padded_spellings_accepted(self):
+        assert canonical_experiment("fig04") == "fig4"
+        assert canonical_experiment("fig4") == "fig4"
+        assert canonical_experiment("fig10") == "fig10"
+        assert canonical_experiment("FIG07") == "fig7"
+
+    def test_unknown_names_pass_through(self):
+        assert canonical_experiment("nope") == "nope"
+        assert canonical_experiment("fig0") == "fig0"
+
+    def test_run_experiments_accepts_padded_name(self, tmp_path):
+        results = run_experiments(["fig04"], out_dir=tmp_path, quiet=True)
+        assert results[0].experiment_id == "fig4"
+        assert (tmp_path / "fig4-left.csv").exists()
 
 
 class TestRunExperiments:
@@ -63,4 +85,26 @@ class TestMain:
         monkeypatch.setitem(EXPERIMENTS, "fig4", fake_compute)
         code = main(["fig4", "--out", str(tmp_path), "--quiet"])
         assert code == 1
-        assert "forced failure" in capsys.readouterr().err
+        # On failure the summary and the FAIL detail share stderr.
+        err = capsys.readouterr().err
+        assert "forced failure" in err
+        assert "1 failure(s)" in err
+
+    def test_summary_and_failures_share_a_stream(self, tmp_path, capsys):
+        code = main(["fig04", "--out", str(tmp_path), "--quiet"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0 failure(s)" in captured.out
+        assert "FAIL" not in captured.err
+
+    def test_workers_flag_round_trips(self, tmp_path):
+        from repro.engine import get_default_workers
+
+        code = main(["fig4", "--out", str(tmp_path), "--quiet", "--workers", "2"])
+        assert code == 0
+        # The CLI restores the process-wide default on exit.
+        assert get_default_workers() == 1
+
+    def test_workers_flag_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--out", str(tmp_path), "--workers", "0"])

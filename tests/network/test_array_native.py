@@ -1,0 +1,216 @@
+"""Array-native behavior of the network layer.
+
+Every demand/throughput/utilization family must accept scalar *and* array
+arguments, with the array path matching a loop of scalar calls element-wise.
+These are the foundations of the batched evaluation stack, so the parity
+tolerance is tight (1e-14) and the probes include negative effective prices,
+zero and large values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.demand import (
+    DemandTable,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ScaledDemand,
+    ShiftedPowerDemand,
+)
+from repro.network.elasticity import chain_elasticity, elasticity_of, log_derivative
+from repro.network.throughput import (
+    ExponentialThroughput,
+    PowerLawThroughput,
+    RationalThroughput,
+    ThroughputTable,
+)
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+)
+
+DEMANDS = [
+    ExponentialDemand(alpha=2.0, scale=1.5),
+    LogitDemand(alpha=3.0, midpoint=0.8, scale=2.0),
+    LinearDemand(base=2.0, slope=1.0, smoothing=1e-3),
+    ShiftedPowerDemand(alpha=1.5, scale=1.2),
+    ScaledDemand(ExponentialDemand(alpha=1.0), weight=0.5),
+]
+
+THROUGHPUTS = [
+    ExponentialThroughput(beta=3.0, peak=1.5),
+    PowerLawThroughput(beta=2.0, peak=0.7),
+    RationalThroughput(beta=4.0, peak=2.0),
+]
+
+UTILIZATIONS = [LinearUtilization(), PowerLawUtilization(gamma=2.0), MM1Utilization()]
+
+PRICES = np.array([-2.0, -0.5, 0.0, 0.3, 1.0, 2.5, 10.0, 800.0])
+PHIS = np.array([0.0, 0.1, 0.5, 1.0, 3.0, 20.0])
+
+
+class TestDemandFamilies:
+    @pytest.mark.parametrize("demand", DEMANDS, ids=lambda d: type(d).__name__)
+    def test_population_matches_scalar_loop(self, demand):
+        vector = demand.population(PRICES)
+        scalars = [demand.population(float(t)) for t in PRICES]
+        np.testing.assert_allclose(vector, scalars, rtol=0, atol=1e-14)
+
+    @pytest.mark.parametrize("demand", DEMANDS, ids=lambda d: type(d).__name__)
+    def test_d_population_matches_scalar_loop(self, demand):
+        vector = demand.d_population(PRICES)
+        scalars = [demand.d_population(float(t)) for t in PRICES]
+        np.testing.assert_allclose(vector, scalars, rtol=0, atol=1e-14)
+
+    @pytest.mark.parametrize("demand", DEMANDS, ids=lambda d: type(d).__name__)
+    def test_elasticity_matches_scalar_loop(self, demand):
+        vector = demand.elasticity(PRICES)
+        scalars = [demand.elasticity(float(t)) for t in PRICES]
+        np.testing.assert_allclose(vector, scalars, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("demand", DEMANDS, ids=lambda d: type(d).__name__)
+    def test_matrix_shapes_broadcast(self, demand):
+        matrix = np.tile(PRICES[:4], (3, 1))
+        assert demand.population(matrix).shape == (3, 4)
+
+    @pytest.mark.parametrize("demand", DEMANDS, ids=lambda d: type(d).__name__)
+    def test_scalar_calls_still_return_floats(self, demand):
+        assert isinstance(demand.population(0.7), float)
+        assert isinstance(demand.d_population(0.7), float)
+
+
+class TestThroughputFamilies:
+    @pytest.mark.parametrize("fn", THROUGHPUTS, ids=lambda f: type(f).__name__)
+    def test_rate_matches_scalar_loop(self, fn):
+        np.testing.assert_allclose(
+            fn.rate(PHIS), [fn.rate(float(p)) for p in PHIS], rtol=0, atol=1e-14
+        )
+
+    @pytest.mark.parametrize("fn", THROUGHPUTS, ids=lambda f: type(f).__name__)
+    def test_d_rate_matches_scalar_loop(self, fn):
+        np.testing.assert_allclose(
+            fn.d_rate(PHIS), [fn.d_rate(float(p)) for p in PHIS], rtol=0, atol=1e-14
+        )
+
+    @pytest.mark.parametrize("fn", THROUGHPUTS, ids=lambda f: type(f).__name__)
+    def test_elasticity_matches_scalar_loop(self, fn):
+        np.testing.assert_allclose(
+            fn.elasticity(PHIS),
+            [fn.elasticity(float(p)) for p in PHIS],
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize("fn", THROUGHPUTS, ids=lambda f: type(f).__name__)
+    def test_negative_utilization_rejected_in_arrays(self, fn):
+        from repro.exceptions import ModelError
+
+        with pytest.raises(ModelError):
+            fn.rate(np.array([0.5, -0.1]))
+
+
+class TestUtilizationFamilies:
+    @pytest.mark.parametrize("util", UTILIZATIONS, ids=lambda u: type(u).__name__)
+    def test_theta_matches_scalar_loop(self, util):
+        mu = 1.7
+        np.testing.assert_allclose(
+            util.theta(PHIS, mu),
+            [util.theta(float(p), mu) for p in PHIS],
+            rtol=0,
+            atol=1e-14,
+        )
+
+    @pytest.mark.parametrize("util", UTILIZATIONS, ids=lambda u: type(u).__name__)
+    def test_dtheta_dphi_matches_scalar_loop(self, util):
+        mu = 1.7
+        np.testing.assert_allclose(
+            util.dtheta_dphi(PHIS, mu),
+            [util.dtheta_dphi(float(p), mu) for p in PHIS],
+            rtol=0,
+            atol=1e-14,
+        )
+
+    def test_power_law_boundary_limit_in_arrays(self):
+        util = PowerLawUtilization(gamma=2.0)
+        values = util.dtheta_dphi(np.array([0.0, 1.0]), 1.0)
+        assert np.isinf(values[0])
+        assert np.isfinite(values[1])
+
+
+class TestTables:
+    def test_demand_table_exponential_fast_path(self):
+        demands = [ExponentialDemand(alpha=a, scale=s) for a, s in [(2, 1), (5, 2)]]
+        table = DemandTable(demands)
+        prices = np.array([[0.5, 1.0], [-0.3, 2.0], [0.0, 0.0]])
+        expected = np.column_stack(
+            [demands[i].population(prices[:, i]) for i in range(2)]
+        )
+        np.testing.assert_array_equal(table.populations(prices), expected)
+        expected_d = np.column_stack(
+            [demands[i].d_population(prices[:, i]) for i in range(2)]
+        )
+        np.testing.assert_allclose(
+            table.d_populations(prices), expected_d, rtol=0, atol=1e-15
+        )
+
+    def test_demand_table_generic_path(self):
+        demands = [ExponentialDemand(alpha=2.0), LogitDemand(alpha=3.0)]
+        table = DemandTable(demands)
+        prices = np.array([[0.5, 1.0], [1.5, -0.2]])
+        expected = np.column_stack(
+            [demands[i].population(prices[:, i]) for i in range(2)]
+        )
+        np.testing.assert_allclose(table.populations(prices), expected, rtol=1e-15)
+
+    def test_throughput_table_fast_and_generic_agree_shapewise(self):
+        fast = ThroughputTable(
+            [ExponentialThroughput(beta=2.0), ExponentialThroughput(beta=5.0)]
+        )
+        generic = ThroughputTable(
+            [ExponentialThroughput(beta=2.0), RationalThroughput(beta=5.0)]
+        )
+        phi = np.array([0.0, 0.4, 1.3])
+        assert fast.rates(phi).shape == (3, 2)
+        assert generic.rates(phi).shape == (3, 2)
+
+    def test_throughput_table_matches_per_law_calls(self):
+        laws = [
+            ExponentialThroughput(beta=2.0, peak=1.2),
+            ExponentialThroughput(beta=5.0, peak=0.8),
+        ]
+        table = ThroughputTable(laws)
+        phi = np.array([0.0, 0.4, 1.3])
+        expected = np.stack([law.rate(phi) for law in laws], axis=1)
+        np.testing.assert_array_equal(table.rates(phi), expected)
+        expected_d = np.stack([law.d_rate(phi) for law in laws], axis=1)
+        np.testing.assert_array_equal(table.d_rates(phi), expected_d)
+
+
+class TestElasticityHelpers:
+    def test_elasticity_of_accepts_arrays(self):
+        demand = ExponentialDemand(alpha=2.0)
+        xs = np.array([0.0, 0.5, 1.0, 2.0])
+        vector = elasticity_of(
+            demand.population, xs, dfunc=demand.d_population
+        )
+        scalars = [
+            elasticity_of(demand.population, float(x), dfunc=demand.d_population)
+            for x in xs
+        ]
+        np.testing.assert_allclose(vector, scalars, rtol=1e-12)
+
+    def test_log_derivative_accepts_arrays(self):
+        demand = ExponentialDemand(alpha=3.0)
+        xs = np.array([0.1, 1.0, 4.0])
+        vector = log_derivative(demand.population, xs, dfunc=demand.d_population)
+        np.testing.assert_allclose(vector, np.full(3, -3.0), rtol=1e-12)
+
+    def test_chain_elasticity_arrays_with_zero_rule(self):
+        a = np.array([0.0, 2.0, -1.0])
+        b = np.array([np.inf, 3.0, 4.0])
+        np.testing.assert_array_equal(chain_elasticity(a, b), [0.0, 6.0, -4.0])
+
+    def test_chain_elasticity_scalars_unchanged(self):
+        assert chain_elasticity(0.0, float("inf")) == 0.0
+        assert chain_elasticity(2.0, 3.0) == 6.0

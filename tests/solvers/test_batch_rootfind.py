@@ -1,0 +1,165 @@
+"""Unit tests for the vectorized root-finding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BracketError
+from repro.solvers.batch_rootfind import (
+    bracketed_root_batch,
+    expand_bracket_batch,
+    newton_polish_batch,
+)
+
+
+def _cubic_rows(roots):
+    roots = np.asarray(roots, dtype=float)
+
+    def func(x):
+        return (x - roots) ** 3 + (x - roots)
+
+    return func
+
+
+class TestExpandBracketBatch:
+    def test_brackets_every_row(self):
+        roots = np.array([0.3, 2.7, 11.0])
+        lo, hi, f_lo, f_hi = expand_bracket_batch(_cubic_rows(roots), 3)
+        assert np.all(lo <= roots)
+        assert np.all(hi >= roots)
+        assert np.all(f_lo <= 0.0)
+        assert np.all(f_hi >= 0.0)
+
+    def test_boundary_root_collapses_bracket(self):
+        func = lambda x: x + 1.0  # root below lo=0 → boundary
+        lo, hi, f_lo, f_hi = expand_bracket_batch(func, 2)
+        np.testing.assert_array_equal(lo, hi)
+
+    def test_never_crossing_raises(self):
+        with pytest.raises(BracketError):
+            expand_bracket_batch(lambda x: np.full_like(x, -1.0), 2,
+                                 max_expansions=12)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            expand_bracket_batch(lambda x: x, 1, growth=1.0)
+        with pytest.raises(ValueError):
+            expand_bracket_batch(lambda x: x, 1, initial_width=0.0)
+
+
+class TestBracketedRootBatch:
+    def test_finds_all_roots(self):
+        roots = np.array([0.25, 1.5, 3.9, 7.2])
+        func = _cubic_rows(roots)
+        lo, hi, f_lo, f_hi = expand_bracket_batch(func, 4)
+        found = bracketed_root_batch(func, lo, hi, f_lo, f_hi, xtol=1e-13)
+        np.testing.assert_allclose(found, roots, atol=1e-12)
+
+    def test_decreasing_rows_supported(self):
+        roots = np.array([0.4, 2.0])
+
+        def func(x):
+            return roots - x  # strictly decreasing rows
+
+        lo = np.zeros(2)
+        hi = np.full(2, 4.0)
+        found = bracketed_root_batch(func, lo, hi, func(lo), func(hi), xtol=1e-13)
+        np.testing.assert_allclose(found, roots, atol=1e-12)
+
+    def test_row_trajectories_are_batch_independent(self):
+        roots = np.array([0.25, 1.5, 3.9])
+        func = _cubic_rows(roots)
+        lo, hi, f_lo, f_hi = expand_bracket_batch(func, 3)
+        joint = bracketed_root_batch(func, lo, hi, f_lo, f_hi, xtol=1e-13)
+        for i in range(3):
+            solo_func = _cubic_rows(roots[i : i + 1])
+            solo = bracketed_root_batch(
+                func=solo_func,
+                lo=lo[i : i + 1],
+                hi=hi[i : i + 1],
+                f_lo=f_lo[i : i + 1],
+                f_hi=f_hi[i : i + 1],
+                xtol=1e-13,
+            )
+            assert solo[0] == joint[i]  # bitwise
+
+    def test_inactive_rows_pass_through(self):
+        roots = np.array([1.0, 2.0])
+        func = _cubic_rows(roots)
+        lo = np.zeros(2)
+        hi = np.full(2, 5.0)
+        out = bracketed_root_batch(
+            func, lo, hi, func(lo), func(hi),
+            active=np.array([True, False]), xtol=1e-13,
+        )
+        np.testing.assert_allclose(out[0], 1.0, atol=1e-12)
+        assert out[1] == 0.0
+
+    def test_endpoint_root_detected(self):
+        func = lambda x: x - 1.0
+        lo = np.array([1.0])
+        hi = np.array([3.0])
+        out = bracketed_root_batch(func, lo, hi, func(lo), func(hi))
+        assert out[0] == 1.0
+
+    def test_missing_sign_change_raises(self):
+        func = lambda x: x + 1.0
+        lo = np.array([0.0])
+        hi = np.array([2.0])
+        with pytest.raises(BracketError):
+            bracketed_root_batch(func, lo, hi, func(lo), func(hi))
+
+    def test_composes_with_boundary_rooted_brackets(self):
+        # expand_bracket_batch collapses boundary-rooted rows to lo == hi
+        # with a positive value; the root solver must resolve those at lo
+        # instead of rejecting the "bracket" for its missing sign change.
+        def func(x):
+            return np.stack([x[0] - 2.0, x[1] + 1.0])
+
+        lo, hi, f_lo, f_hi = expand_bracket_batch(func, 2)
+        roots = bracketed_root_batch(func, lo, hi, f_lo, f_hi, xtol=1e-13)
+        np.testing.assert_allclose(roots, [2.0, 0.0], atol=1e-12)
+
+
+class TestNewtonPolishBatch:
+    def test_polishes_to_machine_precision(self):
+        roots = np.array([0.2, 1.3, 6.5])
+
+        def value_and_slope(x):
+            return np.tanh(x - roots), 1.0 / np.cosh(x - roots) ** 2
+
+        start = roots + np.array([1e-3, -2e-3, 5e-4])
+        x, converged = newton_polish_batch(value_and_slope, start)
+        assert converged.all()
+        np.testing.assert_allclose(x, roots, atol=1e-14)
+
+    def test_boundary_clamp(self):
+        # Root at -1 clamps to the lower bound 0 and reports convergence.
+        def value_and_slope(x):
+            return x + 1.0, np.ones_like(x)
+
+        x, converged = newton_polish_batch(value_and_slope, np.array([0.5]))
+        assert x[0] == 0.0
+        assert converged.all()
+
+    def test_infinite_slope_is_not_convergence(self):
+        # A zero step caused by an infinite slope says nothing about the
+        # residual; the row must be reported unconverged so callers fall
+        # back to bracketing instead of accepting a non-root.
+        def value_and_slope(x):
+            return np.full_like(x, -0.5), np.where(x == 0.0, np.inf, 1.0)
+
+        _, converged = newton_polish_batch(
+            value_and_slope, np.array([0.0]), max_iter=5
+        )
+        assert not converged.any()
+
+    def test_divergent_rows_flagged(self):
+        # Slope of the wrong magnitude keeps the iterate bouncing; the row
+        # must be reported unconverged rather than silently accepted.
+        def value_and_slope(x):
+            return np.sign(x - 1.0) + (x - 1.0), np.full_like(x, 1e-8)
+
+        _, converged = newton_polish_batch(
+            value_and_slope, np.array([0.9]), max_iter=5
+        )
+        assert not converged.all()
