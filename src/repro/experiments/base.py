@@ -64,14 +64,17 @@ class ExperimentResult:
         """Whether every shape check holds."""
         return all(check.passed for check in self.checks)
 
+    def csv_paths(self, out_dir: str | Path) -> list[Path]:
+        """Where :meth:`write_csv` puts each panel (the naming authority)."""
+        return [
+            Path(out_dir) / f"{figure.figure_id}.csv" for figure in self.figures
+        ]
+
     def write_csv(self, out_dir: str | Path) -> list[Path]:
         """Write one CSV per panel into ``out_dir``; returns the paths."""
-        out_dir = Path(out_dir)
-        paths = []
-        for figure in self.figures:
-            path = out_dir / f"{figure.figure_id}.csv"
+        paths = self.csv_paths(out_dir)
+        for figure, path in zip(self.figures, paths):
             figure.to_csv(path)
-            paths.append(path)
         return paths
 
     def render(self, *, width: int = 72, height: int = 18) -> str:

@@ -9,71 +9,61 @@ Scenario: the 9-CP exponential market of §3 under one-sided pricing
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis.series import FigureData, Series
 from repro.experiments.base import (
     ExperimentResult,
-    ShapeCheck,
     is_nonincreasing,
     is_single_peaked,
     peak_location,
 )
-from repro.experiments.scenarios import FIGURE_PRICE_GRID, section3_market
+from repro.experiments.pipeline import ExperimentSpec, PanelSpec, check, run_spec
 
-__all__ = ["compute"]
+__all__ = ["SPEC", "compute"]
+
+_NOTES = "Φ=θ/µ, µ=1, λ_i=e^{-β_i φ}, m_i=e^{-α_i p}, α,β ∈ {1,3,5}"
+
+SPEC = ExperimentSpec(
+    experiment_id="fig4",
+    title="Aggregate throughput and ISP revenue under one-sided pricing",
+    scenario="section3",
+    sweep="price",
+    panels=(
+        PanelSpec(
+            figure_id="fig4-left",
+            title="Aggregate throughput θ vs price p (9-CP §3 scenario)",
+            quantity="aggregate_throughput",
+            y_label="θ",
+            series_name="theta",
+            notes=_NOTES,
+        ),
+        PanelSpec(
+            figure_id="fig4-right",
+            title="ISP revenue R = p·θ vs price p (9-CP §3 scenario)",
+            quantity="revenue",
+            y_label="R",
+            series_name="revenue",
+            notes=_NOTES,
+        ),
+    ),
+    checks=(
+        check(
+            "aggregate throughput decreases with price (Theorem 2)",
+            lambda v: is_nonincreasing(v.line("aggregate_throughput")),
+        ),
+        check(
+            "revenue is single-peaked in price",
+            lambda v: (
+                is_single_peaked(v.line("revenue")),
+                f"peak at p ≈ {peak_location(v.prices, v.line('revenue')):.3f}",
+            ),
+        ),
+        check(
+            "revenue peak is interior (0 < p* < 2)",
+            lambda v: 0.0 < peak_location(v.prices, v.line("revenue")) < 2.0,
+        ),
+    ),
+)
 
 
 def compute(prices=None) -> ExperimentResult:
     """Regenerate both panels of Figure 4."""
-    if prices is None:
-        prices = FIGURE_PRICE_GRID
-    prices = np.asarray(prices, dtype=float)
-    market = section3_market()
-    throughput = np.empty(prices.size)
-    revenue = np.empty(prices.size)
-    for j, p in enumerate(prices):
-        state = market.with_price(float(p)).solve()
-        throughput[j] = state.aggregate_throughput
-        revenue[j] = state.revenue
-
-    left = FigureData(
-        figure_id="fig4-left",
-        title="Aggregate throughput θ vs price p (9-CP §3 scenario)",
-        x_label="p",
-        y_label="θ",
-        x=prices,
-        series=(Series("theta", throughput),),
-        notes="Φ=θ/µ, µ=1, λ_i=e^{-β_i φ}, m_i=e^{-α_i p}, α,β ∈ {1,3,5}",
-    )
-    right = FigureData(
-        figure_id="fig4-right",
-        title="ISP revenue R = p·θ vs price p (9-CP §3 scenario)",
-        x_label="p",
-        y_label="R",
-        x=prices,
-        series=(Series("revenue", revenue),),
-        notes=left.notes,
-    )
-
-    checks = (
-        ShapeCheck(
-            name="aggregate throughput decreases with price (Theorem 2)",
-            passed=is_nonincreasing(throughput),
-        ),
-        ShapeCheck(
-            name="revenue is single-peaked in price",
-            passed=is_single_peaked(revenue),
-            detail=f"peak at p ≈ {peak_location(prices, revenue):.3f}",
-        ),
-        ShapeCheck(
-            name="revenue peak is interior (0 < p* < 2)",
-            passed=0.0 < peak_location(prices, revenue) < 2.0,
-        ),
-    )
-    return ExperimentResult(
-        experiment_id="fig4",
-        title="Aggregate throughput and ISP revenue under one-sided pricing",
-        figures=(left, right),
-        checks=checks,
-    )
+    return run_spec(SPEC, prices=prices)

@@ -16,81 +16,80 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.series import FigureData, Series
-from repro.experiments.base import ExperimentResult, ShapeCheck, is_nonincreasing
-from repro.experiments.scenarios import (
-    FIGURE_PRICE_GRID,
-    SECTION3_ALPHAS,
-    SECTION3_BETAS,
-    section3_market,
+from repro.experiments.base import ExperimentResult, is_nonincreasing
+from repro.experiments.pipeline import (
+    CheckSpec,
+    ExperimentSpec,
+    PanelSpec,
+    check,
+    run_spec,
 )
+from repro.experiments.scenarios import SECTION3_ALPHAS, SECTION3_BETAS
 
-__all__ = ["compute"]
+__all__ = ["SPEC", "compute"]
+
+
+def _rises(view, index: int) -> bool:
+    """Whether CP ``index``'s throughput has a strictly increasing region."""
+    series = view.provider_line("throughputs")[:, index]
+    return bool(np.any(np.diff(series) > 1e-9))
+
+
+def _checks() -> tuple[CheckSpec, ...]:
+    checks = []
+    # Row-major order over (α, β) matches scenarios.section3_market.
+    for index, (alpha, beta) in enumerate(
+        (a, b) for a in SECTION3_ALPHAS for b in SECTION3_BETAS
+    ):
+        # Tail behaviour: the slowest-peaking CP (α=1, β=5) tops out at
+        # p = 1.5, so test decline on the last 15% of the axis only.
+        checks.append(
+            check(
+                f"θ(α={alpha:g},β={beta:g}) eventually decreases",
+                lambda v, i=index: is_nonincreasing(
+                    v.provider_line("throughputs")[
+                        int(0.85 * v.prices.size) :, i
+                    ]
+                ),
+            )
+        )
+    # The paper singles out small α/β CPs as the ones with an increasing
+    # region. Check the extreme corners explicitly (row-major indices).
+    smallest = SECTION3_BETAS.index(5.0)  # (α=1, β=5)
+    largest = len(SECTION3_BETAS) * SECTION3_ALPHAS.index(5.0)  # (α=5, β=1)
+    checks.append(
+        check(
+            "θ(α=1,β=5) (smallest α/β) has an increasing region",
+            lambda v: _rises(v, smallest),
+        )
+    )
+    checks.append(
+        check(
+            "θ(α=5,β=1) (largest α/β) is monotone decreasing",
+            lambda v: not _rises(v, largest),
+        )
+    )
+    return tuple(checks)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig5",
+    title="Per-CP throughput under one-sided pricing",
+    scenario="section3",
+    sweep="price",
+    panels=(
+        PanelSpec(
+            figure_id="fig5",
+            title="Per-CP throughput θ_i vs price p (9-CP §3 scenario)",
+            quantity="throughputs",
+            y_label="θ_i",
+            notes="rows: α ∈ {1,3,5}; cols: β ∈ {1,3,5}",
+        ),
+    ),
+    checks=_checks(),
+)
 
 
 def compute(prices=None) -> ExperimentResult:
     """Regenerate the 3×3 panel grid of Figure 5 as one multi-series figure."""
-    if prices is None:
-        prices = FIGURE_PRICE_GRID
-    prices = np.asarray(prices, dtype=float)
-    market = section3_market()
-    theta = np.empty((market.size, prices.size))
-    for j, p in enumerate(prices):
-        theta[:, j] = market.with_price(float(p)).solve().throughputs
-
-    names = market.provider_names()
-    figure = FigureData(
-        figure_id="fig5",
-        title="Per-CP throughput θ_i vs price p (9-CP §3 scenario)",
-        x_label="p",
-        y_label="θ_i",
-        x=prices,
-        series=tuple(Series(names[i], theta[i]) for i in range(market.size)),
-        notes="rows: α ∈ {1,3,5}; cols: β ∈ {1,3,5}",
-    )
-
-    checks = []
-    # Row-major order matches scenarios.section3_market.
-    index = 0
-    increasing_somewhere = []
-    for alpha in SECTION3_ALPHAS:
-        for beta in SECTION3_BETAS:
-            series = theta[index]
-            rises = bool(np.any(np.diff(series) > 1e-9))
-            increasing_somewhere.append((alpha, beta, rises))
-            # Tail behaviour: the slowest-peaking CP (α=1, β=5) tops out at
-            # p = 1.5, so test decline on the last 15% of the axis only.
-            tail = series[int(0.85 * len(series)) :]
-            checks.append(
-                ShapeCheck(
-                    name=f"θ(α={alpha:g},β={beta:g}) eventually decreases",
-                    passed=is_nonincreasing(tail),
-                )
-            )
-            index += 1
-    # The paper singles out small α/β CPs as the ones with an increasing
-    # region. Check the extreme corners explicitly.
-    def rises_for(alpha: float, beta: float) -> bool:
-        for a, b, rises in increasing_somewhere:
-            if a == alpha and b == beta:
-                return rises
-        raise LookupError(f"no CP with α={alpha}, β={beta}")
-
-    checks.append(
-        ShapeCheck(
-            name="θ(α=1,β=5) (smallest α/β) has an increasing region",
-            passed=rises_for(1.0, 5.0),
-        )
-    )
-    checks.append(
-        ShapeCheck(
-            name="θ(α=5,β=1) (largest α/β) is monotone decreasing",
-            passed=not rises_for(5.0, 1.0),
-        )
-    )
-    return ExperimentResult(
-        experiment_id="fig5",
-        title="Per-CP throughput under one-sided pricing",
-        figures=(figure,),
-        checks=tuple(checks),
-    )
+    return run_spec(SPEC, prices=prices)

@@ -14,93 +14,84 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.series import FigureData, Series
 from repro.experiments.base import (
     ExperimentResult,
-    ShapeCheck,
     is_nondecreasing,
     is_nonincreasing,
     peak_location,
 )
-from repro.experiments.grid import section5_grid
+from repro.experiments.pipeline import ExperimentSpec, PanelSpec, check, run_spec
 
-__all__ = ["compute"]
+__all__ = ["SPEC", "compute"]
+
+_NOTES = "α,β ∈ {2,5}, v ∈ {0.5,1}, µ=1"
+
+
+def _top_q_peak(view) -> float:
+    revenue = view.scalar("revenue")
+    top_q = int(np.argmax(view.caps))
+    return peak_location(view.prices, revenue[top_q])
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig7",
+    title="ISP revenue and system welfare over the (p, q) grid",
+    scenario="section5",
+    sweep="grid",
+    panels=(
+        PanelSpec(
+            figure_id="fig7-left",
+            title="ISP revenue R vs price p at five policy levels (8-CP §5 scenario)",
+            quantity="revenue",
+            y_label="R",
+            notes=_NOTES,
+        ),
+        PanelSpec(
+            figure_id="fig7-right",
+            title="System welfare W vs price p at five policy levels",
+            quantity="welfare",
+            y_label="W",
+            notes=_NOTES,
+        ),
+    ),
+    checks=(
+        # Monotonicity in q at every price point.
+        check(
+            "revenue non-decreasing in q at every fixed price (Cor. 1)",
+            lambda v: all(
+                is_nondecreasing(v.scalar("revenue")[:, j], tol=1e-7)
+                for j in range(v.prices.size)
+            ),
+        ),
+        check(
+            "welfare non-decreasing in q at every fixed price (Cor. 2)",
+            lambda v: all(
+                is_nondecreasing(v.scalar("welfare")[:, j], tol=1e-7)
+                for j in range(v.prices.size)
+            ),
+        ),
+        # Welfare falls with price once p is positive.
+        check(
+            "welfare decreases with price for p ≥ 0.05 under every q",
+            lambda v: all(
+                is_nonincreasing(
+                    v.scalar("welfare")[k][v.prices >= 0.049], tol=1e-7
+                )
+                for k in range(v.caps.size)
+            ),
+        ),
+        # The q=2 revenue peak sits a bit below p=1 (paper: "a bit less than 1").
+        check(
+            "revenue-optimal price under q=2 is a bit below 1",
+            lambda v: (
+                0.5 <= _top_q_peak(v) < 1.0,
+                f"p* ≈ {_top_q_peak(v):.3f}",
+            ),
+        ),
+    ),
+)
 
 
 def compute(prices=None, caps=None) -> ExperimentResult:
     """Regenerate both panels of Figure 7."""
-    grid = section5_grid(prices, caps)
-    revenue = grid.quantity(lambda eq: eq.state.revenue)  # [cap, price]
-    welfare = grid.quantity(lambda eq: eq.state.welfare)
-
-    def q_series(matrix: np.ndarray) -> tuple[Series, ...]:
-        return tuple(
-            Series(f"q={grid.caps[k]:g}", matrix[k]) for k in range(grid.caps.size)
-        )
-
-    left = FigureData(
-        figure_id="fig7-left",
-        title="ISP revenue R vs price p at five policy levels (8-CP §5 scenario)",
-        x_label="p",
-        y_label="R",
-        x=grid.prices,
-        series=q_series(revenue),
-        notes="α,β ∈ {2,5}, v ∈ {0.5,1}, µ=1",
-    )
-    right = FigureData(
-        figure_id="fig7-right",
-        title="System welfare W vs price p at five policy levels",
-        x_label="p",
-        y_label="W",
-        x=grid.prices,
-        series=q_series(welfare),
-        notes=left.notes,
-    )
-
-    checks = []
-    # Monotonicity in q at every price point.
-    checks.append(
-        ShapeCheck(
-            name="revenue non-decreasing in q at every fixed price (Cor. 1)",
-            passed=all(
-                is_nondecreasing(revenue[:, j], tol=1e-7)
-                for j in range(grid.prices.size)
-            ),
-        )
-    )
-    checks.append(
-        ShapeCheck(
-            name="welfare non-decreasing in q at every fixed price (Cor. 2)",
-            passed=all(
-                is_nondecreasing(welfare[:, j], tol=1e-7)
-                for j in range(grid.prices.size)
-            ),
-        )
-    )
-    # Welfare falls with price once p is positive.
-    positive = grid.prices >= 0.049
-    checks.append(
-        ShapeCheck(
-            name="welfare decreases with price for p ≥ 0.05 under every q",
-            passed=all(
-                is_nonincreasing(welfare[k][positive], tol=1e-7)
-                for k in range(grid.caps.size)
-            ),
-        )
-    )
-    # The q=2 revenue peak sits a bit below p=1 (paper: "a bit less than 1").
-    top_q = int(np.argmax(grid.caps))
-    p_star = peak_location(grid.prices, revenue[top_q])
-    checks.append(
-        ShapeCheck(
-            name="revenue-optimal price under q=2 is a bit below 1",
-            passed=0.5 <= p_star < 1.0,
-            detail=f"p* ≈ {p_star:.3f}",
-        )
-    )
-    return ExperimentResult(
-        experiment_id="fig7",
-        title="ISP revenue and system welfare over the (p, q) grid",
-        figures=(left, right),
-        checks=tuple(checks),
-    )
+    return run_spec(SPEC, prices=prices, caps=caps)

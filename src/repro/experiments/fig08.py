@@ -14,155 +14,146 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.series import FigureData, Series
-from repro.experiments.base import ExperimentResult, ShapeCheck
-from repro.experiments.grid import section5_grid
-from repro.experiments.scenarios import SECTION5_PARAMETERS, section5_market
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ExperimentSpec, PanelSpec, check, run_spec
+from repro.experiments.scenarios import (
+    SECTION5_PARAMETERS,
+    section5_index,
+    section5_twin_pairs,
+)
 
-__all__ = ["compute"]
-
-
-def _index_of_param(params, alpha: float, beta: float, value: float) -> int:
-    for i, (a, b, v) in enumerate(params):
-        if a == alpha and b == beta and v == value:
-            return i
-    raise LookupError(f"no CP with α={alpha}, β={beta}, v={value}")
+__all__ = ["SPEC", "compute"]
 
 
-def _per_cp_figures(grid, values, *, figure_id: str, quantity: str, y_label: str):
-    """One panel per CP type, five q-curves each (the paper's 2×4 layout)."""
-    market = section5_market()
-    names = market.provider_names()
-    figures = []
-    for i in range(market.size):
-        series = tuple(
-            Series(f"q={grid.caps[k]:g}", values[k, :, i])
-            for k in range(grid.caps.size)
-        )
-        figures.append(
-            FigureData(
-                figure_id=f"{figure_id}-{names[i]}",
-                title=f"{quantity} of {names[i]} vs price p",
-                x_label="p",
-                y_label=y_label,
-                x=grid.prices,
-                series=series,
-            )
-        )
-    return tuple(figures)
+def _near_cap_at_small_p(view):
+    """High-value CPs pin at (or near) the tightest positive cap at p ≈ 0.2."""
+    subsidies = view.provider("subsidies")
+    price_index = int(np.argmin(np.abs(view.prices - 0.2)))
+    positive_caps = [k for k in range(view.caps.size) if view.caps[k] > 0.0]
+    if not positive_caps:
+        return True, "no positive policy level on the grid"
+    cap_index = min(positive_caps, key=lambda k: view.caps[k])
+    q_level = float(view.caps[cap_index])
+    near_cap = [
+        subsidies[cap_index, price_index, i] >= 0.8 * q_level
+        for i, (alpha, beta, value) in enumerate(SECTION5_PARAMETERS)
+        if value == 1.0
+    ]
+    detail = f"p ≈ {view.prices[price_index]:.2f}, q = {q_level:g}"
+    return all(near_cap), detail
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig8",
+    title="Equilibrium subsidies of the 8 CP types",
+    scenario="section5",
+    sweep="grid",
+    panels=(
+        PanelSpec(
+            figure_id="fig8",
+            title="Equilibrium subsidy s_i of {name} vs price p",
+            quantity="subsidies",
+            y_label="s_i",
+        ),
+    ),
+    checks=(
+        check(
+            "all subsidies respect the policy cap",
+            lambda v: bool(
+                np.all(
+                    v.provider("subsidies") <= v.caps[:, None, None] + 1e-8
+                )
+                and np.all(v.provider("subsidies") >= -1e-12)
+            ),
+        ),
+        # Profitability: v=1 CP subsidizes at least as much as its v=0.5 twin.
+        check(
+            "higher-profitability CPs subsidize (weakly) more (Thm 5)",
+            lambda v: all(
+                bool(
+                    np.all(
+                        v.provider("subsidies")[:, :, j]
+                        >= v.provider("subsidies")[:, :, i] - 1e-7
+                    )
+                )
+                for i, j in section5_twin_pairs("value")
+            ),
+        ),
+        # Demand elasticity: α=5 CP subsidizes at least as much as its α=2 twin.
+        check(
+            "higher-demand-elasticity CPs subsidize (weakly) more",
+            lambda v: all(
+                bool(
+                    np.all(
+                        v.provider("subsidies")[:, :, j]
+                        >= v.provider("subsidies")[:, :, i] - 1e-7
+                    )
+                )
+                for i, j in section5_twin_pairs("alpha")
+            ),
+        ),
+        # Small prices: the high-value CPs subsidize at or near the tightest
+        # positive cap, while the (α=2, v=0.5) CPs abstain entirely — for
+        # exponential demand their interior optimum is v − 1/α = 0.
+        check(
+            "at small p, high-value CPs subsidize at/near the cap",
+            _near_cap_at_small_p,
+        ),
+        check(
+            "(α=2, v=0.5) CPs never subsidize (interior optimum at 0)",
+            lambda v: bool(
+                np.all(
+                    v.provider("subsidies")[
+                        :,
+                        :,
+                        [
+                            i
+                            for i, (alpha, beta, value) in enumerate(
+                                SECTION5_PARAMETERS
+                            )
+                            if alpha == 2.0 and value == 0.5
+                        ],
+                    ]
+                    <= 1e-8
+                )
+            ),
+        ),
+        # Margin squeeze: no CP ever subsidizes beyond its profitability, and
+        # the congestion-sensitive high-value (α=2) CPs' subsidies fall from
+        # their small-p level once the price rises (the paper's "stay flat and
+        # then decrease"). The α=5 subsidies asymptote to v − 1/α from below
+        # and stay near-flat instead — recorded as a divergence in
+        # EXPERIMENTS.md.
+        check(
+            "subsidies never exceed profitability (margin stays positive)",
+            lambda v: bool(
+                np.all(
+                    v.provider("subsidies")
+                    <= np.array([p[2] for p in SECTION5_PARAMETERS])[
+                        None, None, :
+                    ]
+                    + 1e-8
+                )
+            ),
+        ),
+        check(
+            "s(α=2,β=5,v=1) declines from its small-p level (margin squeeze)",
+            lambda v: bool(
+                v.provider("subsidies")[
+                    int(np.argmax(v.caps)), -1, section5_index(2.0, 5.0, 1.0)
+                ]
+                < v.provider("subsidies")[
+                    int(np.argmax(v.caps)),
+                    int(np.argmin(np.abs(v.prices - 0.2))),
+                    section5_index(2.0, 5.0, 1.0),
+                ]
+                - 1e-6
+            ),
+        ),
+    ),
+)
 
 
 def compute(prices=None, caps=None) -> ExperimentResult:
     """Regenerate the eight panels of Figure 8."""
-    grid = section5_grid(prices, caps)
-    subsidies = grid.provider_quantity(lambda eq: eq.subsidies)  # [cap, price, cp]
-    figures = _per_cp_figures(
-        grid, subsidies, figure_id="fig8", quantity="Equilibrium subsidy s_i",
-        y_label="s_i",
-    )
-
-    params = SECTION5_PARAMETERS
-    checks = []
-    checks.append(
-        ShapeCheck(
-            name="all subsidies respect the policy cap",
-            passed=bool(
-                np.all(subsidies <= grid.caps[:, None, None] + 1e-8)
-                and np.all(subsidies >= -1e-12)
-            ),
-        )
-    )
-    # Profitability: v=1 CP subsidizes at least as much as its v=0.5 twin.
-    value_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if a_i == a_j and b_i == b_j and v_i == 0.5 and v_j == 1.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="higher-profitability CPs subsidize (weakly) more (Thm 5)",
-            passed=all(
-                bool(np.all(subsidies[:, :, j] >= subsidies[:, :, i] - 1e-7))
-                for i, j in value_pairs
-            ),
-        )
-    )
-    # Demand elasticity: α=5 CP subsidizes at least as much as its α=2 twin.
-    alpha_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if b_i == b_j and v_i == v_j and a_i == 2.0 and a_j == 5.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="higher-demand-elasticity CPs subsidize (weakly) more",
-            passed=all(
-                bool(np.all(subsidies[:, :, j] >= subsidies[:, :, i] - 1e-7))
-                for i, j in alpha_pairs
-            ),
-        )
-    )
-    # Small prices: the high-value CPs subsidize at or near the tightest
-    # positive cap, while the (α=2, v=0.5) CPs abstain entirely — for
-    # exponential demand their interior optimum is v − 1/α = 0.
-    price_index = int(np.argmin(np.abs(grid.prices - 0.2)))
-    positive_caps = [k for k in range(grid.caps.size) if grid.caps[k] > 0.0]
-    if positive_caps:
-        cap_index = min(positive_caps, key=lambda k: grid.caps[k])
-        q_level = float(grid.caps[cap_index])
-        near_cap = [
-            subsidies[cap_index, price_index, i] >= 0.8 * q_level
-            for i, (alpha, beta, value) in enumerate(params)
-            if value == 1.0
-        ]
-        checks.append(
-            ShapeCheck(
-                name="at small p, high-value CPs subsidize at/near the cap",
-                passed=all(near_cap),
-                detail=f"p ≈ {grid.prices[price_index]:.2f}, q = {q_level:g}",
-            )
-        )
-    abstainers = [
-        i
-        for i, (alpha, beta, value) in enumerate(params)
-        if alpha == 2.0 and value == 0.5
-    ]
-    checks.append(
-        ShapeCheck(
-            name="(α=2, v=0.5) CPs never subsidize (interior optimum at 0)",
-            passed=bool(np.all(subsidies[:, :, abstainers] <= 1e-8)),
-        )
-    )
-    # Margin squeeze: no CP ever subsidizes beyond its profitability, and
-    # the congestion-sensitive high-value (α=2) CPs' subsidies fall from
-    # their small-p level once the price rises (the paper's "stay flat and
-    # then decrease"). The α=5 subsidies asymptote to v − 1/α from below
-    # and stay near-flat instead — recorded as a divergence in
-    # EXPERIMENTS.md.
-    values = np.array([v for _, _, v in params])
-    checks.append(
-        ShapeCheck(
-            name="subsidies never exceed profitability (margin stays positive)",
-            passed=bool(np.all(subsidies <= values[None, None, :] + 1e-8)),
-        )
-    )
-    top_q = int(np.argmax(grid.caps))
-    squeeze = _index_of_param(params, 2.0, 5.0, 1.0)
-    early = int(np.argmin(np.abs(grid.prices - 0.2)))
-    checks.append(
-        ShapeCheck(
-            name="s(α=2,β=5,v=1) declines from its small-p level (margin squeeze)",
-            passed=bool(
-                subsidies[top_q, -1, squeeze]
-                < subsidies[top_q, early, squeeze] - 1e-6
-            ),
-        )
-    )
-    return ExperimentResult(
-        experiment_id="fig8",
-        title="Equilibrium subsidies of the 8 CP types",
-        figures=figures,
-        checks=tuple(checks),
-    )
+    return run_spec(SPEC, prices=prices, caps=caps)

@@ -14,76 +14,75 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, ShapeCheck, is_nondecreasing
-from repro.experiments.fig08 import _per_cp_figures
-from repro.experiments.grid import section5_grid
-from repro.experiments.scenarios import SECTION5_PARAMETERS
+from repro.experiments.base import ExperimentResult, is_nondecreasing
+from repro.experiments.pipeline import ExperimentSpec, PanelSpec, check, run_spec
+from repro.experiments.scenarios import SECTION5_PARAMETERS, section5_twin_pairs
 
-__all__ = ["compute"]
+__all__ = ["SPEC", "compute"]
 
 
-def compute(prices=None, caps=None) -> ExperimentResult:
-    """Regenerate the eight panels of Figure 9."""
-    grid = section5_grid(prices, caps)
-    populations = grid.provider_quantity(lambda eq: eq.state.populations)
-    figures = _per_cp_figures(
-        grid, populations, figure_id="fig9",
-        quantity="Equilibrium user population m_i", y_label="m_i",
-    )
-
-    params = SECTION5_PARAMETERS
-    checks = []
-    checks.append(
-        ShapeCheck(
-            name="populations non-decreasing in q at every price (Assumption 2)",
-            passed=all(
-                is_nondecreasing(populations[:, j, i], tol=1e-7)
-                for j in range(grid.prices.size)
-                for i in range(len(params))
-            ),
-        )
-    )
-    # Steepness: relative drop of population over the price axis is larger
-    # for α=5 than for the matching α=2 CP, at the top policy level.
-    top_q = int(np.argmax(grid.caps))
+def _steeper_price_decay(view) -> bool:
+    """Relative population drop over the price axis: α=5 beats its α=2 twin."""
+    populations = view.provider("populations")
+    top_q = int(np.argmax(view.caps))
 
     def relative_drop(i: int) -> float:
         series = populations[top_q, :, i]
         return float(1.0 - series[-1] / series[0])
 
-    alpha_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if b_i == b_j and v_i == v_j and a_i == 2.0 and a_j == 5.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="α=5 populations fall more steeply with price than α=2",
-            passed=all(relative_drop(j) > relative_drop(i) for i, j in alpha_pairs),
-        )
+    return all(
+        relative_drop(j) > relative_drop(i)
+        for i, j in section5_twin_pairs("alpha")
     )
-    # Retention: the paper reads Figure 9 as high-value CPs "retain[ing]
-    # higher user populations via higher subsidies" — their population
-    # (weakly) dominates the low-value twin's at every grid node.
-    value_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if a_i == a_j and b_i == b_j and v_i == 0.5 and v_j == 1.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="high-value CPs retain higher populations than low-value twins",
-            passed=all(
-                bool(np.all(populations[:, :, j] >= populations[:, :, i] - 1e-9))
-                for i, j in value_pairs
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig9",
+    title="Equilibrium user populations of the 8 CP types",
+    scenario="section5",
+    sweep="grid",
+    panels=(
+        PanelSpec(
+            figure_id="fig9",
+            title="Equilibrium user population m_i of {name} vs price p",
+            quantity="populations",
+            y_label="m_i",
+        ),
+    ),
+    checks=(
+        check(
+            "populations non-decreasing in q at every price (Assumption 2)",
+            lambda v: all(
+                is_nondecreasing(v.provider("populations")[:, j, i], tol=1e-7)
+                for j in range(v.prices.size)
+                for i in range(len(SECTION5_PARAMETERS))
             ),
-        )
-    )
-    return ExperimentResult(
-        experiment_id="fig9",
-        title="Equilibrium user populations of the 8 CP types",
-        figures=figures,
-        checks=tuple(checks),
-    )
+        ),
+        # Steepness: relative drop of population over the price axis is larger
+        # for α=5 than for the matching α=2 CP, at the top policy level.
+        check(
+            "α=5 populations fall more steeply with price than α=2",
+            _steeper_price_decay,
+        ),
+        # Retention: the paper reads Figure 9 as high-value CPs "retain[ing]
+        # higher user populations via higher subsidies" — their population
+        # (weakly) dominates the low-value twin's at every grid node.
+        check(
+            "high-value CPs retain higher populations than low-value twins",
+            lambda v: all(
+                bool(
+                    np.all(
+                        v.provider("populations")[:, :, j]
+                        >= v.provider("populations")[:, :, i] - 1e-9
+                    )
+                )
+                for i, j in section5_twin_pairs("value")
+            ),
+        ),
+    ),
+)
+
+
+def compute(prices=None, caps=None) -> ExperimentResult:
+    """Regenerate the eight panels of Figure 9."""
+    return run_spec(SPEC, prices=prices, caps=caps)

@@ -16,113 +16,113 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, ShapeCheck
-from repro.experiments.fig08 import _per_cp_figures
-from repro.experiments.grid import section5_grid
-from repro.experiments.scenarios import SECTION5_PARAMETERS
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import (
+    CheckSpec,
+    ExperimentSpec,
+    PanelSpec,
+    check,
+    run_spec,
+)
+from repro.experiments.scenarios import section5_index, section5_twin_pairs
 
-__all__ = ["compute"]
-
-
-def _index_of(params, alpha: float, beta: float, value: float) -> int:
-    for i, (a, b, v) in enumerate(params):
-        if a == alpha and b == beta and v == value:
-            return i
-    raise LookupError(f"no CP with α={alpha}, β={beta}, v={value}")
+__all__ = ["SPEC", "compute"]
 
 
-def compute(prices=None, caps=None) -> ExperimentResult:
-    """Regenerate the eight panels of Figure 10."""
-    grid = section5_grid(prices, caps)
-    throughputs = grid.provider_quantity(lambda eq: eq.state.throughputs)
-    figures = _per_cp_figures(
-        grid, throughputs, figure_id="fig10",
-        quantity="Equilibrium throughput θ_i", y_label="θ_i",
-    )
+def _twin_dominance(vary: str):
+    """Top-policy-level dominance of the better twin's throughput."""
 
-    params = SECTION5_PARAMETERS
-    top_q = int(np.argmax(grid.caps))
-    base_q = int(np.argmin(grid.caps))
-    checks = []
-
-    # v=1 beats v=0.5 twin throughput everywhere on the top policy level.
-    value_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if a_i == a_j and b_i == b_j and v_i == 0.5 and v_j == 1.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="high-value CPs out-throughput low-value twins under q=2",
-            passed=all(
-                bool(
-                    np.all(
-                        throughputs[top_q, :, j] >= throughputs[top_q, :, i] - 1e-9
-                    )
+    def predicate(view) -> bool:
+        throughputs = view.provider("throughputs")
+        top_q = int(np.argmax(view.caps))
+        return all(
+            bool(
+                np.all(
+                    throughputs[top_q, :, j] >= throughputs[top_q, :, i] - 1e-9
                 )
-                for i, j in value_pairs
-            ),
+            )
+            for i, j in section5_twin_pairs(vary)
         )
-    )
-    # β=2 beats β=5 twin throughput everywhere.
-    beta_pairs = [
-        (i, j)
-        for i, (a_i, b_i, v_i) in enumerate(params)
-        for j, (a_j, b_j, v_j) in enumerate(params)
-        if a_i == a_j and v_i == v_j and b_j == 2.0 and b_i == 5.0
-    ]
-    checks.append(
-        ShapeCheck(
-            name="low-congestion-elasticity CPs out-throughput β=5 twins",
-            passed=all(
-                bool(
-                    np.all(
-                        throughputs[top_q, :, j] >= throughputs[top_q, :, i] - 1e-9
-                    )
-                )
-                for i, j in beta_pairs
-            ),
-        )
-    )
-    # The exception case: (2, 5, 1) loses throughput vs baseline at small p.
-    exception = _index_of(params, 2.0, 5.0, 1.0)
-    small_p = grid.prices <= 0.31
-    checks.append(
-        ShapeCheck(
-            name="exception: θ(2,5,1) below q=0 baseline at small prices",
-            passed=bool(
-                np.any(
-                    throughputs[top_q, small_p, exception]
-                    < throughputs[base_q, small_p, exception] - 1e-9
-                )
-            ),
-        )
-    )
+
+    return predicate
+
+
+def _baseline_gain_checks() -> tuple[CheckSpec, ...]:
     # Away from the congested small-p corner, the profitable low-β CPs gain
     # vs baseline. (In our reproduction the (2,2,1) CP also dips below the
     # baseline for p ≲ 0.4 — a small-p divergence from the paper's "only
     # exception" reading, documented in EXPERIMENTS.md.)
-    moderate_p = grid.prices >= 0.49
+    checks = []
     for alpha in (2.0, 5.0):
-        winner = _index_of(params, alpha, 2.0, 1.0)
+        winner = section5_index(alpha, 2.0, 1.0)
         checks.append(
-            ShapeCheck(
-                name=(
-                    f"θ(α={alpha:g},β=2,v=1) under q=2 ≥ regulated baseline "
-                    "for p ≥ 0.5"
-                ),
-                passed=bool(
+            check(
+                f"θ(α={alpha:g},β=2,v=1) under q=2 ≥ regulated baseline "
+                "for p ≥ 0.5",
+                lambda v, w=winner: bool(
                     np.all(
-                        throughputs[top_q, moderate_p, winner]
-                        >= throughputs[base_q, moderate_p, winner] - 1e-9
+                        v.provider("throughputs")[
+                            int(np.argmax(v.caps)), v.prices >= 0.49, w
+                        ]
+                        >= v.provider("throughputs")[
+                            int(np.argmin(v.caps)), v.prices >= 0.49, w
+                        ]
+                        - 1e-9
                     )
                 ),
             )
         )
-    return ExperimentResult(
-        experiment_id="fig10",
-        title="Equilibrium throughput of the 8 CP types",
-        figures=figures,
-        checks=tuple(checks),
+    return tuple(checks)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig10",
+    title="Equilibrium throughput of the 8 CP types",
+    scenario="section5",
+    sweep="grid",
+    panels=(
+        PanelSpec(
+            figure_id="fig10",
+            title="Equilibrium throughput θ_i of {name} vs price p",
+            quantity="throughputs",
+            y_label="θ_i",
+        ),
+    ),
+    checks=(
+        # v=1 beats v=0.5 twin throughput everywhere on the top policy level.
+        check(
+            "high-value CPs out-throughput low-value twins under q=2",
+            _twin_dominance("value"),
+        ),
+        # β=2 beats β=5 twin throughput everywhere.
+        check(
+            "low-congestion-elasticity CPs out-throughput β=5 twins",
+            _twin_dominance("beta"),
+        ),
+        # The exception case: (2, 5, 1) loses throughput vs baseline at small p.
+        check(
+            "exception: θ(2,5,1) below q=0 baseline at small prices",
+            lambda v: bool(
+                np.any(
+                    v.provider("throughputs")[
+                        int(np.argmax(v.caps)),
+                        v.prices <= 0.31,
+                        section5_index(2.0, 5.0, 1.0),
+                    ]
+                    < v.provider("throughputs")[
+                        int(np.argmin(v.caps)),
+                        v.prices <= 0.31,
+                        section5_index(2.0, 5.0, 1.0),
+                    ]
+                    - 1e-9
+                )
+            ),
+        ),
     )
+    + _baseline_gain_checks(),
+)
+
+
+def compute(prices=None, caps=None) -> ExperimentResult:
+    """Regenerate the eight panels of Figure 10."""
+    return run_spec(SPEC, prices=prices, caps=caps)

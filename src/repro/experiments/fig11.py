@@ -15,63 +15,92 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, ShapeCheck
-from repro.experiments.fig08 import _per_cp_figures
-from repro.experiments.fig10 import _index_of
-from repro.experiments.grid import section5_grid
-from repro.experiments.scenarios import SECTION5_PARAMETERS
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import (
+    CheckSpec,
+    ExperimentSpec,
+    PanelSpec,
+    check,
+    run_spec,
+)
+from repro.experiments.scenarios import section5_index
 
-__all__ = ["compute"]
+__all__ = ["SPEC", "compute"]
 
 
-def compute(prices=None, caps=None) -> ExperimentResult:
-    """Regenerate the eight panels of Figure 11."""
-    grid = section5_grid(prices, caps)
-    utilities = grid.provider_quantity(lambda eq: eq.state.utilities)
-    figures = _per_cp_figures(
-        grid, utilities, figure_id="fig11",
-        quantity="Equilibrium utility U_i", y_label="U_i",
-    )
-
-    params = SECTION5_PARAMETERS
-    top_q = int(np.argmax(grid.caps))
-    base_q = int(np.argmin(grid.caps))
-    checks = []
-    checks.append(
-        ShapeCheck(
-            name="equilibrium utilities are non-negative",
-            passed=bool(np.all(utilities >= -1e-9)),
-        )
-    )
+def _winner_checks() -> tuple[CheckSpec, ...]:
     # Winners: α=5, v=1 CPs gain utility under deregulation for most prices.
+    checks = []
     for beta in (2.0, 5.0):
-        winner = _index_of(params, 5.0, beta, 1.0)
-        gains = utilities[top_q, :, winner] >= utilities[base_q, :, winner] - 1e-9
+        winner = section5_index(5.0, beta, 1.0)
+
+        def predicate(view, w=winner):
+            utilities = view.provider("utilities")
+            top_q = int(np.argmax(view.caps))
+            base_q = int(np.argmin(view.caps))
+            gains = utilities[top_q, :, w] >= utilities[base_q, :, w] - 1e-9
+            return (
+                bool(np.mean(gains) >= 0.7),
+                f"gains at {100 * float(np.mean(gains)):.0f}% of prices",
+            )
+
         checks.append(
-            ShapeCheck(
-                name=f"U(α=5,β={beta:g},v=1) under q=2 ≥ baseline for most prices",
-                passed=bool(np.mean(gains) >= 0.7),
-                detail=f"gains at {100 * float(np.mean(gains)):.0f}% of prices",
+            check(
+                f"U(α=5,β={beta:g},v=1) under q=2 ≥ baseline for most prices",
+                predicate,
             )
         )
+    return tuple(checks)
+
+
+def _loser_checks() -> tuple[CheckSpec, ...]:
     # Losers: α=2, β=5 CPs lose utility under deregulation at small prices.
+    checks = []
     for value in (0.5, 1.0):
-        loser = _index_of(params, 2.0, 5.0, value)
-        small_p = grid.prices <= 0.51
+        loser = section5_index(2.0, 5.0, value)
         checks.append(
-            ShapeCheck(
-                name=f"U(α=2,β=5,v={value:g}) under q=2 below baseline at small p",
-                passed=bool(
+            check(
+                f"U(α=2,β=5,v={value:g}) under q=2 below baseline at small p",
+                lambda v, i=loser: bool(
                     np.any(
-                        utilities[top_q, small_p, loser]
-                        < utilities[base_q, small_p, loser] - 1e-9
+                        v.provider("utilities")[
+                            int(np.argmax(v.caps)), v.prices <= 0.51, i
+                        ]
+                        < v.provider("utilities")[
+                            int(np.argmin(v.caps)), v.prices <= 0.51, i
+                        ]
+                        - 1e-9
                     )
                 ),
             )
         )
-    return ExperimentResult(
-        experiment_id="fig11",
-        title="Equilibrium utilities of the 8 CP types",
-        figures=figures,
-        checks=tuple(checks),
+    return tuple(checks)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig11",
+    title="Equilibrium utilities of the 8 CP types",
+    scenario="section5",
+    sweep="grid",
+    panels=(
+        PanelSpec(
+            figure_id="fig11",
+            title="Equilibrium utility U_i of {name} vs price p",
+            quantity="utilities",
+            y_label="U_i",
+        ),
+    ),
+    checks=(
+        check(
+            "equilibrium utilities are non-negative",
+            lambda v: bool(np.all(v.provider("utilities") >= -1e-9)),
+        ),
     )
+    + _winner_checks()
+    + _loser_checks(),
+)
+
+
+def compute(prices=None, caps=None) -> ExperimentResult:
+    """Regenerate the eight panels of Figure 11."""
+    return run_spec(SPEC, prices=prices, caps=caps)

@@ -1,0 +1,435 @@
+"""The spec-driven experiment pipeline: one runner for every figure.
+
+Before this module, each figure script re-implemented the same
+build → sweep → extract-series → shape-check structure by hand. Now an
+experiment is *data*: an :class:`ExperimentSpec` names a scenario (inline
+or by registry id), a sweep kind, the panels to derive (named quantity
+extractors) and the shape checks to evaluate; :func:`run_spec` executes any
+spec through the shared :class:`~repro.engine.GridEngine`/
+:class:`~repro.engine.SolveCache`, so the paper figures, generated stress
+markets and user-supplied scenario files all travel the same code path.
+
+Sweep kinds
+-----------
+``"price"``
+    Zero-subsidy price sweep (the §3 one-sided model). Internally a
+    single-row grid at cap ``q = 0`` — the solver's zero-cap shortcut makes
+    this bitwise-identical to direct ``market.solve()`` calls.
+``"grid"``
+    Full (price × policy) equilibrium grid (the §5 model).
+
+Panels
+------
+A :class:`PanelSpec` names a quantity from :data:`SCALAR_QUANTITIES`
+(``revenue``, ``welfare``, ...) or :data:`PROVIDER_QUANTITIES`
+(``subsidies``, ``throughputs``, ...). Scalar panels become one figure
+(one series per policy level on grid sweeps); provider panels become one
+figure per CP on grid sweeps (the paper's 2×4 layouts) or one multi-series
+figure on price sweeps (Figure 5's 3×3).
+
+Checks
+------
+A :class:`CheckSpec` pairs a name with a predicate over the
+:class:`SweepView` (the solved grid with cached quantity extraction);
+predicates return a verdict or a ``(verdict, detail)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+import numpy as np
+
+from repro.analysis.series import FigureData, Series
+from repro.core.equilibrium import EquilibriumResult
+from repro.engine import EquilibriumGrid, GridEngine
+from repro.exceptions import ModelError
+from repro.experiments import grid as _shared_grid
+from repro.experiments.base import ExperimentResult, ShapeCheck
+# Submodule imports (not the package root): repro.scenarios.paper closes a
+# cycle back through repro.experiments, so the package __init__ may be
+# partially initialized while this module loads.
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "SCALAR_QUANTITIES",
+    "PROVIDER_QUANTITIES",
+    "PanelSpec",
+    "CheckSpec",
+    "check",
+    "SweepView",
+    "ExperimentSpec",
+    "run_spec",
+    "scenario_experiment",
+]
+
+#: Scalar quantities a panel or check can read off each equilibrium.
+SCALAR_QUANTITIES: Mapping[str, Callable[[EquilibriumResult], float]] = {
+    "revenue": lambda eq: eq.state.revenue,
+    "welfare": lambda eq: eq.state.welfare,
+    "aggregate_throughput": lambda eq: eq.state.aggregate_throughput,
+    "utilization": lambda eq: eq.state.utilization,
+    "kkt_residual": lambda eq: eq.kkt_residual,
+}
+
+#: Per-CP vector quantities a panel or check can read off each equilibrium.
+PROVIDER_QUANTITIES: Mapping[str, Callable[[EquilibriumResult], np.ndarray]] = {
+    "subsidies": lambda eq: eq.subsidies,
+    "populations": lambda eq: eq.state.populations,
+    "throughputs": lambda eq: eq.state.throughputs,
+    "utilities": lambda eq: eq.state.utilities,
+    "rates": lambda eq: eq.state.rates,
+    "effective_prices": lambda eq: eq.state.effective_prices,
+}
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One derived figure (or per-CP figure family) of an experiment.
+
+    Attributes
+    ----------
+    figure_id:
+        Output id; provider panels on grid sweeps append ``-<cp name>``.
+    title:
+        Figure title. For provider panels on grid sweeps this is a
+        template: ``{name}`` interpolates the CP name.
+    quantity:
+        Key into :data:`SCALAR_QUANTITIES` or :data:`PROVIDER_QUANTITIES`.
+    y_label:
+        y-axis label.
+    series_name:
+        Series name for scalar panels on price sweeps (defaults to the
+        quantity name). Grid-sweep series are always named ``q=<cap>``.
+    notes:
+        Free-form provenance carried into the figure.
+    """
+
+    figure_id: str
+    title: str
+    quantity: str
+    y_label: str
+    series_name: str | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.quantity not in SCALAR_QUANTITIES and (
+            self.quantity not in PROVIDER_QUANTITIES
+        ):
+            raise ModelError(
+                f"unknown quantity {self.quantity!r}; scalar quantities: "
+                f"{sorted(SCALAR_QUANTITIES)}, provider quantities: "
+                f"{sorted(PROVIDER_QUANTITIES)}"
+            )
+
+    @property
+    def per_provider(self) -> bool:
+        """Whether the panel derives a per-CP vector quantity."""
+        return self.quantity in PROVIDER_QUANTITIES
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """A named qualitative claim evaluated against the solved sweep."""
+
+    name: str
+    predicate: Callable[["SweepView"], Union[bool, tuple[bool, str]]]
+
+    def evaluate(self, view: "SweepView") -> ShapeCheck:
+        """Run the predicate and wrap the verdict as a :class:`ShapeCheck`."""
+        outcome = self.predicate(view)
+        if isinstance(outcome, tuple):
+            passed, detail = outcome
+            return ShapeCheck(name=self.name, passed=bool(passed), detail=detail)
+        return ShapeCheck(name=self.name, passed=bool(outcome))
+
+
+def check(
+    name: str, predicate: Callable[["SweepView"], Union[bool, tuple[bool, str]]]
+) -> CheckSpec:
+    """Shorthand constructor for a :class:`CheckSpec`."""
+    return CheckSpec(name=name, predicate=predicate)
+
+
+class SweepView:
+    """Solved sweep with cached quantity extraction, shared by panels/checks.
+
+    Scalar quantities come out as ``[cap, price]`` matrices, provider
+    quantities as ``[cap, price, cp]`` arrays. Price-sweep experiments have
+    a single cap row; :meth:`line` / :meth:`provider_line` read it directly.
+    """
+
+    def __init__(self, scenario: ScenarioSpec, grid: EquilibriumGrid) -> None:
+        self.scenario = scenario
+        self.grid = grid
+        self.prices = grid.prices
+        self.caps = grid.caps
+        self.market = scenario.market
+        self._scalar_cache: dict[str, np.ndarray] = {}
+        self._provider_cache: dict[str, np.ndarray] = {}
+
+    def scalar(self, quantity: str) -> np.ndarray:
+        """``[cap, price]`` matrix of a scalar quantity."""
+        if quantity not in self._scalar_cache:
+            if quantity not in SCALAR_QUANTITIES:
+                raise ModelError(
+                    f"unknown scalar quantity {quantity!r}; choose from "
+                    f"{sorted(SCALAR_QUANTITIES)}"
+                )
+            self._scalar_cache[quantity] = self.grid.quantity(
+                SCALAR_QUANTITIES[quantity]
+            )
+        return self._scalar_cache[quantity]
+
+    def provider(self, quantity: str) -> np.ndarray:
+        """``[cap, price, cp]`` array of a per-CP quantity."""
+        if quantity not in self._provider_cache:
+            if quantity not in PROVIDER_QUANTITIES:
+                raise ModelError(
+                    f"unknown provider quantity {quantity!r}; choose from "
+                    f"{sorted(PROVIDER_QUANTITIES)}"
+                )
+            self._provider_cache[quantity] = self.grid.provider_quantity(
+                PROVIDER_QUANTITIES[quantity]
+            )
+        return self._provider_cache[quantity]
+
+    def line(self, quantity: str) -> np.ndarray:
+        """``[price]`` vector of a scalar quantity's first cap row."""
+        return self.scalar(quantity)[0]
+
+    def provider_line(self, quantity: str) -> np.ndarray:
+        """``[price, cp]`` matrix of a per-CP quantity's first cap row."""
+        return self.provider(quantity)[0]
+
+    def at(self, cap_index: int, price_index: int) -> EquilibriumResult:
+        """The raw equilibrium at one grid node."""
+        return self.grid.at(cap_index, price_index)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete experiment declaration.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry/CLI handle and CSV prefix, e.g. ``"fig7"``.
+    title:
+        Human-readable description.
+    scenario:
+        Inline :class:`ScenarioSpec` or the registry id of one.
+    sweep:
+        ``"price"`` (zero-subsidy, §3 style) or ``"grid"`` (§5 style).
+    panels:
+        Figures to derive from the solved sweep.
+    checks:
+        Qualitative claims to evaluate.
+    """
+
+    experiment_id: str
+    title: str
+    scenario: Union[ScenarioSpec, str]
+    sweep: str
+    panels: tuple[PanelSpec, ...]
+    checks: tuple[CheckSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.sweep not in {"price", "grid"}:
+            raise ModelError(
+                f"sweep must be 'price' or 'grid', got {self.sweep!r}"
+            )
+        if not self.panels:
+            raise ModelError("an experiment needs at least one panel")
+
+    def resolve_scenario(self) -> ScenarioSpec:
+        """The scenario object, looked up in the registry when given by id."""
+        if isinstance(self.scenario, ScenarioSpec):
+            return self.scenario
+        return get_scenario(self.scenario)
+
+
+def _realize_panels(
+    spec: ExperimentSpec, view: SweepView
+) -> tuple[FigureData, ...]:
+    figures: list[FigureData] = []
+    names = view.market.provider_names()
+    for panel in spec.panels:
+        if spec.sweep == "price":
+            if panel.per_provider:
+                values = view.provider_line(panel.quantity)  # [price, cp]
+                series = tuple(
+                    Series(names[i], values[:, i]) for i in range(len(names))
+                )
+            else:
+                series = (
+                    Series(
+                        panel.series_name or panel.quantity,
+                        view.line(panel.quantity),
+                    ),
+                )
+            figures.append(
+                FigureData(
+                    figure_id=panel.figure_id,
+                    title=panel.title,
+                    x_label="p",
+                    y_label=panel.y_label,
+                    x=view.prices,
+                    series=series,
+                    notes=panel.notes,
+                )
+            )
+        elif panel.per_provider:
+            values = view.provider(panel.quantity)  # [cap, price, cp]
+            for i, name in enumerate(names):
+                series = tuple(
+                    Series(f"q={view.caps[k]:g}", values[k, :, i])
+                    for k in range(view.caps.size)
+                )
+                figures.append(
+                    FigureData(
+                        figure_id=f"{panel.figure_id}-{name}",
+                        title=panel.title.format(name=name),
+                        x_label="p",
+                        y_label=panel.y_label,
+                        x=view.prices,
+                        series=series,
+                        notes=panel.notes,
+                    )
+                )
+        else:
+            matrix = view.scalar(panel.quantity)  # [cap, price]
+            series = tuple(
+                Series(f"q={view.caps[k]:g}", matrix[k])
+                for k in range(view.caps.size)
+            )
+            figures.append(
+                FigureData(
+                    figure_id=panel.figure_id,
+                    title=panel.title,
+                    x_label="p",
+                    y_label=panel.y_label,
+                    x=view.prices,
+                    series=series,
+                    notes=panel.notes,
+                )
+            )
+    return tuple(figures)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    *,
+    prices=None,
+    caps=None,
+    scenario: ScenarioSpec | None = None,
+    engine: GridEngine | None = None,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Execute an experiment spec end to end.
+
+    ``prices``/``caps`` override the scenario's axes (figure tests run on
+    coarse grids); ``scenario`` substitutes the market entirely (the CLI's
+    ``--scenario file.json``); ``engine`` defaults to the shared cached
+    engine behind :mod:`repro.experiments.grid`, so specs reading different
+    quantities off the same scenario share one grid solve.
+    """
+    scn = scenario if scenario is not None else spec.resolve_scenario()
+    price_axis = np.asarray(
+        scn.prices if prices is None else prices, dtype=float
+    )
+    if spec.sweep == "price":
+        cap_axis = np.array([0.0])
+    else:
+        cap_axis = np.asarray(
+            scn.policy_levels if caps is None else caps, dtype=float
+        )
+    eng = engine if engine is not None else _shared_grid.engine()
+    solved = eng.solve_grid(scn.market, price_axis, cap_axis, workers=workers)
+    view = SweepView(scn, solved)
+    figures = _realize_panels(spec, view)
+    checks = tuple(c.evaluate(view) for c in spec.checks)
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        figures=figures,
+        checks=checks,
+    )
+
+
+def scenario_experiment(scn: ScenarioSpec) -> ExperimentSpec:
+    """A generic experiment for an arbitrary scenario (the CLI's ``run``).
+
+    Derives the ISP/welfare panels every market supports plus generic
+    model-level checks: certification of every equilibrium, cap feasibility,
+    non-negative utilities, and — when the regulated baseline ``q = 0`` is
+    on the policy axis — Theorem 2's aggregate-throughput monotonicity.
+    """
+    sid = scn.scenario_id
+    panels = tuple(
+        PanelSpec(
+            figure_id=f"{sid}-{quantity}",
+            title=f"{label} vs price p ({sid})",
+            quantity=quantity,
+            y_label=ylabel,
+        )
+        for quantity, label, ylabel in (
+            ("revenue", "ISP revenue R", "R"),
+            ("welfare", "System welfare W", "W"),
+            ("aggregate_throughput", "Aggregate throughput θ", "θ"),
+            ("utilization", "System utilization φ", "φ"),
+        )
+    )
+    checks = [
+        check(
+            "every equilibrium is certified (KKT residual ≤ 1e-6)",
+            lambda v: (
+                bool(np.max(v.scalar("kkt_residual")) <= 1e-6),
+                f"max residual {float(np.max(v.scalar('kkt_residual'))):.2e}",
+            ),
+        ),
+        check(
+            "subsidies stay within the policy cap",
+            lambda v: bool(
+                np.all(v.provider("subsidies") >= -1e-12)
+                and np.all(
+                    v.provider("subsidies")
+                    <= v.caps[:, None, None] + 1e-8
+                )
+            ),
+        ),
+        check(
+            "equilibrium utilities are non-negative",
+            lambda v: bool(np.all(v.provider("utilities") >= -1e-9)),
+        ),
+    ]
+    if float(np.min(scn.policy_array())) == 0.0:
+
+        def theorem2(view):
+            # Locate the q=0 row on the *solved* grid: run_spec may have
+            # overridden the caps axis the spec was built from.
+            base = int(np.argmin(view.caps))
+            if float(view.caps[base]) != 0.0:
+                return True, "no q=0 row on the solved grid"
+            return bool(
+                np.all(
+                    np.diff(view.scalar("aggregate_throughput")[base]) <= 1e-7
+                )
+            )
+
+        checks.append(
+            check(
+                "aggregate throughput decreases with price under q=0 (Thm 2)",
+                theorem2,
+            )
+        )
+    return ExperimentSpec(
+        experiment_id=sid,
+        title=f"Scenario sweep: {scn.title}",
+        scenario=scn,
+        sweep="grid",
+        panels=panels,
+        checks=tuple(checks),
+    )

@@ -1,33 +1,65 @@
-"""Command-line entry point regenerating the paper's figures.
+"""Command-line entry point for figures and scenario experiments.
 
 Usage::
 
-    python -m repro.experiments all            # every figure
-    python -m repro.experiments fig4 fig7      # a subset
-    python -m repro.experiments fig04 fig07    # zero-padded spellings work too
+    python -m repro.experiments list                   # experiments + scenarios
+    python -m repro.experiments describe fig7          # spec details
+    python -m repro.experiments describe scaled-256    # scenario details
+    python -m repro.experiments all                    # every figure
+    python -m repro.experiments fig4 fig7              # a subset
+    python -m repro.experiments fig04 fig07            # zero-padded names too
+    python -m repro.experiments run scaled-256         # a registered scenario
+    python -m repro.experiments run --scenario my.json # a scenario file
     python -m repro.experiments fig10 --out results --quiet --workers 4
+    python -m repro.experiments run random-12 --json   # machine-readable summary
 
-Writes one CSV per panel into the output directory, renders ASCII charts to
-stdout (unless ``--quiet``), reports each figure's qualitative shape checks
-and exits non-zero if any check fails. The check summary and any per-check
-FAIL lines travel together: both go to stderr when something failed,
-both to stdout when everything passed. ``--workers`` spreads grid rows over
-a process pool (bitwise-identical results; see :mod:`repro.engine`).
+Experiment names are validated (and de-duplicated) up front — an unknown
+name aborts before anything runs. ``run`` accepts figure ids, registered
+scenario ids (swept through the generic scenario experiment) and, via
+``--scenario``, a ``repro-scenario/1`` or ``repro-market/1`` JSON file.
+Writes one CSV per panel into the output directory, renders ASCII charts
+to stdout (unless ``--quiet``), reports each experiment's shape checks and
+exits non-zero if any check fails. The check summary and any per-check
+FAIL lines travel together: both go to stderr when something failed, both
+to stdout when everything passed. ``--json`` swaps the human output for a
+single machine-readable summary document. ``--workers`` spreads grid rows
+over a process pool (bitwise-identical results; see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Union
 
 from repro.engine import get_default_workers, set_default_workers
+from repro.exceptions import ReproError
 from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
 from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import (
+    ExperimentSpec,
+    run_spec,
+    scenario_experiment,
+)
+from repro.io import load_scenario
+from repro.scenarios import (
+    get_scenario,
+    is_registered,
+    scenario_ids,
+    scenario_summary,
+)
 
-__all__ = ["EXPERIMENTS", "canonical_experiment", "run_experiments", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "EXPERIMENT_SPECS",
+    "canonical_experiment",
+    "resolve_experiments",
+    "run_experiments",
+    "main",
+]
 
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig4": fig04.compute,
@@ -39,7 +71,20 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig11": fig11.compute,
 }
 
+#: The declarative spec behind each figure id (``list``/``describe`` verbs).
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
+    "fig4": fig04.SPEC,
+    "fig5": fig05.SPEC,
+    "fig7": fig07.SPEC,
+    "fig8": fig08.SPEC,
+    "fig9": fig09.SPEC,
+    "fig10": fig10.SPEC,
+    "fig11": fig11.SPEC,
+}
+
 _FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
+
+_VERBS = {"list", "describe", "run"}
 
 
 def canonical_experiment(name: str) -> str:
@@ -55,22 +100,74 @@ def canonical_experiment(name: str) -> str:
     return name
 
 
+def resolve_experiments(
+    names: Sequence[Union[str, ExperimentSpec]],
+) -> list[tuple[str, Callable[[], ExperimentResult]]]:
+    """Validate, canonicalize and de-duplicate a run list up front.
+
+    Every name is resolved *before* anything executes, so an unknown name
+    can never abort a run midway with partial CSVs already written.
+    Accepts figure ids (padded or not), registered scenario ids (wrapped in
+    the generic scenario experiment) and inline :class:`ExperimentSpec`
+    objects; duplicates after canonicalization collapse to the first
+    occurrence, preserving order.
+    """
+    resolved: list[tuple[str, Callable[[], ExperimentResult]]] = []
+    seen: set = set()
+    for name in names:
+        if isinstance(name, ExperimentSpec):
+            # Inline specs dedup by object, not by id: their id may collide
+            # with a registered name while describing a *different* market
+            # (e.g. an edited --scenario file), and must still run.
+            key, dedup = name.experiment_id, id(name)
+            runner = lambda spec=name: run_spec(spec)  # noqa: E731
+        else:
+            key = canonical_experiment(name)
+            if key in EXPERIMENTS:
+                runner = EXPERIMENTS[key]
+            elif is_registered(name):
+                key = name
+                runner = lambda sid=name: run_spec(  # noqa: E731
+                    scenario_experiment(get_scenario(sid))
+                )
+            else:
+                raise KeyError(
+                    f"unknown experiment or scenario {name!r}; choose from "
+                    f"{sorted(EXPERIMENTS)}, 'all', or a registered scenario "
+                    f"{scenario_ids()}"
+                )
+            dedup = key
+        if dedup not in seen:
+            seen.add(dedup)
+            resolved.append((key, runner))
+    return resolved
+
+
+def _expand_all(names: Sequence[str]) -> list[str]:
+    """Expand each ``'all'`` token into the figure ids, in place.
+
+    Other names — scenario ids riding alongside ``all`` included — are
+    preserved; resolution dedups any overlap with the expansion.
+    """
+    expanded: list[str] = []
+    for name in names:
+        if name == "all":
+            expanded.extend(EXPERIMENTS)
+        else:
+            expanded.append(name)
+    return expanded
+
+
 def run_experiments(
-    names: Sequence[str],
+    names: Sequence[Union[str, ExperimentSpec]],
     *,
     out_dir: str | Path = "results",
     quiet: bool = False,
 ) -> list[ExperimentResult]:
     """Run the named experiments, write CSVs, return results."""
     results = []
-    for name in names:
-        key = canonical_experiment(name)
-        if key not in EXPERIMENTS:
-            raise KeyError(
-                f"unknown experiment {name!r}; choose from "
-                f"{sorted(EXPERIMENTS)} or 'all'"
-            )
-        result = EXPERIMENTS[key]()
+    for _, runner in resolve_experiments(names):
+        result = runner()
         paths = result.write_csv(out_dir)
         results.append(result)
         if not quiet:
@@ -80,24 +177,125 @@ def run_experiments(
     return results
 
 
+def _json_summary(
+    results: list[ExperimentResult], out_dir: str | Path
+) -> dict:
+    return {
+        "experiments": [
+            {
+                "id": result.experiment_id,
+                "title": result.title,
+                "all_passed": result.all_passed(),
+                "checks": [
+                    {
+                        "name": check.name,
+                        "passed": check.passed,
+                        "detail": check.detail,
+                    }
+                    for check in result.checks
+                ],
+                "csv": [str(path) for path in result.csv_paths(out_dir)],
+            }
+            for result in results
+        ],
+        "total_checks": sum(len(result.checks) for result in results),
+        "failures": [
+            {"experiment": result.experiment_id, "check": check.name}
+            for result in results
+            for check in result.checks
+            if not check.passed
+        ],
+        "out_dir": str(Path(out_dir).resolve()),
+    }
+
+
+def _main_list() -> int:
+    print("Experiments (figure reproductions):")
+    for key, spec in EXPERIMENT_SPECS.items():
+        print(f"  {key:<12} {spec.title}")
+    print()
+    print("Scenarios (run by id, or sweep any figure's market):")
+    for sid in scenario_ids():
+        print(f"  {sid:<12} {scenario_summary(sid)}")
+    return 0
+
+
+def _main_describe(name: str) -> int:
+    key = canonical_experiment(name)
+    if key in EXPERIMENT_SPECS:
+        spec = EXPERIMENT_SPECS[key]
+        scenario = spec.resolve_scenario()
+        print(f"experiment {key}: {spec.title}")
+        print(f"  sweep:     {spec.sweep}")
+        print("  panels:")
+        for panel in spec.panels:
+            kind = "per-CP" if panel.per_provider else "scalar"
+            print(f"    {panel.figure_id:<14} {panel.quantity} ({kind})")
+        print(f"  checks:    {len(spec.checks)}")
+        for check in spec.checks:
+            print(f"    - {check.name}")
+        print("  " + scenario.describe().replace("\n", "\n  "))
+        return 0
+    if is_registered(name):
+        print(get_scenario(name).describe())
+        return 0
+    print(
+        f"unknown experiment or scenario {name!r}; choose from "
+        f"{sorted(EXPERIMENT_SPECS)} or {scenario_ids()}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The verb must lead (``list``, ``describe x``, ``run ...``); anything
+    # else — including legacy ``fig4 --quiet`` invocations — is a run.
+    verb = argv[0] if argv and argv[0] in _VERBS else None
+    if verb == "list":
+        return _main_list()
+    if verb == "describe":
+        parser = argparse.ArgumentParser(
+            prog="repro-experiments describe",
+            description="Describe an experiment spec or scenario.",
+        )
+        parser.add_argument("name", help="experiment or scenario id")
+        args = parser.parse_args(argv[1:])
+        return _main_describe(args.name)
+    if verb == "run":
+        argv = argv[1:]
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of Ma, 'Subsidization Competition' "
-        "(CoNEXT 2014).",
+        "(CoNEXT 2014), or sweep arbitrary scenarios. Verbs: list, "
+        "describe <id>, run <ids...> [--scenario file.json].",
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'; "
-        "zero-padded spellings like fig04 are accepted",
+        nargs="*",
+        default=[],
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', or "
+        "registered scenario ids; zero-padded spellings like fig04 work",
     )
     parser.add_argument(
         "--out", default="results", help="output directory for CSV files"
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress ASCII chart rendering"
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="also run a scenario from a repro-scenario/1 (or repro-market/1) "
+        "JSON file through the generic sweep experiment",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of charts",
     )
     parser.add_argument(
         "--workers",
@@ -109,6 +307,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
+    if not args.experiments and args.scenario is None:
+        parser.error("no experiments given (names, 'all', or --scenario FILE)")
     try:
         # Resolve the default eagerly so a malformed $REPRO_WORKERS fails
         # with a CLI error up front, not a traceback mid-computation.
@@ -116,11 +316,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    names: list[Union[str, ExperimentSpec]] = list(
+        _expand_all(args.experiments)
+    )
+    if args.scenario is not None:
+        try:
+            names.append(scenario_experiment(load_scenario(args.scenario)))
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"cannot load scenario {args.scenario!r}: {exc}", file=sys.stderr)
+            return 2
     if args.workers is not None:
         set_default_workers(args.workers)
     try:
-        results = run_experiments(names, out_dir=args.out, quiet=args.quiet)
+        results = run_experiments(
+            names, out_dir=args.out, quiet=args.quiet or args.json
+        )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -134,6 +344,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         for check in result.checks
         if not check.passed
     ]
+    if args.json:
+        print(json.dumps(_json_summary(results, args.out), indent=2))
+        return 1 if failed else 0
     total_checks = sum(len(result.checks) for result in results)
     # Summary and FAIL detail share one stream so they never interleave
     # inconsistently: diagnostics to stderr on failure, stdout on success.

@@ -29,6 +29,8 @@ __all__ = [
     "POLICY_LEVELS",
     "section3_market",
     "section5_market",
+    "section5_index",
+    "section5_twin_pairs",
 ]
 
 #: §3 grid of price/congestion sensitivities (9 CP types).
@@ -62,6 +64,41 @@ def section3_market(price: float = 1.0, *, capacity: float = 1.0) -> Market:
         for beta in SECTION3_BETAS
     ]
     return Market(providers, AccessISP(price=price, capacity=capacity))
+
+
+def section5_index(alpha: float, beta: float, value: float) -> int:
+    """Strategy-vector index of the §5 CP type with the given parameters."""
+    for i, (a, b, v) in enumerate(SECTION5_PARAMETERS):
+        if a == alpha and b == beta and v == value:
+            return i
+    raise LookupError(f"no CP with α={alpha}, β={beta}, v={value}")
+
+
+def section5_twin_pairs(vary: str) -> list[tuple[int, int]]:
+    """Index pairs of §5 CP types differing only in one parameter.
+
+    Returns ``(i, j)`` pairs with the other two parameters equal and the
+    varied one ordered (worse, better) in the sense of the paper's
+    comparisons: profitability ``v`` 0.5 → 1.0, demand elasticity ``α``
+    2 → 5, congestion elasticity ``β`` 5 → 2 (low β wins throughput).
+    """
+    orderings = {
+        "value": (2, 0.5, 1.0),
+        "alpha": (0, 2.0, 5.0),
+        "beta": (1, 5.0, 2.0),
+    }
+    if vary not in orderings:
+        raise LookupError(f"vary must be one of {sorted(orderings)}, got {vary!r}")
+    axis, low, high = orderings[vary]
+    params = SECTION5_PARAMETERS
+    return [
+        (i, j)
+        for i, p_i in enumerate(params)
+        for j, p_j in enumerate(params)
+        if p_i[axis] == low
+        and p_j[axis] == high
+        and all(p_i[k] == p_j[k] for k in range(3) if k != axis)
+    ]
 
 
 def section5_market(price: float = 1.0, *, capacity: float = 1.0) -> Market:

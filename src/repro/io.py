@@ -1,11 +1,24 @@
-"""Scenario (de)serialization: markets to/from JSON.
+"""Scenario (de)serialization: markets and scenario specs to/from JSON.
 
-Lets users version experiment scenarios, share calibrated markets, and
-round-trip the paper's instances:
+Two versioned formats:
 
-    from repro.io import save_market, load_market
-    save_market(market, "scenario.json")
-    market = load_market("scenario.json")
+* ``repro-market/1`` — a bare market (providers + ISP):
+
+      from repro.io import save_market, load_market
+      save_market(market, "market.json")
+      market = load_market("market.json")
+
+* ``repro-scenario/1`` — a full :class:`~repro.scenarios.spec.ScenarioSpec`
+  (market + sweep axes + metadata), a superset embedding the market
+  payload. Generated scenarios round-trip with their provenance — e.g. a
+  ``random_market`` seed — intact:
+
+      from repro.io import save_scenario, load_scenario
+      save_scenario(spec, "scenario.json")
+      spec = load_scenario("scenario.json")
+
+  :func:`load_scenario` also accepts a plain ``repro-market/1`` file,
+  wrapping it with the default paper axes.
 
 Every functional-family class in :mod:`repro.network` is a frozen
 dataclass, so serialization is generic: ``{"type": <class name>,
@@ -46,13 +59,26 @@ from repro.network.utilization import (
 from repro.providers.content_provider import ContentProvider
 from repro.providers.isp import AccessISP
 from repro.providers.market import Market
+from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "MARKET_FORMAT",
+    "SCENARIO_FORMAT",
     "market_to_dict",
     "market_from_dict",
     "save_market",
     "load_market",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
 ]
+
+#: Format tag of a bare-market JSON payload.
+MARKET_FORMAT = "repro-market/1"
+
+#: Format tag of a scenario-spec JSON payload (superset of the market one).
+SCENARIO_FORMAT = "repro-scenario/1"
 
 _FAMILIES: dict[str, type] = {
     cls.__name__: cls
@@ -109,7 +135,7 @@ def market_to_dict(market: Market) -> dict:
     """JSON-ready dictionary for a market (providers + ISP)."""
     isp = market.isp
     return {
-        "format": "repro-market/1",
+        "format": MARKET_FORMAT,
         "isp": {
             "price": isp.price,
             "capacity": isp.capacity,
@@ -130,7 +156,7 @@ def market_to_dict(market: Market) -> dict:
 
 def market_from_dict(payload: dict) -> Market:
     """Rebuild a market from :func:`market_to_dict` output."""
-    if payload.get("format") != "repro-market/1":
+    if payload.get("format") != MARKET_FORMAT:
         raise ModelError(
             f"unsupported market format {payload.get('format')!r}"
         )
@@ -167,3 +193,66 @@ def load_market(path: str | Path) -> Market:
     with open(path) as handle:
         payload = json.load(handle)
     return market_from_dict(payload)
+
+
+def scenario_to_dict(spec: ScenarioSpec) -> dict:
+    """JSON-ready dictionary for a scenario spec (``repro-scenario/1``)."""
+    return {
+        "format": SCENARIO_FORMAT,
+        "id": spec.scenario_id,
+        "title": spec.title,
+        "market": market_to_dict(spec.market),
+        "prices": list(spec.prices),
+        "policy_levels": list(spec.policy_levels),
+        "metadata": dict(spec.metadata),
+    }
+
+
+def scenario_from_dict(payload: dict) -> ScenarioSpec:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Accepts a bare ``repro-market/1`` payload as well (the scenario format
+    is a superset): the market is wrapped with the default paper axes and
+    an ``"imported-market"`` id.
+    """
+    fmt = payload.get("format") if isinstance(payload, dict) else None
+    if fmt == MARKET_FORMAT:
+        return ScenarioSpec(
+            scenario_id="imported-market",
+            title="Market imported from a repro-market/1 file",
+            market=market_from_dict(payload),
+            metadata={"source": MARKET_FORMAT},
+        )
+    if fmt != SCENARIO_FORMAT:
+        raise ModelError(f"unsupported scenario format {fmt!r}")
+    try:
+        market_payload = payload["market"]
+        scenario_id = payload["id"]
+        prices = payload["prices"]
+        policy_levels = payload["policy_levels"]
+    except KeyError as exc:
+        raise ModelError(f"malformed scenario payload: missing {exc}") from exc
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        title=payload.get("title", scenario_id),
+        market=market_from_dict(market_payload),
+        prices=tuple(prices),
+        policy_levels=tuple(policy_levels),
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_scenario(spec: ScenarioSpec, path: str | Path, *, indent: int = 2) -> None:
+    """Serialize a scenario spec to a JSON file (creating parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(scenario_to_dict(spec), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load a scenario (or bare market) from a JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return scenario_from_dict(payload)

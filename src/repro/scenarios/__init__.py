@@ -1,0 +1,53 @@
+"""Declarative scenario library: specs, registry, paper instances, generators.
+
+The scenario layer separates *what market to run* from *how to run it*.
+A :class:`~repro.scenarios.spec.ScenarioSpec` bundles a market recipe with
+its sweep axes and provenance metadata; the registry makes scenarios
+addressable by name from the CLI and the experiment pipeline; the paper's
+two hand-built markets and a family of generated instances (scaled
+lattices, seeded random populations, capacity/utilization variants) are
+registered on import. :mod:`repro.io` round-trips any spec — including
+generated ones, seed recorded — through the ``repro-scenario/1`` JSON
+format.
+"""
+
+from repro.scenarios.generators import (
+    DEMAND_FAMILIES,
+    THROUGHPUT_FAMILIES,
+    capacity_variant,
+    random_market,
+    scaled_market,
+    utilization_variant,
+)
+from repro.scenarios.paper import section3_scenario, section5_scenario
+from repro.scenarios.registry import (
+    get_scenario,
+    is_registered,
+    register_scenario,
+    scenario_ids,
+    scenario_summary,
+)
+from repro.scenarios.spec import (
+    DEFAULT_POLICY_LEVELS,
+    DEFAULT_PRICES,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "DEFAULT_POLICY_LEVELS",
+    "DEFAULT_PRICES",
+    "DEMAND_FAMILIES",
+    "THROUGHPUT_FAMILIES",
+    "ScenarioSpec",
+    "capacity_variant",
+    "get_scenario",
+    "is_registered",
+    "random_market",
+    "register_scenario",
+    "scaled_market",
+    "scenario_ids",
+    "scenario_summary",
+    "section3_scenario",
+    "section5_scenario",
+    "utilization_variant",
+]

@@ -1,0 +1,68 @@
+"""The paper's two numerical scenarios, re-expressed as declarative specs.
+
+The market builders themselves live in :mod:`repro.experiments.scenarios`
+(the module the original figure scripts were written against); here they
+are wrapped into registry-addressable :class:`~repro.scenarios.spec.ScenarioSpec`
+objects so the spec-driven pipeline, the CLI and the JSON format all speak
+about "section3" and "section5" by name.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import (
+    FIGURE_PRICE_GRID,
+    POLICY_LEVELS,
+    section3_market,
+    section5_market,
+)
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["section3_scenario", "section5_scenario"]
+
+
+def section3_scenario() -> ScenarioSpec:
+    """The §3.2 one-sided-pricing market of Figures 4–5 (9 CP types)."""
+    return ScenarioSpec(
+        scenario_id="section3",
+        title="§3.2 one-sided pricing market (9 exponential CP types)",
+        market=section3_market(),
+        prices=tuple(float(p) for p in FIGURE_PRICE_GRID),
+        policy_levels=(0.0,),
+        metadata={
+            "source": "Ma, CoNEXT 2014, §3.2",
+            "figures": ["fig4", "fig5"],
+            "alphas": [1.0, 3.0, 5.0],
+            "betas": [1.0, 3.0, 5.0],
+        },
+    )
+
+
+def section5_scenario() -> ScenarioSpec:
+    """The §5 subsidization market of Figures 7–11 (8 CP types)."""
+    return ScenarioSpec(
+        scenario_id="section5",
+        title="§5 subsidization market (8 exponential CP types)",
+        market=section5_market(),
+        prices=tuple(float(p) for p in FIGURE_PRICE_GRID),
+        policy_levels=POLICY_LEVELS,
+        metadata={
+            "source": "Ma, CoNEXT 2014, §5",
+            "figures": ["fig7", "fig8", "fig9", "fig10", "fig11"],
+            "alphas": [2.0, 5.0],
+            "betas": [2.0, 5.0],
+            "values": [0.5, 1.0],
+        },
+    )
+
+
+register_scenario(
+    "section3",
+    section3_scenario,
+    summary="§3.2 one-sided pricing market (9 CP types; figs 4-5)",
+)
+register_scenario(
+    "section5",
+    section5_scenario,
+    summary="§5 subsidization market (8 CP types; figs 7-11)",
+)

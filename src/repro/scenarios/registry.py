@@ -1,0 +1,80 @@
+"""Name → scenario registry behind the CLI and the experiment pipeline.
+
+Scenarios register *factories*, not built specs, so importing the library
+never pays for a thousand-CP market nobody asked for; :func:`get_scenario`
+builds on first access and caches. The registry is explicit — only
+registered ids resolve — which keeps the CLI's name space enumerable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "is_registered",
+    "scenario_ids",
+    "scenario_summary",
+]
+
+_FACTORIES: dict[str, tuple[Callable[[], ScenarioSpec], str]] = {}
+_CACHE: dict[str, ScenarioSpec] = {}
+_LOCK = threading.Lock()
+
+
+def register_scenario(
+    scenario_id: str, factory: Callable[[], ScenarioSpec], *, summary: str
+) -> None:
+    """Register a scenario factory under ``scenario_id``.
+
+    ``summary`` is the one-liner shown by the CLI's ``list`` verb without
+    building the scenario. Re-registering an id raises ``ValueError``.
+    """
+    with _LOCK:
+        if scenario_id in _FACTORIES:
+            raise ValueError(f"scenario {scenario_id!r} is already registered")
+        _FACTORIES[scenario_id] = (factory, summary)
+
+
+def is_registered(scenario_id: str) -> bool:
+    """Whether an id resolves in the registry."""
+    return scenario_id in _FACTORIES
+
+
+def scenario_ids() -> list[str]:
+    """All registered ids, sorted."""
+    return sorted(_FACTORIES)
+
+
+def scenario_summary(scenario_id: str) -> str:
+    """The registration one-liner for an id (without building the spec)."""
+    return _FACTORIES[scenario_id][1]
+
+
+def get_scenario(scenario_id: str) -> ScenarioSpec:
+    """Build (once) and return the scenario registered under an id.
+
+    Raises ``KeyError`` listing the registered ids for unknown names.
+    """
+    if scenario_id not in _FACTORIES:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; registered scenarios: "
+            f"{scenario_ids()}"
+        )
+    with _LOCK:
+        cached = _CACHE.get(scenario_id)
+    if cached is not None:
+        return cached
+    spec = _FACTORIES[scenario_id][0]()
+    if spec.scenario_id != scenario_id:
+        raise ValueError(
+            f"factory registered as {scenario_id!r} built a spec named "
+            f"{spec.scenario_id!r}"
+        )
+    with _LOCK:
+        _CACHE.setdefault(scenario_id, spec)
+    return spec

@@ -1,0 +1,129 @@
+"""The declarative scenario recipe: market + sweep axes + provenance.
+
+A :class:`ScenarioSpec` is everything an experiment needs to run that is
+*data* rather than *code*: the market (providers + ISP), the price grid,
+the policy levels, and free-form metadata recording where the scenario came
+from (paper section, generator name and seed, variant lineage). Specs are
+frozen, registry-addressable (:mod:`repro.scenarios.registry`) and
+round-trip to JSON as the ``repro-scenario/1`` format (:mod:`repro.io`),
+so a generated thousand-CP stress market is as shareable and pinnable as
+the paper's hand-built eight-type instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.providers.market import Market
+
+__all__ = ["DEFAULT_PRICES", "DEFAULT_POLICY_LEVELS", "ScenarioSpec"]
+
+#: Default price axis for scenarios that do not pick their own: the paper's
+#: ``p ∈ [0, 2]`` figure grid at 41 points.
+DEFAULT_PRICES: tuple[float, ...] = tuple(
+    float(x) for x in np.round(np.linspace(0.0, 2.0, 41), 10)
+)
+
+#: Default policy levels: the paper's five caps of Figures 7–11.
+DEFAULT_POLICY_LEVELS: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+def _as_axis(values, label: str) -> tuple[float, ...]:
+    axis = tuple(float(v) for v in values)
+    if not axis:
+        raise ModelError(f"scenario {label} must be non-empty")
+    arr = np.asarray(axis)
+    if not np.all(np.isfinite(arr)) or np.any(arr < 0.0):
+        raise ModelError(f"scenario {label} must be finite and non-negative")
+    if np.any(np.diff(arr) <= 0.0):
+        raise ModelError(f"scenario {label} must be strictly increasing")
+    return axis
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully-specified experiment scenario.
+
+    Attributes
+    ----------
+    scenario_id:
+        Registry/CLI handle, e.g. ``"section5"`` or ``"scaled-256"``.
+    title:
+        One-line human description.
+    market:
+        The market recipe at its reference price (sweeps re-price it).
+    prices:
+        Price axis the scenario is meant to be swept over.
+    policy_levels:
+        Policy caps ``q`` of the scenario's grid.
+    metadata:
+        JSON-ready provenance: paper section, generator name and seed,
+        variant lineage, ... Read-only after construction.
+    """
+
+    scenario_id: str
+    title: str
+    market: Market
+    prices: tuple[float, ...] = DEFAULT_PRICES
+    policy_levels: tuple[float, ...] = DEFAULT_POLICY_LEVELS
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id or not self.scenario_id.strip():
+            raise ModelError("scenario_id must be a non-empty string")
+        if any(ch.isspace() for ch in self.scenario_id):
+            raise ModelError(
+                f"scenario_id must not contain whitespace, got {self.scenario_id!r}"
+            )
+        object.__setattr__(self, "prices", _as_axis(self.prices, "prices"))
+        object.__setattr__(
+            self, "policy_levels", _as_axis(self.policy_levels, "policy_levels")
+        )
+        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
+
+    @property
+    def size(self) -> int:
+        """Number of CPs in the market."""
+        return self.market.size
+
+    def price_array(self) -> np.ndarray:
+        """The price axis as a float ndarray."""
+        return np.asarray(self.prices, dtype=float)
+
+    def policy_array(self) -> np.ndarray:
+        """The policy levels as a float ndarray."""
+        return np.asarray(self.policy_levels, dtype=float)
+
+    def family_counts(self) -> dict[str, int]:
+        """Demand/throughput family composition, e.g. ``{"ExponentialDemand": 9}``."""
+        counts: dict[str, int] = {}
+        for cp in self.market.providers:
+            for func in (cp.demand, cp.throughput):
+                name = type(func).__name__
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line human summary (the CLI's ``describe`` verb)."""
+        isp = self.market.isp
+        prices = self.price_array()
+        lines = [
+            f"scenario {self.scenario_id}: {self.title}",
+            f"  providers: {self.size} CP type(s)",
+            "  families:  "
+            + ", ".join(
+                f"{name} x{n}" for name, n in sorted(self.family_counts().items())
+            ),
+            f"  isp:       price={isp.price:g} capacity={isp.capacity:g} "
+            f"utilization={type(isp.utilization).__name__}",
+            f"  prices:    {prices.size} points in [{prices[0]:g}, {prices[-1]:g}]",
+            "  policies:  q in {" + ", ".join(f"{q:g}" for q in self.policy_levels) + "}",
+        ]
+        for key in sorted(self.metadata):
+            lines.append(f"  meta:      {key} = {self.metadata[key]!r}")
+        return "\n".join(lines)

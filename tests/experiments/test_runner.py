@@ -1,13 +1,17 @@
 """Unit tests for the experiments CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.experiments import fig04
 from repro.experiments.runner import (
+    EXPERIMENT_SPECS,
     EXPERIMENTS,
     canonical_experiment,
     main,
+    resolve_experiments,
     run_experiments,
 )
 
@@ -23,6 +27,58 @@ class TestRegistry:
             "fig10",
             "fig11",
         }
+
+    def test_specs_mirror_experiments(self):
+        assert set(EXPERIMENT_SPECS) == set(EXPERIMENTS)
+        for key, spec in EXPERIMENT_SPECS.items():
+            assert spec.experiment_id == key
+
+
+class TestResolveExperiments:
+    def test_upfront_validation_rejects_before_running(self, tmp_path):
+        # An unknown name *after* valid ones must abort before anything
+        # runs — no partial CSVs on disk.
+        with pytest.raises(KeyError):
+            run_experiments(["fig4", "not-a-thing"], out_dir=tmp_path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_duplicates_collapse_in_order(self):
+        resolved = resolve_experiments(["fig4", "fig04", "FIG4", "fig7", "fig4"])
+        assert [key for key, _ in resolved] == ["fig4", "fig7"]
+
+    def test_scenario_ids_resolve(self):
+        resolved = resolve_experiments(["section5"])
+        assert resolved[0][0] == "section5"
+
+    def test_run_deduplicates_spellings(self, tmp_path):
+        results = run_experiments(["fig4", "fig04"], out_dir=tmp_path, quiet=True)
+        assert len(results) == 1
+        assert results[0].experiment_id == "fig4"
+
+    def test_all_expansion_keeps_scenario_ids(self):
+        from repro.experiments.runner import _expand_all
+
+        assert _expand_all(["all"]) == list(EXPERIMENTS)
+        # Scenario ids riding alongside 'all' must survive the expansion.
+        assert _expand_all(["all", "random-12"]) == [
+            *EXPERIMENTS, "random-12",
+        ]
+        assert _expand_all(["fig4", "all"]) == ["fig4", *EXPERIMENTS]
+
+    def test_inline_spec_with_colliding_id_still_runs(self):
+        # An edited --scenario file may reuse a registered id while naming a
+        # different market; it must not be dropped as a duplicate.
+        from repro.experiments.pipeline import scenario_experiment
+        from repro.scenarios import scaled_market
+
+        spec = scenario_experiment(
+            scaled_market(
+                4, prices=(0.0, 1.0), policy_levels=(0.0,),
+                scenario_id="section5",
+            )
+        )
+        resolved = resolve_experiments(["section5", spec])
+        assert [key for key, _ in resolved] == ["section5", "section5"]
 
 
 class TestCanonicalNames:
@@ -108,3 +164,141 @@ class TestMain:
     def test_workers_flag_validated(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["fig4", "--out", str(tmp_path), "--workers", "0"])
+
+    def test_no_experiments_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
+class TestVerbs:
+    def test_list_shows_experiments_and_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "section5" in out
+        assert "scaled-256" in out
+
+    def test_describe_experiment(self, capsys):
+        assert main(["describe", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "sweep:" in out
+        assert "section5" in out
+
+    def test_describe_scenario(self, capsys):
+        assert main(["describe", "random-12"]) == 0
+        out = capsys.readouterr().out
+        assert "random-12" in out
+        assert "seed" in out
+
+    def test_describe_unknown_exits_two(self, capsys):
+        assert main(["describe", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_run_verb_equals_legacy_invocation(self, tmp_path, capsys):
+        assert main(["run", "fig4", "--out", str(tmp_path), "--quiet"]) == 0
+        assert (tmp_path / "fig4-left.csv").exists()
+
+
+class TestScenarioRuns:
+    def test_run_scenario_file(self, tmp_path, capsys):
+        from repro.io import save_scenario
+        from repro.scenarios import scaled_market
+
+        spec = scaled_market(
+            4, prices=(0.0, 1.0, 2.0), policy_levels=(0.0, 1.0),
+            scenario_id="cli-file-test",
+        )
+        path = tmp_path / "scenario.json"
+        save_scenario(spec, path)
+        code = main(
+            ["run", "--scenario", str(path), "--out", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        assert (tmp_path / "cli-file-test-revenue.csv").exists()
+
+    def test_missing_scenario_file_exits_two(self, tmp_path, capsys):
+        code = main(["run", "--scenario", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load scenario" in capsys.readouterr().err
+
+
+class TestGeneratedScenariosEndToEnd:
+    """Acceptance: generated scenarios run through the CLI and round-trip."""
+
+    def test_scaled_256_cli_run_and_round_trip(self, tmp_path):
+        from repro.io import load_scenario, save_scenario, scenario_to_dict
+        from repro.scenarios import get_scenario
+
+        code = main(["run", "scaled-256", "--out", str(tmp_path), "--quiet"])
+        assert code == 0
+        assert (tmp_path / "scaled-256-revenue.csv").exists()
+        spec = get_scenario("scaled-256")
+        assert spec.size == 256
+        path = tmp_path / "scaled-256.json"
+        save_scenario(spec, path)
+        assert scenario_to_dict(load_scenario(path)) == scenario_to_dict(spec)
+
+    def test_seeded_random_cli_run_from_json_with_workers(self, tmp_path):
+        from repro.io import load_scenario, save_scenario
+        from repro.scenarios import random_market
+
+        spec = random_market(
+            123, 6,
+            prices=(0.0, 0.5, 1.0, 1.5, 2.0),
+            policy_levels=(0.0, 1.0),
+            scenario_id="random-6-s123",
+        )
+        path = tmp_path / "random.json"
+        save_scenario(spec, path)
+        assert load_scenario(path).metadata["seed"] == 123
+        code = main(
+            [
+                "run",
+                "--scenario", str(path),
+                "--out", str(tmp_path),
+                "--quiet",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "random-6-s123-revenue.csv").exists()
+
+
+class TestJsonSummary:
+    def test_json_summary_structure(self, tmp_path, capsys):
+        code = main(["fig4", "--out", str(tmp_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == []
+        (experiment,) = payload["experiments"]
+        assert experiment["id"] == "fig4"
+        assert experiment["all_passed"] is True
+        assert {c["name"] for c in experiment["checks"]} == {
+            c.name for c in EXPERIMENT_SPECS["fig4"].checks
+        }
+        assert all(path.endswith(".csv") for path in experiment["csv"])
+
+    def test_json_reports_failures_with_exit_one(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.base import ExperimentResult, ShapeCheck
+
+        def fake_compute():
+            real = fig04.compute(np.linspace(0.0, 2.0, 5))
+            return ExperimentResult(
+                experiment_id=real.experiment_id,
+                title=real.title,
+                figures=real.figures,
+                checks=(ShapeCheck(name="forced failure", passed=False),),
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "fig4", fake_compute)
+        code = main(["fig4", "--out", str(tmp_path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == [
+            {"experiment": "fig4", "check": "forced failure"}
+        ]

@@ -1,0 +1,139 @@
+"""Unit tests for repro.scenarios.generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import scenario_to_dict
+from repro.network.utilization import MM1Utilization
+from repro.scenarios import (
+    capacity_variant,
+    get_scenario,
+    random_market,
+    scaled_market,
+    utilization_variant,
+)
+
+
+class TestScaledMarket:
+    def test_sizes(self):
+        for n in (1, 8, 64, 100):
+            assert scaled_market(n).size == n
+
+    def test_deterministic(self):
+        a = scenario_to_dict(scaled_market(32))
+        b = scenario_to_dict(scaled_market(32))
+        assert a == b
+
+    def test_total_demand_invariant_in_n(self):
+        # Aggregate demand at p=0 equals total_demand regardless of n, so
+        # the congestion operating point stays comparable as n grows.
+        for n in (8, 64, 256):
+            market = scaled_market(n, total_demand=2.0).market
+            total = sum(cp.demand.population(0.0) for cp in market.providers)
+            assert total == pytest.approx(2.0)
+
+    def test_spans_covered(self):
+        market = scaled_market(64, alpha_span=(1.0, 5.0), beta_span=(2.0, 4.0)).market
+        alphas = {cp.demand.alpha for cp in market.providers}
+        betas = {cp.throughput.beta for cp in market.providers}
+        assert min(alphas) == 1.0 and max(alphas) == 5.0
+        assert min(betas) == 2.0 and max(betas) == 4.0
+
+    def test_values_cycle(self):
+        market = scaled_market(8, value_levels=(0.25, 0.75)).market
+        assert [cp.value for cp in market.providers] == [0.25, 0.75] * 4
+
+    def test_metadata_records_generator(self):
+        spec = scaled_market(16)
+        assert spec.metadata["generator"] == "scaled_market"
+        assert spec.metadata["n_types"] == 16
+
+    def test_solves(self):
+        state = scaled_market(256).market.solve()
+        assert state.aggregate_throughput > 0.0
+        assert np.isfinite(state.utilization)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            scaled_market(0)
+        with pytest.raises(ModelError):
+            scaled_market(4, total_demand=0.0)
+        with pytest.raises(ModelError):
+            scaled_market(4, value_levels=())
+
+
+class TestRandomMarket:
+    def test_seed_reproducible(self):
+        assert scenario_to_dict(random_market(7, 16)) == scenario_to_dict(
+            random_market(7, 16)
+        )
+
+    def test_seed_recorded_and_varied(self):
+        spec = random_market(7, 16)
+        assert spec.metadata["seed"] == 7
+        assert scenario_to_dict(spec) != scenario_to_dict(random_market(8, 16))
+
+    def test_draws_multiple_families(self):
+        spec = random_market(3, 32)
+        counts = spec.family_counts()
+        demand_families = {
+            name
+            for name in counts
+            if "Demand" in name
+        }
+        assert len(demand_families) >= 3
+
+    def test_family_restriction(self):
+        spec = random_market(
+            5, 8, families=("exponential",), throughput_families=("rational",),
+            scaled_share=0.0,
+        )
+        counts = spec.family_counts()
+        assert counts == {"ExponentialDemand": 8, "RationalThroughput": 8}
+
+    def test_solves_and_values_in_range(self):
+        spec = random_market(11, 24, value_range=(0.2, 0.8))
+        values = spec.market.values
+        assert np.all(values >= 0.2) and np.all(values <= 0.8)
+        assert spec.market.solve().aggregate_throughput > 0.0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ModelError):
+            random_market(1, 4, families=("nope",)).market.solve()
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ModelError):
+            random_market(1, 4, scaled_share=1.5)
+
+
+class TestVariants:
+    def test_capacity_variant(self):
+        base = scaled_market(8)
+        variant = capacity_variant(base, 2.5)
+        assert variant.market.isp.capacity == 2.5
+        assert variant.metadata["variant_of"] == base.scenario_id
+        assert variant.scenario_id == "scaled-8-mu2.5"
+        # CP population is shared, axes preserved.
+        assert variant.size == base.size
+        assert variant.prices == base.prices
+
+    def test_utilization_variant(self):
+        base = scaled_market(8)
+        variant = utilization_variant(base, MM1Utilization())
+        assert isinstance(variant.market.isp.utilization, MM1Utilization)
+        assert variant.metadata["utilization"] == "MM1Utilization"
+        # Same demand, harder congestion metric: utilization differs.
+        assert variant.market.solve().utilization != base.market.solve().utilization
+
+
+class TestRegisteredInstances:
+    def test_scaled_256_builds(self):
+        spec = get_scenario("scaled-256")
+        assert spec.size == 256
+        assert 0.0 in spec.policy_levels
+
+    def test_random_12_builds_and_is_heterogeneous(self):
+        spec = get_scenario("random-12")
+        assert spec.size == 12
+        assert len(spec.family_counts()) >= 3

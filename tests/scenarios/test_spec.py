@@ -1,0 +1,130 @@
+"""Unit tests for repro.scenarios.spec and the scenario registry."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    is_registered,
+    register_scenario,
+    scenario_ids,
+    scenario_summary,
+    section3_scenario,
+    section5_scenario,
+)
+from repro.scenarios.spec import DEFAULT_POLICY_LEVELS, DEFAULT_PRICES
+from repro.experiments.scenarios import section3_market
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        scenario_id="tiny",
+        title="a tiny test scenario",
+        market=section3_market(),
+        prices=(0.0, 1.0, 2.0),
+        policy_levels=(0.0, 1.0),
+        metadata={"source": "test"},
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestScenarioSpec:
+    def test_axes_coerced_to_float_tuples(self):
+        spec = tiny_spec(prices=[0, 1, 2])
+        assert spec.prices == (0.0, 1.0, 2.0)
+        assert isinstance(spec.prices, tuple)
+
+    def test_empty_prices_rejected(self):
+        with pytest.raises(ModelError):
+            tiny_spec(prices=())
+
+    def test_non_increasing_axis_rejected(self):
+        with pytest.raises(ModelError):
+            tiny_spec(prices=(0.0, 1.0, 1.0))
+        with pytest.raises(ModelError):
+            tiny_spec(policy_levels=(1.0, 0.5))
+
+    def test_negative_axis_rejected(self):
+        with pytest.raises(ModelError):
+            tiny_spec(prices=(-0.5, 1.0))
+
+    def test_blank_id_rejected(self):
+        with pytest.raises(ModelError):
+            tiny_spec(scenario_id="")
+        with pytest.raises(ModelError):
+            tiny_spec(scenario_id="has space")
+
+    def test_metadata_is_read_only(self):
+        spec = tiny_spec()
+        with pytest.raises(TypeError):
+            spec.metadata["source"] = "mutated"
+
+    def test_defaults_are_the_paper_axes(self):
+        assert DEFAULT_PRICES[0] == 0.0
+        assert DEFAULT_PRICES[-1] == 2.0
+        assert len(DEFAULT_PRICES) == 41
+        assert DEFAULT_POLICY_LEVELS == (0.0, 0.5, 1.0, 1.5, 2.0)
+
+    def test_describe_mentions_id_families_and_axes(self):
+        text = tiny_spec().describe()
+        assert "tiny" in text
+        assert "ExponentialDemand" in text
+        assert "3 points" in text
+        assert "source" in text
+
+    def test_family_counts(self):
+        counts = tiny_spec().family_counts()
+        assert counts == {"ExponentialDemand": 9, "ExponentialThroughput": 9}
+
+
+class TestPaperScenarios:
+    def test_section3(self):
+        spec = section3_scenario()
+        assert spec.scenario_id == "section3"
+        assert spec.size == 9
+        assert spec.policy_levels == (0.0,)
+        assert len(spec.prices) == 41
+
+    def test_section5(self):
+        spec = section5_scenario()
+        assert spec.scenario_id == "section5"
+        assert spec.size == 8
+        assert spec.policy_levels == (0.0, 0.5, 1.0, 1.5, 2.0)
+
+    def test_registered(self):
+        for sid in ("section3", "section5"):
+            assert is_registered(sid)
+            assert get_scenario(sid).scenario_id == sid
+
+
+class TestRegistry:
+    def test_builtin_ids_listed(self):
+        ids = scenario_ids()
+        for sid in ("section3", "section5", "scaled-64", "scaled-256",
+                    "scaled-1024", "random-12"):
+            assert sid in ids
+
+    def test_summaries_available_without_building(self):
+        assert "1024" in scenario_summary("scaled-1024")
+
+    def test_get_scenario_caches(self):
+        assert get_scenario("section3") is get_scenario("section3")
+
+    def test_unknown_id_raises_keyerror_with_choices(self):
+        with pytest.raises(KeyError, match="registered scenarios"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(
+                "section3", section3_scenario, summary="duplicate"
+            )
+
+    def test_factory_id_mismatch_rejected(self):
+        register_scenario(
+            "mismatched-id-test", section5_scenario, summary="wrong id"
+        )
+        with pytest.raises(ValueError, match="mismatched-id-test"):
+            get_scenario("mismatched-id-test")

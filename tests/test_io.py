@@ -1,4 +1,4 @@
-"""Unit tests for repro.io — market serialization."""
+"""Unit tests for repro.io — market and scenario serialization."""
 
 import json
 
@@ -6,11 +6,82 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ModelError
-from repro.io import load_market, market_from_dict, market_to_dict, save_market
-from repro.network.demand import LogitDemand, ScaledDemand
-from repro.network.throughput import PowerLawThroughput
-from repro.network.utilization import MM1Utilization
+from repro.io import (
+    _FAMILIES,
+    load_market,
+    load_scenario,
+    market_from_dict,
+    market_to_dict,
+    save_market,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.network.demand import (
+    DemandFunction,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ScaledDemand,
+    ShiftedPowerDemand,
+)
+from repro.network.throughput import (
+    ExponentialThroughput,
+    PowerLawThroughput,
+    RationalThroughput,
+    ThroughputFunction,
+)
+from repro.network.utilization import (
+    LinearUtilization,
+    MM1Utilization,
+    PowerLawUtilization,
+    UtilizationFunction,
+)
 from repro.providers import AccessISP, ContentProvider, Market, exponential_cp
+from repro.scenarios import ScenarioSpec, random_market, scaled_market
+
+#: One representative instance per serializable family, with non-default
+#: parameters so a lossy round trip cannot hide behind defaults. Every
+#: family registered in ``repro.io._FAMILIES`` must appear here — the
+#: parametrized round-trip test below fails on a newly registered family
+#: until an exemplar is added.
+FAMILY_EXEMPLARS = {
+    "ExponentialDemand": ExponentialDemand(alpha=2.5, scale=1.2),
+    "LogitDemand": LogitDemand(alpha=4.0, midpoint=0.7, scale=1.5),
+    "LinearDemand": LinearDemand(base=1.4, slope=0.6, smoothing=2e-3),
+    "ShiftedPowerDemand": ShiftedPowerDemand(alpha=1.8, scale=0.9),
+    "ScaledDemand": ScaledDemand(
+        ScaledDemand(LogitDemand(alpha=3.0, midpoint=0.5), 0.5), 0.4
+    ),
+    "ExponentialThroughput": ExponentialThroughput(beta=3.5, peak=1.1),
+    "PowerLawThroughput": PowerLawThroughput(beta=2.5, peak=1.2),
+    "RationalThroughput": RationalThroughput(beta=1.5, peak=0.9),
+    "LinearUtilization": LinearUtilization(),
+    "PowerLawUtilization": PowerLawUtilization(gamma=1.7),
+    "MM1Utilization": MM1Utilization(),
+}
+
+_FALLBACK_DEMAND = ExponentialDemand(alpha=1.0)
+_FALLBACK_THROUGHPUT = ExponentialThroughput(beta=1.0)
+
+
+def market_embedding(func) -> Market:
+    """A market carrying ``func`` in its natural slot (demand/throughput/Φ)."""
+    demand, throughput, utilization = (
+        _FALLBACK_DEMAND, _FALLBACK_THROUGHPUT, LinearUtilization(),
+    )
+    if isinstance(func, DemandFunction):
+        demand = func
+    elif isinstance(func, ThroughputFunction):
+        throughput = func
+    elif isinstance(func, UtilizationFunction):
+        utilization = func
+    else:  # pragma: no cover - exemplar table out of sync
+        raise TypeError(f"unknown family kind: {type(func).__name__}")
+    return Market(
+        [ContentProvider(demand=demand, throughput=throughput, value=0.3)],
+        AccessISP(price=1.0, capacity=1.5, utilization=utilization),
+    )
 
 
 def rich_market() -> Market:
@@ -65,6 +136,97 @@ class TestRoundTrip:
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-market/1"
         assert payload["isp"]["utilization"]["type"] == "MM1Utilization"
+
+
+class TestEveryFamilyRoundTrips:
+    """Satellite guard: a newly registered family cannot silently break IO.
+
+    Parametrized over ``repro.io._FAMILIES`` itself — registering a family
+    without adding an exemplar here fails the lookup assertion, and the
+    exemplar then proves the family (including nested wrappers like
+    ``ScaledDemand``) reconstructs exactly.
+    """
+
+    @pytest.mark.parametrize("family_name", sorted(_FAMILIES))
+    def test_family_round_trip(self, family_name):
+        assert family_name in FAMILY_EXEMPLARS, (
+            f"{family_name} is registered in repro.io._FAMILIES but has no "
+            "exemplar in FAMILY_EXEMPLARS; add one so serialization of the "
+            "new family is covered"
+        )
+        exemplar = FAMILY_EXEMPLARS[family_name]
+        market = market_embedding(exemplar)
+        rebuilt = market_from_dict(market_to_dict(market))
+        slots = [
+            rebuilt.providers[0].demand,
+            rebuilt.providers[0].throughput,
+            rebuilt.isp.utilization,
+        ]
+        # Frozen dataclasses compare by value, nested wrappers included.
+        assert exemplar in slots
+
+    def test_exemplars_cover_exactly_the_registry(self):
+        assert set(FAMILY_EXEMPLARS) == set(_FAMILIES)
+
+
+class TestScenarioFormat:
+    def make_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            scenario_id="io-test",
+            title="io round-trip scenario",
+            market=rich_market(),
+            prices=(0.0, 0.5, 1.0),
+            policy_levels=(0.0, 1.0),
+            metadata={"source": "test", "seed": 3},
+        )
+
+    def test_dict_round_trip(self):
+        spec = self.make_spec()
+        rebuilt = scenario_from_dict(scenario_to_dict(spec))
+        assert scenario_to_dict(rebuilt) == scenario_to_dict(spec)
+        assert rebuilt.scenario_id == "io-test"
+        assert rebuilt.prices == spec.prices
+        assert rebuilt.policy_levels == spec.policy_levels
+        assert dict(rebuilt.metadata) == {"source": "test", "seed": 3}
+
+    def test_file_round_trip(self, tmp_path):
+        spec = self.make_spec()
+        path = tmp_path / "nested" / "scenario.json"
+        save_scenario(spec, path)
+        rebuilt = load_scenario(path)
+        assert scenario_to_dict(rebuilt) == scenario_to_dict(spec)
+
+    def test_output_is_versioned_json_embedding_the_market(self, tmp_path):
+        path = tmp_path / "s.json"
+        save_scenario(self.make_spec(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-scenario/1"
+        assert payload["market"]["format"] == "repro-market/1"
+
+    def test_generated_scenarios_round_trip_with_seed(self):
+        for spec in (random_market(99, 5), scaled_market(16)):
+            rebuilt = scenario_from_dict(scenario_to_dict(spec))
+            assert scenario_to_dict(rebuilt) == scenario_to_dict(spec)
+        assert scenario_from_dict(
+            scenario_to_dict(random_market(99, 5))
+        ).metadata["seed"] == 99
+
+    def test_market_payload_accepted_as_scenario(self):
+        # repro-scenario/1 is a superset: a bare market file loads too.
+        spec = scenario_from_dict(market_to_dict(rich_market()))
+        assert spec.scenario_id == "imported-market"
+        assert spec.size == 2
+        assert len(spec.prices) == 41  # default paper axes
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError):
+            scenario_from_dict({"format": "something-else"})
+
+    def test_missing_keys_rejected(self):
+        payload = scenario_to_dict(self.make_spec())
+        del payload["market"]
+        with pytest.raises(ModelError):
+            scenario_from_dict(payload)
 
 
 class TestErrorHandling:
