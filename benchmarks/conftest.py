@@ -7,9 +7,23 @@ run. Grids are the paper's unless noted.
 
 Benchmarks use pedantic mode with a single round: the workloads are seconds
 long and deterministic, so statistical repetition buys nothing.
+
+Machine-readable output
+-----------------------
+Every case that runs through :func:`run_once` is recorded — wall time,
+solve-task count and cache hits read off the shared solve service — and
+written as one ``BENCH_<case>.json`` file per case into
+``$REPRO_BENCH_DIR`` (default: ``benchmarks/out``). CI uploads these as
+artifacts, so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,20 +33,77 @@ BENCH_PRICES = np.round(np.linspace(0.0, 2.0, 21), 10)
 #: The paper's five policy levels.
 BENCH_CAPS = (0.0, 0.5, 1.0, 1.5, 2.0)
 
+def _write_bench_record(record: dict) -> None:
+    """Write one BENCH_<case>.json (the cross-PR perf-trajectory format).
+
+    Written eagerly per case — benchmarks must never fail the suite over a
+    bookkeeping write, so I/O errors are swallowed.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "benchmarks/out"))
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{record['case']}.json"
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass
+
 
 @pytest.fixture(autouse=True)
 def _fresh_grid_cache():
-    """Each benchmark measures a cold grid solve."""
+    """Each benchmark measures a cold in-process solve.
+
+    Clears the shared engine's grid cache *and* the default service's
+    memory tier (figure rows now memoize there), and zeroes the service
+    counters so each case's solve/hit counts are its own.
+    """
+    from repro.engine.service import default_service
     from repro.experiments.grid import clear_cache
 
     clear_cache()
+    default_service().reset_counters()
     yield
     clear_cache()
 
 
+def _current_case() -> str:
+    """The running test's name, sanitized for a filename."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    name = current.split("::")[-1].split(" ")[0]
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name) or "unknown"
+
+
 def run_once(benchmark, func):
-    """Run a deterministic seconds-long workload exactly once."""
-    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+    """Run a deterministic seconds-long workload exactly once.
+
+    Also records the case's wall time and the solve/cache counters the
+    workload moved on the shared solve service (workloads running private
+    engines record zero counters by construction).
+    """
+    from repro.engine.service import default_service
+
+    service = default_service()
+    before = service.counters.as_dict()
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+    seconds = time.perf_counter() - start
+    after = service.counters.as_dict()
+    _write_bench_record(
+        {
+            "case": _current_case(),
+            "seconds": seconds,
+            "solve_tasks": after["computed"] - before["computed"],
+            "cache_hits": (
+                after["memory_hits"]
+                + after["store_hits"]
+                - before["memory_hits"]
+                - before["store_hits"]
+            ),
+            "store_hits": after["store_hits"] - before["store_hits"],
+        }
+    )
+    return result
 
 
 def assert_all_checks_pass(result):

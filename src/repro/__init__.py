@@ -43,7 +43,7 @@ from repro.core import (
     thresholds,
     welfare,
 )
-from repro.engine import GridEngine, SolveCache
+from repro.engine import GridEngine, SolveCache, SolveService, SolveStore, SolveTask
 from repro.exceptions import (
     BracketError,
     ConvergenceError,
@@ -97,6 +97,9 @@ __all__ = [
     "MarketStateBatch",
     "ModelError",
     "SolveCache",
+    "SolveService",
+    "SolveStore",
+    "SolveTask",
     "PowerLawThroughput",
     "PowerLawUtilization",
     "RationalThroughput",

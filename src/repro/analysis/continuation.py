@@ -8,6 +8,17 @@ the path with warm-started solves and locates those partition-change
 breakpoints to high precision by bisection — useful both for plotting
 (Figure 8's kinks) and for knowing where Theorem 6's derivative formulas
 are valid.
+
+Engine routing
+--------------
+The on-grid portion of a trace is exactly one warm-chained *cap row* — the
+same unit the grid engine schedules — so it runs as the shared
+:func:`~repro.engine.grid_engine.cap_row_task`: a trace along a figure's
+price axis resolves from the very rows the figure already solved (and vice
+versa). Each breakpoint refinement is its own content-keyed task
+(:func:`refine_breakpoint`), so against a warm persistent store a repeated
+trace performs zero equilibrium solves. Warm-start chains are preserved
+exactly; routing changes where solves run, never their results.
 """
 
 from __future__ import annotations
@@ -19,10 +30,18 @@ import numpy as np
 from repro.core.characterization import ProviderPartition, classify_providers
 from repro.core.equilibrium import solve_equilibrium
 from repro.core.game import SubsidizationGame
+from repro.engine.grid_engine import cap_row_task
+from repro.engine.service import SolveService, SolveTask, default_service
+from repro.engine.cache import market_fingerprint
 from repro.exceptions import ModelError
 from repro.providers.market import Market
 
-__all__ = ["Breakpoint", "EquilibriumPath", "trace_equilibrium_path"]
+__all__ = [
+    "Breakpoint",
+    "EquilibriumPath",
+    "refine_breakpoint",
+    "trace_equilibrium_path",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +104,52 @@ def _partition_key(partition: ProviderPartition) -> tuple:
     return (partition.zero, partition.capped, partition.interior)
 
 
+def _partition_from_key(key) -> ProviderPartition:
+    zero, capped, interior = key
+    return ProviderPartition(
+        tuple(int(i) for i in zero),
+        tuple(int(i) for i in capped),
+        tuple(int(i) for i in interior),
+    )
+
+
+def refine_breakpoint(
+    market: Market,
+    lo: float,
+    hi: float,
+    cap: float,
+    warm: np.ndarray,
+    part_lo_key: tuple,
+    part_hi_key: tuple,
+    price_tol: float,
+    boundary_tol: float,
+) -> dict:
+    """Bisect one partition-change interval down to ``price_tol``.
+
+    A pure function of the interval's endpoints, the warm profile the
+    chain reached the interval with, and the flanking partitions — the
+    unit of refinement work the trace routes through the solve service.
+    Returns the breakpoint price and the partition on its far side, as a
+    JSON-ready payload (the ``"json"`` codec round-trips floats exactly).
+    """
+    warm = np.asarray(warm, dtype=float)
+    part_hi_key = tuple(tuple(int(i) for i in part) for part in part_hi_key)
+    part_lo_key = tuple(tuple(int(i) for i in part) for part in part_lo_key)
+    while hi - lo > price_tol:
+        mid = 0.5 * (lo + hi)
+        game = SubsidizationGame(market.with_price(float(mid)), cap)
+        eq = solve_equilibrium(game, initial=warm)
+        part_mid = classify_providers(
+            game, eq.subsidies, boundary_tol=boundary_tol
+        )
+        warm = eq.subsidies
+        if _partition_key(part_mid) == part_lo_key:
+            lo = mid
+        else:
+            hi, part_hi_key = mid, _partition_key(part_mid)
+    return {"price": 0.5 * (lo + hi), "after": part_hi_key}
+
+
 def trace_equilibrium_path(
     market: Market,
     prices,
@@ -92,6 +157,7 @@ def trace_equilibrium_path(
     *,
     price_tol: float = 1e-6,
     boundary_tol: float = 1e-7,
+    service: SolveService | None = None,
 ) -> EquilibriumPath:
     """Trace ``s*(p, q)`` over a price grid and refine its kinks.
 
@@ -107,45 +173,74 @@ def trace_equilibrium_path(
         Bisection tolerance for breakpoint locations.
     boundary_tol:
         Bound-closeness tolerance for the partition classification.
+    service:
+        Solve service resolving the row and refinement tasks; ``None``
+        uses the shared default (store-backed when configured).
     """
     prices = np.asarray(prices, dtype=float)
     if prices.ndim != 1 or prices.size < 2:
         raise ModelError("prices must be a 1-D grid with at least two points")
     if np.any(np.diff(prices) <= 0.0):
         raise ModelError("prices must be strictly increasing")
+    svc = service if service is not None else default_service()
 
-    def solve_at(p: float, warm=None):
-        game = SubsidizationGame(market.with_price(float(p)), cap)
-        eq = solve_equilibrium(game, initial=warm)
-        partition = classify_providers(game, eq.subsidies, boundary_tol=boundary_tol)
-        return eq, partition
+    # The on-grid sweep is one warm-chained cap row — the grid engine's
+    # unit of work, shared key included.
+    row = svc.run(cap_row_task(market, prices, cap, warm_start=True))
+    subsidies = [eq.subsidies.copy() for eq in row]
+    partitions = [
+        classify_providers(
+            SubsidizationGame(market.with_price(float(p)), cap),
+            row[j].subsidies,
+            boundary_tol=boundary_tol,
+        )
+        for j, p in enumerate(prices)
+    ]
 
-    subsidies = []
-    partitions = []
-    warm = None
-    for p in prices:
-        eq, partition = solve_at(p, warm)
-        warm = eq.subsidies
-        subsidies.append(eq.subsidies.copy())
-        partitions.append(partition)
-
+    fingerprint = market_fingerprint(market)
     breakpoints = []
     for k in range(prices.size - 1):
         if _partition_key(partitions[k]) == _partition_key(partitions[k + 1]):
             continue
         lo, hi = float(prices[k]), float(prices[k + 1])
-        part_lo, part_hi = partitions[k], partitions[k + 1]
+        part_lo_key = _partition_key(partitions[k])
+        part_hi_key = _partition_key(partitions[k + 1])
         warm = subsidies[k].copy()
-        while hi - lo > price_tol:
-            mid = 0.5 * (lo + hi)
-            eq, part_mid = solve_at(mid, warm)
-            warm = eq.subsidies
-            if _partition_key(part_mid) == _partition_key(part_lo):
-                lo = mid
-            else:
-                hi, part_hi = mid, part_mid
+        refined = svc.run(
+            SolveTask(
+                fn=refine_breakpoint,
+                args=(
+                    market,
+                    lo,
+                    hi,
+                    float(cap),
+                    warm,
+                    part_lo_key,
+                    part_hi_key,
+                    float(price_tol),
+                    float(boundary_tol),
+                ),
+                key=(
+                    "continuation-bp/1",
+                    fingerprint,
+                    lo,
+                    hi,
+                    float(cap),
+                    float(price_tol),
+                    float(boundary_tol),
+                    part_lo_key,
+                    part_hi_key,
+                    warm.tobytes(),
+                ),
+                codec="json",
+            )
+        )
         breakpoints.append(
-            Breakpoint(price=0.5 * (lo + hi), before=part_lo, after=part_hi)
+            Breakpoint(
+                price=float(refined["price"]),
+                before=partitions[k],
+                after=_partition_from_key(refined["after"]),
+            )
         )
 
     return EquilibriumPath(

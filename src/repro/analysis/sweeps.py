@@ -16,6 +16,7 @@ spreads cap rows over a process pool with bitwise-identical results.
 from __future__ import annotations
 
 from repro.engine.grid_engine import EquilibriumGrid, GridEngine
+from repro.engine.service import default_service
 from repro.providers.market import Market
 
 __all__ = ["price_sweep", "EquilibriumGrid", "policy_grid"]
@@ -31,9 +32,12 @@ def price_sweep(
     """Equilibria along a price axis under a fixed policy cap.
 
     With ``cap = 0`` this is the one-sided model of §3.2 (the "solve" is
-    then just the congestion fixed point at zero subsidies).
+    then just the congestion fixed point at zero subsidies). Runs as one
+    cap-row task on the shared solve service, so repeated sweeps — and
+    figure grids sharing the row — resolve from cache (persistently so
+    when a store is configured).
     """
-    return GridEngine().price_sweep(
+    return GridEngine(service=default_service()).price_sweep(
         market, prices, cap=cap, warm_start=warm_start
     )
 
@@ -49,10 +53,10 @@ def policy_grid(
     """Solve the full (policy × price) equilibrium grid behind Figures 7–11.
 
     ``workers`` spreads policy rows over a process pool (see
-    :class:`repro.engine.GridEngine`); any schedule returns bitwise-equal
-    results, so the default of ``None`` (engine default, usually 1) is a
-    pure performance choice.
+    :class:`repro.engine.GridEngine`); any schedule — pooled, sequential,
+    or fed from the shared service's cache tiers — returns bitwise-equal
+    results, so both knobs are pure performance choices.
     """
-    return GridEngine(workers=workers).solve_grid(
+    return GridEngine(workers=workers, service=default_service()).solve_grid(
         market, prices, caps, warm_start=warm_start
     )

@@ -21,6 +21,19 @@ equilibrium of a standard :class:`~repro.core.game.SubsidizationGame` on a
 market whose demands are scaled by ``w_k``. This module composes those
 solves into the ISPs' *price competition*: damped best-response iteration
 on ``(p_A, p_B)`` where each ISP maximizes its own equilibrium revenue.
+
+Engine routing
+--------------
+A best-response price search is a pure function of the carrier's
+primitives, the rival price and the warm-start profile, so each one runs
+as a single content-keyed :class:`~repro.engine.service.SolveTask`
+(:func:`solve_best_response_sweep`: the candidate-price revenue sweep with
+its warm-start chain, followed by golden-section polish) on the shared
+solve service. The inner equilibrium solves use the vectorized
+Jacobi/Newton core; the warm-start chain is preserved exactly, so the
+engine-routed search is bit-for-bit the scalar one — and with a
+persistent store configured, re-running a price competition replays every
+sweep from cache with zero equilibrium solves.
 """
 
 from __future__ import annotations
@@ -33,6 +46,8 @@ import numpy as np
 
 from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
 from repro.core.game import SubsidizationGame
+from repro.engine.cache import market_fingerprint
+from repro.engine.service import SolveService, SolveTask, default_service
 from repro.exceptions import ConvergenceError, ModelError
 from repro.network.demand import ScaledDemand
 from repro.providers.content_provider import ContentProvider
@@ -44,8 +59,122 @@ __all__ = [
     "Duopoly",
     "DuopolyState",
     "PriceCompetitionResult",
+    "carrier_shares",
+    "scaled_carrier_market",
+    "solve_best_response_sweep",
     "solve_price_competition",
 ]
+
+
+def carrier_shares(
+    switching: float, price_a: float, price_b: float
+) -> tuple[float, float]:
+    """Logit market shares at a price pair (stabilized softmax on −σp)."""
+    za, zb = -switching * price_a, -switching * price_b
+    top = max(za, zb)
+    ea, eb = math.exp(za - top), math.exp(zb - top)
+    w_a = ea / (ea + eb)
+    return (w_a, 1.0 - w_a)
+
+
+def scaled_carrier_market(
+    providers: Sequence[ContentProvider],
+    isp: AccessISP,
+    share: float,
+    price: float,
+) -> Market:
+    """One carrier's market: demands scaled by its share, ISP repriced.
+
+    Module-level (and the single construction path for both the in-process
+    methods and the pool-schedulable sweep task) so every route builds the
+    carrier market identically.
+    """
+    scaled = [
+        ContentProvider(
+            demand=ScaledDemand(cp.demand, share),
+            throughput=cp.throughput,
+            value=cp.value,
+            name=cp.name,
+        )
+        for cp in providers
+    ]
+    return Market(scaled, isp.with_price(price))
+
+
+def solve_best_response_sweep(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    switching: float,
+    cap: float,
+    index: int,
+    rival_price: float,
+    lo: float,
+    hi: float,
+    grid_points: int,
+    xtol: float,
+    warm0: np.ndarray | None,
+) -> dict[str, np.ndarray]:
+    """One carrier's full best-response price search, as a pure task.
+
+    Evaluates the carrier's equilibrium revenue over the candidate price
+    grid and polishes the best bracket (``grid_polish_maximize``), with
+    each equilibrium solve warm-started from the previous candidate's
+    profile — the exact chain the in-process scalar path runs. Returns the
+    maximizer, its revenue, the evaluation/solve counts and the final
+    warm profile (the chain's hand-off to the next sweep), all as arrays
+    so the result persists bit-exactly under the ``"ndarrays"`` codec.
+    """
+    state = {
+        "warm": None if warm0 is None else np.asarray(warm0, dtype=float),
+        "solves": 0,
+    }
+
+    def revenue(p: float) -> float:
+        prices = (p, rival_price) if index == 0 else (rival_price, p)
+        share = carrier_shares(switching, *prices)[index]
+        market = scaled_carrier_market(providers, isp, share, prices[index])
+        equilibrium = solve_equilibrium(
+            SubsidizationGame(market, cap), initial=state["warm"]
+        )
+        state["warm"] = equilibrium.subsidies
+        state["solves"] += 1
+        return equilibrium.state.revenue
+
+    result = grid_polish_maximize(
+        revenue, lo, hi, grid_points=grid_points, xtol=xtol
+    )
+    return {
+        "price": np.asarray(result.x, dtype=float),
+        "value": np.asarray(result.value, dtype=float),
+        "evaluations": np.asarray(result.evaluations, dtype=np.int64),
+        "solves": np.asarray(state["solves"], dtype=np.int64),
+        "warm": np.asarray(state["warm"], dtype=float),
+    }
+
+
+def solve_carrier_equilibrium(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    switching: float,
+    cap: float,
+    index: int,
+    price_a: float,
+    price_b: float,
+    warm0: np.ndarray | None,
+) -> tuple[EquilibriumResult, ...]:
+    """One carrier's CP equilibrium at a price pair, as a pure task.
+
+    Returned as a 1-tuple so it persists under the engine's ``"grid-row"``
+    codec — a duopoly state is just two single-node rows.
+    """
+    share = carrier_shares(switching, price_a, price_b)[index]
+    price = (price_a, price_b)[index]
+    market = scaled_carrier_market(providers, isp, share, price)
+    equilibrium = solve_equilibrium(
+        SubsidizationGame(market, cap),
+        initial=None if warm0 is None else np.asarray(warm0, dtype=float),
+    )
+    return (equilibrium,)
 
 
 @dataclass(frozen=True)
@@ -92,6 +221,11 @@ class Duopoly:
         Logit sensitivity ``σ ≥ 0`` of carrier choice to price.
     cap:
         Subsidization policy ``q`` (applies on both carriers).
+    service:
+        Solve service resolving the best-response sweep tasks; ``None``
+        (default) resolves the shared
+        :func:`~repro.engine.service.default_service` at call time, so a
+        store configured process-wide makes duopoly runs resumable.
     """
 
     def __init__(
@@ -102,6 +236,7 @@ class Duopoly:
         *,
         switching: float = 2.0,
         cap: float = 0.0,
+        service: SolveService | None = None,
     ) -> None:
         if switching < 0.0 or not np.isfinite(switching):
             raise ModelError(
@@ -115,10 +250,12 @@ class Duopoly:
         self._isps = (isp_a, isp_b)
         self._switching = float(switching)
         self._cap = float(cap)
+        self._service = service
         # Warm-start cache: last equilibrium subsidies per carrier. Purely a
         # performance device — solutions are certified per solve, so a stale
         # start cannot change the result, only the iteration count.
         self._warm: dict[int, np.ndarray] = {}
+        self._fingerprints: dict[int, str] = {}
 
     @property
     def switching(self) -> float:
@@ -130,41 +267,77 @@ class Duopoly:
         """Subsidization policy cap ``q``."""
         return self._cap
 
+    def _resolve_service(self) -> SolveService:
+        return self._service if self._service is not None else default_service()
+
+    def _carrier_fingerprint(self, index: int) -> str:
+        """Carrier ``index``'s market-content digest (computed once).
+
+        The rival's ISP parameters never enter carrier ``index``'s revenue
+        (only the rival *price* does), so this covers exactly the carrier's
+        own economic content; σ and q join the task keys separately.
+        """
+        if index not in self._fingerprints:
+            self._fingerprints[index] = market_fingerprint(
+                Market(self._providers, self._isps[index])
+            )
+        return self._fingerprints[index]
+
     def shares(self, price_a: float, price_b: float) -> tuple[float, float]:
         """Logit market shares at a price pair."""
-        # Stabilized softmax on (-σ p).
-        za, zb = -self._switching * price_a, -self._switching * price_b
-        top = max(za, zb)
-        ea, eb = math.exp(za - top), math.exp(zb - top)
-        w_a = ea / (ea + eb)
-        return (w_a, 1.0 - w_a)
+        return carrier_shares(self._switching, price_a, price_b)
 
     def carrier_market(self, index: int, prices: tuple[float, float]) -> Market:
         """Carrier ``index``'s market: demands scaled by its share."""
         w = self.shares(*prices)[index]
-        scaled = [
-            ContentProvider(
-                demand=ScaledDemand(cp.demand, w),
-                throughput=cp.throughput,
-                value=cp.value,
-                name=cp.name,
-            )
-            for cp in self._providers
-        ]
-        isp = self._isps[index].with_price(prices[index])
-        return Market(scaled, isp)
+        return scaled_carrier_market(
+            self._providers, self._isps[index], w, prices[index]
+        )
+
+    def _carrier_task(
+        self, index: int, prices: tuple[float, float]
+    ) -> SolveTask:
+        """The content-keyed task for one carrier's equilibrium solve."""
+        isp = self._isps[index]
+        warm0 = self._warm.get(index)
+        warm_arg = None if warm0 is None else np.asarray(warm0, dtype=float)
+        return SolveTask(
+            fn=solve_carrier_equilibrium,
+            args=(
+                self._providers,
+                isp,
+                self._switching,
+                self._cap,
+                int(index),
+                float(prices[0]),
+                float(prices[1]),
+                warm_arg,
+            ),
+            key=(
+                "duopoly-eq/1",
+                self._carrier_fingerprint(index),
+                float(self._switching),
+                float(self._cap),
+                int(index),
+                float(prices[0]),
+                float(prices[1]),
+                None if warm_arg is None else warm_arg.tobytes(),
+            ),
+            codec="grid-row",
+        )
 
     def solve(self, price_a: float, price_b: float) -> DuopolyState:
-        """Full duopoly state (CP equilibria on both carriers) at a price pair."""
+        """Full duopoly state (CP equilibria on both carriers) at a price pair.
+
+        Each carrier's game runs as a service task (the games decouple
+        given the prices), so solved states replay from a warm store.
+        """
         prices = (float(price_a), float(price_b))
         shares = self.shares(*prices)
+        service = self._resolve_service()
         equilibria = []
         for k in range(2):
-            market = self.carrier_market(k, prices)
-            equilibrium = solve_equilibrium(
-                SubsidizationGame(market, self._cap),
-                initial=self._warm.get(k),
-            )
+            (equilibrium,) = service.run(self._carrier_task(k, prices))
             self._warm[k] = equilibrium.subsidies
             equilibria.append(equilibrium)
         welfare = sum(eq.state.welfare for eq in equilibria)
@@ -190,6 +363,50 @@ class Duopoly:
         self._warm[index] = equilibrium.subsidies
         return equilibrium.state.revenue
 
+    def _sweep_task(
+        self,
+        index: int,
+        rival_price: float,
+        price_range: tuple[float, float],
+        grid_points: int,
+        xtol: float,
+    ) -> SolveTask:
+        """The content-keyed task for one best-response price search."""
+        isp = self._isps[index]
+        warm0 = self._warm.get(index)
+        warm_arg = None if warm0 is None else np.asarray(warm0, dtype=float)
+        key = (
+            "duopoly-br/1",
+            self._carrier_fingerprint(index),
+            float(self._switching),
+            float(self._cap),
+            int(index),
+            float(rival_price),
+            float(price_range[0]),
+            float(price_range[1]),
+            int(grid_points),
+            float(xtol),
+            None if warm_arg is None else warm_arg.tobytes(),
+        )
+        return SolveTask(
+            fn=solve_best_response_sweep,
+            args=(
+                self._providers,
+                isp,
+                self._switching,
+                self._cap,
+                int(index),
+                float(rival_price),
+                float(price_range[0]),
+                float(price_range[1]),
+                int(grid_points),
+                float(xtol),
+                warm_arg,
+            ),
+            key=key,
+            codec="ndarrays",
+        )
+
     def best_response_price(
         self,
         index: int,
@@ -199,16 +416,18 @@ class Duopoly:
         grid_points: int = 32,
         xtol: float = 1e-7,
     ) -> float:
-        """Carrier ``index``'s revenue-maximizing price against a rival price."""
+        """Carrier ``index``'s revenue-maximizing price against a rival price.
 
-        def revenue(p: float) -> float:
-            prices = (p, rival_price) if index == 0 else (rival_price, p)
-            return self.revenue_of(index, prices)
-
-        return grid_polish_maximize(
-            revenue, price_range[0], price_range[1],
-            grid_points=grid_points, xtol=xtol,
-        ).x
+        Runs as one solve-service task (cache/store/pool-eligible); the
+        warm-start chain threads through the task exactly as the scalar
+        path would, so the routed search is bitwise-identical to it.
+        """
+        task = self._sweep_task(
+            index, float(rival_price), price_range, grid_points, xtol
+        )
+        outcome = self._resolve_service().run(task)
+        self._warm[index] = outcome["warm"]
+        return float(outcome["price"])
 
 
 @dataclass(frozen=True)
@@ -246,7 +465,9 @@ def solve_price_competition(
     price; convergence is declared when the largest per-sweep price change
     falls below ``tol``. Raises :class:`~repro.exceptions.ConvergenceError`
     on budget exhaustion (cycling is possible for extreme switching
-    sensitivities — damp harder there).
+    sensitivities — damp harder there). Every best-response search runs as
+    a content-keyed service task, so against a warm persistent store a
+    repeated competition replays without equilibrium solves.
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must lie in (0, 1], got {damping}")

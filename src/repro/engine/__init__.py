@@ -1,29 +1,48 @@
-"""Parallel grid engine and content-keyed solve caching.
+"""The solve service: task scheduling plus two-tier content-keyed caching.
 
 The engine layer sits between the Nash solvers (:mod:`repro.core`) and the
-figure/analysis layers: it owns the *scheduling* of many equilibrium solves
-— row-parallel (price × policy) grids with warm-start chains preserved along
-each price axis — and the *memoization* of whole solved grids keyed by the
-content of the request. Sequential and parallel schedules are bitwise
-interchangeable, so ``workers`` is purely a throughput knob.
+figure/analysis layers. It owns the *scheduling* of pure solve work —
+content-keyed :class:`SolveTask` units (cap rows of (price × policy)
+grids, duopoly best-response sweeps, continuation refinements) resolved by
+a :class:`SolveService` over an optional process pool — and the
+*memoization* of every keyed result through two tiers: the in-process
+:class:`SolveCache` and the persistent, content-addressed
+:class:`SolveStore` (npz+json artifacts under ``$REPRO_CACHE_DIR``).
+Sequential, pooled and cache-fed schedules are bitwise interchangeable, so
+``workers`` and the cache tiers are purely throughput knobs.
 """
 
 from repro.engine.cache import SolveCache, grid_key, market_fingerprint
 from repro.engine.grid_engine import (
     EquilibriumGrid,
     GridEngine,
+    cap_row_task,
     get_default_workers,
     set_default_workers,
     solve_cap_row,
 )
+from repro.engine.service import (
+    SolveService,
+    SolveTask,
+    default_service,
+    set_default_service,
+)
+from repro.engine.store import SolveStore, key_digest
 
 __all__ = [
     "EquilibriumGrid",
     "GridEngine",
     "SolveCache",
+    "SolveService",
+    "SolveStore",
+    "SolveTask",
+    "cap_row_task",
+    "default_service",
     "get_default_workers",
     "grid_key",
+    "key_digest",
     "market_fingerprint",
+    "set_default_service",
     "set_default_workers",
     "solve_cap_row",
 ]

@@ -12,33 +12,59 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Any, Hashable
 
 import numpy as np
 
+from repro.exceptions import ModelError
 from repro.providers.market import Market
 
 __all__ = ["market_fingerprint", "grid_key", "SolveCache"]
 
 
+#: Fingerprints memoized per Market instance — markets are immutable in
+#: practice (every mutation-style API returns a new object), and a grid
+#: solve fingerprints the same market once per cap row plus once for the
+#: grid key, so recomputing the canonical serialization each time would
+#: tax the warm-replay fast path.
+_FINGERPRINTS: "weakref.WeakKeyDictionary[Market, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def market_fingerprint(market: Market) -> str:
     """Deterministic digest of a market's economic content.
 
-    Built from the dataclass reprs of the providers (demand and throughput
-    families with all parameters, profitabilities, names) and the ISP
-    (price, capacity, utilization metric). Custom function objects take
-    part through their ``repr``; give them a parameter-revealing ``__repr__``
+    Markets built from the registered functional families digest their
+    *canonical serialization* (:func:`repro.io.market_digest`), so the
+    fingerprint is stable across dataclass-repr changes and shared with
+    anything else that hashes the JSON payload. Markets containing custom
+    (unserializable) function objects fall back to a digest of the
+    dataclass reprs; give such objects a parameter-revealing ``__repr__``
     to be cache-distinguishable.
     """
-    payload = "\n".join(
-        [
-            *(repr(cp) for cp in market.providers),
-            repr(market.isp),
-            type(market.isp.utilization).__name__,
-        ]
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    cached = _FINGERPRINTS.get(market)
+    if cached is not None:
+        return cached
+    try:
+        # Runtime import: repro.io sits above the engine layer (it imports
+        # the scenario spec), so binding it at module load would cycle.
+        from repro.io import market_digest
+
+        fingerprint = market_digest(market)
+    except (ImportError, ModelError):
+        payload = "\n".join(
+            [
+                *(repr(cp) for cp in market.providers),
+                repr(market.isp),
+                type(market.isp.utilization).__name__,
+            ]
+        )
+        fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+    _FINGERPRINTS[market] = fingerprint
+    return fingerprint
 
 
 def grid_key(

@@ -1,21 +1,24 @@
-"""The parallel (price × policy) grid engine.
+"""The parallel (price × policy) grid engine, built on the solve service.
 
 Every §5 figure lives on the same grid: ISP price ``p`` on the x-axis, one
 curve per policy cap ``q``. The rows of that grid are *independent* solve
 chains — warm starts flow along the price axis within a row, never across
-rows — which makes cap rows the natural unit of parallelism.
-:class:`GridEngine` schedules rows across a ``concurrent.futures`` worker
-pool, preserves the per-row warm-start chain exactly, and memoizes whole
-grids in a content-keyed :class:`~repro.engine.cache.SolveCache`. Because
-each row's computation is a pure function of ``(market, prices, cap)``, the
-parallel schedule returns bit-for-bit the same equilibria as the sequential
-one.
+rows — which makes cap rows the natural unit of work. :class:`GridEngine`
+expresses each row as a content-keyed
+:class:`~repro.engine.service.SolveTask` and hands the batch to a
+:class:`~repro.engine.service.SolveService`, which schedules uncached rows
+across a ``concurrent.futures`` worker pool and memoizes results through
+its memory/disk tiers. Because each row's computation is a pure function
+of ``(market, prices, cap)``, every schedule — sequential, pooled, or
+cache-fed — returns bit-for-bit the same equilibria.
+
+The same ``"cap-row"`` tasks are issued by the continuation tracer and the
+analysis sweeps, so e.g. a path trace along a figure's price axis resolves
+entirely from the rows the figure already solved.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,47 +29,24 @@ from repro.core.equilibrium import (
     solve_equilibrium,
 )
 from repro.core.game import SubsidizationGame
-from repro.engine.cache import SolveCache, grid_key
+from repro.engine.cache import SolveCache, grid_key, market_fingerprint
+from repro.engine.service import (
+    SolveService,
+    SolveTask,
+    get_default_workers,
+    set_default_workers,
+)
 from repro.exceptions import ModelError
 from repro.providers.market import Market
 
 __all__ = [
     "EquilibriumGrid",
     "GridEngine",
+    "cap_row_task",
     "solve_cap_row",
     "get_default_workers",
     "set_default_workers",
 ]
-
-#: Environment variable overriding the default worker count.
-_WORKERS_ENV = "REPRO_WORKERS"
-
-_default_workers: int | None = None
-
-
-def set_default_workers(workers: int | None) -> None:
-    """Set the process-wide default worker count (``None`` restores env/1)."""
-    global _default_workers
-    if workers is not None and workers < 1:
-        raise ValueError(f"workers must be at least 1, got {workers}")
-    _default_workers = workers
-
-
-def get_default_workers() -> int:
-    """Resolve the default worker count: explicit > $REPRO_WORKERS > 1."""
-    if _default_workers is not None:
-        return _default_workers
-    env = os.environ.get(_WORKERS_ENV, "").strip()
-    if env:
-        try:
-            value = int(env)
-        except ValueError as exc:
-            raise ValueError(
-                f"${_WORKERS_ENV} must be an integer, got {env!r}"
-            ) from exc
-        if value >= 1:
-            return value
-    return 1
 
 
 @dataclass(frozen=True)
@@ -144,6 +124,35 @@ def solve_cap_row(
     return tuple(results)
 
 
+def cap_row_task(
+    market: Market,
+    prices: np.ndarray,
+    cap: float,
+    *,
+    warm_start: bool = True,
+) -> SolveTask:
+    """The content-keyed solve task for one policy row.
+
+    The single definition of the cap-row key — grids, price sweeps and
+    continuation traces all build their row tasks here, which is what lets
+    them share cache and store entries.
+    """
+    prices = np.ascontiguousarray(np.asarray(prices, dtype=float))
+    return SolveTask(
+        fn=solve_cap_row,
+        args=(market, prices, float(cap)),
+        kwargs=(("warm_start", bool(warm_start)),),
+        key=(
+            "cap-row/1",
+            market_fingerprint(market),
+            prices.tobytes(),
+            float(cap),
+            bool(warm_start),
+        ),
+        codec="grid-row",
+    )
+
+
 class GridEngine:
     """Schedules, parallelizes and caches (price × policy) grid solves.
 
@@ -154,22 +163,40 @@ class GridEngine:
         :func:`get_default_workers` at call time; ``1`` solves in-process.
         Parallel and sequential schedules return bitwise-identical grids.
     cache:
-        Optional :class:`~repro.engine.cache.SolveCache`; hits return the
-        previously solved grid object without re-solving.
+        Optional :class:`~repro.engine.cache.SolveCache` memoizing whole
+        solved *grid objects* (hits return the previously assembled grid,
+        identity included).
+    service:
+        The :class:`~repro.engine.service.SolveService` resolving the
+        engine's row tasks. ``None`` builds a private bare service
+        (compute-only, no cache tiers) so ad-hoc engines keep their
+        historical cold-solve semantics; pass
+        :func:`repro.engine.service.default_service` to share rows with
+        the rest of the process and any configured persistent store.
     """
 
     def __init__(
-        self, *, workers: int | None = None, cache: SolveCache | None = None
+        self,
+        *,
+        workers: int | None = None,
+        cache: SolveCache | None = None,
+        service: SolveService | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self._workers = workers
         self._cache = cache
+        self._service = service if service is not None else SolveService()
 
     @property
     def cache(self) -> SolveCache | None:
-        """The engine's solve cache (``None`` when caching is disabled)."""
+        """The engine's grid-object cache (``None`` when disabled)."""
         return self._cache
+
+    @property
+    def service(self) -> SolveService:
+        """The solve service resolving this engine's row tasks."""
+        return self._service
 
     def resolve_workers(self, workers: int | None = None) -> int:
         """The worker count a call would use after all defaults."""
@@ -189,13 +216,15 @@ class GridEngine:
         cap: float = 0.0,
         warm_start: bool = True,
     ) -> list[EquilibriumResult]:
-        """Equilibria along a price axis under a fixed policy cap."""
+        """Equilibria along a price axis under a fixed policy cap.
+
+        A single cap-row task routed through the service, so repeated
+        sweeps (and grids sharing the row) resolve from cache.
+        """
+        prices = np.asarray(prices, dtype=float)
         return list(
-            solve_cap_row(
-                market,
-                np.asarray(prices, dtype=float),
-                cap,
-                warm_start=warm_start,
+            self._service.run(
+                cap_row_task(market, prices, cap, warm_start=warm_start)
             )
         )
 
@@ -221,25 +250,13 @@ class GridEngine:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
-        pool_size = min(self.resolve_workers(workers), caps.size)
-        if pool_size > 1:
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                futures = [
-                    pool.submit(
-                        solve_cap_row,
-                        market,
-                        prices,
-                        float(q),
-                        warm_start=warm_start,
-                    )
-                    for q in caps
-                ]
-                rows = tuple(future.result() for future in futures)
-        else:
-            rows = tuple(
-                solve_cap_row(market, prices, float(q), warm_start=warm_start)
-                for q in caps
-            )
+        tasks = [
+            cap_row_task(market, prices, float(q), warm_start=warm_start)
+            for q in caps
+        ]
+        rows = tuple(
+            self._service.map(tasks, workers=self.resolve_workers(workers))
+        )
         grid = EquilibriumGrid(prices=prices, caps=caps, results=rows)
         if self._cache is not None and key is not None:
             self._cache.put(key, grid)

@@ -1,0 +1,328 @@
+"""The solve service: one scheduler + two-tier cache for every solve path.
+
+Every analysis in the reproduction — §5 figure grids, duopoly price
+competition, equilibrium-path continuation, scenario sweeps — is a batch of
+*pure solve tasks*: functions of picklable inputs whose outputs depend on
+nothing else. :class:`SolveTask` names one such unit (function + arguments
++ content key + store codec); :class:`SolveService` schedules collections
+of them over an optional process pool and memoizes every keyed result
+through two tiers:
+
+1. the in-memory :class:`~repro.engine.cache.SolveCache` (process-local,
+   object identity preserved),
+2. the persistent :class:`~repro.engine.store.SolveStore` (content-
+   addressed npz+json artifacts, shared across processes and runs).
+
+Because tasks are pure and content-keyed, a cache hit is bit-for-bit the
+value the task would have computed, so the cached, pooled and sequential
+schedules are interchangeable. A re-run of any analysis against a warm
+store performs zero equilibrium solves; the ``computed`` counter makes
+that claim testable.
+
+The module also owns the process-wide *default* service (lazily built with
+a memory tier and, when ``$REPRO_CACHE_DIR`` is set, a disk store) that
+the figure pipeline, duopoly, continuation and analysis sweeps all share —
+so a continuation trace can hit the very rows a figure grid solved.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.cache import SolveCache
+from repro.engine.store import CODECS, SolveStore
+
+__all__ = [
+    "SolveTask",
+    "SolveService",
+    "run_task",
+    "default_service",
+    "set_default_service",
+    "get_default_workers",
+    "set_default_workers",
+]
+
+#: Environment variable overriding the default worker count.
+_WORKERS_ENV = "REPRO_WORKERS"
+
+_default_workers: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the process-wide default worker count (``None`` restores env/1)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> int:
+    """Resolve the default worker count: explicit > $REPRO_WORKERS > 1."""
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(_WORKERS_ENV, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"${_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from exc
+        if value >= 1:
+            return value
+    return 1
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One pure, schedulable, memoizable unit of solve work.
+
+    Attributes
+    ----------
+    fn:
+        A *module-level* function (it must pickle for pool scheduling)
+        whose result depends only on its arguments.
+    args:
+        Positional arguments, picklable.
+    kwargs:
+        Keyword arguments as a ``(name, value)`` pair tuple (kept hashable
+        and picklable).
+    key:
+        Content key identifying the result across processes and runs, or
+        ``None`` for uncacheable work (always computed).
+    codec:
+        Store codec persisting the result (see
+        :data:`repro.engine.store.CODECS`). Validated at construction so a
+        typo fails before any solve runs.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: tuple = ()
+    key: tuple | None = None
+    codec: str = "grid-row"
+
+    def __post_init__(self) -> None:
+        if self.codec not in CODECS:
+            raise KeyError(
+                f"unknown store codec {self.codec!r}; registered: "
+                f"{sorted(CODECS)}"
+            )
+
+
+def run_task(task: SolveTask) -> Any:
+    """Execute a task (the unit of work shipped to pool workers)."""
+    return task.fn(*task.args, **dict(task.kwargs))
+
+
+@dataclass
+class ServiceCounters:
+    """Observability counters of one :class:`SolveService`."""
+
+    memory_hits: int = 0
+    store_hits: int = 0
+    computed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "computed": self.computed,
+        }
+
+
+@dataclass
+class _Lookup:
+    found: bool
+    value: Any = None
+
+
+class SolveService:
+    """Schedules, parallelizes and memoizes :class:`SolveTask` batches.
+
+    Parameters
+    ----------
+    cache:
+        In-memory tier (``None`` disables it).
+    store:
+        Persistent tier (``None`` disables it).
+    workers:
+        Default pool size for :meth:`map`; ``None`` defers to
+        :func:`get_default_workers` at call time.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: SolveCache | None = None,
+        store: SolveStore | None = None,
+        workers: int | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self._cache = cache
+        self._store = store
+        self._workers = workers
+        self.counters = ServiceCounters()
+
+    @property
+    def cache(self) -> SolveCache | None:
+        """The in-memory tier (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def store(self) -> SolveStore | None:
+        """The persistent tier (``None`` when disabled)."""
+        return self._store
+
+    def resolve_workers(self, workers: int | None = None) -> int:
+        """The worker count a call would use after all defaults."""
+        if workers is not None:
+            if workers < 1:
+                raise ValueError(f"workers must be at least 1, got {workers}")
+            return workers
+        if self._workers is not None:
+            return self._workers
+        return get_default_workers()
+
+    # ------------------------------------------------------------------
+    # the two-tier lookup/commit protocol
+    # ------------------------------------------------------------------
+    def _lookup(self, task: SolveTask) -> _Lookup:
+        if task.key is None:
+            return _Lookup(False)
+        if self._cache is not None:
+            value = self._cache.get(task.key)
+            if value is not None:
+                self.counters.memory_hits += 1
+                return _Lookup(True, value)
+        if self._store is not None:
+            value = self._store.get(task.key)
+            if value is not None:
+                self.counters.store_hits += 1
+                if self._cache is not None:
+                    self._cache.put(task.key, value)
+                return _Lookup(True, value)
+        return _Lookup(False)
+
+    def _commit(self, task: SolveTask, value: Any) -> None:
+        self.counters.computed += 1
+        if task.key is None:
+            return
+        if self._cache is not None:
+            self._cache.put(task.key, value)
+        if self._store is not None:
+            self._store.put(task.key, value, codec=task.codec)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, task: SolveTask) -> Any:
+        """Resolve one task: memory tier, then store, then compute."""
+        hit = self._lookup(task)
+        if hit.found:
+            return hit.value
+        value = run_task(task)
+        self._commit(task, value)
+        return value
+
+    def map(
+        self, tasks: Sequence[SolveTask], *, workers: int | None = None
+    ) -> list[Any]:
+        """Resolve a task batch, pooling the ones that actually compute.
+
+        Cached tasks resolve without occupying a worker, so the pool is
+        sized to the *missing* work only. Results come back in task order;
+        any schedule returns bitwise-identical values because the tasks
+        are pure.
+        """
+        tasks = list(tasks)
+        results: list[Any] = [None] * len(tasks)
+        pending: list[int] = []
+        for index, task in enumerate(tasks):
+            hit = self._lookup(task)
+            if hit.found:
+                results[index] = hit.value
+            else:
+                pending.append(index)
+        if not pending:
+            return results
+        pool_size = min(self.resolve_workers(workers), len(pending))
+        if pool_size > 1:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = [
+                    pool.submit(run_task, tasks[index]) for index in pending
+                ]
+                for index, future in zip(pending, futures):
+                    results[index] = future.result()
+        else:
+            for index in pending:
+                results[index] = run_task(tasks[index])
+        for index in pending:
+            self._commit(tasks[index], results[index])
+        return results
+
+    # ------------------------------------------------------------------
+    # observability and isolation
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk store is untouched)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the service counters (store counters included, if any)."""
+        self.counters = ServiceCounters()
+        if self._store is not None:
+            self._store.hits = 0
+            self._store.misses = 0
+            self._store.writes = 0
+            self._store.write_errors = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/solve counters across both tiers, JSON-ready."""
+        payload = self.counters.as_dict()
+        payload["memory_entries"] = (
+            len(self._cache) if self._cache is not None else 0
+        )
+        payload["store"] = (
+            self._store.stats() if self._store is not None else None
+        )
+        return payload
+
+
+# ----------------------------------------------------------------------
+# the shared default service
+# ----------------------------------------------------------------------
+
+_DEFAULT_SERVICE: SolveService | None = None
+
+
+def default_service() -> SolveService:
+    """The process-wide shared service (lazily built).
+
+    Backed by a memory tier and, when ``$REPRO_CACHE_DIR`` is set, the
+    persistent store at that directory. The figure pipeline, duopoly,
+    continuation and analysis sweeps all default to this instance, so
+    their solves share one cache.
+    """
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = SolveService(
+            cache=SolveCache(maxsize=256), store=SolveStore.from_env()
+        )
+    return _DEFAULT_SERVICE
+
+
+def set_default_service(service: SolveService | None) -> None:
+    """Replace the shared service (``None`` restores the lazy default).
+
+    The reset hook for tests and the CLI: swapping in a fresh instance
+    isolates cache state; swapping in a store-backed one makes every
+    default-routed solve persistent.
+    """
+    global _DEFAULT_SERVICE
+    _DEFAULT_SERVICE = service

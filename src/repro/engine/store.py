@@ -1,0 +1,413 @@
+"""Persistent content-addressed storage of solve artifacts.
+
+The second tier of the solve service's cache: where the in-memory
+:class:`~repro.engine.cache.SolveCache` dies with the process, the
+:class:`SolveStore` keeps solved artifacts on disk under a digest of their
+*content key* — the same key the memory tier uses — so a re-run of any
+figure, duopoly competition or continuation trace against a warm store
+performs zero equilibrium solves.
+
+Layout
+------
+One entry is two files in the store directory, named by the SHA-256 digest
+of the canonically encoded key:
+
+* ``<digest>.npz`` — every float array of the artifact, bit-exact
+  (``numpy`` binary format; ``allow_pickle`` stays off, so loading a store
+  entry can never execute code), written first;
+* ``<digest>.json`` — the manifest (codec name, version, scalar metadata),
+  written last via an atomic rename, so its presence marks a committed
+  entry.
+
+Corruption tolerance
+--------------------
+A store can be shared between runs, interrupted mid-write, or hand-edited;
+*any* failure to decode an entry — missing file, truncated npz, garbage
+JSON, unknown codec, wrong version — is a cache **miss**, never an
+exception. :meth:`SolveStore.get` repairs nothing and crashes never; the
+caller simply recomputes and :meth:`SolveStore.put` overwrites the entry.
+
+Codecs
+------
+Artifacts are domain objects; the store serializes them through a small
+explicit codec registry (:data:`CODECS`):
+
+``"grid-row"``
+    ``tuple[EquilibriumResult, ...]`` — one solved cap row, the unit of
+    work of the grid engine, duopoly sweeps and continuation traces.
+``"ndarrays"``
+    ``dict[str, np.ndarray]`` — generic named-array bundles (duopoly
+    best-response sweeps).
+``"json"``
+    Any JSON-serializable value (continuation breakpoint refinements).
+    Bit-exact for floats: ``json`` round-trips ``repr(float)`` exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult
+from repro.providers.market import MarketState
+
+__all__ = ["CODECS", "SolveStore", "key_digest"]
+
+#: Environment variable naming the default on-disk store directory.
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Store format version; bumping it invalidates every existing entry.
+_STORE_VERSION = 1
+
+#: Entry files are named by a SHA-256 hex digest; maintenance operations
+#: (``clear``, ``stats``, ``__len__``) only ever touch files matching this
+#: shape, so ``cache clear --cache-dir <wrong path>`` cannot eat foreign
+#: JSON/npz files.
+_ENTRY_STEM = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _is_entry_file(path: Path) -> bool:
+    return path.suffix in {".json", ".npz"} and bool(
+        _ENTRY_STEM.match(path.stem)
+    )
+
+
+def _is_stray_temp(path: Path) -> bool:
+    # tempfile.mkstemp(dir=root, suffix=".tmp") names: tmp<random>.tmp
+    return path.suffix == ".tmp" and path.stem.startswith("tmp")
+
+
+def _encode_key_part(part: Any) -> bytes:
+    """Canonical, *injective* byte encoding of one content-key component.
+
+    Netstring-style: a one-byte type tag, the payload length, then the
+    payload. Length prefixes (rather than separators) keep the encoding
+    collision-free even though keys embed raw float buffers
+    (``prices.tobytes()``) that may contain any byte sequence.
+    """
+    if part is None:
+        tag, payload = b"n", b""
+    elif isinstance(part, bytes):
+        tag, payload = b"b", part
+    elif isinstance(part, bool):  # before int: bool is an int subclass
+        tag, payload = b"o", (b"1" if part else b"0")
+    elif isinstance(part, int):
+        tag, payload = b"i", str(part).encode()
+    elif isinstance(part, float):
+        tag, payload = b"f", part.hex().encode()
+    elif isinstance(part, str):
+        tag, payload = b"s", part.encode()
+    elif isinstance(part, np.ndarray):
+        tag, payload = b"a", np.ascontiguousarray(part).tobytes()
+    elif isinstance(part, tuple):
+        tag = b"t"
+        payload = b"".join(_encode_key_part(p) for p in part)
+    else:
+        raise TypeError(
+            f"content keys may contain None/bool/int/float/str/bytes/"
+            f"ndarray/tuple, got {type(part).__name__}"
+        )
+    return tag + str(len(payload)).encode() + b":" + payload
+
+
+def key_digest(key: tuple) -> str:
+    """SHA-256 hex digest of a content key (the store's entry name)."""
+    return hashlib.sha256(_encode_key_part(tuple(key))).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# codecs: domain object <-> (meta dict, named float arrays)
+# ----------------------------------------------------------------------
+
+#: MarketState fields that are per-CP float vectors.
+_STATE_VECTORS = (
+    "subsidies",
+    "effective_prices",
+    "populations",
+    "rates",
+    "throughputs",
+    "utilities",
+)
+
+#: MarketState fields that are scalars (stacked into per-row vectors).
+_STATE_SCALARS = (
+    "utilization",
+    "revenue",
+    "welfare",
+    "gap_slope",
+    "price",
+    "capacity",
+)
+
+
+def _encode_grid_row(row: Any) -> tuple[dict, dict[str, np.ndarray]]:
+    results = tuple(row)
+    if not all(isinstance(r, EquilibriumResult) for r in results):
+        raise TypeError("grid-row codec expects a tuple of EquilibriumResult")
+    arrays: dict[str, np.ndarray] = {
+        "subsidies": np.stack([r.subsidies for r in results]),
+        "kkt_residual": np.array([r.kkt_residual for r in results]),
+        "iterations": np.array([r.iterations for r in results], dtype=np.int64),
+    }
+    for field in _STATE_VECTORS:
+        arrays[f"state.{field}"] = np.stack(
+            [getattr(r.state, field) for r in results]
+        )
+    for field in _STATE_SCALARS:
+        arrays[f"state.{field}"] = np.array(
+            [getattr(r.state, field) for r in results]
+        )
+    meta = {"methods": [r.method for r in results], "count": len(results)}
+    return meta, arrays
+
+
+def _decode_grid_row(meta: dict, arrays: dict[str, np.ndarray]) -> Any:
+    methods = meta["methods"]
+    count = int(meta["count"])
+    if len(methods) != count:
+        raise ValueError("grid-row manifest/count mismatch")
+    results = []
+    for j in range(count):
+        state = MarketState(
+            **{field: arrays[f"state.{field}"][j] for field in _STATE_VECTORS},
+            **{
+                field: float(arrays[f"state.{field}"][j])
+                for field in _STATE_SCALARS
+            },
+        )
+        results.append(
+            EquilibriumResult(
+                subsidies=arrays["subsidies"][j],
+                state=state,
+                kkt_residual=float(arrays["kkt_residual"][j]),
+                iterations=int(arrays["iterations"][j]),
+                method=str(methods[j]),
+            )
+        )
+    return tuple(results)
+
+
+def _encode_ndarrays(value: Any) -> tuple[dict, dict[str, np.ndarray]]:
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str) and isinstance(v, np.ndarray)
+        for k, v in value.items()
+    ):
+        raise TypeError("ndarrays codec expects a dict[str, np.ndarray]")
+    return {"names": sorted(value)}, {f"v.{k}": v for k, v in value.items()}
+
+
+def _decode_ndarrays(meta: dict, arrays: dict[str, np.ndarray]) -> Any:
+    return {name: arrays[f"v.{name}"] for name in meta["names"]}
+
+
+def _encode_json(value: Any) -> tuple[dict, dict[str, np.ndarray]]:
+    # Serialize now so an unserializable value fails at put(), not decode.
+    return {"payload": json.loads(json.dumps(value))}, {}
+
+
+def _decode_json(meta: dict, arrays: dict[str, np.ndarray]) -> Any:
+    return meta["payload"]
+
+
+#: Codec registry: name -> (encode, decode). Explicit and closed, like the
+#: serialization registry in :mod:`repro.io` — a store entry can only ever
+#: rebuild these known artifact shapes.
+CODECS: dict[
+    str,
+    tuple[
+        Callable[[Any], tuple[dict, dict[str, np.ndarray]]],
+        Callable[[dict, dict[str, np.ndarray]], Any],
+    ],
+] = {
+    "grid-row": (_encode_grid_row, _decode_grid_row),
+    "ndarrays": (_encode_ndarrays, _decode_ndarrays),
+    "json": (_encode_json, _decode_json),
+}
+
+
+class SolveStore:
+    """A persistent, content-addressed, corruption-tolerant artifact store.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created on first write). See
+        :meth:`from_env` for the ``$REPRO_CACHE_DIR`` resolution used by
+        the CLI and the shared default service.
+
+    Counters (``hits``, ``misses``, ``writes``, ``write_errors``) make the
+    disk tier observable in the runner's ``--json`` summary and in the
+    benchmark JSON.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.write_errors = 0
+
+    @classmethod
+    def from_env(cls) -> "SolveStore | None":
+        """The store named by ``$REPRO_CACHE_DIR``, or ``None`` if unset."""
+        root = os.environ.get(_CACHE_DIR_ENV, "").strip()
+        return cls(root) if root else None
+
+    @property
+    def path(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def _manifest_path(self, digest: str) -> Path:
+        return self._root / f"{digest}.json"
+
+    def _arrays_path(self, digest: str) -> Path:
+        return self._root / f"{digest}.npz"
+
+    def __len__(self) -> int:
+        """Number of committed entries (manifests) on disk."""
+        try:
+            return sum(
+                1
+                for path in self._root.glob("*.json")
+                if _is_entry_file(path)
+            )
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # read path: any failure is a miss
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> Any | None:
+        """Decode the entry stored under ``key``, or ``None`` on any failure.
+
+        Missing, truncated, corrupted, version-skewed and unknown-codec
+        entries all miss identically; the store never raises from a read.
+        """
+        try:
+            digest = key_digest(key)
+            with open(self._manifest_path(digest), "rb") as handle:
+                manifest = json.loads(handle.read())
+            if manifest["version"] != _STORE_VERSION:
+                raise ValueError(f"store version {manifest['version']}")
+            decode = CODECS[manifest["codec"]][1]
+            names = manifest["arrays"]
+            arrays: dict[str, np.ndarray] = {}
+            if names:
+                with np.load(self._arrays_path(digest)) as payload:
+                    arrays = {name: payload[name] for name in names}
+            value = decode(manifest["meta"], arrays)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # write path: best-effort, atomic commit
+    # ------------------------------------------------------------------
+    def put(self, key: tuple, value: Any, *, codec: str) -> bool:
+        """Persist ``value`` under ``key``; returns whether it committed.
+
+        Encoding errors (unknown codec, value/codec mismatch) raise — they
+        are caller bugs. I/O errors are swallowed and counted: a full disk
+        degrades the store to a smaller cache, it never fails a solve.
+        """
+        if codec not in CODECS:
+            raise KeyError(
+                f"unknown store codec {codec!r}; registered: {sorted(CODECS)}"
+            )
+        meta, arrays = CODECS[codec][0](value)
+        digest = key_digest(key)
+        manifest = {
+            "version": _STORE_VERSION,
+            "codec": codec,
+            "meta": meta,
+            "arrays": sorted(arrays),
+        }
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+            if arrays:
+                self._write_atomic(
+                    self._arrays_path(digest),
+                    lambda handle: np.savez(handle, **arrays),
+                )
+            self._write_atomic(
+                self._manifest_path(digest),
+                lambda handle: handle.write(
+                    json.dumps(manifest, sort_keys=True).encode()
+                ),
+            )
+        except OSError:
+            self.write_errors += 1
+            return False
+        self.writes += 1
+        return True
+
+    def _write_atomic(self, path: Path, write) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=self._root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                write(handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry (and stray temp file); returns entries removed.
+
+        Only digest-named artifact files and this store's temp files are
+        touched — pointing ``clear`` at a directory that is not a store
+        removes nothing of consequence.
+        """
+        removed = 0
+        if not self._root.is_dir():
+            return 0
+        for path in list(self._root.iterdir()):
+            if not (_is_entry_file(path) or _is_stray_temp(path)):
+                continue
+            is_entry = path.suffix == ".json"
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += int(is_entry)
+        return removed
+
+    def stats(self) -> dict:
+        """Counters plus on-disk footprint, JSON-ready."""
+        entries = 0
+        size = 0
+        if self._root.is_dir():
+            for path in self._root.iterdir():
+                if not _is_entry_file(path):
+                    continue
+                if path.suffix == ".json":
+                    entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "path": str(self._root),
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }

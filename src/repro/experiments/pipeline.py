@@ -333,8 +333,11 @@ def run_spec(
     ``prices``/``caps`` override the scenario's axes (figure tests run on
     coarse grids); ``scenario`` substitutes the market entirely (the CLI's
     ``--scenario file.json``); ``engine`` defaults to the shared cached
-    engine behind :mod:`repro.experiments.grid`, so specs reading different
-    quantities off the same scenario share one grid solve.
+    engine behind :mod:`repro.experiments.grid` — backed by the default
+    solve service, so specs reading different quantities off the same
+    scenario share one grid solve, and with a persistent store configured
+    (``$REPRO_CACHE_DIR`` / ``--cache-dir``) a re-run of any spec against
+    warm rows performs zero equilibrium solves.
     """
     scn = scenario if scenario is not None else spec.resolve_scenario()
     price_axis = np.asarray(

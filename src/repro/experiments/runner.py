@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments run --scenario my.json # a scenario file
     python -m repro.experiments fig10 --out results --quiet --workers 4
     python -m repro.experiments run random-12 --json   # machine-readable summary
+    python -m repro.experiments fig7 --cache-dir .cache  # resumable run
+    python -m repro.experiments cache stats            # persistent-store info
 
 Experiment names are validated (and de-duplicated) up front — an unknown
 name aborts before anything runs. ``run`` accepts figure ids, registered
@@ -22,8 +24,16 @@ to stdout (unless ``--quiet``), reports each experiment's shape checks and
 exits non-zero if any check fails. The check summary and any per-check
 FAIL lines travel together: both go to stderr when something failed, both
 to stdout when everything passed. ``--json`` swaps the human output for a
-single machine-readable summary document. ``--workers`` spreads grid rows
-over a process pool (bitwise-identical results; see :mod:`repro.engine`).
+single machine-readable summary document (including the run's solve/cache
+counters). ``--workers`` spreads grid rows over a process pool
+(bitwise-identical results; see :mod:`repro.engine`).
+
+Caching: ``--cache-dir DIR`` (or ``$REPRO_CACHE_DIR``) attaches the
+persistent content-addressed solve store, making runs *resumable* — a
+second run of the same figures against a warm store performs zero
+equilibrium solves. ``--no-cache`` runs purely in memory, ignoring any
+configured directory. The ``cache`` verb inspects and maintains the
+store: ``cache stats`` / ``cache path`` / ``cache clear``.
 """
 
 from __future__ import annotations
@@ -35,7 +45,14 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence, Union
 
-from repro.engine import get_default_workers, set_default_workers
+from repro.engine import (
+    SolveCache,
+    SolveService,
+    SolveStore,
+    get_default_workers,
+    set_default_workers,
+)
+from repro.engine.service import default_service
 from repro.exceptions import ReproError
 from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
 from repro.experiments.base import ExperimentResult
@@ -44,6 +61,7 @@ from repro.experiments.pipeline import (
     run_spec,
     scenario_experiment,
 )
+from repro.experiments.grid import reset_engine
 from repro.io import load_scenario
 from repro.scenarios import (
     get_scenario,
@@ -84,7 +102,7 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
 
 _FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
 
-_VERBS = {"list", "describe", "run"}
+_VERBS = {"list", "describe", "run", "cache"}
 
 
 def canonical_experiment(name: str) -> str:
@@ -177,10 +195,35 @@ def run_experiments(
     return results
 
 
+_COUNTER_KEYS = ("memory_hits", "store_hits", "computed")
+
+
+def _cache_delta(before: dict, after: dict) -> dict:
+    """This run's solve/cache counters (service totals may span runs)."""
+    summary = {key: after[key] - before[key] for key in _COUNTER_KEYS}
+    store_after = after.get("store")
+    if store_after is not None:
+        store_before = before.get("store") or {}
+        summary["store"] = {
+            "path": store_after["path"],
+            "entries": store_after["entries"],
+            "bytes": store_after["bytes"],
+            "hits": store_after["hits"] - store_before.get("hits", 0),
+            "misses": store_after["misses"] - store_before.get("misses", 0),
+            "writes": store_after["writes"] - store_before.get("writes", 0),
+        }
+    else:
+        summary["store"] = None
+    return summary
+
+
 def _json_summary(
-    results: list[ExperimentResult], out_dir: str | Path
+    results: list[ExperimentResult],
+    out_dir: str | Path,
+    cache: dict | None = None,
 ) -> dict:
     return {
+        "cache": cache,
         "experiments": [
             {
                 "id": result.experiment_id,
@@ -207,6 +250,60 @@ def _json_summary(
         ],
         "out_dir": str(Path(out_dir).resolve()),
     }
+
+
+def _resolve_store(cache_dir: str | None) -> SolveStore | None:
+    """The store named by ``--cache-dir``, else ``$REPRO_CACHE_DIR``."""
+    if cache_dir:
+        return SolveStore(cache_dir)
+    return SolveStore.from_env()
+
+
+def _main_cache(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect or maintain the persistent solve store.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "path", "clear"),
+        help="stats: entry count and footprint (JSON); path: the store "
+        "directory; clear: remove every stored artifact",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_CACHE_DIR)",
+    )
+    args = parser.parse_args(list(argv))
+    store = _resolve_store(args.cache_dir)
+    if store is None:
+        print(
+            "no cache directory configured "
+            "(pass --cache-dir or set $REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "path":
+        print(store.path)
+    elif args.action == "stats":
+        stats = store.stats()
+        print(
+            json.dumps(
+                {
+                    "path": stats["path"],
+                    "entries": stats["entries"],
+                    "bytes": stats["bytes"],
+                },
+                indent=2,
+            )
+        )
+    else:
+        removed = store.clear()
+        noun = "entry" if removed == 1 else "entries"
+        print(f"removed {removed} {noun} from {store.path}")
+    return 0
 
 
 def _main_list() -> int:
@@ -263,6 +360,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.add_argument("name", help="experiment or scenario id")
         args = parser.parse_args(argv[1:])
         return _main_describe(args.name)
+    if verb == "cache":
+        return _main_cache(argv[1:])
     if verb == "run":
         argv = argv[1:]
 
@@ -304,7 +403,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="N",
         help="worker processes for grid solves (default: $REPRO_WORKERS or 1)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent solve-store directory (default: $REPRO_CACHE_DIR; "
+        "a warm store makes re-runs resolve with zero equilibrium solves)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run purely in memory, ignoring --cache-dir and $REPRO_CACHE_DIR",
+    )
     args = parser.parse_args(argv)
+    if args.no_cache and args.cache_dir is not None:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
     if not args.experiments and args.scenario is None:
@@ -327,16 +440,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     if args.workers is not None:
         set_default_workers(args.workers)
+    # --cache-dir / --no-cache rebind the shared engine (and every other
+    # default-routed solve path) to a service with / without the store.
+    service_changed = args.no_cache or args.cache_dir is not None
+    if service_changed:
+        store = None if args.no_cache else SolveStore(args.cache_dir)
+        reset_engine(
+            service=SolveService(cache=SolveCache(maxsize=256), store=store)
+        )
+    cache_before = default_service().stats()
     try:
         results = run_experiments(
             names, out_dir=args.out, quiet=args.quiet or args.json
         )
+        cache_summary = _cache_delta(cache_before, default_service().stats())
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     finally:
         if args.workers is not None:
             set_default_workers(None)
+        if service_changed:
+            # Restore the environment-configured default for this process.
+            reset_engine(service=None)
 
     failed = [
         (result.experiment_id, check.name)
@@ -345,7 +471,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not check.passed
     ]
     if args.json:
-        print(json.dumps(_json_summary(results, args.out), indent=2))
+        print(
+            json.dumps(_json_summary(results, args.out, cache_summary), indent=2)
+        )
         return 1 if failed else 0
     total_checks = sum(len(result.checks) for result in results)
     # Summary and FAIL detail share one stream so they never interleave
@@ -356,6 +484,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{len(failed)} failure(s)",
         file=stream,
     )
+    hits = cache_summary["memory_hits"] + cache_summary["store_hits"]
+    cache_line = (
+        f"solve service: {cache_summary['computed']} task(s) computed, "
+        f"{hits} cache hit(s)"
+    )
+    if cache_summary["store"] is not None:
+        cache_line += (
+            f"; store {cache_summary['store']['path']}: "
+            f"{cache_summary['store']['entries']} entries"
+        )
+    print(cache_line, file=stream)
     for experiment_id, check_name in failed:
         print(f"  FAIL {experiment_id}: {check_name}", file=stream)
     return 1 if failed else 0

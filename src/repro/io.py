@@ -31,6 +31,7 @@ import-driven, so loading a file can never execute arbitrary classes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -72,6 +73,8 @@ __all__ = [
     "scenario_from_dict",
     "save_scenario",
     "load_scenario",
+    "market_digest",
+    "scenario_digest",
 ]
 
 #: Format tag of a bare-market JSON payload.
@@ -193,6 +196,36 @@ def load_market(path: str | Path) -> Market:
     with open(path) as handle:
         payload = json.load(handle)
     return market_from_dict(payload)
+
+
+def market_digest(market: Market) -> str:
+    """SHA-256 digest of a market's canonical serialization.
+
+    The content-address of a market: two instances built from equal
+    parameters digest identically, any economic difference — a provider
+    parameter, the ISP price, the utilization metric — changes it. This is
+    what the solve service keys persistent artifacts by (see
+    :func:`repro.engine.cache.market_fingerprint`). Raises
+    :class:`~repro.exceptions.ModelError` for markets containing
+    unregistered function families, which have no canonical form.
+    """
+    payload = json.dumps(
+        market_to_dict(market), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def scenario_digest(spec: ScenarioSpec) -> str:
+    """SHA-256 digest of a scenario's canonical serialization.
+
+    Covers the market *and* the sweep axes (ids/titles/metadata included),
+    so equal digests mean the scenarios describe the same experiment
+    end to end.
+    """
+    payload = json.dumps(
+        scenario_to_dict(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def scenario_to_dict(spec: ScenarioSpec) -> dict:

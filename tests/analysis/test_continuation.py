@@ -3,10 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.analysis.continuation import trace_equilibrium_path
+from repro.analysis.continuation import (
+    Breakpoint,
+    EquilibriumPath,
+    trace_equilibrium_path,
+)
 from repro.core.characterization import classify_providers
 from repro.core.equilibrium import solve_equilibrium
 from repro.core.game import SubsidizationGame
+from repro.engine import GridEngine, SolveCache, SolveService, SolveStore
 from repro.exceptions import ModelError
 from repro.experiments.scenarios import section5_market
 
@@ -86,6 +91,127 @@ class TestBreakpoints:
         )
         assert path.breakpoints == ()
         assert len(path.smooth_segments()) == 1
+
+
+def legacy_trace_equilibrium_path(
+    market, prices, cap, *, price_tol=1e-6, boundary_tol=1e-7
+):
+    """The pre-refactor in-process trace loop, re-implemented verbatim.
+
+    Golden reference: before the solve-service reroute, the grid sweep and
+    every bisection solve ran inline here. The rerouted trace must match
+    it bit for bit.
+    """
+    prices = np.asarray(prices, dtype=float)
+
+    def solve_at(p, warm=None):
+        game = SubsidizationGame(market.with_price(float(p)), cap)
+        eq = solve_equilibrium(game, initial=warm)
+        partition = classify_providers(
+            game, eq.subsidies, boundary_tol=boundary_tol
+        )
+        return eq, partition
+
+    def partition_key(partition):
+        return (partition.zero, partition.capped, partition.interior)
+
+    subsidies = []
+    partitions = []
+    warm = None
+    for p in prices:
+        eq, partition = solve_at(p, warm)
+        warm = eq.subsidies
+        subsidies.append(eq.subsidies.copy())
+        partitions.append(partition)
+
+    breakpoints = []
+    for k in range(prices.size - 1):
+        if partition_key(partitions[k]) == partition_key(partitions[k + 1]):
+            continue
+        lo, hi = float(prices[k]), float(prices[k + 1])
+        part_lo, part_hi = partitions[k], partitions[k + 1]
+        warm = subsidies[k].copy()
+        while hi - lo > price_tol:
+            mid = 0.5 * (lo + hi)
+            eq, part_mid = solve_at(mid, warm)
+            warm = eq.subsidies
+            if partition_key(part_mid) == partition_key(part_lo):
+                lo = mid
+            else:
+                hi, part_hi = mid, part_mid
+        breakpoints.append(
+            Breakpoint(price=0.5 * (lo + hi), before=part_lo, after=part_hi)
+        )
+
+    return EquilibriumPath(
+        prices=prices,
+        subsidies=np.array(subsidies),
+        partitions=tuple(partitions),
+        breakpoints=tuple(breakpoints),
+        cap=cap,
+    )
+
+
+def assert_paths_bitwise_equal(a, b):
+    assert a.subsidies.tobytes() == b.subsidies.tobytes()
+    assert a.partitions == b.partitions
+    assert len(a.breakpoints) == len(b.breakpoints)
+    for x, y in zip(a.breakpoints, b.breakpoints):
+        assert x.price == y.price
+        assert x.before == y.before
+        assert x.after == y.after
+
+
+class TestEnginePathGolden:
+    """Golden: the service-routed trace == the pre-refactor inline loop."""
+
+    PRICES = np.linspace(0.05, 2.0, 13)
+
+    def test_trace_with_kinks_bitwise_parity(self):
+        market = section5_market()
+        legacy = legacy_trace_equilibrium_path(market, self.PRICES, cap=0.45)
+        routed = trace_equilibrium_path(
+            market,
+            self.PRICES,
+            cap=0.45,
+            service=SolveService(cache=SolveCache()),
+        )
+        assert len(legacy.breakpoints) > 0  # the refinement path is exercised
+        assert_paths_bitwise_equal(legacy, routed)
+
+    def test_warm_store_replays_trace_without_solves(self, tmp_path):
+        market = section5_market()
+        first = trace_equilibrium_path(
+            market,
+            self.PRICES,
+            cap=0.45,
+            service=SolveService(cache=SolveCache(), store=SolveStore(tmp_path)),
+        )
+        replay_service = SolveService(
+            cache=SolveCache(), store=SolveStore(tmp_path)
+        )
+        second = trace_equilibrium_path(
+            market, self.PRICES, cap=0.45, service=replay_service
+        )
+        assert replay_service.counters.computed == 0
+        assert replay_service.counters.store_hits > 0
+        assert_paths_bitwise_equal(first, second)
+
+    def test_trace_reuses_grid_engine_rows(self):
+        # The on-grid portion of a trace is a cap row with the grid
+        # engine's own content key: tracing along axes a figure grid has
+        # already solved re-solves nothing on that grid.
+        market = section5_market()
+        service = SolveService(cache=SolveCache())
+        prices = np.linspace(0.1, 1.0, 8)
+        GridEngine(service=service).solve_grid(
+            market, prices, np.array([0.3])
+        )
+        solved_rows = service.counters.computed
+        path = trace_equilibrium_path(market, prices, 0.3, service=service)
+        assert service.counters.computed == solved_rows  # row came from cache
+        assert service.counters.memory_hits >= 1
+        assert path.subsidies.shape == (8, market.size)
 
 
 class TestValidation:

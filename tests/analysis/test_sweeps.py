@@ -4,7 +4,33 @@ import numpy as np
 import pytest
 
 from repro.analysis.sweeps import policy_grid, price_sweep
+from repro.engine.grid_engine import solve_cap_row
 from repro.exceptions import ModelError
+
+
+class TestEnginePathGolden:
+    """Golden: the service-routed sweeps == direct warm-chained solves."""
+
+    def test_price_sweep_bitwise_parity_with_direct_row(self, two_cp_market):
+        prices = np.linspace(0.2, 1.4, 5)
+        direct = solve_cap_row(two_cp_market, prices, 0.8, warm_start=True)
+        routed = price_sweep(two_cp_market, prices, cap=0.8)
+        for a, b in zip(direct, routed):
+            assert a.subsidies.tobytes() == b.subsidies.tobytes()
+            assert a.state.utilization == b.state.utilization
+            assert a.kkt_residual == b.kkt_residual
+
+    def test_policy_grid_bitwise_parity_with_direct_rows(self, two_cp_market):
+        prices = np.linspace(0.2, 1.4, 4)
+        caps = (0.0, 0.4, 0.8)
+        grid = policy_grid(two_cp_market, prices, caps)
+        for k, cap in enumerate(caps):
+            direct = solve_cap_row(two_cp_market, prices, cap, warm_start=True)
+            for j, eq in enumerate(direct):
+                assert (
+                    grid.at(k, j).subsidies.tobytes() == eq.subsidies.tobytes()
+                )
+                assert grid.at(k, j).state.revenue == eq.state.revenue
 
 
 class TestPriceSweep:

@@ -5,8 +5,11 @@ import pytest
 
 from repro.competition import Duopoly, solve_price_competition
 from repro.core.revenue import optimal_price
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.engine.service import set_default_service
 from repro.exceptions import ModelError
 from repro.providers import AccessISP, Market, exponential_cp
+from repro.solvers.scalar_opt import grid_polish_maximize
 
 
 def providers():
@@ -131,6 +134,141 @@ class TestSubsidizationUnderCompetition:
         assert dereg.revenues[0] > base.revenues[0]
         assert dereg.revenues[1] > base.revenues[1]
         assert dereg.welfare > base.welfare
+
+
+class LegacyDuopoly(Duopoly):
+    """The pre-refactor scalar best-response search, re-implemented verbatim.
+
+    Before the solve-service reroute, ``best_response_price`` maximized a
+    closure of nested scalar ``revenue_of`` solves in-process. Golden
+    reference for the engine-path bitwise-parity tests below.
+    """
+
+    def best_response_price(
+        self,
+        index,
+        rival_price,
+        *,
+        price_range=(0.0, 3.0),
+        grid_points=32,
+        xtol=1e-7,
+    ):
+        def revenue(p):
+            prices = (p, rival_price) if index == 0 else (rival_price, p)
+            return self.revenue_of(index, prices)
+
+        return grid_polish_maximize(
+            revenue, price_range[0], price_range[1],
+            grid_points=grid_points, xtol=xtol,
+        ).x
+
+    def solve(self, price_a, price_b):
+        from repro.competition.duopoly import DuopolyState
+        from repro.core.equilibrium import solve_equilibrium
+        from repro.core.game import SubsidizationGame
+
+        prices = (float(price_a), float(price_b))
+        shares = self.shares(*prices)
+        equilibria = []
+        for k in range(2):
+            market = self.carrier_market(k, prices)
+            equilibrium = solve_equilibrium(
+                SubsidizationGame(market, self.cap),
+                initial=self._warm.get(k),
+            )
+            self._warm[k] = equilibrium.subsidies
+            equilibria.append(equilibrium)
+        welfare = sum(eq.state.welfare for eq in equilibria)
+        return DuopolyState(
+            prices=prices,
+            shares=shares,
+            equilibria=(equilibria[0], equilibria[1]),
+            revenues=(equilibria[0].state.revenue, equilibria[1].state.revenue),
+            welfare=welfare,
+        )
+
+
+def assert_states_bitwise_equal(a, b):
+    assert a.prices == b.prices
+    assert a.shares == b.shares
+    assert a.revenues == b.revenues
+    assert a.welfare == b.welfare
+    for k in range(2):
+        assert (
+            a.equilibria[k].subsidies.tobytes()
+            == b.equilibria[k].subsidies.tobytes()
+        )
+
+
+def _duopoly_of(cls, **kwargs):
+    return cls(
+        providers(),
+        AccessISP(price=1.0, capacity=0.5, name="isp-a"),
+        AccessISP(price=1.0, capacity=0.5, name="isp-b"),
+        switching=2.0,
+        cap=0.3,
+        **kwargs,
+    )
+
+
+class TestEnginePathGolden:
+    """Golden: the service-routed search == the pre-refactor scalar path."""
+
+    def test_best_response_price_bitwise_parity(self):
+        legacy = _duopoly_of(LegacyDuopoly)
+        routed = _duopoly_of(
+            Duopoly, service=SolveService(cache=SolveCache())
+        )
+        for index, rival in ((0, 1.1), (1, 0.7), (0, 0.9)):
+            expected = legacy.best_response_price(
+                index, rival, price_range=(0.05, 2.0), grid_points=12
+            )
+            actual = routed.best_response_price(
+                index, rival, price_range=(0.05, 2.0), grid_points=12
+            )
+            assert actual == expected
+
+    def test_price_competition_bitwise_parity(self):
+        old = solve_price_competition(
+            _duopoly_of(LegacyDuopoly),
+            tol=1e-4, grid_points=12, price_range=(0.05, 2.0),
+        )
+        routed = _duopoly_of(
+            Duopoly, service=SolveService(cache=SolveCache())
+        )
+        new = solve_price_competition(
+            routed, tol=1e-4, grid_points=12, price_range=(0.05, 2.0)
+        )
+        assert new.iterations == old.iterations
+        assert new.residual == old.residual
+        assert_states_bitwise_equal(new.state, old.state)
+
+    def test_warm_store_replays_competition_without_solves(self, tmp_path):
+        def run(service):
+            duo = Duopoly(
+                providers(),
+                AccessISP(price=1.0, capacity=0.5, name="isp-a"),
+                AccessISP(price=1.0, capacity=0.5, name="isp-b"),
+                switching=2.0,
+                cap=0.3,
+                service=service,
+            )
+            return solve_price_competition(
+                duo, tol=1e-4, grid_points=12, price_range=(0.05, 2.0)
+            )
+
+        first = run(
+            SolveService(cache=SolveCache(), store=SolveStore(tmp_path))
+        )
+        replay_service = SolveService(
+            cache=SolveCache(), store=SolveStore(tmp_path)
+        )
+        second = run(replay_service)
+        # Every best-response sweep replays from the persistent store.
+        assert replay_service.counters.computed == 0
+        assert replay_service.counters.store_hits > 0
+        assert second.iterations == first.iterations
+        assert_states_bitwise_equal(second.state, first.state)
 
 
 class TestValidation:

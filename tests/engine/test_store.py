@@ -1,0 +1,243 @@
+"""Unit tests for the persistent content-addressed solve store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.grid_engine import solve_cap_row
+from repro.engine.store import CODECS, SolveStore, key_digest
+from repro.providers import AccessISP, Market, exponential_cp
+
+
+def small_market():
+    return Market(
+        [
+            exponential_cp(2.0, 2.0, value=1.0),
+            exponential_cp(5.0, 3.0, value=0.6),
+        ],
+        AccessISP(price=1.0, capacity=1.0),
+    )
+
+
+def solved_row():
+    return solve_cap_row(
+        small_market(), np.linspace(0.2, 1.0, 3), 0.5, warm_start=True
+    )
+
+
+def assert_rows_bitwise_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.subsidies.tobytes() == y.subsidies.tobytes()
+        assert x.kkt_residual == y.kkt_residual
+        assert x.iterations == y.iterations
+        assert x.method == y.method
+        for field in (
+            "subsidies",
+            "effective_prices",
+            "populations",
+            "rates",
+            "throughputs",
+            "utilities",
+        ):
+            assert (
+                getattr(x.state, field).tobytes()
+                == getattr(y.state, field).tobytes()
+            )
+        for field in (
+            "utilization",
+            "revenue",
+            "welfare",
+            "gap_slope",
+            "price",
+            "capacity",
+        ):
+            assert getattr(x.state, field) == getattr(y.state, field)
+
+
+class TestKeyDigest:
+    def test_deterministic_and_content_sensitive(self):
+        key = ("cap-row/1", "fp", b"\x00\x01", 0.5, True)
+        assert key_digest(key) == key_digest(key)
+        assert key_digest(key) != key_digest(("cap-row/1", "fp", b"\x00\x01", 0.5, False))
+        assert key_digest(key) != key_digest(("cap-row/1", "fp", b"\x00\x02", 0.5, True))
+
+    def test_nested_tuples_and_none(self):
+        a = key_digest(("x", ((0, 1), (2,), ()), None))
+        b = key_digest(("x", ((0, 1), (2,), ()), None))
+        c = key_digest(("x", ((0, 1), (2,), (3,)), None))
+        assert a == b != c
+
+    def test_type_distinctions(self):
+        # bool/int/float/str/bytes with "equal" surface values stay distinct.
+        assert key_digest((1,)) != key_digest((1.0,))
+        assert key_digest((True,)) != key_digest((1,))
+        assert key_digest(("1",)) != key_digest((1,))
+
+    def test_rejects_unhashable_content(self):
+        with pytest.raises(TypeError):
+            key_digest((object(),))
+
+    def test_encoding_is_injective_for_adversarial_byte_content(self):
+        # Keys embed raw float buffers (prices.tobytes()), which can
+        # contain any byte sequence — including ones that would collide
+        # under separator-based (rather than length-prefixed) encodings.
+        assert key_digest(((b"x\x1fb:y",),)) != key_digest(((b"x", b"y"),))
+        assert key_digest((b"x\x1eb:y",)) != key_digest((b"x", b"y"))
+        assert key_digest(("ab", "c")) != key_digest(("a", "bc"))
+        assert key_digest((("a",), "b")) != key_digest((("a", "b"),))
+
+
+class TestRoundTrip:
+    def test_grid_row_round_trip_is_bitwise(self, tmp_path):
+        store = SolveStore(tmp_path)
+        row = solved_row()
+        key = ("row", b"axes", 0.5)
+        assert store.put(key, row, codec="grid-row")
+        loaded = store.get(key)
+        assert loaded is not None
+        assert_rows_bitwise_equal(row, loaded)
+        assert store.hits == 1 and store.writes == 1
+
+    def test_ndarrays_round_trip(self, tmp_path):
+        store = SolveStore(tmp_path)
+        value = {
+            "price": np.asarray(0.1 + 0.2, dtype=float),
+            "warm": np.linspace(0.0, 1.0, 5),
+            "count": np.asarray(7, dtype=np.int64),
+        }
+        store.put(("nd",), value, codec="ndarrays")
+        loaded = store.get(("nd",))
+        assert set(loaded) == set(value)
+        for name in value:
+            assert loaded[name].tobytes() == value[name].tobytes()
+            assert loaded[name].dtype == value[name].dtype
+
+    def test_json_round_trip_exact_floats(self, tmp_path):
+        store = SolveStore(tmp_path)
+        value = {"price": 0.1 + 0.2, "after": [[0, 1], [2], []]}
+        store.put(("j",), value, codec="json")
+        loaded = store.get(("j",))
+        assert loaded["price"] == value["price"]  # repr round-trip is exact
+        assert loaded["after"] == value["after"]
+
+    def test_missing_key_misses(self, tmp_path):
+        store = SolveStore(tmp_path)
+        assert store.get(("absent",)) is None
+        assert store.misses == 1
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("k",), {"v": [1]}, codec="json")
+        store.put(("k",), {"v": [2]}, codec="json")
+        assert store.get(("k",))["v"] == [2]
+        assert len(store) == 1
+
+
+class TestCorruptionTolerance:
+    """Bad entry -> miss, never crash; recompute-and-put repairs."""
+
+    def _entry_paths(self, tmp_path):
+        manifests = list(tmp_path.glob("*.json"))
+        arrays = list(tmp_path.glob("*.npz"))
+        assert len(manifests) == 1 and len(arrays) == 1
+        return manifests[0], arrays[0]
+
+    def test_truncated_npz_is_a_miss_then_repairable(self, tmp_path):
+        store = SolveStore(tmp_path)
+        row = solved_row()
+        key = ("row", 1)
+        store.put(key, row, codec="grid-row")
+        _, npz = self._entry_paths(tmp_path)
+        npz.write_bytes(npz.read_bytes()[:20])
+        assert store.get(key) is None
+        assert store.misses == 1
+        # The caller recomputes and overwrites; the entry works again.
+        assert store.put(key, row, codec="grid-row")
+        assert_rows_bitwise_equal(row, store.get(key))
+
+    def test_garbage_manifest_is_a_miss(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("k",), solved_row(), codec="grid-row")
+        manifest, _ = self._entry_paths(tmp_path)
+        manifest.write_text("{not json at all")
+        assert store.get(("k",)) is None
+
+    def test_manifest_without_arrays_is_a_miss(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("k",), solved_row(), codec="grid-row")
+        _, npz = self._entry_paths(tmp_path)
+        npz.unlink()
+        assert store.get(("k",)) is None
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("k",), {"v": 1}, codec="json")
+        manifest = next(tmp_path.glob("*.json"))
+        payload = json.loads(manifest.read_text())
+        payload["version"] = 999
+        manifest.write_text(json.dumps(payload))
+        assert store.get(("k",)) is None
+
+    def test_unknown_codec_in_manifest_is_a_miss(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("k",), {"v": 1}, codec="json")
+        manifest = next(tmp_path.glob("*.json"))
+        payload = json.loads(manifest.read_text())
+        payload["codec"] = "no-such-codec"
+        manifest.write_text(json.dumps(payload))
+        assert store.get(("k",)) is None
+
+    def test_unwritable_root_degrades_to_no_store(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        store = SolveStore(blocker / "sub")
+        assert store.put(("k",), {"v": 1}, codec="json") is False
+        assert store.write_errors == 1
+        assert store.get(("k",)) is None  # still just a miss
+
+
+class TestMaintenance:
+    def test_put_unknown_codec_raises(self, tmp_path):
+        store = SolveStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.put(("k",), {"v": 1}, codec="nope")
+
+    def test_codec_value_mismatch_raises(self, tmp_path):
+        store = SolveStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.put(("k",), {"v": "not an array"}, codec="ndarrays")
+        with pytest.raises(TypeError):
+            store.put(("k",), ("not", "results"), codec="grid-row")
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("a",), {"v": 1}, codec="json")
+        store.put(("b",), solved_row(), codec="grid-row")
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get(("a",)) is None
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert SolveStore(tmp_path / "never-created").clear() == 0
+
+    def test_stats_shape(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("a",), {"v": 1}, codec="json")
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["path"] == str(tmp_path)
+        assert {"hits", "misses", "writes", "write_errors"} <= set(stats)
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert SolveStore.from_env() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = SolveStore.from_env()
+        assert store is not None and store.path == tmp_path
+
+    def test_codec_registry_is_closed(self):
+        assert set(CODECS) == {"grid-row", "ndarrays", "json"}

@@ -1,8 +1,16 @@
 """Unit tests for the shared §5 equilibrium grid cache."""
 
 import numpy as np
+import pytest
 
-from repro.experiments.grid import clear_cache, section5_grid
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.engine.service import default_service
+from repro.experiments.grid import (
+    clear_cache,
+    engine,
+    reset_engine,
+    section5_grid,
+)
 
 
 class TestGridCache:
@@ -33,3 +41,42 @@ class TestGridCache:
             second.quantity(lambda eq: eq.state.revenue),
             rtol=1e-12,
         )
+
+
+@pytest.fixture
+def restore_shared_engine():
+    yield
+    reset_engine(service=None)
+
+
+class TestEngineAccessor:
+    def test_engine_is_a_lazy_singleton(self):
+        assert engine() is engine()
+        assert engine().service is default_service()
+
+    def test_reset_engine_isolates_cache_state(self, restore_shared_engine):
+        prices = np.linspace(0.2, 1.0, 3)
+        section5_grid(prices, (0.0,))
+        old = engine()
+        assert len(old.cache) == 1
+        # Bare reset defers the rebuild: nothing is constructed until the
+        # next engine() call, so the environment at reset time is not
+        # captured.
+        assert reset_engine() is None
+        fresh = engine()
+        assert fresh is not old
+        assert len(fresh.cache) == 0
+        # The backing default service was rebuilt too.
+        assert fresh.service is not old.service
+        assert fresh.service is default_service()
+
+    def test_reset_engine_binds_a_custom_service(
+        self, tmp_path, restore_shared_engine
+    ):
+        service = SolveService(cache=SolveCache(), store=SolveStore(tmp_path))
+        fresh = reset_engine(service=service)
+        assert fresh.service is service
+        assert default_service() is service
+        section5_grid(np.linspace(0.2, 1.0, 3), (0.0,))
+        assert service.counters.computed == 1
+        assert len(service.store) == 1  # rows persisted to the given store

@@ -267,12 +267,85 @@ class TestGeneratedScenariosEndToEnd:
         assert (tmp_path / "random-6-s123-revenue.csv").exists()
 
 
+class TestCacheVerb:
+    def test_path_stats_clear_round_trip(self, tmp_path, capsys):
+        from repro.engine import SolveStore
+
+        store_dir = tmp_path / "store"
+        SolveStore(store_dir).put(("seed",), {"v": 1}, codec="json")
+
+        assert main(["cache", "path", "--cache-dir", str(store_dir)]) == 0
+        assert capsys.readouterr().out.strip() == str(store_dir)
+
+        assert main(["cache", "stats", "--cache-dir", str(store_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
+        assert main(["cache", "clear", "--cache-dir", str(store_dir)]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(store_dir)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_dir_defaults_to_environment(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "path"]) == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path)
+
+    def test_unconfigured_cache_exits_two(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no cache directory configured" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    def test_warm_store_rerun_reports_zero_solves(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["fig4", "--out", str(tmp_path), "--json", "--cache-dir", store]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)["cache"]
+        assert cold["computed"] > 0
+        assert cold["store"]["writes"] == cold["computed"]
+
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)["cache"]
+        assert warm["computed"] == 0
+        assert warm["store_hits"] > 0
+        assert warm["store"]["entries"] == cold["store"]["entries"]
+
+    def test_no_cache_ignores_environment_dir(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        code = main(["fig4", "--out", str(tmp_path), "--json", "--no-cache"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["store"] is None
+        assert not (tmp_path / "ignored").exists()
+
+    def test_cache_flags_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["fig4", "--out", str(tmp_path), "--no-cache",
+                 "--cache-dir", str(tmp_path)]
+            )
+
+    def test_human_summary_mentions_solve_service(self, tmp_path, capsys):
+        assert main(["fig4", "--out", str(tmp_path), "--quiet"]) == 0
+        assert "solve service:" in capsys.readouterr().out
+
+
 class TestJsonSummary:
     def test_json_summary_structure(self, tmp_path, capsys):
         code = main(["fig4", "--out", str(tmp_path), "--json"])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["failures"] == []
+        assert set(payload["cache"]) == {
+            "memory_hits", "store_hits", "computed", "store",
+        }
         (experiment,) = payload["experiments"]
         assert experiment["id"] == "fig4"
         assert experiment["all_passed"] is True
