@@ -1,0 +1,83 @@
+"""Benchmark: N=4 oligopoly competition, cold versus warm-store replay.
+
+The competition tentpole claim, measured: solving a 4-carrier price
+competition on the §5 market cold while persisting every best-response
+sweep, then replaying the identical competition from a fresh
+process-equivalent (empty memory tiers, warm store) with **zero**
+equilibrium solves — the warm run's counters land in
+``BENCH_oligopoly.json`` (the acceptance artifact: ``computed == 0`` on
+replay), alongside the per-test records the shared harness writes.
+"""
+
+import time
+
+from benchmarks.conftest import _write_bench_record, run_once
+from repro.competition import (
+    IterationPolicy,
+    OligopolyGame,
+    solve_oligopoly_competition,
+)
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.scenarios import get_scenario
+
+CARRIERS = 4
+
+#: Coarsened competition settings: the benchmark tracks scheduling and
+#: store throughput, not equilibrium precision.
+SETTINGS = dict(
+    initial_prices=(0.7,) * CARRIERS,
+    price_range=(0.05, 2.0),
+    grid_points=6,
+    xtol=1e-3,
+    policy=IterationPolicy(tol=1e-2),
+)
+
+
+def _run(service):
+    game = OligopolyGame.from_scenario(
+        get_scenario("oligopoly-4"), service=service
+    )
+    return solve_oligopoly_competition(game, **SETTINGS)
+
+
+def _service(store_dir):
+    return SolveService(cache=SolveCache(), store=SolveStore(store_dir))
+
+
+def test_bench_oligopoly_cold_solve_and_persist(benchmark, tmp_path):
+    service = _service(tmp_path)
+    result = run_once(benchmark, lambda: _run(service))
+    assert result.state.n_carriers == CARRIERS
+    assert service.counters.computed > 0
+    # Every sweep task (plus the final per-carrier states) persisted.
+    assert len(service.store) == service.counters.computed
+    assert sum(result.state.shares) == 1.0
+
+
+def test_bench_oligopoly_warm_replay(benchmark, tmp_path):
+    cold = _run(_service(tmp_path))  # prime the store
+    replay_service = _service(tmp_path)  # fresh memory tiers, warm store
+    start = time.perf_counter()
+    warm = run_once(benchmark, lambda: _run(replay_service))
+    seconds = time.perf_counter() - start
+    assert replay_service.counters.computed == 0
+    assert replay_service.counters.store_hits > 0
+    assert warm.iterations == cold.iterations
+    assert warm.state.prices == cold.state.prices
+    # The acceptance artifact: a warm rerun of the N=4 competition
+    # performs zero equilibrium solves.
+    _write_bench_record(
+        {
+            "case": "oligopoly",
+            "carriers": CARRIERS,
+            "seconds": seconds,
+            "computed": replay_service.counters.computed,
+            "solve_tasks": replay_service.counters.computed,
+            "store_hits": replay_service.counters.store_hits,
+            "cache_hits": (
+                replay_service.counters.memory_hits
+                + replay_service.counters.store_hits
+            ),
+            "sweeps": warm.iterations,
+        }
+    )

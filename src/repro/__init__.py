@@ -8,19 +8,22 @@ subsidization competition game and its Nash equilibria (§4), equilibrium
 sensitivity analysis, ISP revenue and system welfare (§5), plus
 off-equilibrium simulation and capacity planning extensions (§6).
 
-Quickstart::
+Quickstart — build the smallest §5-style market, solve its subsidization
+equilibrium, and read the certified state (runnable: the test suite
+collects this module's doctests):
 
-    from repro import (AccessISP, Market, SubsidizationGame,
-                       exponential_cp, solve_equilibrium)
-
-    market = Market(
-        [exponential_cp(alpha=2, beta=2, value=1.0),
-         exponential_cp(alpha=5, beta=5, value=0.5)],
-        AccessISP(price=1.0, capacity=1.0),
-    )
-    game = SubsidizationGame(market, cap=1.0)
-    eq = solve_equilibrium(game)
-    print(eq.subsidies, eq.state.revenue, eq.state.welfare)
+>>> from repro import (AccessISP, Market, SubsidizationGame,
+...                    exponential_cp, solve_equilibrium)
+>>> market = Market(
+...     [exponential_cp(alpha=2, beta=2, value=1.0),
+...      exponential_cp(alpha=5, beta=5, value=0.5)],
+...     AccessISP(price=1.0, capacity=1.0),
+... )
+>>> eq = solve_equilibrium(SubsidizationGame(market, cap=1.0))
+>>> eq.subsidies.shape, bool(eq.kkt_residual <= 1e-6)
+((2,), True)
+>>> bool(eq.state.revenue > 0) and bool(eq.state.welfare > 0)
+True
 """
 
 from repro.core import (
@@ -42,6 +45,11 @@ from repro.core import (
     solve_equilibrium_vi,
     thresholds,
     welfare,
+)
+from repro.competition import (
+    IterationPolicy,
+    OligopolyGame,
+    solve_oligopoly_competition,
 )
 from repro.engine import GridEngine, SolveCache, SolveService, SolveStore, SolveTask
 from repro.exceptions import (
@@ -86,6 +94,8 @@ __all__ = [
     "EquilibriumError",
     "EquilibriumResult",
     "GridEngine",
+    "IterationPolicy",
+    "OligopolyGame",
     "ExponentialDemand",
     "ExponentialThroughput",
     "LinearDemand",
@@ -123,6 +133,7 @@ __all__ = [
     "solve_equilibrium",
     "solve_equilibrium_best_response",
     "solve_equilibrium_vi",
+    "solve_oligopoly_competition",
     "thresholds",
     "welfare",
     "__version__",

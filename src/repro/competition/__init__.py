@@ -3,11 +3,14 @@
 The paper studies a single access ISP and conjectures in §6 that
 "competition between ISPs will also incentivize them to adopt subsidization
 schemes, through which users can obtain subsidized services". This package
-models the smallest faithful version of that conjecture: a *duopoly* of
-access ISPs serving a common user base that splits between them by a logit
-rule on prices, with the CPs playing independent subsidization games on
-each carrier (the games decouple because market shares depend only on
-prices — see :mod:`repro.competition.duopoly`).
+models that conjecture at two scales: a *duopoly* of access ISPs serving a
+common user base that splits between them by a logit rule on prices
+(:mod:`repro.competition.duopoly`), and its *N-carrier oligopoly*
+generalization (:mod:`repro.competition.oligopoly`) — same decoupling (the
+CPs play independent subsidization games on each carrier because market
+shares depend only on prices), arbitrary carrier counts, Jacobi or
+Gauss-Seidel damped best-response iteration, and bitwise duopoly parity at
+``N = 2``.
 """
 
 from repro.competition.duopoly import (
@@ -16,10 +19,32 @@ from repro.competition.duopoly import (
     PriceCompetitionResult,
     solve_price_competition,
 )
+from repro.competition.oligopoly import (
+    COMPETITION_DEFAULTS,
+    CarrierStats,
+    CompetitionSettings,
+    IterationPolicy,
+    OligopolyCompetitionResult,
+    OligopolyGame,
+    OligopolyState,
+    competition_settings,
+    oligopoly_shares,
+    solve_oligopoly_competition,
+)
 
 __all__ = [
+    "COMPETITION_DEFAULTS",
+    "CarrierStats",
+    "CompetitionSettings",
     "Duopoly",
     "DuopolyState",
+    "IterationPolicy",
+    "OligopolyCompetitionResult",
+    "OligopolyGame",
+    "OligopolyState",
     "PriceCompetitionResult",
+    "competition_settings",
+    "oligopoly_shares",
+    "solve_oligopoly_competition",
     "solve_price_competition",
 ]

@@ -1,0 +1,837 @@
+"""N-carrier access-ISP oligopoly competition with CP subsidization.
+
+Model
+-----
+``N ≥ 1`` access ISPs serve one population of users. Users pick a carrier
+by a logit rule on prices:
+
+    w_k = e^{−σ·p_k} / Σ_j e^{−σ·p_j}
+
+where ``σ ≥ 0`` is the switching sensitivity (``σ = 0``: captive equal
+shares; ``σ → ∞``: Bertrand-style winner-take-all). Exactly as in the
+duopoly (:mod:`repro.competition.duopoly`), shares depend only on prices
+and each carrier runs its own congestion fixed point, so given the price
+vector the CPs' subsidization games *decouple across carriers*: carrier
+``k`` hosts a standard :class:`~repro.core.game.SubsidizationGame` on a
+market whose demands are scaled by ``w_k``. This module composes those
+per-carrier games into the ISPs' price competition for any ``N``:
+
+* ``N = 1`` degenerates to the monopoly pricing problem of §5
+  (:func:`repro.core.revenue.optimal_price`) — the single carrier owns the
+  whole population and best-responds to nobody;
+* ``N = 2`` reproduces :class:`~repro.competition.duopoly.Duopoly`
+  *bitwise* (see below);
+* ``N ≥ 3`` opens the market-structure experiments the paper's §6
+  conjecture gestures at: how prices, industry revenue and welfare move as
+  carriers are added while total access capacity is held fixed.
+
+Engine routing
+--------------
+Every per-carrier best-response price search runs as one content-keyed
+:class:`~repro.engine.service.SolveTask`
+(:func:`solve_oligopoly_sweep`) on the shared
+:class:`~repro.engine.service.SolveService`, exactly like the duopoly's
+sweeps: candidate-price revenue evaluations chained through a warm-start
+profile, golden-section polish at the end. The inner equilibrium solves go
+through :func:`~repro.core.equilibrium.solve_equilibrium`, whose default
+vectorized sweep evaluates each CP's candidate caps ``s_i ∈ [0, q]`` as
+one batch (the PR-1 batch evaluation core) — so an oligopoly sweep is a
+batch of batches. With a persistent store configured, re-running a
+competition replays every sweep from cache with **zero** equilibrium
+solves.
+
+Iteration modes
+---------------
+:class:`IterationPolicy` selects how the damped best-response iteration
+updates the price vector:
+
+``"gauss-seidel"`` (default)
+    Sequential: carrier ``k`` best-responds to the *freshest* prices,
+    including this sweep's updates of carriers ``< k``. For ``N = 2`` this
+    is exactly :func:`~repro.competition.duopoly.solve_price_competition`,
+    bit for bit.
+``"jacobi"``
+    Simultaneous: all carriers best-respond to the same start-of-sweep
+    price vector. The ``N`` sweep tasks are independent, so they are
+    scheduled through :meth:`~repro.engine.service.SolveService.map` and
+    parallelize across worker processes.
+
+Duopoly parity
+--------------
+For ``N = 2`` the results are bitwise-identical to the duopoly module:
+:func:`oligopoly_shares` delegates to the duopoly's stabilized two-term
+complement form (``w_B = 1 − w_A``, not an independently normalized
+softmax — the two differ in the last ulp), and the Gauss-Seidel sweep
+replays the duopoly's exact warm-start chain. The golden tests in
+``tests/competition/test_oligopoly.py`` hold this equality exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.competition.duopoly import carrier_shares, scaled_carrier_market
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
+from repro.core.game import SubsidizationGame
+from repro.engine.cache import market_fingerprint
+from repro.engine.service import SolveService, SolveTask, default_service
+from repro.exceptions import ConvergenceError, ModelError
+from repro.providers.content_provider import ContentProvider
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+from repro.solvers.scalar_opt import grid_polish_maximize
+
+if TYPE_CHECKING:  # type-only: the scenarios package imports back through
+    # repro.experiments, so a runtime import here would close a cycle.
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "COMPETITION_DEFAULTS",
+    "CarrierStats",
+    "CompetitionSettings",
+    "IterationPolicy",
+    "OligopolyCompetitionResult",
+    "OligopolyGame",
+    "OligopolyState",
+    "competition_settings",
+    "oligopoly_shares",
+    "solve_oligopoly_competition",
+    "solve_oligopoly_state",
+    "solve_oligopoly_sweep",
+]
+
+#: The competition parameter defaults, in one place: the solver signatures,
+#: the ``market_structure`` pipeline and the CLI all resolve through
+#: :func:`competition_settings`, so changing a default here changes it
+#: everywhere (the keys double as the scenario-metadata key names the
+#: ``oligopoly(...)`` generator records).
+COMPETITION_DEFAULTS: Mapping[str, Any] = {
+    "iteration_mode": "gauss-seidel",
+    "damping": 0.7,
+    "tol": 1e-5,
+    "max_sweeps": 60,
+    "price_range": (0.0, 3.0),
+    "grid_points": 32,
+    "xtol": 1e-7,
+}
+
+
+def oligopoly_shares(
+    switching: float, prices: Sequence[float]
+) -> tuple[float, ...]:
+    """Logit market shares at a price vector (stabilized softmax on −σp).
+
+    ``N = 2`` delegates to the duopoly's two-term complement form
+    (:func:`~repro.competition.duopoly.carrier_shares`), which computes
+    ``w_B`` as ``1 − w_A`` rather than by independent normalization —
+    the two differ in the last ulp, and the bitwise duopoly-parity
+    guarantee hangs on matching the established form exactly.
+    """
+    prices = tuple(float(p) for p in prices)
+    if not prices:
+        raise ModelError("an oligopoly needs at least one carrier price")
+    if len(prices) == 2:
+        return carrier_shares(switching, prices[0], prices[1])
+    z = [-switching * p for p in prices]
+    top = max(z)
+    weights = [math.exp(zk - top) for zk in z]
+    total = sum(weights)
+    return tuple(w / total for w in weights)
+
+
+def _with_candidate(
+    prices: tuple[float, ...], index: int, candidate: float
+) -> tuple[float, ...]:
+    return prices[:index] + (candidate,) + prices[index + 1 :]
+
+
+def solve_oligopoly_sweep(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    switching: float,
+    cap: float,
+    index: int,
+    prices: tuple[float, ...],
+    lo: float,
+    hi: float,
+    grid_points: int,
+    xtol: float,
+    warm0: np.ndarray | None,
+) -> dict[str, np.ndarray]:
+    """One carrier's full best-response price search, as a pure task.
+
+    The N-carrier generalization of
+    :func:`~repro.competition.duopoly.solve_best_response_sweep`: carrier
+    ``index``'s equilibrium revenue is evaluated over the candidate price
+    grid (rival entries of ``prices`` held fixed) and the best bracket is
+    polished, with every equilibrium solve warm-started from the previous
+    candidate's profile. Returns the maximizer, its revenue, the
+    evaluation/solve counts and the final warm profile as arrays, so the
+    result persists bit-exactly under the ``"ndarrays"`` codec.
+    """
+    state = {
+        "warm": None if warm0 is None else np.asarray(warm0, dtype=float),
+        "solves": 0,
+    }
+
+    def revenue(p: float) -> float:
+        at = _with_candidate(prices, index, p)
+        share = oligopoly_shares(switching, at)[index]
+        market = scaled_carrier_market(providers, isp, share, at[index])
+        equilibrium = solve_equilibrium(
+            SubsidizationGame(market, cap), initial=state["warm"]
+        )
+        state["warm"] = equilibrium.subsidies
+        state["solves"] += 1
+        return equilibrium.state.revenue
+
+    result = grid_polish_maximize(
+        revenue, lo, hi, grid_points=grid_points, xtol=xtol
+    )
+    return {
+        "price": np.asarray(result.x, dtype=float),
+        "value": np.asarray(result.value, dtype=float),
+        "evaluations": np.asarray(result.evaluations, dtype=np.int64),
+        "solves": np.asarray(state["solves"], dtype=np.int64),
+        "warm": np.asarray(state["warm"], dtype=float),
+    }
+
+
+def solve_oligopoly_state(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    switching: float,
+    cap: float,
+    index: int,
+    prices: tuple[float, ...],
+    warm0: np.ndarray | None,
+) -> tuple[EquilibriumResult, ...]:
+    """One carrier's CP equilibrium at a price vector, as a pure task.
+
+    Returned as a 1-tuple so it persists under the engine's ``"grid-row"``
+    codec — an oligopoly state is ``N`` single-node rows.
+    """
+    share = oligopoly_shares(switching, prices)[index]
+    market = scaled_carrier_market(providers, isp, share, prices[index])
+    equilibrium = solve_equilibrium(
+        SubsidizationGame(market, cap),
+        initial=None if warm0 is None else np.asarray(warm0, dtype=float),
+    )
+    return (equilibrium,)
+
+
+@dataclass(frozen=True)
+class OligopolyState:
+    """Solved oligopoly snapshot at a price vector.
+
+    Attributes
+    ----------
+    prices:
+        ``(p_1, ..., p_N)``.
+    shares:
+        Logit market shares ``(w_1, ..., w_N)``.
+    equilibria:
+        Per-carrier CP equilibria (subsidies, states).
+    revenues:
+        Per-carrier ISP revenue.
+    welfare:
+        Total CP gross profit across all carriers.
+    """
+
+    prices: tuple[float, ...]
+    shares: tuple[float, ...]
+    equilibria: tuple[EquilibriumResult, ...]
+    revenues: tuple[float, ...]
+    welfare: float
+
+    @property
+    def n_carriers(self) -> int:
+        """Number of carriers ``N``."""
+        return len(self.prices)
+
+    @property
+    def total_revenue(self) -> float:
+        """Industry revenue ``Σ_k R_k``."""
+        return float(sum(self.revenues))
+
+    @property
+    def mean_price(self) -> float:
+        """Average carrier price."""
+        return float(sum(self.prices)) / len(self.prices)
+
+    @property
+    def utilizations(self) -> tuple[float, ...]:
+        """Per-carrier link utilization ``φ_k`` at equilibrium."""
+        return tuple(eq.state.utilization for eq in self.equilibria)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average carrier utilization."""
+        u = self.utilizations
+        return float(sum(u)) / len(u)
+
+
+@dataclass(frozen=True)
+class IterationPolicy:
+    """How the damped best-response iteration updates the price vector.
+
+    Attributes
+    ----------
+    mode:
+        ``"gauss-seidel"`` (sequential, freshest rival prices — the
+        duopoly's scheme) or ``"jacobi"`` (simultaneous update; the ``N``
+        sweeps per round are independent and pool-parallelizable).
+    damping:
+        Step factor in ``(0, 1]`` applied to each best-response move.
+        Cycling is possible for extreme switching sensitivities — damp
+        harder there.
+    tol:
+        Convergence threshold on the largest per-sweep price change.
+    max_sweeps:
+        Iteration budget; exhausting it raises
+        :class:`~repro.exceptions.ConvergenceError` (the documented
+        non-convergence signal — the iteration never loops forever).
+    """
+
+    mode: str = COMPETITION_DEFAULTS["iteration_mode"]
+    damping: float = COMPETITION_DEFAULTS["damping"]
+    tol: float = COMPETITION_DEFAULTS["tol"]
+    max_sweeps: int = COMPETITION_DEFAULTS["max_sweeps"]
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("gauss-seidel", "jacobi"):
+            raise ValueError(
+                f"mode must be 'gauss-seidel' or 'jacobi', got {self.mode!r}"
+            )
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError(
+                f"damping must lie in (0, 1], got {self.damping}"
+            )
+        if not self.tol > 0.0:
+            raise ValueError(f"tol must be positive, got {self.tol}")
+        if self.max_sweeps < 1:
+            raise ValueError(
+                f"max_sweeps must be at least 1, got {self.max_sweeps}"
+            )
+
+
+@dataclass(frozen=True)
+class CompetitionSettings:
+    """Fully-resolved competition parameters (see :func:`competition_settings`)."""
+
+    policy: IterationPolicy
+    price_range: tuple[float, float]
+    grid_points: int
+    xtol: float
+
+
+def competition_settings(
+    metadata: Mapping[str, Any] | None = None,
+    overrides: Mapping[str, Any] | None = None,
+) -> CompetitionSettings:
+    """Resolve competition parameters: overrides > metadata > defaults.
+
+    The one conversion/validation funnel for *untrusted* parameter
+    sources — scenario-file metadata and CLI flags. ``overrides`` entries
+    that are ``None`` fall through to ``metadata``, which falls through
+    to :data:`COMPETITION_DEFAULTS`; any malformed value (wrong type,
+    short ``price_range``, out-of-range damping, unknown mode) raises
+    :class:`~repro.exceptions.ModelError` naming the offending setting,
+    never a bare ``ValueError``/``IndexError`` mid-solve.
+    """
+    meta = metadata if metadata is not None else {}
+    given = {
+        key: value
+        for key, value in (overrides or {}).items()
+        if value is not None
+    }
+    unknown = set(given) - set(COMPETITION_DEFAULTS)
+    if unknown:
+        raise ModelError(
+            f"unknown competition setting(s) {sorted(unknown)}; "
+            f"known: {sorted(COMPETITION_DEFAULTS)}"
+        )
+
+    def pick(key: str) -> Any:
+        if key in given:
+            return given[key]
+        return meta.get(key, COMPETITION_DEFAULTS[key])
+
+    try:
+        policy = IterationPolicy(
+            mode=str(pick("iteration_mode")),
+            damping=float(pick("damping")),
+            tol=float(pick("tol")),
+            max_sweeps=int(pick("max_sweeps")),
+        )
+        price_range = tuple(float(x) for x in pick("price_range"))
+        if len(price_range) != 2:
+            raise ValueError(
+                f"price_range needs exactly two entries, got {price_range}"
+            )
+        grid_points = int(pick("grid_points"))
+        xtol = float(pick("xtol"))
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"invalid competition settings: {exc}") from exc
+    return CompetitionSettings(
+        policy=policy,
+        price_range=(price_range[0], price_range[1]),
+        grid_points=grid_points,
+        xtol=xtol,
+    )
+
+
+@dataclass
+class CarrierStats:
+    """Per-carrier convergence counters of one competition solve."""
+
+    sweeps: int = 0
+    solves: int = 0
+    evaluations: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (the CLI's per-carrier counters)."""
+        return {
+            "sweeps": self.sweeps,
+            "solves": self.solves,
+            "evaluations": self.evaluations,
+        }
+
+
+class OligopolyGame:
+    """``N`` access ISPs competing for one user base.
+
+    Parameters
+    ----------
+    providers:
+        The CPs (shared across carriers).
+    isps:
+        The carriers (``N ≥ 1``). Prices on these objects are *defaults*;
+        the solve methods take explicit price vectors.
+    switching:
+        Logit sensitivity ``σ ≥ 0`` of carrier choice to price.
+    cap:
+        Subsidization policy ``q`` (applies on every carrier).
+    service:
+        Solve service resolving the sweep tasks; ``None`` (default)
+        resolves the shared
+        :func:`~repro.engine.service.default_service` at call time, so a
+        store configured process-wide makes oligopoly runs resumable.
+    """
+
+    def __init__(
+        self,
+        providers: Sequence[ContentProvider],
+        isps: Sequence[AccessISP],
+        *,
+        switching: float = 2.0,
+        cap: float = 0.0,
+        service: SolveService | None = None,
+    ) -> None:
+        if switching < 0.0 or not np.isfinite(switching):
+            raise ModelError(
+                f"switching must be finite and non-negative, got {switching}"
+            )
+        if cap < 0.0 or not np.isfinite(cap):
+            raise ModelError(f"cap must be finite and non-negative, got {cap}")
+        self._providers = tuple(providers)
+        if not self._providers:
+            raise ModelError("an oligopoly needs at least one content provider")
+        self._isps = tuple(isps)
+        if not self._isps:
+            raise ModelError("an oligopoly needs at least one carrier")
+        self._switching = float(switching)
+        self._cap = float(cap)
+        self._service = service
+        # Warm-start cache: last equilibrium subsidies per carrier. Purely a
+        # performance device — solutions are certified per solve, so a stale
+        # start cannot change the result, only the iteration count.
+        self._warm: dict[int, np.ndarray] = {}
+        self._fingerprints: dict[int, str] = {}
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "ScenarioSpec",
+        carriers: int | None = None,
+        *,
+        switching: float | None = None,
+        cap: float | None = None,
+        split_capacity: bool | None = None,
+        service: SolveService | None = None,
+    ) -> "OligopolyGame":
+        """Build the game an ``oligopoly(...)`` scenario describes.
+
+        Explicit arguments override the scenario's metadata; metadata
+        falls back to the generator's defaults: ``carriers`` (2),
+        ``switching`` (2.0), ``cap`` (0.0) and ``split_capacity`` (True —
+        the template ISP's capacity is divided evenly so total access
+        capacity is invariant in ``N``).
+        """
+        meta = scenario.metadata
+        n = int(carriers if carriers is not None else meta.get("carriers", 2))
+        if n < 1:
+            raise ModelError(f"carriers must be at least 1, got {n}")
+        base = scenario.market.isp
+        split = bool(
+            split_capacity
+            if split_capacity is not None
+            else meta.get("split_capacity", True)
+        )
+        capacity = base.capacity / n if split else base.capacity
+        name = base.name or "isp"
+        isps = tuple(
+            AccessISP(
+                price=base.price,
+                capacity=capacity,
+                utilization=base.utilization,
+                name=f"{name}-{k + 1}",
+            )
+            for k in range(n)
+        )
+        return cls(
+            scenario.market.providers,
+            isps,
+            switching=float(
+                switching
+                if switching is not None
+                else meta.get("switching", 2.0)
+            ),
+            cap=float(cap if cap is not None else meta.get("cap", 0.0)),
+            service=service,
+        )
+
+    @property
+    def n_carriers(self) -> int:
+        """Number of carriers ``N``."""
+        return len(self._isps)
+
+    @property
+    def switching(self) -> float:
+        """Logit switching sensitivity ``σ``."""
+        return self._switching
+
+    @property
+    def cap(self) -> float:
+        """Subsidization policy cap ``q``."""
+        return self._cap
+
+    @property
+    def isps(self) -> tuple[AccessISP, ...]:
+        """The carriers."""
+        return self._isps
+
+    def _resolve_service(self) -> SolveService:
+        return self._service if self._service is not None else default_service()
+
+    def _carrier_fingerprint(self, index: int) -> str:
+        """Carrier ``index``'s market-content digest (computed once).
+
+        Rival ISP parameters never enter carrier ``index``'s revenue (only
+        rival *prices* do), so this covers exactly the carrier's own
+        economic content; σ, q and N join the task keys separately.
+        """
+        if index not in self._fingerprints:
+            self._fingerprints[index] = market_fingerprint(
+                Market(self._providers, self._isps[index])
+            )
+        return self._fingerprints[index]
+
+    def _check_prices(self, prices: Sequence[float]) -> tuple[float, ...]:
+        vector = tuple(float(p) for p in prices)
+        if len(vector) != self.n_carriers:
+            raise ModelError(
+                f"expected {self.n_carriers} carrier price(s), got {len(vector)}"
+            )
+        return vector
+
+    def shares(self, prices: Sequence[float]) -> tuple[float, ...]:
+        """Logit market shares at a price vector."""
+        return oligopoly_shares(self._switching, self._check_prices(prices))
+
+    def carrier_market(self, index: int, prices: Sequence[float]) -> Market:
+        """Carrier ``index``'s market: demands scaled by its share."""
+        vector = self._check_prices(prices)
+        w = self.shares(vector)[index]
+        return scaled_carrier_market(
+            self._providers, self._isps[index], w, vector[index]
+        )
+
+    def _state_task(self, index: int, prices: tuple[float, ...]) -> SolveTask:
+        """The content-keyed task for one carrier's equilibrium solve."""
+        warm0 = self._warm.get(index)
+        warm_arg = None if warm0 is None else np.asarray(warm0, dtype=float)
+        return SolveTask(
+            fn=solve_oligopoly_state,
+            args=(
+                self._providers,
+                self._isps[index],
+                self._switching,
+                self._cap,
+                int(index),
+                prices,
+                warm_arg,
+            ),
+            key=(
+                "oligopoly-eq/1",
+                self._carrier_fingerprint(index),
+                float(self._switching),
+                float(self._cap),
+                int(self.n_carriers),
+                int(index),
+                prices,
+                None if warm_arg is None else warm_arg.tobytes(),
+            ),
+            codec="grid-row",
+        )
+
+    def solve(self, prices: Sequence[float]) -> OligopolyState:
+        """Full oligopoly state (CP equilibria on every carrier).
+
+        Each carrier's game runs as a service task (the games decouple
+        given the prices), so solved states replay from a warm store.
+        """
+        vector = self._check_prices(prices)
+        shares = self.shares(vector)
+        service = self._resolve_service()
+        equilibria = []
+        for k in range(self.n_carriers):
+            (equilibrium,) = service.run(self._state_task(k, vector))
+            self._warm[k] = equilibrium.subsidies
+            equilibria.append(equilibrium)
+        welfare = sum(eq.state.welfare for eq in equilibria)
+        return OligopolyState(
+            prices=vector,
+            shares=shares,
+            equilibria=tuple(equilibria),
+            revenues=tuple(eq.state.revenue for eq in equilibria),
+            welfare=welfare,
+        )
+
+    def _sweep_task(
+        self,
+        index: int,
+        prices: tuple[float, ...],
+        price_range: tuple[float, float],
+        grid_points: int,
+        xtol: float,
+    ) -> SolveTask:
+        """The content-keyed task for one best-response price search."""
+        warm0 = self._warm.get(index)
+        warm_arg = None if warm0 is None else np.asarray(warm0, dtype=float)
+        # The carrier's own entry never enters the sweep (every candidate
+        # replaces it), so it is masked out of the args and the key —
+        # otherwise two searches differing only in the own entry would
+        # needlessly miss the cache.
+        prices = _with_candidate(prices, index, 0.0)
+        return SolveTask(
+            fn=solve_oligopoly_sweep,
+            args=(
+                self._providers,
+                self._isps[index],
+                self._switching,
+                self._cap,
+                int(index),
+                prices,
+                float(price_range[0]),
+                float(price_range[1]),
+                int(grid_points),
+                float(xtol),
+                warm_arg,
+            ),
+            key=(
+                "oligopoly-br/1",
+                self._carrier_fingerprint(index),
+                float(self._switching),
+                float(self._cap),
+                int(self.n_carriers),
+                int(index),
+                prices,
+                float(price_range[0]),
+                float(price_range[1]),
+                int(grid_points),
+                float(xtol),
+                None if warm_arg is None else warm_arg.tobytes(),
+            ),
+            codec="ndarrays",
+        )
+
+    def best_response_price(
+        self,
+        index: int,
+        prices: Sequence[float],
+        *,
+        price_range: tuple[float, float] = (0.0, 3.0),
+        grid_points: int = 32,
+        xtol: float = 1e-7,
+    ) -> float:
+        """Carrier ``index``'s revenue-maximizing price against a price vector.
+
+        The carrier's own entry of ``prices`` is ignored (it is swept);
+        rival entries are held fixed. Runs as one solve-service task
+        (cache/store/pool-eligible), warm-start chain preserved exactly.
+        """
+        outcome = self._best_response_outcome(
+            index, self._check_prices(prices), price_range, grid_points, xtol
+        )
+        return float(outcome["price"])
+
+    def _best_response_outcome(
+        self,
+        index: int,
+        vector: tuple[float, ...],
+        price_range: tuple[float, float],
+        grid_points: int,
+        xtol: float,
+    ) -> dict[str, np.ndarray]:
+        """Run one sweep task and thread its warm profile; returns the raw
+        outcome dict (the competition loop reads its counters)."""
+        task = self._sweep_task(index, vector, price_range, grid_points, xtol)
+        outcome = self._resolve_service().run(task)
+        self._warm[index] = outcome["warm"]
+        return outcome
+
+    def best_response_prices(
+        self,
+        prices: Sequence[float],
+        *,
+        price_range: tuple[float, float] = (0.0, 3.0),
+        grid_points: int = 32,
+        xtol: float = 1e-7,
+        workers: int | None = None,
+    ) -> tuple["np.ndarray", ...]:
+        """All carriers' best responses to one price vector (Jacobi round).
+
+        The ``N`` sweeps are independent given the shared start-of-sweep
+        prices, so they are scheduled as one
+        :meth:`~repro.engine.service.SolveService.map` batch — with
+        ``workers > 1`` they solve on a process pool, bitwise-identically.
+        Returns each carrier's raw sweep outcome dict (``price``,
+        ``value``, ``evaluations``, ``solves``, ``warm``).
+        """
+        vector = self._check_prices(prices)
+        tasks = [
+            self._sweep_task(k, vector, price_range, grid_points, xtol)
+            for k in range(self.n_carriers)
+        ]
+        outcomes = self._resolve_service().map(tasks, workers=workers)
+        for k, outcome in enumerate(outcomes):
+            self._warm[k] = outcome["warm"]
+        return tuple(outcomes)
+
+
+@dataclass(frozen=True)
+class OligopolyCompetitionResult:
+    """A price equilibrium of the oligopoly.
+
+    Attributes
+    ----------
+    state:
+        Full oligopoly state at the equilibrium prices.
+    iterations:
+        Best-response sweeps used.
+    residual:
+        Final maximum price change per sweep.
+    mode:
+        The iteration mode that produced the equilibrium.
+    carrier_stats:
+        Per-carrier convergence counters (sweeps, equilibrium solves,
+        revenue evaluations) — the CLI surfaces these in ``--json``.
+    """
+
+    state: OligopolyState
+    iterations: int
+    residual: float
+    mode: str
+    carrier_stats: tuple[CarrierStats, ...]
+
+    @property
+    def total_solves(self) -> int:
+        """Equilibrium solves across all carriers' sweeps."""
+        return sum(stats.solves for stats in self.carrier_stats)
+
+
+def solve_oligopoly_competition(
+    game: OligopolyGame,
+    *,
+    initial_prices: Sequence[float] | None = None,
+    price_range: tuple[float, float] = COMPETITION_DEFAULTS["price_range"],
+    grid_points: int = COMPETITION_DEFAULTS["grid_points"],
+    xtol: float = COMPETITION_DEFAULTS["xtol"],
+    policy: IterationPolicy | None = None,
+) -> OligopolyCompetitionResult:
+    """Damped best-response iteration on the carriers' prices.
+
+    Each sweep lets every carrier re-price — against the freshest prices
+    (Gauss-Seidel, the default) or the start-of-sweep vector (Jacobi,
+    pool-parallel across carriers). Convergence is declared when the
+    largest per-sweep price change falls below ``policy.tol``; exhausting
+    ``policy.max_sweeps`` raises
+    :class:`~repro.exceptions.ConvergenceError` — the iteration never
+    loops forever (cycling is possible for extreme switching
+    sensitivities; damp harder there). Every best-response search runs as
+    a content-keyed service task, so against a warm persistent store a
+    repeated competition replays without equilibrium solves.
+
+    For ``N = 2`` under the default Gauss-Seidel policy this is
+    bit-for-bit :func:`~repro.competition.duopoly.solve_price_competition`.
+    """
+    policy = policy if policy is not None else IterationPolicy()
+    n = game.n_carriers
+    if initial_prices is None:
+        prices = [1.0] * n
+    else:
+        prices = [float(p) for p in initial_prices]
+        if len(prices) != n:
+            raise ModelError(
+                f"expected {n} initial price(s), got {len(prices)}"
+            )
+    stats = tuple(CarrierStats() for _ in range(n))
+
+    def record(index: int, outcome: dict) -> float:
+        stats[index].sweeps += 1
+        stats[index].solves += int(outcome["solves"])
+        stats[index].evaluations += int(outcome["evaluations"])
+        return float(outcome["price"])
+
+    largest_change = np.inf
+    for sweep in range(1, policy.max_sweeps + 1):
+        largest_change = 0.0
+        if policy.mode == "jacobi":
+            outcomes = game.best_response_prices(
+                tuple(prices), price_range=price_range,
+                grid_points=grid_points, xtol=xtol,
+            )
+            responses = [record(k, outcomes[k]) for k in range(n)]
+            for k in range(n):
+                step = policy.damping * (responses[k] - prices[k])
+                largest_change = max(largest_change, abs(step))
+                prices[k] += step
+        else:
+            for k in range(n):
+                outcome = game._best_response_outcome(
+                    k, tuple(prices), price_range, grid_points, xtol
+                )
+                response = record(k, outcome)
+                step = policy.damping * (response - prices[k])
+                largest_change = max(largest_change, abs(step))
+                prices[k] += step
+        if largest_change <= policy.tol:
+            return OligopolyCompetitionResult(
+                state=game.solve(tuple(prices)),
+                iterations=sweep,
+                residual=largest_change,
+                mode=policy.mode,
+                carrier_stats=stats,
+            )
+    raise ConvergenceError(
+        f"oligopoly price competition ({n} carriers, {policy.mode}) not "
+        f"converged in {policy.max_sweeps} sweeps "
+        f"(last change {largest_change:.3e})",
+        iterations=policy.max_sweeps,
+        residual=largest_change,
+    )

@@ -21,8 +21,21 @@ that claim testable.
 
 The module also owns the process-wide *default* service (lazily built with
 a memory tier and, when ``$REPRO_CACHE_DIR`` is set, a disk store) that
-the figure pipeline, duopoly, continuation and analysis sweeps all share —
-so a continuation trace can hit the very rows a figure grid solved.
+the figure pipeline, duopoly/oligopoly competition, continuation and
+analysis sweeps all share — so a continuation trace can hit the very rows
+a figure grid solved.
+
+Example — one keyed task, resolved twice against a memory tier (the
+second resolution is a hit, not a recomputation):
+
+>>> from repro.engine.cache import SolveCache
+>>> from repro.engine.service import SolveService, SolveTask
+>>> service = SolveService(cache=SolveCache())
+>>> task = SolveTask(fn=abs, args=(-3,), key=("docs-abs", -3), codec="json")
+>>> service.run(task), service.run(task)
+(3, 3)
+>>> service.counters.computed, service.counters.memory_hits
+(1, 1)
 """
 
 from __future__ import annotations

@@ -41,6 +41,18 @@ explicit codec registry (:data:`CODECS`):
 ``"json"``
     Any JSON-serializable value (continuation breakpoint refinements).
     Bit-exact for floats: ``json`` round-trips ``repr(float)`` exactly.
+
+Example — persist a named-array bundle and read it back bit-exactly:
+
+>>> import numpy as np, tempfile
+>>> from repro.engine.store import SolveStore
+>>> store = SolveStore(tempfile.mkdtemp())
+>>> store.put(("docs", 1), {"x": np.arange(3.0)}, codec="ndarrays")
+True
+>>> store.get(("docs", 1))["x"]
+array([0., 1., 2.])
+>>> store.get(("docs", 2)) is None   # unknown key: a miss, never an error
+True
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ from repro.experiments.pipeline import (
     ExperimentSpec,
     PanelSpec,
     check,
+    market_structure_experiment,
     run_spec,
     scenario_experiment,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "POLICY_LEVELS",
     "ShapeCheck",
     "check",
+    "market_structure_experiment",
     "run_spec",
     "scenario_experiment",
     "section3_market",

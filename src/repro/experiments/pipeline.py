@@ -17,6 +17,16 @@ Sweep kinds
     this bitwise-identical to direct ``market.solve()`` calls.
 ``"grid"``
     Full (price × policy) equilibrium grid (the §5 model).
+``"market_structure"``
+    N-carrier oligopoly competition swept over carrier counts
+    (``ExperimentSpec.carrier_counts``): for each ``N`` the scenario's
+    market is split across ``N`` carriers
+    (:meth:`repro.competition.OligopolyGame.from_scenario`) and the price
+    competition is solved to equilibrium; panels read industry-level
+    quantities (:data:`MARKET_STRUCTURE_QUANTITIES`) against the carrier
+    count on the x-axis. Competition parameters come from the scenario's
+    metadata (the :func:`repro.scenarios.oligopoly` generator records
+    them).
 
 Panels
 ------
@@ -37,11 +47,17 @@ predicates return a verdict or a ``(verdict, detail)`` pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Union
+from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.series import FigureData, Series
+from repro.competition.oligopoly import (
+    OligopolyCompetitionResult,
+    OligopolyGame,
+    competition_settings,
+    solve_oligopoly_competition,
+)
 from repro.core.equilibrium import EquilibriumResult
 from repro.engine import EquilibriumGrid, GridEngine
 from repro.exceptions import ModelError
@@ -56,13 +72,16 @@ from repro.scenarios.spec import ScenarioSpec
 __all__ = [
     "SCALAR_QUANTITIES",
     "PROVIDER_QUANTITIES",
+    "MARKET_STRUCTURE_QUANTITIES",
     "PanelSpec",
     "CheckSpec",
     "check",
     "SweepView",
+    "MarketStructureView",
     "ExperimentSpec",
     "run_spec",
     "scenario_experiment",
+    "market_structure_experiment",
 ]
 
 #: Scalar quantities a panel or check can read off each equilibrium.
@@ -82,6 +101,22 @@ PROVIDER_QUANTITIES: Mapping[str, Callable[[EquilibriumResult], np.ndarray]] = {
     "utilities": lambda eq: eq.state.utilities,
     "rates": lambda eq: eq.state.rates,
     "effective_prices": lambda eq: eq.state.effective_prices,
+}
+
+#: Industry-level quantities a ``market_structure`` panel or check can read
+#: off each carrier count's solved price competition.
+MARKET_STRUCTURE_QUANTITIES: Mapping[
+    str, Callable[[OligopolyCompetitionResult], float]
+] = {
+    "industry_revenue": lambda r: r.state.total_revenue,
+    "industry_welfare": lambda r: r.state.welfare,
+    "mean_price": lambda r: r.state.mean_price,
+    "mean_utilization": lambda r: r.state.mean_utilization,
+    "price_dispersion": lambda r: (
+        max(r.state.prices) - min(r.state.prices)
+    ),
+    "competition_sweeps": lambda r: float(r.iterations),
+    "equilibrium_solves": lambda r: float(r.total_solves),
 }
 
 
@@ -115,13 +150,16 @@ class PanelSpec:
     notes: str = ""
 
     def __post_init__(self) -> None:
-        if self.quantity not in SCALAR_QUANTITIES and (
-            self.quantity not in PROVIDER_QUANTITIES
+        if (
+            self.quantity not in SCALAR_QUANTITIES
+            and self.quantity not in PROVIDER_QUANTITIES
+            and self.quantity not in MARKET_STRUCTURE_QUANTITIES
         ):
             raise ModelError(
                 f"unknown quantity {self.quantity!r}; scalar quantities: "
                 f"{sorted(SCALAR_QUANTITIES)}, provider quantities: "
-                f"{sorted(PROVIDER_QUANTITIES)}"
+                f"{sorted(PROVIDER_QUANTITIES)}, market-structure "
+                f"quantities: {sorted(MARKET_STRUCTURE_QUANTITIES)}"
             )
 
     @property
@@ -209,6 +247,51 @@ class SweepView:
         return self.grid.at(cap_index, price_index)
 
 
+class MarketStructureView:
+    """Solved carrier-count sweep with cached quantity extraction.
+
+    The ``market_structure`` analogue of :class:`SweepView`: one solved
+    :class:`~repro.competition.OligopolyCompetitionResult` per carrier
+    count, with industry-level quantities
+    (:data:`MARKET_STRUCTURE_QUANTITIES`) coming out as ``[count]``
+    vectors aligned with :attr:`counts`.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        counts: tuple[int, ...],
+        results: tuple[OligopolyCompetitionResult, ...],
+    ) -> None:
+        self.scenario = scenario
+        self.counts = tuple(int(n) for n in counts)
+        self.results = tuple(results)
+        self.market = scenario.market
+        self._cache: dict[str, np.ndarray] = {}
+
+    def counts_array(self) -> np.ndarray:
+        """The carrier-count axis as a float ndarray (figure x-axis)."""
+        return np.asarray(self.counts, dtype=float)
+
+    def result(self, index: int) -> OligopolyCompetitionResult:
+        """The raw competition result at one carrier count."""
+        return self.results[index]
+
+    def scalar(self, quantity: str) -> np.ndarray:
+        """``[count]`` vector of a market-structure quantity."""
+        if quantity not in self._cache:
+            if quantity not in MARKET_STRUCTURE_QUANTITIES:
+                raise ModelError(
+                    f"unknown market-structure quantity {quantity!r}; "
+                    f"choose from {sorted(MARKET_STRUCTURE_QUANTITIES)}"
+                )
+            extract = MARKET_STRUCTURE_QUANTITIES[quantity]
+            self._cache[quantity] = np.asarray(
+                [extract(result) for result in self.results], dtype=float
+            )
+        return self._cache[quantity]
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A complete experiment declaration.
@@ -222,11 +305,15 @@ class ExperimentSpec:
     scenario:
         Inline :class:`ScenarioSpec` or the registry id of one.
     sweep:
-        ``"price"`` (zero-subsidy, §3 style) or ``"grid"`` (§5 style).
+        ``"price"`` (zero-subsidy, §3 style), ``"grid"`` (§5 style) or
+        ``"market_structure"`` (N-carrier oligopoly vs. carrier count).
     panels:
         Figures to derive from the solved sweep.
     checks:
         Qualitative claims to evaluate.
+    carrier_counts:
+        The carrier-count axis of a ``market_structure`` sweep (required
+        there, forbidden elsewhere).
     """
 
     experiment_id: str
@@ -235,14 +322,56 @@ class ExperimentSpec:
     sweep: str
     panels: tuple[PanelSpec, ...]
     checks: tuple[CheckSpec, ...] = ()
+    carrier_counts: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.sweep not in {"price", "grid"}:
+        if self.sweep not in {"price", "grid", "market_structure"}:
             raise ModelError(
-                f"sweep must be 'price' or 'grid', got {self.sweep!r}"
+                f"sweep must be 'price', 'grid' or 'market_structure', "
+                f"got {self.sweep!r}"
             )
         if not self.panels:
             raise ModelError("an experiment needs at least one panel")
+        if self.sweep == "market_structure":
+            counts = tuple(int(n) for n in self.carrier_counts)
+            if not counts:
+                raise ModelError(
+                    "a market_structure experiment needs carrier_counts"
+                )
+            if any(n < 1 for n in counts):
+                raise ModelError(
+                    f"carrier_counts must be at least 1, got {counts}"
+                )
+            if any(b <= a for a, b in zip(counts, counts[1:])):
+                raise ModelError(
+                    f"carrier_counts must be strictly increasing, "
+                    f"got {counts}"
+                )
+            object.__setattr__(self, "carrier_counts", counts)
+            for panel in self.panels:
+                if panel.quantity not in MARKET_STRUCTURE_QUANTITIES:
+                    raise ModelError(
+                        f"market_structure panels must use market-structure "
+                        f"quantities, got {panel.quantity!r}; choose from "
+                        f"{sorted(MARKET_STRUCTURE_QUANTITIES)}"
+                    )
+        else:
+            if self.carrier_counts:
+                raise ModelError(
+                    f"carrier_counts only applies to market_structure "
+                    f"sweeps, not {self.sweep!r}"
+                )
+            for panel in self.panels:
+                if (
+                    panel.quantity not in SCALAR_QUANTITIES
+                    and panel.quantity not in PROVIDER_QUANTITIES
+                ):
+                    raise ModelError(
+                        f"{self.sweep!r} sweeps cannot use market-structure "
+                        f"quantity {panel.quantity!r}; choose from "
+                        f"{sorted(SCALAR_QUANTITIES)} or "
+                        f"{sorted(PROVIDER_QUANTITIES)}"
+                    )
 
     def resolve_scenario(self) -> ScenarioSpec:
         """The scenario object, looked up in the registry when given by id."""
@@ -252,9 +381,28 @@ class ExperimentSpec:
 
 
 def _realize_panels(
-    spec: ExperimentSpec, view: SweepView
+    spec: ExperimentSpec, view: Union[SweepView, MarketStructureView]
 ) -> tuple[FigureData, ...]:
     figures: list[FigureData] = []
+    if spec.sweep == "market_structure":
+        for panel in spec.panels:
+            figures.append(
+                FigureData(
+                    figure_id=panel.figure_id,
+                    title=panel.title,
+                    x_label="N",
+                    y_label=panel.y_label,
+                    x=view.counts_array(),
+                    series=(
+                        Series(
+                            panel.series_name or panel.quantity,
+                            view.scalar(panel.quantity),
+                        ),
+                    ),
+                    notes=panel.notes,
+                )
+            )
+        return tuple(figures)
     names = view.market.provider_names()
     for panel in spec.panels:
         if spec.sweep == "price":
@@ -319,6 +467,38 @@ def _realize_panels(
     return tuple(figures)
 
 
+def _solve_market_structure(
+    spec: ExperimentSpec, scn: ScenarioSpec
+) -> MarketStructureView:
+    """Solve one oligopoly price competition per carrier count.
+
+    Games resolve their sweep tasks on the shared default solve service,
+    so a ``--cache-dir`` run is resumable exactly like a figure grid; and
+    because the per-``N`` games are built fresh, each count's warm-start
+    chain is self-contained (deterministic task keys → a second run
+    replays entirely from a warm store).
+
+    Competition parameters come from the scenario's metadata through the
+    shared :func:`~repro.competition.oligopoly.competition_settings`
+    funnel — malformed metadata (a scenario file is user input) raises
+    :class:`~repro.exceptions.ModelError` before any solve runs.
+    """
+    settings = competition_settings(scn.metadata)
+    results = []
+    for n in spec.carrier_counts:
+        game = OligopolyGame.from_scenario(scn, carriers=n)
+        results.append(
+            solve_oligopoly_competition(
+                game,
+                price_range=settings.price_range,
+                grid_points=settings.grid_points,
+                xtol=settings.xtol,
+                policy=settings.policy,
+            )
+        )
+    return MarketStructureView(scn, spec.carrier_counts, tuple(results))
+
+
 def run_spec(
     spec: ExperimentSpec,
     *,
@@ -338,8 +518,23 @@ def run_spec(
     scenario share one grid solve, and with a persistent store configured
     (``$REPRO_CACHE_DIR`` / ``--cache-dir``) a re-run of any spec against
     warm rows performs zero equilibrium solves.
+
+    ``market_structure`` sweeps ignore the grid axes: the swept axis is
+    ``spec.carrier_counts``, every oligopoly sweep runs as a content-keyed
+    task on the default solve service (same store, same resumability), and
+    competition parameters come from the scenario's metadata (the
+    :func:`repro.scenarios.oligopoly` generator records them; plain
+    scenarios compete under the generator's defaults).
     """
     scn = scenario if scenario is not None else spec.resolve_scenario()
+    if spec.sweep == "market_structure":
+        view = _solve_market_structure(spec, scn)
+        return ExperimentResult(
+            experiment_id=spec.experiment_id,
+            title=spec.title,
+            figures=_realize_panels(spec, view),
+            checks=tuple(c.evaluate(view) for c in spec.checks),
+        )
     price_axis = np.asarray(
         scn.prices if prices is None else prices, dtype=float
     )
@@ -435,4 +630,59 @@ def scenario_experiment(scn: ScenarioSpec) -> ExperimentSpec:
         sweep="grid",
         panels=panels,
         checks=tuple(checks),
+    )
+
+
+def market_structure_experiment(
+    scn: ScenarioSpec, carrier_counts: Sequence[int] = (1, 2, 3, 4)
+) -> ExperimentSpec:
+    """A generic market-structure experiment for an arbitrary scenario.
+
+    Derives the industry panels every oligopoly supports — revenue,
+    welfare, mean price and mean utilization versus the carrier count —
+    plus structural checks: entry must erode prices (the Bertrand-flavored
+    monotonicity the logit rule implies for symmetric carriers) and market
+    shares must sum to one at every ``N``.
+    """
+    sid = scn.scenario_id
+    panels = tuple(
+        PanelSpec(
+            figure_id=f"{sid}-{quantity}",
+            title=f"{label} vs carrier count N ({sid})",
+            quantity=quantity,
+            y_label=ylabel,
+        )
+        for quantity, label, ylabel in (
+            ("industry_revenue", "Industry revenue ΣR", "ΣR"),
+            ("industry_welfare", "System welfare W", "W"),
+            ("mean_price", "Mean carrier price", "p"),
+            ("mean_utilization", "Mean link utilization φ", "φ"),
+        )
+    )
+    checks = (
+        check(
+            "mean price does not rise with entry",
+            lambda v: (
+                bool(np.all(np.diff(v.scalar("mean_price")) <= 1e-6)),
+                f"prices {np.round(v.scalar('mean_price'), 4).tolist()}",
+            ),
+        ),
+        check(
+            "market shares sum to one at every N",
+            lambda v: bool(
+                all(
+                    abs(sum(r.state.shares) - 1.0) <= 1e-9
+                    for r in v.results
+                )
+            ),
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id=f"{sid}-structure",
+        title=f"Market structure sweep: {scn.title}",
+        scenario=scn,
+        sweep="market_structure",
+        panels=panels,
+        checks=checks,
+        carrier_counts=tuple(int(n) for n in carrier_counts),
     )

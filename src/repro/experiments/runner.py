@@ -14,6 +14,8 @@ Usage::
     python -m repro.experiments run random-12 --json   # machine-readable summary
     python -m repro.experiments fig7 --cache-dir .cache  # resumable run
     python -m repro.experiments cache stats            # persistent-store info
+    python -m repro.experiments oligopoly --carriers 4 # N-carrier competition
+    python -m repro.experiments run oligopoly --carriers 3 --json
 
 Experiment names are validated (and de-duplicated) up front — an unknown
 name aborts before anything runs. ``run`` accepts figure ids, registered
@@ -34,6 +36,18 @@ second run of the same figures against a warm store performs zero
 equilibrium solves. ``--no-cache`` runs purely in memory, ignoring any
 configured directory. The ``cache`` verb inspects and maintains the
 store: ``cache stats`` / ``cache path`` / ``cache clear``.
+
+The ``oligopoly`` verb (also reachable as ``run oligopoly``) solves an
+N-carrier price competition over a scenario's market: ``--carriers N``
+picks the carrier count, ``--mode`` the iteration scheme (Gauss-Seidel or
+Jacobi), and the ``--json`` summary includes per-carrier convergence
+counters (sweeps, equilibrium solves, revenue evaluations) plus the run's
+cache counters — so a warm ``--cache-dir`` re-run visibly reports
+``"computed": 0``.
+
+Every parser is built by a ``build_*_parser`` function, which is what the
+generated CLI reference (:mod:`repro.experiments.docgen`) renders — the
+docs page cannot drift from the tree that actually parses.
 """
 
 from __future__ import annotations
@@ -45,6 +59,12 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence, Union
 
+from repro.competition.oligopoly import (
+    COMPETITION_DEFAULTS,
+    OligopolyGame,
+    competition_settings,
+    solve_oligopoly_competition,
+)
 from repro.engine import (
     SolveCache,
     SolveService,
@@ -53,7 +73,7 @@ from repro.engine import (
     set_default_workers,
 )
 from repro.engine.service import default_service
-from repro.exceptions import ReproError
+from repro.exceptions import ConvergenceError, ReproError
 from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
 from repro.experiments.base import ExperimentResult
 from repro.experiments.pipeline import (
@@ -73,6 +93,10 @@ from repro.scenarios import (
 __all__ = [
     "EXPERIMENTS",
     "EXPERIMENT_SPECS",
+    "build_cache_parser",
+    "build_describe_parser",
+    "build_oligopoly_parser",
+    "build_run_parser",
     "canonical_experiment",
     "resolve_experiments",
     "run_experiments",
@@ -102,7 +126,7 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
 
 _FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
 
-_VERBS = {"list", "describe", "run", "cache"}
+_VERBS = {"list", "describe", "run", "cache", "oligopoly"}
 
 
 def canonical_experiment(name: str) -> str:
@@ -259,7 +283,377 @@ def _resolve_store(cache_dir: str | None) -> SolveStore | None:
     return SolveStore.from_env()
 
 
-def _main_cache(argv: Sequence[str]) -> int:
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    """The worker/cache flags shared by the run and oligopoly verbs."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid solves (default: $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent solve-store directory (default: $REPRO_CACHE_DIR; "
+        "a warm store makes re-runs resolve with zero equilibrium solves)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run purely in memory, ignoring --cache-dir and $REPRO_CACHE_DIR",
+    )
+
+
+def _apply_runtime_options(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> bool:
+    """Validate and bind the shared worker/cache flags.
+
+    Returns whether the default service was swapped (``--cache-dir`` /
+    ``--no-cache`` rebind the shared engine — and every other
+    default-routed solve path — to a service with / without the store);
+    the caller must pass the flag back to :func:`_restore_runtime_options`.
+    """
+    if args.no_cache and args.cache_dir is not None:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    try:
+        # Resolve the default eagerly so a malformed $REPRO_WORKERS fails
+        # with a CLI error up front, not a traceback mid-computation.
+        get_default_workers()
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.workers is not None:
+        set_default_workers(args.workers)
+    service_changed = args.no_cache or args.cache_dir is not None
+    if service_changed:
+        store = None if args.no_cache else SolveStore(args.cache_dir)
+        reset_engine(
+            service=SolveService(cache=SolveCache(maxsize=256), store=store)
+        )
+    return service_changed
+
+
+def _restore_runtime_options(
+    args: argparse.Namespace, service_changed: bool
+) -> None:
+    """Undo :func:`_apply_runtime_options` (restore process defaults)."""
+    if args.workers is not None:
+        set_default_workers(None)
+    if service_changed:
+        # Restore the environment-configured default for this process.
+        reset_engine(service=None)
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """The main run parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Ma, 'Subsidization Competition' "
+        "(CoNEXT 2014), or sweep arbitrary scenarios. Verbs: list, "
+        "describe <id>, run <ids...> [--scenario file.json], "
+        "oligopoly [--carriers N], cache <action>.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', or "
+        "registered scenario ids; zero-padded spellings like fig04 work",
+    )
+    parser.add_argument(
+        "--out", default="results", help="output directory for CSV files"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress ASCII chart rendering"
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="also run a scenario from a repro-scenario/1 (or repro-market/1) "
+        "JSON file through the generic sweep experiment",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of charts",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def build_describe_parser() -> argparse.ArgumentParser:
+    """The ``describe`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments describe",
+        description="Describe an experiment spec or scenario.",
+    )
+    parser.add_argument("name", help="experiment or scenario id")
+    return parser
+
+
+def build_oligopoly_parser() -> argparse.ArgumentParser:
+    """The ``oligopoly`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments oligopoly",
+        description="Solve an N-carrier oligopoly price competition over a "
+        "scenario's market: damped best-response iteration on the carriers' "
+        "prices, each carrier's best-response sweep running as a "
+        "content-keyed task on the shared solve service (resumable against "
+        "a warm --cache-dir store). Explicit flags override the scenario's "
+        "metadata (an oligopoly(...) generator scenario records carriers, "
+        "switching, cap and iteration mode).",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="oligopoly-4",
+        help="registered scenario id (default: oligopoly-4)",
+    )
+    parser.add_argument(
+        "--scenario-file",
+        metavar="FILE",
+        default=None,
+        help="repro-scenario/1 (or repro-market/1) JSON file instead of a "
+        "registered id",
+    )
+    parser.add_argument(
+        "--carriers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="carrier count (default: scenario metadata, else 2)",
+    )
+    parser.add_argument(
+        "--switching",
+        type=float,
+        default=None,
+        metavar="S",
+        help="logit switching sensitivity σ (default: metadata, else 2.0)",
+    )
+    parser.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="subsidization policy cap q (default: metadata, else 0.0)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("gauss-seidel", "jacobi"),
+        default=None,
+        help="iteration mode: sequential gauss-seidel (freshest rival "
+        "prices) or simultaneous jacobi (carrier sweeps pool-parallel); "
+        f"default: metadata, else {COMPETITION_DEFAULTS['iteration_mode']}",
+    )
+    parser.add_argument(
+        "--damping",
+        type=float,
+        default=None,
+        metavar="D",
+        help="best-response step factor in (0, 1] (default: metadata, "
+        f"else {COMPETITION_DEFAULTS['damping']})",
+    )
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        metavar="T",
+        help="convergence threshold on the largest per-sweep price change "
+        f"(default: metadata, else {COMPETITION_DEFAULTS['tol']:g})",
+    )
+    parser.add_argument(
+        "--max-sweeps",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sweep budget before ConvergenceError (default: metadata, "
+        f"else {COMPETITION_DEFAULTS['max_sweeps']})",
+    )
+    parser.add_argument(
+        "--grid-points",
+        type=int,
+        default=None,
+        metavar="G",
+        help="candidate prices per best-response sweep (default: metadata, "
+        f"else {COMPETITION_DEFAULTS['grid_points']})",
+    )
+    parser.add_argument(
+        "--xtol",
+        type=float,
+        default=None,
+        metavar="X",
+        help="price tolerance of the sweep's golden-section polish "
+        f"(default: metadata, else {COMPETITION_DEFAULTS['xtol']:g})",
+    )
+    parser.add_argument(
+        "--price-range",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("LO", "HI"),
+        help="price search interval (default: metadata, else "
+        f"{COMPETITION_DEFAULTS['price_range'][0]:g} "
+        f"{COMPETITION_DEFAULTS['price_range'][1]:g})",
+    )
+    parser.add_argument(
+        "--initial-price",
+        type=float,
+        default=None,
+        metavar="P",
+        help="starting price for every carrier (default: 1.0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary (prices, shares, "
+        "revenues, per-carrier convergence counters, cache counters)",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def _main_oligopoly(argv: Sequence[str]) -> int:
+    parser = build_oligopoly_parser()
+    args = parser.parse_args(list(argv))
+    if args.scenario_file is not None:
+        try:
+            scn = load_scenario(args.scenario_file)
+        except (OSError, ValueError, ReproError) as exc:
+            print(
+                f"cannot load scenario {args.scenario_file!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    elif is_registered(args.scenario):
+        scn = get_scenario(args.scenario)
+    else:
+        print(
+            f"unknown scenario {args.scenario!r}; registered scenarios: "
+            f"{scenario_ids()} (or pass --scenario-file FILE)",
+            file=sys.stderr,
+        )
+        return 2
+    # One conversion/validation funnel for flags *and* scenario-file
+    # metadata: malformed values exit 2 with a message, never a traceback.
+    try:
+        settings = competition_settings(
+            scn.metadata,
+            overrides={
+                "iteration_mode": args.mode,
+                "damping": args.damping,
+                "tol": args.tol,
+                "max_sweeps": args.max_sweeps,
+                "price_range": args.price_range,
+                "grid_points": args.grid_points,
+                "xtol": args.xtol,
+            },
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    service_changed = _apply_runtime_options(parser, args)
+    cache_before = default_service().stats()
+    try:
+        try:
+            game = OligopolyGame.from_scenario(
+                scn,
+                carriers=args.carriers,
+                switching=args.switching,
+                cap=args.cap,
+            )
+            initial = (
+                None
+                if args.initial_price is None
+                else (float(args.initial_price),) * game.n_carriers
+            )
+            result = solve_oligopoly_competition(
+                game,
+                initial_prices=initial,
+                price_range=settings.price_range,
+                grid_points=settings.grid_points,
+                xtol=settings.xtol,
+                policy=settings.policy,
+            )
+        except ConvergenceError as exc:
+            print(f"FAIL {scn.scenario_id}: {exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        cache_summary = _cache_delta(cache_before, default_service().stats())
+    finally:
+        _restore_runtime_options(args, service_changed)
+
+    state = result.state
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": scn.scenario_id,
+                    "carriers": game.n_carriers,
+                    "mode": result.mode,
+                    "switching": game.switching,
+                    "cap": game.cap,
+                    "converged": True,
+                    "iterations": result.iterations,
+                    "residual": result.residual,
+                    "prices": list(state.prices),
+                    "shares": list(state.shares),
+                    "revenues": list(state.revenues),
+                    "industry_revenue": state.total_revenue,
+                    "welfare": state.welfare,
+                    "mean_utilization": state.mean_utilization,
+                    "carrier_stats": [
+                        stats.as_dict() for stats in result.carrier_stats
+                    ],
+                    "cache": cache_summary,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"oligopoly {scn.scenario_id}: {game.n_carriers} carrier(s), "
+        f"{result.mode}, σ={game.switching:g}, q={game.cap:g}"
+    )
+    print(
+        f"converged in {result.iterations} sweep(s), "
+        f"residual {result.residual:.2e}"
+    )
+    print("  carrier        price    share    revenue   sweeps  solves")
+    for k in range(game.n_carriers):
+        stats = result.carrier_stats[k]
+        print(
+            f"  {game.isps[k].name or k:<12} {state.prices[k]:>8.4f} "
+            f"{state.shares[k]:>8.4f} {state.revenues[k]:>10.5f} "
+            f"{stats.sweeps:>8d} {stats.solves:>7d}"
+        )
+    print(
+        f"industry revenue {state.total_revenue:.5f}, "
+        f"welfare {state.welfare:.5f}, "
+        f"mean utilization {state.mean_utilization:.4f}"
+    )
+    hits = cache_summary["memory_hits"] + cache_summary["store_hits"]
+    line = (
+        f"solve service: {cache_summary['computed']} task(s) computed, "
+        f"{hits} cache hit(s)"
+    )
+    if cache_summary["store"] is not None:
+        line += (
+            f"; store {cache_summary['store']['path']}: "
+            f"{cache_summary['store']['entries']} entries"
+        )
+    print(line)
+    return 0
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """The ``cache`` verb's parser (docgen renders this tree)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments cache",
         description="Inspect or maintain the persistent solve store.",
@@ -276,7 +670,11 @@ def _main_cache(argv: Sequence[str]) -> int:
         metavar="DIR",
         help="store directory (default: $REPRO_CACHE_DIR)",
     )
-    args = parser.parse_args(list(argv))
+    return parser
+
+
+def _main_cache(argv: Sequence[str]) -> int:
+    args = build_cache_parser().parse_args(list(argv))
     store = _resolve_store(args.cache_dir)
     if store is None:
         print(
@@ -353,81 +751,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if verb == "list":
         return _main_list()
     if verb == "describe":
-        parser = argparse.ArgumentParser(
-            prog="repro-experiments describe",
-            description="Describe an experiment spec or scenario.",
-        )
-        parser.add_argument("name", help="experiment or scenario id")
-        args = parser.parse_args(argv[1:])
+        args = build_describe_parser().parse_args(argv[1:])
         return _main_describe(args.name)
     if verb == "cache":
         return _main_cache(argv[1:])
+    if verb == "oligopoly":
+        return _main_oligopoly(argv[1:])
     if verb == "run":
         argv = argv[1:]
+        # "run oligopoly ..." reads naturally; route it to the verb.
+        if argv and argv[0] == "oligopoly":
+            return _main_oligopoly(argv[1:])
 
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the figures of Ma, 'Subsidization Competition' "
-        "(CoNEXT 2014), or sweep arbitrary scenarios. Verbs: list, "
-        "describe <id>, run <ids...> [--scenario file.json].",
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        default=[],
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', or "
-        "registered scenario ids; zero-padded spellings like fig04 work",
-    )
-    parser.add_argument(
-        "--out", default="results", help="output directory for CSV files"
-    )
-    parser.add_argument(
-        "--quiet", action="store_true", help="suppress ASCII chart rendering"
-    )
-    parser.add_argument(
-        "--scenario",
-        metavar="FILE",
-        default=None,
-        help="also run a scenario from a repro-scenario/1 (or repro-market/1) "
-        "JSON file through the generic sweep experiment",
-    )
-    parser.add_argument(
-        "--json",
-        action="store_true",
-        help="print a machine-readable JSON summary instead of charts",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for grid solves (default: $REPRO_WORKERS or 1)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="persistent solve-store directory (default: $REPRO_CACHE_DIR; "
-        "a warm store makes re-runs resolve with zero equilibrium solves)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="run purely in memory, ignoring --cache-dir and $REPRO_CACHE_DIR",
-    )
+    parser = build_run_parser()
     args = parser.parse_args(argv)
-    if args.no_cache and args.cache_dir is not None:
-        parser.error("--no-cache and --cache-dir are mutually exclusive")
-    if args.workers is not None and args.workers < 1:
-        parser.error("--workers must be at least 1")
     if not args.experiments and args.scenario is None:
         parser.error("no experiments given (names, 'all', or --scenario FILE)")
-    try:
-        # Resolve the default eagerly so a malformed $REPRO_WORKERS fails
-        # with a CLI error up front, not a traceback mid-computation.
-        get_default_workers()
-    except ValueError as exc:
-        parser.error(str(exc))
 
     names: list[Union[str, ExperimentSpec]] = list(
         _expand_all(args.experiments)
@@ -438,16 +777,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, ValueError, ReproError) as exc:
             print(f"cannot load scenario {args.scenario!r}: {exc}", file=sys.stderr)
             return 2
-    if args.workers is not None:
-        set_default_workers(args.workers)
-    # --cache-dir / --no-cache rebind the shared engine (and every other
-    # default-routed solve path) to a service with / without the store.
-    service_changed = args.no_cache or args.cache_dir is not None
-    if service_changed:
-        store = None if args.no_cache else SolveStore(args.cache_dir)
-        reset_engine(
-            service=SolveService(cache=SolveCache(maxsize=256), store=store)
-        )
+    service_changed = _apply_runtime_options(parser, args)
     cache_before = default_service().stats()
     try:
         results = run_experiments(
@@ -458,11 +788,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     finally:
-        if args.workers is not None:
-            set_default_workers(None)
-        if service_changed:
-            # Restore the environment-configured default for this process.
-            reset_engine(service=None)
+        _restore_runtime_options(args, service_changed)
 
     failed = [
         (result.experiment_id, check.name)

@@ -15,6 +15,7 @@ from repro.scenarios.generators import (
     DEMAND_FAMILIES,
     THROUGHPUT_FAMILIES,
     capacity_variant,
+    oligopoly,
     random_market,
     scaled_market,
     utilization_variant,
@@ -42,6 +43,7 @@ __all__ = [
     "capacity_variant",
     "get_scenario",
     "is_registered",
+    "oligopoly",
     "random_market",
     "register_scenario",
     "scaled_market",

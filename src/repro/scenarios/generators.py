@@ -58,6 +58,7 @@ __all__ = [
     "random_market",
     "capacity_variant",
     "utilization_variant",
+    "oligopoly",
 ]
 
 #: Default sweep axis for generated scenarios: the paper's range, thinned.
@@ -316,6 +317,68 @@ def utilization_variant(
     )
 
 
+def oligopoly(
+    base: ScenarioSpec,
+    carriers: int,
+    *,
+    switching: float = 2.0,
+    cap: float = 0.0,
+    split_capacity: bool = True,
+    iteration_mode: str = "gauss-seidel",
+    scenario_id: str | None = None,
+) -> ScenarioSpec:
+    """An N-carrier competition scenario over ``base``'s CP population.
+
+    The market itself is unchanged — its ISP becomes the per-carrier
+    *template*: :meth:`repro.competition.OligopolyGame.from_scenario`
+    replicates it ``carriers`` times, splitting the access capacity evenly
+    when ``split_capacity`` holds (so total industry capacity — and hence
+    the congestion operating point under equal shares — is invariant in
+    ``N``, mirroring the :func:`scaled_market` invariance story on the
+    carrier axis). Competition parameters (``switching`` sensitivity σ,
+    subsidization ``cap`` q, the ``iteration_mode`` of the damped
+    best-response iteration) are recorded as metadata alongside the
+    lineage (``variant_of``), so the scenario round-trips through
+    ``repro-scenario/1`` with its full provenance and the CLI's
+    ``oligopoly`` verb can rebuild the exact game from the file.
+    """
+    if carriers < 1:
+        raise ModelError(f"carriers must be at least 1, got {carriers}")
+    if switching < 0.0 or not np.isfinite(switching):
+        raise ModelError(
+            f"switching must be finite and non-negative, got {switching}"
+        )
+    if cap < 0.0 or not np.isfinite(cap):
+        raise ModelError(f"cap must be finite and non-negative, got {cap}")
+    if iteration_mode not in ("gauss-seidel", "jacobi"):
+        raise ModelError(
+            f"iteration_mode must be 'gauss-seidel' or 'jacobi', "
+            f"got {iteration_mode!r}"
+        )
+    metadata = dict(base.metadata)
+    metadata.update(
+        {
+            "generator": "oligopoly",
+            "carriers": int(carriers),
+            "switching": float(switching),
+            "cap": float(cap),
+            "split_capacity": bool(split_capacity),
+            "iteration_mode": str(iteration_mode),
+            "variant_of": base.scenario_id,
+        }
+    )
+    return ScenarioSpec(
+        scenario_id=scenario_id
+        if scenario_id is not None
+        else f"{base.scenario_id}-oligopoly-{carriers}",
+        title=f"{base.title} under {carriers}-carrier competition",
+        market=base.market,
+        prices=base.prices,
+        policy_levels=base.policy_levels,
+        metadata=metadata,
+    )
+
+
 register_scenario(
     "scaled-64",
     lambda: scaled_market(
@@ -355,4 +418,21 @@ register_scenario(
         scenario_id="random-12",
     ),
     summary="12-CP seeded heterogeneous market over all families",
+)
+
+
+def _oligopoly4() -> ScenarioSpec:
+    # Lazy import: repro.scenarios.paper loads after this module in the
+    # package __init__, and reaches back through repro.experiments.
+    from repro.scenarios.paper import section5_scenario
+
+    return oligopoly(
+        section5_scenario(), 4, cap=0.5, scenario_id="oligopoly-4"
+    )
+
+
+register_scenario(
+    "oligopoly-4",
+    _oligopoly4,
+    summary="4-carrier oligopoly on the §5 market (capacity split evenly)",
 )

@@ -8,6 +8,24 @@ frozen, registry-addressable (:mod:`repro.scenarios.registry`) and
 round-trip to JSON as the ``repro-scenario/1`` format (:mod:`repro.io`),
 so a generated thousand-CP stress market is as shareable and pinnable as
 the paper's hand-built eight-type instance.
+
+Example — a minimal spec with explicit axes and provenance:
+
+>>> from repro.providers import AccessISP, Market, exponential_cp
+>>> from repro.scenarios.spec import ScenarioSpec
+>>> spec = ScenarioSpec(
+...     scenario_id="docs-tiny",
+...     title="one CP type on a unit link",
+...     market=Market([exponential_cp(2.0, 2.0, value=1.0)],
+...                   AccessISP(price=1.0, capacity=1.0)),
+...     prices=(0.5, 1.0),
+...     policy_levels=(0.0,),
+...     metadata={"source": "docstring example"},
+... )
+>>> spec.size, spec.prices
+(1, (0.5, 1.0))
+>>> spec.metadata["source"]
+'docstring example'
 """
 
 from __future__ import annotations

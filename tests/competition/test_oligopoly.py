@@ -1,0 +1,460 @@
+"""Unit and golden tests for repro.competition.oligopoly."""
+
+import numpy as np
+import pytest
+
+from repro.competition import (
+    COMPETITION_DEFAULTS,
+    Duopoly,
+    IterationPolicy,
+    OligopolyGame,
+    competition_settings,
+    oligopoly_shares,
+    solve_oligopoly_competition,
+    solve_price_competition,
+)
+from repro.competition.duopoly import carrier_shares
+from repro.core.revenue import optimal_price
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.exceptions import ConvergenceError, ModelError
+from repro.providers import AccessISP, Market, exponential_cp
+
+
+def providers():
+    return [
+        exponential_cp(2.0, 2.0, value=1.0),
+        exponential_cp(5.0, 3.0, value=0.6),
+    ]
+
+
+def cheap_providers():
+    """One CP type: the competition dynamics are identical in shape but
+    each equilibrium solve is several times cheaper — used by the tests
+    that iterate full price competitions."""
+    return [exponential_cp(2.0, 2.0, value=1.0)]
+
+
+def carrier_isps(n, capacity=None):
+    cap = capacity if capacity is not None else 1.0 / n
+    return tuple(
+        AccessISP(price=1.0, capacity=cap, name=f"isp-{k}") for k in range(n)
+    )
+
+
+def game_of(n, *, switching=2.0, cap=0.3, capacity=None, cps=None):
+    return OligopolyGame(
+        cps if cps is not None else providers(),
+        carrier_isps(n, capacity),
+        switching=switching,
+        cap=cap,
+        service=SolveService(cache=SolveCache()),
+    )
+
+
+class TestShares:
+    def test_two_carriers_delegate_to_duopoly_form_bitwise(self):
+        for pair in ((1.0, 1.0), (0.3, 1.7), (0.0, 2.5)):
+            assert oligopoly_shares(2.0, pair) == carrier_shares(2.0, *pair)
+
+    def test_single_carrier_owns_the_market(self):
+        assert oligopoly_shares(3.0, (1.2,)) == (1.0,)
+
+    def test_three_carriers_sum_to_one_cheapest_wins(self):
+        shares = oligopoly_shares(2.0, (0.5, 1.0, 1.5))
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] > shares[1] > shares[2]
+
+    def test_zero_switching_is_captive(self):
+        shares = oligopoly_shares(0.0, (0.1, 1.0, 5.0, 2.0))
+        assert shares == pytest.approx((0.25,) * 4)
+
+    def test_extreme_prices_do_not_overflow(self):
+        shares = oligopoly_shares(10.0, (0.0, 1000.0, 2000.0))
+        assert shares[0] == pytest.approx(1.0)
+        assert shares[1] == pytest.approx(0.0)
+
+    def test_empty_prices_rejected(self):
+        with pytest.raises(ModelError):
+            oligopoly_shares(2.0, ())
+
+
+class TestDuopolyParityGolden:
+    """N=2 under Gauss-Seidel is bit-for-bit the duopoly module."""
+
+    def _duopoly(self, cps=providers):
+        return Duopoly(
+            cps(),
+            *carrier_isps(2, 0.5),
+            switching=2.0,
+            cap=0.3,
+            service=SolveService(cache=SolveCache()),
+        )
+
+    def _oligopoly(self, cps=providers):
+        return game_of(2, capacity=0.5, cps=cps())
+
+    def test_best_response_price_bitwise_parity(self):
+        duo, olig = self._duopoly(), self._oligopoly()
+        for index, rival in ((0, 1.1), (1, 0.7), (0, 0.9)):
+            prices = (1.0, rival) if index == 0 else (rival, 1.0)
+            expected = duo.best_response_price(
+                index, rival, price_range=(0.05, 2.0), grid_points=10
+            )
+            actual = olig.best_response_price(
+                index, prices, price_range=(0.05, 2.0), grid_points=10
+            )
+            assert actual == expected
+
+    def test_solve_state_bitwise_parity(self):
+        duo_state = self._duopoly().solve(0.9, 1.1)
+        olig_state = self._oligopoly().solve((0.9, 1.1))
+        assert olig_state.prices == duo_state.prices
+        assert olig_state.shares == duo_state.shares
+        assert olig_state.revenues == duo_state.revenues
+        assert olig_state.welfare == duo_state.welfare
+        for k in range(2):
+            assert (
+                olig_state.equilibria[k].subsidies.tobytes()
+                == duo_state.equilibria[k].subsidies.tobytes()
+            )
+
+    def test_price_competition_bitwise_parity(self):
+        old = solve_price_competition(
+            self._duopoly(cheap_providers),
+            initial_prices=(0.7, 0.7),
+            tol=1e-3, grid_points=10, price_range=(0.05, 2.0),
+        )
+        new = solve_oligopoly_competition(
+            self._oligopoly(cheap_providers),
+            initial_prices=(0.7, 0.7),
+            price_range=(0.05, 2.0),
+            grid_points=10,
+            policy=IterationPolicy(tol=1e-3),
+        )
+        assert new.iterations == old.iterations
+        assert new.residual == old.residual
+        assert new.mode == "gauss-seidel"
+        assert new.state.prices == old.state.prices
+        assert new.state.shares == old.state.shares
+        assert new.state.revenues == old.state.revenues
+        assert new.state.welfare == old.state.welfare
+        for k in range(2):
+            assert (
+                new.state.equilibria[k].subsidies.tobytes()
+                == old.state.equilibria[k].subsidies.tobytes()
+            )
+
+
+class TestSection5Parity:
+    """The acceptance market: N=2 on the paper's §5 market, bitwise."""
+
+    def _games(self):
+        from repro.experiments.scenarios import section5_market
+
+        market = section5_market()
+        isps = tuple(
+            AccessISP(price=1.0, capacity=0.5, name=f"s5-{k}")
+            for k in range(2)
+        )
+        duo = Duopoly(
+            market.providers, *isps, switching=2.0, cap=0.5,
+            service=SolveService(cache=SolveCache()),
+        )
+        olig = OligopolyGame(
+            market.providers, isps, switching=2.0, cap=0.5,
+            service=SolveService(cache=SolveCache()),
+        )
+        return duo, olig
+
+    def test_best_response_and_state_bitwise_on_section5(self):
+        duo, olig = self._games()
+        for index, rival in ((0, 1.2), (1, 0.8)):
+            prices = (1.0, rival) if index == 0 else (rival, 1.0)
+            assert olig.best_response_price(
+                index, prices, price_range=(0.05, 2.0), grid_points=8
+            ) == duo.best_response_price(
+                index, rival, price_range=(0.05, 2.0), grid_points=8
+            )
+        duo_state = duo.solve(0.8, 1.2)
+        olig_state = olig.solve((0.8, 1.2))
+        assert olig_state.shares == duo_state.shares
+        assert olig_state.revenues == duo_state.revenues
+        assert olig_state.welfare == duo_state.welfare
+        for k in range(2):
+            assert (
+                olig_state.equilibria[k].subsidies.tobytes()
+                == duo_state.equilibria[k].subsidies.tobytes()
+            )
+
+
+class TestMonopolyDegeneration:
+    def test_single_carrier_recovers_the_monopoly_price(self):
+        result = solve_oligopoly_competition(
+            game_of(1, capacity=1.0, cps=cheap_providers()),
+            price_range=(0.05, 2.0),
+            grid_points=12,
+            policy=IterationPolicy(damping=1.0, tol=1e-3, max_sweeps=10),
+        )
+        assert result.state.shares == (1.0,)
+        monopoly = optimal_price(
+            Market(cheap_providers(), AccessISP(price=1.0, capacity=1.0)),
+            cap=0.3,
+            price_range=(0.05, 2.0),
+            grid_points=12,
+        )
+        assert result.state.prices[0] == pytest.approx(
+            monopoly.price, abs=1e-3
+        )
+        assert result.state.total_revenue == pytest.approx(
+            monopoly.revenue, rel=1e-3
+        )
+
+
+class TestIterationModes:
+    def test_jacobi_agrees_with_gauss_seidel(self):
+        gs = solve_oligopoly_competition(
+            game_of(3, cps=cheap_providers()),
+            initial_prices=(0.6, 0.6, 0.6),
+            price_range=(0.05, 2.0),
+            grid_points=8,
+            xtol=1e-3,
+            policy=IterationPolicy(tol=5e-3),
+        )
+        jacobi = solve_oligopoly_competition(
+            game_of(3, cps=cheap_providers()),
+            initial_prices=(0.6, 0.6, 0.6),
+            price_range=(0.05, 2.0),
+            grid_points=8,
+            xtol=1e-3,
+            policy=IterationPolicy(mode="jacobi", tol=5e-3),
+        )
+        assert jacobi.mode == "jacobi"
+        np.testing.assert_allclose(
+            jacobi.state.prices, gs.state.prices, atol=2e-2
+        )
+        # Symmetric carriers, symmetric start: Jacobi keeps exact symmetry.
+        assert len(set(jacobi.state.prices)) == 1
+
+    def test_carrier_stats_recorded_in_both_modes(self):
+        for mode in ("gauss-seidel", "jacobi"):
+            result = solve_oligopoly_competition(
+                game_of(2, capacity=0.5, cps=cheap_providers()),
+                price_range=(0.05, 2.0),
+                grid_points=6,
+                xtol=1e-2,
+                policy=IterationPolicy(mode=mode, tol=2e-2),
+            )
+            assert len(result.carrier_stats) == 2
+            for stats in result.carrier_stats:
+                assert stats.sweeps == result.iterations
+                assert stats.solves > 0
+                assert stats.evaluations > 0
+            assert result.total_solves == sum(
+                s.solves for s in result.carrier_stats
+            )
+
+
+class TestEdgeCases:
+    def test_budget_exhaustion_raises_convergence_error(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_oligopoly_competition(
+                game_of(2, capacity=0.5, cps=cheap_providers()),
+                price_range=(0.05, 2.0),
+                grid_points=6,
+                xtol=1e-3,
+                policy=IterationPolicy(tol=1e-12, max_sweeps=1),
+            )
+        assert excinfo.value.iterations == 1
+        assert excinfo.value.residual > 1e-12
+
+    def test_iteration_policy_validation(self):
+        with pytest.raises(ValueError):
+            IterationPolicy(mode="newton")
+        with pytest.raises(ValueError):
+            IterationPolicy(damping=0.0)
+        with pytest.raises(ValueError):
+            IterationPolicy(damping=1.5)
+        with pytest.raises(ValueError):
+            IterationPolicy(tol=0.0)
+        with pytest.raises(ValueError):
+            IterationPolicy(max_sweeps=0)
+
+    def test_game_validation(self):
+        with pytest.raises(ModelError):
+            OligopolyGame([], carrier_isps(2))
+        with pytest.raises(ModelError):
+            OligopolyGame(providers(), [])
+        with pytest.raises(ModelError):
+            OligopolyGame(providers(), carrier_isps(2), switching=-1.0)
+        with pytest.raises(ModelError):
+            OligopolyGame(providers(), carrier_isps(2), cap=-0.5)
+
+    def test_price_vector_length_checked(self):
+        game = game_of(3)
+        with pytest.raises(ModelError):
+            game.solve((1.0, 1.0))
+        with pytest.raises(ModelError):
+            game.best_response_price(0, (1.0,))
+        with pytest.raises(ModelError):
+            solve_oligopoly_competition(game, initial_prices=(1.0, 1.0))
+
+
+class TestCompetitionSettings:
+    def test_defaults_when_nothing_given(self):
+        settings = competition_settings()
+        assert settings.policy.mode == COMPETITION_DEFAULTS["iteration_mode"]
+        assert settings.policy.damping == COMPETITION_DEFAULTS["damping"]
+        assert settings.price_range == COMPETITION_DEFAULTS["price_range"]
+        assert settings.grid_points == COMPETITION_DEFAULTS["grid_points"]
+        assert settings.xtol == COMPETITION_DEFAULTS["xtol"]
+
+    def test_overrides_beat_metadata_beat_defaults(self):
+        settings = competition_settings(
+            {"damping": 0.5, "grid_points": 10},
+            overrides={"grid_points": 8, "tol": None},
+        )
+        assert settings.policy.damping == 0.5       # metadata
+        assert settings.grid_points == 8            # override wins
+        assert settings.policy.tol == COMPETITION_DEFAULTS["tol"]  # None falls through
+
+    def test_malformed_metadata_raises_model_error(self):
+        for bad in (
+            {"price_range": [1.0]},
+            {"price_range": "wide"},
+            {"damping": 1.5},
+            {"iteration_mode": "sor"},
+            {"grid_points": "many"},
+            {"max_sweeps": 0},
+        ):
+            with pytest.raises(ModelError):
+                competition_settings(bad)
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(ModelError):
+            competition_settings(overrides={"dampin": 0.5})
+
+
+class TestSweepTaskKey:
+    def test_own_price_entry_does_not_split_the_cache(self):
+        """The carrier's own entry never enters the sweep, so two searches
+        differing only there must resolve to one cached task.
+
+        Two fresh games share one service: both start from an empty warm
+        profile, so the only key difference left is the masked own entry.
+        (Within one game the warm-start chain legitimately changes the
+        key between calls.)
+        """
+        service = SolveService(cache=SolveCache())
+
+        def fresh_game():
+            return OligopolyGame(
+                cheap_providers(),
+                carrier_isps(2, 0.5),
+                switching=2.0,
+                cap=0.3,
+                service=service,
+            )
+
+        first = fresh_game().best_response_price(
+            0, (1.0, 1.1), price_range=(0.05, 2.0), grid_points=6, xtol=1e-3
+        )
+        computed = service.counters.computed
+        second = fresh_game().best_response_price(
+            0, (2.5, 1.1), price_range=(0.05, 2.0), grid_points=6, xtol=1e-3
+        )
+        assert second == first
+        assert service.counters.computed == computed
+        assert service.counters.memory_hits >= 1
+
+
+class TestWarmStoreReplay:
+    def test_competition_replays_with_zero_solves(self, tmp_path):
+        def run(service):
+            game = OligopolyGame(
+                cheap_providers(),
+                carrier_isps(3),
+                switching=2.0,
+                cap=0.3,
+                service=service,
+            )
+            return solve_oligopoly_competition(
+                game,
+                price_range=(0.05, 2.0),
+                grid_points=6,
+                xtol=1e-3,
+                policy=IterationPolicy(tol=1e-2),
+            )
+
+        first = run(
+            SolveService(cache=SolveCache(), store=SolveStore(tmp_path))
+        )
+        replay_service = SolveService(
+            cache=SolveCache(), store=SolveStore(tmp_path)
+        )
+        second = run(replay_service)
+        assert replay_service.counters.computed == 0
+        assert replay_service.counters.store_hits > 0
+        assert second.iterations == first.iterations
+        assert second.state.prices == first.state.prices
+        assert second.state.revenues == first.state.revenues
+        for k in range(3):
+            assert (
+                second.state.equilibria[k].subsidies.tobytes()
+                == first.state.equilibria[k].subsidies.tobytes()
+            )
+
+
+class TestFromScenario:
+    def test_registered_oligopoly_scenario(self):
+        from repro.scenarios import get_scenario
+
+        game = OligopolyGame.from_scenario(
+            get_scenario("oligopoly-4"),
+            service=SolveService(cache=SolveCache()),
+        )
+        assert game.n_carriers == 4
+        assert game.cap == 0.5
+        assert game.switching == 2.0
+        # Capacity split evenly: §5 market has a unit link.
+        assert [isp.capacity for isp in game.isps] == [0.25] * 4
+
+    def test_overrides_beat_metadata(self):
+        from repro.scenarios import get_scenario
+
+        game = OligopolyGame.from_scenario(
+            get_scenario("oligopoly-4"),
+            carriers=2,
+            switching=1.0,
+            cap=0.1,
+            split_capacity=False,
+            service=SolveService(cache=SolveCache()),
+        )
+        assert game.n_carriers == 2
+        assert game.switching == 1.0
+        assert game.cap == 0.1
+        assert [isp.capacity for isp in game.isps] == [1.0, 1.0]
+
+    def test_plain_scenario_uses_defaults(self):
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec(
+            scenario_id="plain",
+            title="no oligopoly metadata",
+            market=Market(providers(), AccessISP(price=1.0, capacity=1.0)),
+            prices=(0.5, 1.0),
+            policy_levels=(0.0,),
+        )
+        game = OligopolyGame.from_scenario(
+            spec, service=SolveService(cache=SolveCache())
+        )
+        assert game.n_carriers == 2
+        assert game.switching == 2.0
+        assert game.cap == 0.0
+
+    def test_invalid_carrier_count_rejected(self):
+        from repro.scenarios import get_scenario
+
+        with pytest.raises(ModelError):
+            OligopolyGame.from_scenario(
+                get_scenario("oligopoly-4"), carriers=0
+            )

@@ -1,0 +1,43 @@
+"""The generated CLI reference must match the committed page.
+
+``docs/reference/cli.md`` is rendered from the runner's actual argparse
+tree (:mod:`repro.experiments.docgen`); this test is the tier-1 face of
+the CI drift gate — add a flag without regenerating the page and the
+suite fails with the regeneration command in the message.
+"""
+
+from pathlib import Path
+
+from repro.experiments.docgen import generate_cli_reference, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLI_PAGE = REPO_ROOT / "docs" / "reference" / "cli.md"
+
+
+def test_committed_cli_reference_is_fresh():
+    committed = CLI_PAGE.read_text(encoding="utf-8")
+    assert committed == generate_cli_reference(), (
+        "docs/reference/cli.md is stale; regenerate with "
+        "PYTHONPATH=src python -m repro.experiments.docgen "
+        "--write docs/reference/cli.md"
+    )
+
+
+def test_reference_covers_every_verb():
+    page = generate_cli_reference()
+    for verb in ("list", "run", "describe", "oligopoly", "cache"):
+        assert f"## `{verb}`" in page
+
+
+def test_docgen_check_mode(tmp_path, capsys):
+    fresh = tmp_path / "cli.md"
+    assert main(["--write", str(fresh)]) == 0
+    assert main(["--check", str(fresh)]) == 0
+    fresh.write_text("stale", encoding="utf-8")
+    assert main(["--check", str(fresh)]) == 1
+    err = capsys.readouterr().err
+    assert "stale" in err and "--write" in err
+
+
+def test_docgen_check_missing_file(tmp_path):
+    assert main(["--check", str(tmp_path / "absent.md")]) == 1

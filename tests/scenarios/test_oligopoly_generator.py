@@ -1,0 +1,104 @@
+"""The oligopoly(...) scenario generator and its repro-scenario/1 round trip."""
+
+import pytest
+
+from repro.competition import OligopolyGame
+from repro.engine import SolveCache, SolveService
+from repro.exceptions import ModelError
+from repro.io import load_scenario, save_scenario
+from repro.scenarios import get_scenario, oligopoly, random_market
+
+
+def base_scenario():
+    return random_market(
+        seed=77,
+        n_types=4,
+        policy_levels=(0.0, 0.5),
+        scenario_id="rt-base",
+    )
+
+
+class TestGenerator:
+    def test_metadata_records_competition_parameters(self):
+        spec = oligopoly(
+            base_scenario(), 3, switching=1.5, cap=0.25,
+            iteration_mode="jacobi",
+        )
+        assert spec.scenario_id == "rt-base-oligopoly-3"
+        meta = spec.metadata
+        assert meta["generator"] == "oligopoly"
+        assert meta["carriers"] == 3
+        assert meta["switching"] == 1.5
+        assert meta["cap"] == 0.25
+        assert meta["split_capacity"] is True
+        assert meta["iteration_mode"] == "jacobi"
+        assert meta["variant_of"] == "rt-base"
+        # The base generator's provenance survives the derivation.
+        assert meta["seed"] == 77
+
+    def test_market_and_axes_unchanged(self):
+        base = base_scenario()
+        spec = oligopoly(base, 4)
+        assert spec.market is base.market
+        assert spec.prices == base.prices
+        assert spec.policy_levels == base.policy_levels
+
+    def test_validation(self):
+        base = base_scenario()
+        with pytest.raises(ModelError):
+            oligopoly(base, 0)
+        with pytest.raises(ModelError):
+            oligopoly(base, 2, switching=-1.0)
+        with pytest.raises(ModelError):
+            oligopoly(base, 2, cap=-0.1)
+        with pytest.raises(ModelError):
+            oligopoly(base, 2, iteration_mode="sor")
+
+    def test_registered_instance(self):
+        spec = get_scenario("oligopoly-4")
+        assert spec.metadata["carriers"] == 4
+        assert spec.metadata["variant_of"] == "section5"
+
+
+class TestRoundTrip:
+    def test_seeded_random_oligopoly_round_trips(self, tmp_path):
+        spec = oligopoly(base_scenario(), 3, switching=1.5, cap=0.25)
+        path = tmp_path / "oligopoly.json"
+        save_scenario(spec, path)
+        loaded = load_scenario(path)
+        assert loaded.scenario_id == spec.scenario_id
+        assert dict(loaded.metadata) == dict(spec.metadata)
+        assert loaded.prices == spec.prices
+        assert loaded.policy_levels == spec.policy_levels
+
+    def test_loaded_scenario_rebuilds_the_same_game(self, tmp_path):
+        spec = oligopoly(base_scenario(), 3, switching=1.5, cap=0.25)
+        path = tmp_path / "oligopoly.json"
+        save_scenario(spec, path)
+        loaded = load_scenario(path)
+
+        original = OligopolyGame.from_scenario(
+            spec, service=SolveService(cache=SolveCache())
+        )
+        rebuilt = OligopolyGame.from_scenario(
+            loaded, service=SolveService(cache=SolveCache())
+        )
+        assert rebuilt.n_carriers == original.n_carriers == 3
+        assert rebuilt.switching == original.switching
+        assert rebuilt.cap == original.cap
+        assert [i.capacity for i in rebuilt.isps] == [
+            i.capacity for i in original.isps
+        ]
+        # The serialized market is canonical, so the rebuilt game solves
+        # to bitwise-identical states.
+        prices = (0.9, 1.0, 1.1)
+        a = original.solve(prices)
+        b = rebuilt.solve(prices)
+        assert a.prices == b.prices
+        assert a.shares == b.shares
+        assert a.revenues == b.revenues
+        for k in range(3):
+            assert (
+                a.equilibria[k].subsidies.tobytes()
+                == b.equilibria[k].subsidies.tobytes()
+            )
