@@ -1,0 +1,74 @@
+"""Benchmark: 20-period trajectory, cold versus warm-store replay.
+
+The dynamics tentpole claim, measured: running the registered
+``dynamics-20`` capacity-expansion trajectory cold while persisting every
+``dynamics-seg/1`` segment, then replaying the identical trajectory from
+a fresh process-equivalent (empty memory tiers, warm store) with **zero**
+equilibrium solves — the warm run's counters land in
+``BENCH_dynamics.json`` (the acceptance artifact: ``computed == 0`` on
+replay), alongside the per-test records the shared harness writes.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import _write_bench_record, run_once
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.scenarios import get_scenario
+from repro.simulation import dynamics_settings, run_trajectory
+
+SCENARIO = "dynamics-20"
+
+
+def _run(service):
+    scenario = get_scenario(SCENARIO)
+    spec = dynamics_settings(scenario.metadata)
+    assert spec.horizon >= 20
+    return spec, run_trajectory(scenario.market, spec, service=service)
+
+
+def _service(store_dir):
+    return SolveService(cache=SolveCache(), store=SolveStore(store_dir))
+
+
+def test_bench_dynamics_cold_solve_and_persist(benchmark, tmp_path):
+    service = _service(tmp_path)
+    spec, trajectory = run_once(benchmark, lambda: _run(service))
+    assert trajectory.horizon == spec.horizon
+    assert trajectory.segments == -(-spec.horizon // spec.segment_length)
+    assert service.counters.computed == trajectory.segments
+    # Every segment task persisted.
+    assert len(service.store) == service.counters.computed
+    assert bool(trajectory.capacity_growth() > 0)
+
+
+def test_bench_dynamics_warm_replay(benchmark, tmp_path):
+    _, cold = _run(_service(tmp_path))  # prime the store
+    replay_service = _service(tmp_path)  # fresh memory tiers, warm store
+    start = time.perf_counter()
+    _, warm = run_once(benchmark, lambda: _run(replay_service))
+    seconds = time.perf_counter() - start
+    assert replay_service.counters.computed == 0
+    assert replay_service.counters.store_hits == warm.segments
+    assert np.array_equal(warm.capacities, cold.capacities)
+    assert np.array_equal(warm.revenues, cold.revenues)
+    assert np.array_equal(warm.welfares, cold.welfares)
+    # The acceptance artifact: a warm replay of the T>=20-step trajectory
+    # performs zero equilibrium solves.
+    _write_bench_record(
+        {
+            "case": "dynamics",
+            "scenario": SCENARIO,
+            "horizon": warm.horizon,
+            "segments": warm.segments,
+            "seconds": seconds,
+            "computed": replay_service.counters.computed,
+            "solve_tasks": replay_service.counters.computed,
+            "store_hits": replay_service.counters.store_hits,
+            "cache_hits": (
+                replay_service.counters.memory_hits
+                + replay_service.counters.store_hits
+            ),
+        }
+    )

@@ -1,7 +1,8 @@
 """The solve service: one scheduler + two-tier cache for every solve path.
 
-Every analysis in the reproduction — §5 figure grids, duopoly price
-competition, equilibrium-path continuation, scenario sweeps — is a batch of
+Every analysis in the reproduction — §5 figure grids, duopoly/oligopoly
+price competition, equilibrium-path continuation, scenario sweeps, market
+trajectories — is a batch of
 *pure solve tasks*: functions of picklable inputs whose outputs depend on
 nothing else. :class:`SolveTask` names one such unit (function + arguments
 + content key + store codec); :class:`SolveService` schedules collections

@@ -36,8 +36,8 @@ explicit codec registry (:data:`CODECS`):
     ``tuple[EquilibriumResult, ...]`` — one solved cap row, the unit of
     work of the grid engine, duopoly sweeps and continuation traces.
 ``"ndarrays"``
-    ``dict[str, np.ndarray]`` — generic named-array bundles (duopoly
-    best-response sweeps).
+    ``dict[str, np.ndarray]`` — generic named-array bundles (duopoly/
+    oligopoly best-response sweeps, dynamics trajectory segments).
 ``"json"``
     Any JSON-serializable value (continuation breakpoint refinements).
     Bit-exact for floats: ``json`` round-trips ``repr(float)`` exactly.

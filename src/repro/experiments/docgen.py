@@ -28,6 +28,7 @@ from typing import Sequence
 from repro.experiments.runner import (
     build_cache_parser,
     build_describe_parser,
+    build_dynamics_parser,
     build_oligopoly_parser,
     build_run_parser,
 )
@@ -147,6 +148,11 @@ def generate_cli_reference() -> str:
             "oligopoly",
             "python -m repro.experiments oligopoly [scenario] [options]",
             build_oligopoly_parser(),
+        ),
+        _render_parser(
+            "dynamics",
+            "python -m repro.experiments dynamics [scenario] [options]",
+            build_dynamics_parser(),
         ),
         _render_parser(
             "cache",

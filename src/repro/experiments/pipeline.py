@@ -27,6 +27,17 @@ Sweep kinds
     count on the x-axis. Competition parameters come from the scenario's
     metadata (the :func:`repro.scenarios.oligopoly` generator records
     them).
+``"dynamics"``
+    A market trajectory (the §6 time-dynamics subsystem): the scenario's
+    ``repro-dynamics/1`` metadata block (the
+    :func:`repro.scenarios.trajectory_variant` /
+    :func:`repro.scenarios.shocked_market` generators record it; plain
+    scenarios run under the defaults) declares the step policy, horizon
+    and shock schedule, :func:`repro.simulation.run_trajectory` resolves
+    it as content-keyed segments on the shared solve service, and panels
+    read trajectory quantities (:data:`DYNAMICS_QUANTITIES` — adoption,
+    utilization, industry revenue, welfare, ...) against the period ``t``
+    on the x-axis.
 
 Panels
 ------
@@ -68,20 +79,29 @@ from repro.experiments.base import ExperimentResult, ShapeCheck
 # partially initialized while this module loads.
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.trajectory import (
+    DynamicsSpec,
+    DynamicsTrajectory,
+    dynamics_settings,
+    run_trajectory,
+)
 
 __all__ = [
     "SCALAR_QUANTITIES",
     "PROVIDER_QUANTITIES",
     "MARKET_STRUCTURE_QUANTITIES",
+    "DYNAMICS_QUANTITIES",
     "PanelSpec",
     "CheckSpec",
     "check",
     "SweepView",
     "MarketStructureView",
+    "DynamicsView",
     "ExperimentSpec",
     "run_spec",
     "scenario_experiment",
     "market_structure_experiment",
+    "dynamics_experiment",
 ]
 
 #: Scalar quantities a panel or check can read off each equilibrium.
@@ -119,6 +139,19 @@ MARKET_STRUCTURE_QUANTITIES: Mapping[
     "equilibrium_solves": lambda r: float(r.total_solves),
 }
 
+#: Trajectory quantities a ``dynamics`` panel or check can read off the
+#: solved trajectory — one value per period, aligned with the step axis.
+DYNAMICS_QUANTITIES: Mapping[str, Callable[[DynamicsTrajectory], np.ndarray]] = {
+    "adoption": lambda tr: tr.adoption(),
+    "utilization": lambda tr: tr.utilizations,
+    "industry_revenue": lambda tr: tr.revenues,
+    "welfare": lambda tr: tr.welfares,
+    "aggregate_throughput": lambda tr: tr.aggregate_throughputs(),
+    "capacity": lambda tr: tr.capacities,
+    "price": lambda tr: tr.prices,
+    "mean_subsidy": lambda tr: tr.subsidies.mean(axis=1),
+}
+
 
 @dataclass(frozen=True)
 class PanelSpec:
@@ -154,12 +187,14 @@ class PanelSpec:
             self.quantity not in SCALAR_QUANTITIES
             and self.quantity not in PROVIDER_QUANTITIES
             and self.quantity not in MARKET_STRUCTURE_QUANTITIES
+            and self.quantity not in DYNAMICS_QUANTITIES
         ):
             raise ModelError(
                 f"unknown quantity {self.quantity!r}; scalar quantities: "
                 f"{sorted(SCALAR_QUANTITIES)}, provider quantities: "
                 f"{sorted(PROVIDER_QUANTITIES)}, market-structure "
-                f"quantities: {sorted(MARKET_STRUCTURE_QUANTITIES)}"
+                f"quantities: {sorted(MARKET_STRUCTURE_QUANTITIES)}, "
+                f"dynamics quantities: {sorted(DYNAMICS_QUANTITIES)}"
             )
 
     @property
@@ -292,6 +327,45 @@ class MarketStructureView:
         return self._cache[quantity]
 
 
+class DynamicsView:
+    """Solved market trajectory with cached quantity extraction.
+
+    The ``dynamics`` analogue of :class:`SweepView`: one solved
+    :class:`~repro.simulation.DynamicsTrajectory`, with trajectory
+    quantities (:data:`DYNAMICS_QUANTITIES`) coming out as ``[step]``
+    vectors aligned with :meth:`steps_array` (the figure x-axis).
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        spec: DynamicsSpec,
+        trajectory: DynamicsTrajectory,
+    ) -> None:
+        self.scenario = scenario
+        self.dynamics = spec
+        self.trajectory = trajectory
+        self.market = scenario.market
+        self._cache: dict[str, np.ndarray] = {}
+
+    def steps_array(self) -> np.ndarray:
+        """The period axis as a float ndarray (figure x-axis)."""
+        return np.asarray(self.trajectory.steps, dtype=float)
+
+    def scalar(self, quantity: str) -> np.ndarray:
+        """``[step]`` vector of a trajectory quantity."""
+        if quantity not in self._cache:
+            if quantity not in DYNAMICS_QUANTITIES:
+                raise ModelError(
+                    f"unknown dynamics quantity {quantity!r}; choose from "
+                    f"{sorted(DYNAMICS_QUANTITIES)}"
+                )
+            self._cache[quantity] = np.asarray(
+                DYNAMICS_QUANTITIES[quantity](self.trajectory), dtype=float
+            )
+        return self._cache[quantity]
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A complete experiment declaration.
@@ -305,8 +379,9 @@ class ExperimentSpec:
     scenario:
         Inline :class:`ScenarioSpec` or the registry id of one.
     sweep:
-        ``"price"`` (zero-subsidy, §3 style), ``"grid"`` (§5 style) or
-        ``"market_structure"`` (N-carrier oligopoly vs. carrier count).
+        ``"price"`` (zero-subsidy, §3 style), ``"grid"`` (§5 style),
+        ``"market_structure"`` (N-carrier oligopoly vs. carrier count) or
+        ``"dynamics"`` (a market trajectory vs. the period ``t``).
     panels:
         Figures to derive from the solved sweep.
     checks:
@@ -325,14 +400,27 @@ class ExperimentSpec:
     carrier_counts: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.sweep not in {"price", "grid", "market_structure"}:
+        if self.sweep not in {"price", "grid", "market_structure", "dynamics"}:
             raise ModelError(
-                f"sweep must be 'price', 'grid' or 'market_structure', "
-                f"got {self.sweep!r}"
+                f"sweep must be 'price', 'grid', 'market_structure' or "
+                f"'dynamics', got {self.sweep!r}"
             )
         if not self.panels:
             raise ModelError("an experiment needs at least one panel")
-        if self.sweep == "market_structure":
+        if self.sweep == "dynamics":
+            if self.carrier_counts:
+                raise ModelError(
+                    "carrier_counts only applies to market_structure "
+                    "sweeps, not 'dynamics'"
+                )
+            for panel in self.panels:
+                if panel.quantity not in DYNAMICS_QUANTITIES:
+                    raise ModelError(
+                        f"dynamics panels must use trajectory quantities, "
+                        f"got {panel.quantity!r}; choose from "
+                        f"{sorted(DYNAMICS_QUANTITIES)}"
+                    )
+        elif self.sweep == "market_structure":
             counts = tuple(int(n) for n in self.carrier_counts)
             if not counts:
                 raise ModelError(
@@ -367,8 +455,9 @@ class ExperimentSpec:
                     and panel.quantity not in PROVIDER_QUANTITIES
                 ):
                     raise ModelError(
-                        f"{self.sweep!r} sweeps cannot use market-structure "
-                        f"quantity {panel.quantity!r}; choose from "
+                        f"{self.sweep!r} sweeps cannot use "
+                        f"market-structure or dynamics quantity "
+                        f"{panel.quantity!r}; choose from "
                         f"{sorted(SCALAR_QUANTITIES)} or "
                         f"{sorted(PROVIDER_QUANTITIES)}"
                     )
@@ -381,9 +470,29 @@ class ExperimentSpec:
 
 
 def _realize_panels(
-    spec: ExperimentSpec, view: Union[SweepView, MarketStructureView]
+    spec: ExperimentSpec,
+    view: Union[SweepView, MarketStructureView, DynamicsView],
 ) -> tuple[FigureData, ...]:
     figures: list[FigureData] = []
+    if spec.sweep == "dynamics":
+        for panel in spec.panels:
+            figures.append(
+                FigureData(
+                    figure_id=panel.figure_id,
+                    title=panel.title,
+                    x_label="t",
+                    y_label=panel.y_label,
+                    x=view.steps_array(),
+                    series=(
+                        Series(
+                            panel.series_name or panel.quantity,
+                            view.scalar(panel.quantity),
+                        ),
+                    ),
+                    notes=panel.notes,
+                )
+            )
+        return tuple(figures)
     if spec.sweep == "market_structure":
         for panel in spec.panels:
             figures.append(
@@ -499,6 +608,23 @@ def _solve_market_structure(
     return MarketStructureView(scn, spec.carrier_counts, tuple(results))
 
 
+def _solve_dynamics(scn: ScenarioSpec) -> DynamicsView:
+    """Run the scenario's declared trajectory through the solve service.
+
+    The step policy, horizon and shock schedule come from the scenario's
+    ``repro-dynamics/1`` metadata block through the shared
+    :func:`~repro.simulation.trajectory.dynamics_settings` funnel —
+    malformed metadata (a scenario file is user input) raises
+    :class:`~repro.exceptions.ModelError` before any solve runs; plain
+    scenarios run under the defaults. Segments resolve on the shared
+    default solve service, so a ``--cache-dir`` run is resumable exactly
+    like a figure grid.
+    """
+    dspec = dynamics_settings(scn.metadata)
+    trajectory = run_trajectory(scn.market, dspec)
+    return DynamicsView(scn, dspec, trajectory)
+
+
 def run_spec(
     spec: ExperimentSpec,
     *,
@@ -525,10 +651,20 @@ def run_spec(
     competition parameters come from the scenario's metadata (the
     :func:`repro.scenarios.oligopoly` generator records them; plain
     scenarios compete under the generator's defaults).
+
+    ``dynamics`` sweeps likewise ignore the grid axes: the swept axis is
+    the trajectory's period ``t``, declared — with the step policy and
+    shock schedule — by the scenario's ``repro-dynamics/1`` metadata
+    block, and every trajectory segment runs as a content-keyed
+    ``dynamics-seg/1`` task on the default solve service.
     """
     scn = scenario if scenario is not None else spec.resolve_scenario()
-    if spec.sweep == "market_structure":
-        view = _solve_market_structure(spec, scn)
+    if spec.sweep in ("market_structure", "dynamics"):
+        view = (
+            _solve_market_structure(spec, scn)
+            if spec.sweep == "market_structure"
+            else _solve_dynamics(scn)
+        )
         return ExperimentResult(
             experiment_id=spec.experiment_id,
             title=spec.title,
@@ -685,4 +821,74 @@ def market_structure_experiment(
         panels=panels,
         checks=checks,
         carrier_counts=tuple(int(n) for n in carrier_counts),
+    )
+
+
+def dynamics_experiment(scn: ScenarioSpec) -> ExperimentSpec:
+    """A generic trajectory experiment for an arbitrary scenario.
+
+    Derives the time-series panels every trajectory supports — adoption,
+    utilization, industry revenue, welfare and capacity versus the period
+    ``t`` — plus structural checks: the trajectory must cover its declared
+    horizon, every recorded quantity must be finite, and on an unshocked,
+    depreciation-free ``"capacity"`` trajectory the reinvestment loop must
+    never shrink the link.
+    """
+    sid = scn.scenario_id
+    dspec = dynamics_settings(scn.metadata)
+    panels = tuple(
+        PanelSpec(
+            figure_id=f"{sid}-{quantity}",
+            title=f"{label} vs period t ({sid})",
+            quantity=quantity,
+            y_label=ylabel,
+        )
+        for quantity, label, ylabel in (
+            ("adoption", "Total subscribed population Σm", "Σm"),
+            ("utilization", "System utilization φ", "φ"),
+            ("industry_revenue", "ISP revenue R", "R"),
+            ("welfare", "System welfare W", "W"),
+            ("capacity", "Access capacity µ", "µ"),
+        )
+    )
+    checks = [
+        check(
+            "trajectory covers the declared horizon",
+            lambda v: (
+                v.trajectory.horizon == v.dynamics.horizon,
+                f"{v.trajectory.horizon} of {v.dynamics.horizon} period(s)",
+            ),
+        ),
+        check(
+            "every recorded quantity is finite",
+            lambda v: bool(
+                all(
+                    np.all(np.isfinite(v.scalar(q)))
+                    for q in DYNAMICS_QUANTITIES
+                )
+            ),
+        ),
+        check(
+            "utilization stays non-negative",
+            lambda v: bool(np.all(v.scalar("utilization") >= 0.0)),
+        ),
+    ]
+    if (
+        dspec.kind == "capacity"
+        and not dspec.shocks
+        and dspec.depreciation == 0.0
+    ):
+        checks.append(
+            check(
+                "reinvestment never shrinks capacity (no shocks, no decay)",
+                lambda v: bool(np.all(np.diff(v.scalar("capacity")) >= -1e-12)),
+            )
+        )
+    return ExperimentSpec(
+        experiment_id=f"{sid}-dynamics",
+        title=f"Trajectory sweep: {scn.title}",
+        scenario=scn,
+        sweep="dynamics",
+        panels=panels,
+        checks=tuple(checks),
     )

@@ -16,6 +16,8 @@ Usage::
     python -m repro.experiments cache stats            # persistent-store info
     python -m repro.experiments oligopoly --carriers 4 # N-carrier competition
     python -m repro.experiments run oligopoly --carriers 3 --json
+    python -m repro.experiments dynamics dynamics-20   # market trajectory
+    python -m repro.experiments run dynamics --horizon 8 --json
 
 Experiment names are validated (and de-duplicated) up front — an unknown
 name aborts before anything runs. ``run`` accepts figure ids, registered
@@ -44,6 +46,15 @@ Jacobi), and the ``--json`` summary includes per-carrier convergence
 counters (sweeps, equilibrium solves, revenue evaluations) plus the run's
 cache counters — so a warm ``--cache-dir`` re-run visibly reports
 ``"computed": 0``.
+
+The ``dynamics`` verb (also reachable as ``run dynamics``) runs a market
+trajectory — the §6 time-dynamics subsystem — over a scenario's market:
+the step policy, horizon, investment rule and shock schedule come from
+the scenario's ``repro-dynamics/1`` metadata block (flags override it),
+the trajectory resolves as content-keyed segments on the shared solve
+service (``--cache-dir`` runs are resumable: a warm re-run reports
+``"computed": 0`` in ``--json``), and the full per-period time series is
+written as one CSV into ``--out``.
 
 Every parser is built by a ``build_*_parser`` function, which is what the
 generated CLI reference (:mod:`repro.experiments.docgen`) renders — the
@@ -89,12 +100,18 @@ from repro.scenarios import (
     scenario_ids,
     scenario_summary,
 )
+from repro.simulation.trajectory import (
+    DYNAMICS_DEFAULTS,
+    dynamics_settings,
+    run_trajectory,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "EXPERIMENT_SPECS",
     "build_cache_parser",
     "build_describe_parser",
+    "build_dynamics_parser",
     "build_oligopoly_parser",
     "build_run_parser",
     "canonical_experiment",
@@ -126,7 +143,7 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
 
 _FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
 
-_VERBS = {"list", "describe", "run", "cache", "oligopoly"}
+_VERBS = {"list", "describe", "run", "cache", "oligopoly", "dynamics"}
 
 
 def canonical_experiment(name: str) -> str:
@@ -281,6 +298,32 @@ def _resolve_store(cache_dir: str | None) -> SolveStore | None:
     if cache_dir:
         return SolveStore(cache_dir)
     return SolveStore.from_env()
+
+
+def _resolve_cli_scenario(args: argparse.Namespace):
+    """Resolve a scenario-driven verb's market (file > registered id).
+
+    Shared by the ``oligopoly`` and ``dynamics`` verbs: ``--scenario-file``
+    wins over the positional id. A bad file or unknown id prints the
+    failure to stderr and returns ``None`` (the caller exits 2).
+    """
+    if args.scenario_file is not None:
+        try:
+            return load_scenario(args.scenario_file)
+        except (OSError, ValueError, ReproError) as exc:
+            print(
+                f"cannot load scenario {args.scenario_file!r}: {exc}",
+                file=sys.stderr,
+            )
+            return None
+    if is_registered(args.scenario):
+        return get_scenario(args.scenario)
+    print(
+        f"unknown scenario {args.scenario!r}; registered scenarios: "
+        f"{scenario_ids()} (or pass --scenario-file FILE)",
+        file=sys.stderr,
+    )
+    return None
 
 
 def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
@@ -520,23 +563,8 @@ def build_oligopoly_parser() -> argparse.ArgumentParser:
 def _main_oligopoly(argv: Sequence[str]) -> int:
     parser = build_oligopoly_parser()
     args = parser.parse_args(list(argv))
-    if args.scenario_file is not None:
-        try:
-            scn = load_scenario(args.scenario_file)
-        except (OSError, ValueError, ReproError) as exc:
-            print(
-                f"cannot load scenario {args.scenario_file!r}: {exc}",
-                file=sys.stderr,
-            )
-            return 2
-    elif is_registered(args.scenario):
-        scn = get_scenario(args.scenario)
-    else:
-        print(
-            f"unknown scenario {args.scenario!r}; registered scenarios: "
-            f"{scenario_ids()} (or pass --scenario-file FILE)",
-            file=sys.stderr,
-        )
+    scn = _resolve_cli_scenario(args)
+    if scn is None:
         return 2
     # One conversion/validation funnel for flags *and* scenario-file
     # metadata: malformed values exit 2 with a message, never a traceback.
@@ -638,6 +666,246 @@ def _main_oligopoly(argv: Sequence[str]) -> int:
         f"welfare {state.welfare:.5f}, "
         f"mean utilization {state.mean_utilization:.4f}"
     )
+    hits = cache_summary["memory_hits"] + cache_summary["store_hits"]
+    line = (
+        f"solve service: {cache_summary['computed']} task(s) computed, "
+        f"{hits} cache hit(s)"
+    )
+    if cache_summary["store"] is not None:
+        line += (
+            f"; store {cache_summary['store']['path']}: "
+            f"{cache_summary['store']['entries']} entries"
+        )
+    print(line)
+    return 0
+
+
+def build_dynamics_parser() -> argparse.ArgumentParser:
+    """The ``dynamics`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments dynamics",
+        description="Run a market trajectory over a scenario's market: the "
+        "§6 time-dynamics subsystem. The step policy, horizon, investment "
+        "rule and shock schedule come from the scenario's repro-dynamics/1 "
+        "metadata block (a trajectory_variant(...) or shocked_market(...) "
+        "generator scenario records it); explicit flags override it. The "
+        "trajectory resolves as content-keyed dynamics-seg/1 tasks on the "
+        "shared solve service, so a warm --cache-dir re-run replays with "
+        "zero equilibrium solves, and the per-period time series is "
+        "written as one CSV into --out.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="dynamics-20",
+        help="registered scenario id (default: dynamics-20)",
+    )
+    parser.add_argument(
+        "--scenario-file",
+        metavar="FILE",
+        default=None,
+        help="repro-scenario/1 (or repro-market/1) JSON file instead of a "
+        "registered id",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=("subsidies", "capacity"),
+        default=None,
+        help="step policy: 'subsidies' (off-equilibrium best-response play) "
+        "or 'capacity' (the revenue->investment->capacity loop); "
+        f"default: metadata, else {DYNAMICS_DEFAULTS['kind']}",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="T",
+        help="number of simulated periods "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['horizon']})",
+    )
+    parser.add_argument(
+        "--segment-length",
+        type=int,
+        default=None,
+        metavar="L",
+        help="steps per content-keyed solve-service segment "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['segment_length']})",
+    )
+    parser.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="subsidization policy cap q "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['cap']:g})",
+    )
+    parser.add_argument(
+        "--inertia",
+        type=float,
+        default=None,
+        metavar="R",
+        help="population adjustment speed in (0, 1] of the 'subsidies' kind "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['inertia']:g})",
+    )
+    parser.add_argument(
+        "--update",
+        choices=("sequential", "simultaneous"),
+        default=None,
+        help="CP update schedule of the 'subsidies' kind "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['update']})",
+    )
+    parser.add_argument(
+        "--damping",
+        type=float,
+        default=None,
+        metavar="D",
+        help="best-response step factor in (0, 1] of the 'subsidies' kind "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['damping']:g})",
+    )
+    parser.add_argument(
+        "--reinvest",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of per-period revenue reinvested by the 'capacity' "
+        "kind (default: metadata, else "
+        f"{DYNAMICS_DEFAULTS['reinvestment_rate']:g})",
+    )
+    parser.add_argument(
+        "--capacity-cost",
+        type=float,
+        default=None,
+        metavar="C",
+        help="cost of one unit of capacity "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['capacity_cost']:g})",
+    )
+    parser.add_argument(
+        "--depreciation",
+        type=float,
+        default=None,
+        metavar="D",
+        help="per-period fractional capacity decay in [0, 1) "
+        f"(default: metadata, else {DYNAMICS_DEFAULTS['depreciation']:g})",
+    )
+    parser.add_argument(
+        "--reoptimize-price",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="re-solve the ISP's revenue-optimal price each period of the "
+        "'capacity' kind (default: metadata, else off)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="output directory for the trajectory CSV",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary (final-period "
+        "quantities, segment counts, cache counters)",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def _main_dynamics(argv: Sequence[str]) -> int:
+    parser = build_dynamics_parser()
+    args = parser.parse_args(list(argv))
+    scn = _resolve_cli_scenario(args)
+    if scn is None:
+        return 2
+    # One conversion/validation funnel for flags *and* scenario-file
+    # metadata: malformed values exit 2 with a message, never a traceback.
+    try:
+        dspec = dynamics_settings(
+            scn.metadata,
+            overrides={
+                "kind": args.kind,
+                "horizon": args.horizon,
+                "segment_length": args.segment_length,
+                "cap": args.cap,
+                "inertia": args.inertia,
+                "update": args.update,
+                "damping": args.damping,
+                "reinvestment_rate": args.reinvest,
+                "capacity_cost": args.capacity_cost,
+                "depreciation": args.depreciation,
+                "reoptimize_price": args.reoptimize_price,
+            },
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    service_changed = _apply_runtime_options(parser, args)
+    cache_before = default_service().stats()
+    try:
+        try:
+            trajectory = run_trajectory(scn.market, dspec)
+        except ConvergenceError as exc:
+            print(f"FAIL {scn.scenario_id}: {exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        cache_summary = _cache_delta(cache_before, default_service().stats())
+    finally:
+        _restore_runtime_options(args, service_changed)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    csv_path = out_dir / f"{scn.scenario_id}-trajectory.csv"
+    trajectory.to_csv(csv_path, labels=scn.market.provider_names())
+
+    final = {
+        "step": int(trajectory.steps[-1]),
+        "adoption": float(trajectory.adoption()[-1]),
+        "utilization": float(trajectory.utilizations[-1]),
+        "revenue": float(trajectory.revenues[-1]),
+        "welfare": float(trajectory.welfares[-1]),
+        "capacity": float(trajectory.capacities[-1]),
+        "price": float(trajectory.prices[-1]),
+    }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": scn.scenario_id,
+                    "kind": dspec.kind,
+                    "horizon": dspec.horizon,
+                    "segment_length": dspec.segment_length,
+                    "segments": trajectory.segments,
+                    "records": int(trajectory.steps.size),
+                    "shocks": len(dspec.shocks),
+                    "final": final,
+                    "capacity_growth": trajectory.capacity_growth(),
+                    "csv": str(csv_path),
+                    "cache": cache_summary,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"dynamics {scn.scenario_id}: {dspec.kind} trajectory, "
+        f"{dspec.horizon} period(s), q={dspec.cap:g}, "
+        f"{len(dspec.shocks)} shock(s)"
+    )
+    print(
+        f"resolved {trajectory.segments} segment(s) of <= "
+        f"{dspec.segment_length} step(s)"
+    )
+    print(
+        f"final period: adoption {final['adoption']:.5f}, "
+        f"utilization {final['utilization']:.4f}, "
+        f"revenue {final['revenue']:.5f}, welfare {final['welfare']:.5f}"
+    )
+    print(
+        f"capacity {trajectory.capacities[0]:g} -> {final['capacity']:.5f} "
+        f"({100.0 * trajectory.capacity_growth():+.1f}%), "
+        f"price {final['price']:g}"
+    )
+    print(f"wrote {csv_path}")
     hits = cache_summary["memory_hits"] + cache_summary["store_hits"]
     line = (
         f"solve service: {cache_summary['computed']} task(s) computed, "
@@ -757,11 +1025,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _main_cache(argv[1:])
     if verb == "oligopoly":
         return _main_oligopoly(argv[1:])
+    if verb == "dynamics":
+        return _main_dynamics(argv[1:])
     if verb == "run":
         argv = argv[1:]
-        # "run oligopoly ..." reads naturally; route it to the verb.
+        # "run oligopoly ..." / "run dynamics ..." read naturally; route
+        # them to their verbs.
         if argv and argv[0] == "oligopoly":
             return _main_oligopoly(argv[1:])
+        if argv and argv[0] == "dynamics":
+            return _main_dynamics(argv[1:])
 
     parser = build_run_parser()
     args = parser.parse_args(argv)

@@ -20,6 +20,14 @@ Two versioned formats:
   :func:`load_scenario` also accepts a plain ``repro-market/1`` file,
   wrapping it with the default paper axes.
 
+A third versioned block, ``repro-dynamics/1``, rides *inside* the scenario
+format: when ``metadata["dynamics"]`` is present it declares a market
+trajectory (step policy, horizon, investment rule, shock schedule — see
+:class:`~repro.simulation.DynamicsSpec`), and both directions of the
+scenario round trip validate it (:func:`dynamics_to_dict` /
+:func:`dynamics_from_dict`), so a malformed trajectory block fails at
+load/save time with :class:`~repro.exceptions.ModelError`, never mid-run.
+
 Every functional-family class in :mod:`repro.network` is a frozen
 dataclass, so serialization is generic: ``{"type": <class name>,
 "params": {field: value}}`` with recursion for wrapper families
@@ -61,10 +69,12 @@ from repro.providers.content_provider import ContentProvider
 from repro.providers.isp import AccessISP
 from repro.providers.market import Market
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.trajectory import DYNAMICS_FORMAT, DynamicsSpec
 
 __all__ = [
     "MARKET_FORMAT",
     "SCENARIO_FORMAT",
+    "DYNAMICS_FORMAT",
     "market_to_dict",
     "market_from_dict",
     "save_market",
@@ -73,6 +83,8 @@ __all__ = [
     "scenario_from_dict",
     "save_scenario",
     "load_scenario",
+    "dynamics_to_dict",
+    "dynamics_from_dict",
     "market_digest",
     "scenario_digest",
 ]
@@ -228,6 +240,29 @@ def scenario_digest(spec: ScenarioSpec) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def dynamics_to_dict(spec: "DynamicsSpec") -> dict:
+    """JSON-ready ``repro-dynamics/1`` block for a trajectory spec."""
+    return spec.to_metadata()
+
+
+def dynamics_from_dict(payload: dict) -> "DynamicsSpec":
+    """Rebuild (and validate) a trajectory spec from its versioned block.
+
+    Raises :class:`~repro.exceptions.ModelError` on a wrong format tag,
+    unknown field or malformed value — the scenario round trip calls this
+    on any ``metadata["dynamics"]`` entry, so a bad block can never reach
+    a solve.
+    """
+    return DynamicsSpec.from_dict(payload)
+
+
+def _validated_metadata(metadata: dict) -> dict:
+    """Validate versioned blocks riding in scenario metadata."""
+    if "dynamics" in metadata:
+        dynamics_from_dict(metadata["dynamics"])
+    return metadata
+
+
 def scenario_to_dict(spec: ScenarioSpec) -> dict:
     """JSON-ready dictionary for a scenario spec (``repro-scenario/1``)."""
     return {
@@ -237,7 +272,7 @@ def scenario_to_dict(spec: ScenarioSpec) -> dict:
         "market": market_to_dict(spec.market),
         "prices": list(spec.prices),
         "policy_levels": list(spec.policy_levels),
-        "metadata": dict(spec.metadata),
+        "metadata": _validated_metadata(dict(spec.metadata)),
     }
 
 
@@ -271,7 +306,7 @@ def scenario_from_dict(payload: dict) -> ScenarioSpec:
         market=market_from_dict(market_payload),
         prices=tuple(prices),
         policy_levels=tuple(policy_levels),
-        metadata=payload.get("metadata", {}),
+        metadata=_validated_metadata(dict(payload.get("metadata", {}))),
     )
 
 

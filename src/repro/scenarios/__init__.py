@@ -18,6 +18,8 @@ from repro.scenarios.generators import (
     oligopoly,
     random_market,
     scaled_market,
+    shocked_market,
+    trajectory_variant,
     utilization_variant,
 )
 from repro.scenarios.paper import section3_scenario, section5_scenario
@@ -51,5 +53,7 @@ __all__ = [
     "scenario_summary",
     "section3_scenario",
     "section5_scenario",
+    "shocked_market",
+    "trajectory_variant",
     "utilization_variant",
 ]

@@ -50,6 +50,7 @@ from repro.providers.isp import AccessISP
 from repro.providers.market import Market
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.trajectory import Shock, dynamics_settings
 
 __all__ = [
     "DEMAND_FAMILIES",
@@ -59,6 +60,8 @@ __all__ = [
     "capacity_variant",
     "utilization_variant",
     "oligopoly",
+    "trajectory_variant",
+    "shocked_market",
 ]
 
 #: Default sweep axis for generated scenarios: the paper's range, thinned.
@@ -379,6 +382,114 @@ def oligopoly(
     )
 
 
+def trajectory_variant(
+    base: ScenarioSpec,
+    *,
+    scenario_id: str | None = None,
+    **dynamics,
+) -> ScenarioSpec:
+    """A time-dynamics scenario over ``base``'s market.
+
+    The market, axes and provenance are unchanged; a validated
+    ``repro-dynamics/1`` block (see
+    :class:`~repro.simulation.DynamicsSpec`) is recorded under
+    ``metadata["dynamics"]`` so the ``dynamics`` sweep kind, the CLI's
+    ``dynamics`` verb and a round-tripped scenario file all rebuild the
+    exact trajectory. Keyword arguments override any block ``base``
+    already carries, which falls back to the defaults — e.g.
+    ``trajectory_variant(spec, kind="capacity", horizon=30)``.
+    """
+    dspec = dynamics_settings(base.metadata, overrides=dynamics)
+    metadata = dict(base.metadata)
+    metadata.update(
+        {
+            "generator": "trajectory_variant",
+            "dynamics": dspec.to_metadata(),
+            "variant_of": base.scenario_id,
+        }
+    )
+    return ScenarioSpec(
+        scenario_id=scenario_id
+        if scenario_id is not None
+        else f"{base.scenario_id}-dyn-{dspec.kind}-{dspec.horizon}",
+        title=f"{base.title} over {dspec.horizon} {dspec.kind} period(s)",
+        market=base.market,
+        prices=base.prices,
+        policy_levels=base.policy_levels,
+        metadata=metadata,
+    )
+
+
+def shocked_market(
+    base: ScenarioSpec,
+    seed: int,
+    *,
+    n_shocks: int = 2,
+    fields: Sequence[str] = ("capacity", "price"),
+    scale_range: tuple[float, float] = (0.7, 1.3),
+    scenario_id: str | None = None,
+    **dynamics,
+) -> ScenarioSpec:
+    """A seeded shocked trajectory over ``base``'s market.
+
+    Draws ``n_shocks`` multiplicative market shocks — landing step
+    (distinct, within the horizon), shocked field and scale — from a
+    seeded generator and records them in the scenario's
+    ``repro-dynamics/1`` block. Same seed, same schedule: the seed is
+    recorded in metadata and survives the scenario round trip, so a
+    shocked trajectory is as pinnable as a
+    :func:`random_market`. Keyword arguments configure the underlying
+    trajectory exactly as in :func:`trajectory_variant`.
+    """
+    if n_shocks < 1:
+        raise ModelError(f"n_shocks must be at least 1, got {n_shocks}")
+    if not fields:
+        raise ModelError("fields must be non-empty")
+    if not 0.0 < scale_range[0] < scale_range[1]:
+        raise ModelError(
+            f"scale_range must be an increasing positive pair, "
+            f"got {scale_range}"
+        )
+    dspec = dynamics_settings(base.metadata, overrides=dynamics)
+    if n_shocks > dspec.horizon:
+        raise ModelError(
+            f"cannot place {n_shocks} shock(s) on distinct steps of a "
+            f"{dspec.horizon}-period horizon"
+        )
+    rng = np.random.default_rng(seed)
+    steps = rng.choice(np.arange(1, dspec.horizon + 1), size=n_shocks, replace=False)
+    shocks = tuple(
+        Shock(
+            step=int(step),
+            field=str(fields[int(rng.integers(len(fields)))]),
+            scale=float(rng.uniform(*scale_range)),
+        )
+        for step in sorted(int(s) for s in steps)
+    )
+    dspec = dynamics_settings(
+        base.metadata, overrides={**dynamics, "shocks": shocks}
+    )
+    metadata = dict(base.metadata)
+    metadata.update(
+        {
+            "generator": "shocked_market",
+            "seed": int(seed),
+            "dynamics": dspec.to_metadata(),
+            "variant_of": base.scenario_id,
+        }
+    )
+    return ScenarioSpec(
+        scenario_id=scenario_id
+        if scenario_id is not None
+        else f"{base.scenario_id}-shocked-s{seed}",
+        title=f"{base.title} under {len(shocks)} seeded shock(s)",
+        market=base.market,
+        prices=base.prices,
+        policy_levels=base.policy_levels,
+        metadata=metadata,
+    )
+
+
 register_scenario(
     "scaled-64",
     lambda: scaled_market(
@@ -435,4 +546,27 @@ register_scenario(
     "oligopoly-4",
     _oligopoly4,
     summary="4-carrier oligopoly on the §5 market (capacity split evenly)",
+)
+
+
+def _dynamics20() -> ScenarioSpec:
+    # Lazy import: repro.scenarios.paper loads after this module in the
+    # package __init__, and reaches back through repro.experiments.
+    from repro.scenarios.paper import section5_scenario
+
+    return trajectory_variant(
+        section5_scenario(),
+        kind="capacity",
+        horizon=20,
+        segment_length=5,
+        cap=1.0,
+        reinvestment_rate=0.25,
+        scenario_id="dynamics-20",
+    )
+
+
+register_scenario(
+    "dynamics-20",
+    _dynamics20,
+    summary="20-period capacity-expansion trajectory on the §5 market (q=1)",
 )

@@ -1,4 +1,4 @@
-"""Off-equilibrium market simulation and capacity planning (§6 extensions).
+"""Off-equilibrium market simulation, capacity planning and trajectories.
 
 The paper's framework is a *static* equilibrium model; §6 explicitly lists
 two things it cannot capture:
@@ -15,6 +15,19 @@ two things it cannot capture:
    reinvests a fraction of revenue into capacity each period, linking the
    "subsidization → utilization → revenue → investment" chain the paper's
    policy argument relies on.
+
+:mod:`repro.simulation.trajectory` makes both first-class workloads: a
+declarative :class:`DynamicsSpec` (serialized as the ``repro-dynamics/1``
+scenario-metadata block) runs through the shared solve service as
+content-keyed ``dynamics-seg/1`` segment tasks, so trajectories are
+cacheable, resumable and poolable exactly like figure grids — and a warm
+store replays them with zero equilibrium solves.
+
+Example — declare a trajectory spec and read its canonical block:
+
+>>> from repro.simulation import DynamicsSpec
+>>> DynamicsSpec(kind="capacity", horizon=4).to_metadata()["format"]
+'repro-dynamics/1'
 """
 
 from repro.simulation.agents import (
@@ -23,19 +36,44 @@ from repro.simulation.agents import (
     GradientStrategy,
     SubsidyStrategy,
 )
-from repro.simulation.capacity import CapacityPlan, simulate_capacity_expansion
+from repro.simulation.capacity import (
+    CapacityPlan,
+    expansion_step,
+    simulate_capacity_expansion,
+)
 from repro.simulation.dynamics import MarketSimulation, SimulationConfig
 from repro.simulation.trace import SimulationTrace, TraceRecord
+from repro.simulation.trajectory import (
+    DYNAMICS_DEFAULTS,
+    DYNAMICS_FORMAT,
+    DynamicsSpec,
+    DynamicsTrajectory,
+    Shock,
+    dynamics_settings,
+    run_trajectory,
+    solve_trajectory_segment,
+    trajectory_segment_task,
+)
 
 __all__ = [
     "BestResponseStrategy",
     "CapacityPlan",
+    "DYNAMICS_DEFAULTS",
+    "DYNAMICS_FORMAT",
+    "DynamicsSpec",
+    "DynamicsTrajectory",
     "FixedStrategy",
     "GradientStrategy",
     "MarketSimulation",
+    "Shock",
     "SimulationConfig",
     "SimulationTrace",
     "SubsidyStrategy",
     "TraceRecord",
+    "dynamics_settings",
+    "expansion_step",
+    "run_trajectory",
     "simulate_capacity_expansion",
+    "solve_trajectory_segment",
+    "trajectory_segment_task",
 ]

@@ -14,6 +14,24 @@ closes that loop in the simplest faithful way:
 
 The resulting trajectory shows whether a policy regime ``q`` funds a growth
 path or stagnates — the quantity regulators care about in §6.
+
+One period of the loop is :func:`expansion_step` — a pure function of the
+current market, so the service-backed dynamics subsystem
+(:mod:`repro.simulation.trajectory`) replays the exact same chain when it
+chunks a trajectory into content-keyed segments. Its per-period equilibrium
+runs through :func:`~repro.core.equilibrium.solve_equilibrium`, whose
+default sweep is the vectorized batch-evaluation core.
+
+Example — three reinvestment periods on a tiny market (the trajectory
+holds the initial period plus one record per period):
+
+>>> from repro.providers import AccessISP, Market, exponential_cp
+>>> from repro.simulation import simulate_capacity_expansion
+>>> market = Market([exponential_cp(2.0, 2.0, value=1.0)],
+...                 AccessISP(price=1.0, capacity=1.0))
+>>> plan = simulate_capacity_expansion(market, cap=0.5, periods=3)
+>>> plan.periods, bool(plan.capacity_growth() > 0)
+(3, True)
 """
 
 from __future__ import annotations
@@ -22,13 +40,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.equilibrium import solve_equilibrium
+from repro.core.equilibrium import EquilibriumResult, solve_equilibrium
 from repro.core.game import SubsidizationGame
 from repro.core.revenue import optimal_price
 from repro.exceptions import ModelError
 from repro.providers.market import Market
 
-__all__ = ["CapacityPlan", "simulate_capacity_expansion"]
+__all__ = ["CapacityPlan", "expansion_step", "simulate_capacity_expansion"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +55,11 @@ class CapacityPlan:
 
     All arrays are indexed by period (length ``periods + 1``; entry 0 is the
     initial condition).
+
+    >>> import numpy as np
+    >>> plan = CapacityPlan(*(np.array([1.0, 2.0]),) * 5, np.zeros((2, 1)))
+    >>> plan.periods, plan.capacity_growth()
+    (1, 1.0)
     """
 
     capacities: np.ndarray
@@ -54,6 +77,49 @@ class CapacityPlan:
     def capacity_growth(self) -> float:
         """Total relative capacity growth over the run."""
         return float(self.capacities[-1] / self.capacities[0] - 1.0)
+
+
+def validate_expansion_params(
+    reinvestment_rate: float, capacity_cost: float, depreciation: float
+) -> None:
+    """Validate the investment-rule parameters (shared with the CLI funnel)."""
+    if not 0.0 <= reinvestment_rate <= 1.0:
+        raise ModelError(
+            f"reinvestment_rate must lie in [0, 1], got {reinvestment_rate}"
+        )
+    if capacity_cost <= 0.0:
+        raise ModelError(f"capacity_cost must be positive, got {capacity_cost}")
+    if not 0.0 <= depreciation < 1.0:
+        raise ModelError(f"depreciation must lie in [0, 1), got {depreciation}")
+
+
+def expansion_step(
+    market: Market,
+    cap: float,
+    *,
+    reinvestment_rate: float,
+    capacity_cost: float,
+    depreciation: float,
+    reoptimize_price: bool,
+    price_range: tuple[float, float],
+) -> tuple[Market, EquilibriumResult, float]:
+    """One period of the revenue → investment → capacity loop.
+
+    Solves the period's subsidization equilibrium on ``market`` (after the
+    optional price re-optimization) and computes the next period's
+    capacity from the investment rule. Returns ``(market_at_solve,
+    equilibrium, next_capacity)`` — the market carries the possibly
+    re-optimized price the period was actually solved under.
+    """
+    if reoptimize_price:
+        best = optimal_price(market, cap=cap, price_range=price_range)
+        market = market.with_price(best.price)
+        equilibrium = best.equilibrium
+    else:
+        equilibrium = solve_equilibrium(SubsidizationGame(market, cap))
+    investment = reinvestment_rate * equilibrium.state.revenue / capacity_cost
+    next_capacity = (1.0 - depreciation) * market.isp.capacity + investment
+    return market, equilibrium, next_capacity
 
 
 def simulate_capacity_expansion(
@@ -91,14 +157,7 @@ def simulate_capacity_expansion(
     """
     if periods < 0:
         raise ModelError(f"periods must be non-negative, got {periods}")
-    if not 0.0 <= reinvestment_rate <= 1.0:
-        raise ModelError(
-            f"reinvestment_rate must lie in [0, 1], got {reinvestment_rate}"
-        )
-    if capacity_cost <= 0.0:
-        raise ModelError(f"capacity_cost must be positive, got {capacity_cost}")
-    if not 0.0 <= depreciation < 1.0:
-        raise ModelError(f"depreciation must lie in [0, 1), got {depreciation}")
+    validate_expansion_params(reinvestment_rate, capacity_cost, depreciation)
 
     capacities = [market.isp.capacity]
     prices = []
@@ -109,12 +168,15 @@ def simulate_capacity_expansion(
 
     current = market
     for _ in range(periods + 1):
-        if reoptimize_price:
-            best = optimal_price(current, cap=cap, price_range=price_range)
-            current = current.with_price(best.price)
-            equilibrium = best.equilibrium
-        else:
-            equilibrium = solve_equilibrium(SubsidizationGame(current, cap))
+        current, equilibrium, next_capacity = expansion_step(
+            current,
+            cap,
+            reinvestment_rate=reinvestment_rate,
+            capacity_cost=capacity_cost,
+            depreciation=depreciation,
+            reoptimize_price=reoptimize_price,
+            price_range=price_range,
+        )
         state = equilibrium.state
         prices.append(current.isp.price)
         revenues.append(state.revenue)
@@ -122,8 +184,6 @@ def simulate_capacity_expansion(
         welfares.append(state.welfare)
         subsidy_rows.append(equilibrium.subsidies.copy())
 
-        investment = reinvestment_rate * state.revenue / capacity_cost
-        next_capacity = (1.0 - depreciation) * current.isp.capacity + investment
         capacities.append(next_capacity)
         current = current.with_capacity(next_capacity)
 

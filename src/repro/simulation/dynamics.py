@@ -17,6 +17,34 @@ Each period:
 Static Nash equilibria (with ``ρ = 1``, noiseless best responses) are fixed
 points of this dynamic; the test-suite and EXPERIMENTS.md verify they are
 attractors from random initial conditions.
+
+The simulator is split into two phases so the dynamics subsystem
+(:mod:`repro.simulation.trajectory`) can chunk trajectories into
+content-keyed solve-service segments without changing a single bit:
+
+* :meth:`MarketSimulation.advance` runs the inherently sequential
+  strategy/population recursion and returns the raw ``(S, M)`` arrays;
+* :meth:`MarketSimulation.resolve_records` resolves every recorded
+  period's congestion fixed point in **one**
+  :meth:`~repro.network.system.CongestionSystem.solve_population_batch`
+  call (the PR-1 batch core) instead of scalar per-step solves. The batch
+  solver's rows follow trajectories independent of batch composition, so
+  any chunking of the steps — one call for the whole run, or one per
+  trajectory segment — produces bitwise-identical records.
+
+Example — two noiseless best-response CPs walked three periods forward
+(the trace holds the initial condition plus one record per period):
+
+>>> from repro.providers import AccessISP, Market, exponential_cp
+>>> from repro.simulation import MarketSimulation
+>>> market = Market(
+...     [exponential_cp(2.0, 2.0, value=1.0),
+...      exponential_cp(5.0, 5.0, value=0.5)],
+...     AccessISP(price=1.0, capacity=1.0),
+... )
+>>> trace = MarketSimulation(market, cap=1.0).run(3)
+>>> len(trace), trace.final.step
+(4, 3)
 """
 
 from __future__ import annotations
@@ -47,6 +75,9 @@ class SimulationConfig:
         CP updates within a period.
     seed:
         Seed of the simulator's private random generator (decision noise).
+
+    >>> SimulationConfig().update
+    'sequential'
     """
 
     population_inertia: float = 1.0
@@ -103,67 +134,69 @@ class MarketSimulation:
         """The static game the simulator plays out of equilibrium."""
         return self._game
 
-    def _record(
-        self, step: int, subsidies: np.ndarray, populations: np.ndarray
-    ) -> TraceRecord:
-        """Resolve congestion for lagged populations and snapshot the period."""
-        classes = [
-            cls.with_population(populations[i])
-            for i, cls in enumerate(self._market.traffic_classes(subsidies))
-        ]
-        state = self._market.system.solve(classes)
-        throughputs = state.throughputs
-        utilities = (self._market.values - subsidies) * throughputs
-        aggregate = float(np.sum(throughputs))
-        return TraceRecord(
-            step=step,
-            subsidies=subsidies.copy(),
-            populations=populations.copy(),
-            utilization=state.utilization,
-            throughputs=throughputs,
-            utilities=utilities,
-            revenue=self._market.isp.revenue(aggregate),
-            welfare=float(np.dot(self._market.values, throughputs)),
+    def _demand_target(self, subsidies: np.ndarray) -> np.ndarray:
+        """Per-CP demand level at the current subsidy profile."""
+        price = self._market.isp.price
+        return np.array(
+            [
+                cp.population(price - subsidies[i])
+                for i, cp in enumerate(self._market.providers)
+            ]
         )
 
-    def run(
-        self,
-        steps: int,
-        *,
-        initial_subsidies=None,
-        initial_populations=None,
-    ) -> SimulationTrace:
-        """Simulate ``steps`` periods and return the full trace.
+    def initial_state(
+        self, initial_subsidies=None, initial_populations=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and normalize a run's initial ``(s, m)`` state.
 
-        The trace includes the initial condition as step 0, so it holds
-        ``steps + 1`` records.
+        Subsidies default to zeros (and are clipped into ``[0, q]``);
+        populations default to the demand level the subsidies induce.
         """
-        if steps < 0:
-            raise ModelError(f"steps must be non-negative, got {steps}")
         n = self._market.size
         s = (
             np.zeros(n)
             if initial_subsidies is None
-            else np.clip(np.asarray(initial_subsidies, dtype=float), 0.0, self._game.cap)
+            else np.clip(
+                np.asarray(initial_subsidies, dtype=float), 0.0, self._game.cap
+            )
         )
         if s.shape != (n,):
             raise ModelError(f"initial subsidies must have shape ({n},)")
-        demand_now = np.array(
-            [
-                cp.population(self._market.isp.price - s[i])
-                for i, cp in enumerate(self._market.providers)
-            ]
-        )
+        demand_now = self._demand_target(s)
         m = (
             demand_now
             if initial_populations is None
             else np.asarray(initial_populations, dtype=float).copy()
         )
         if m.shape != (n,) or np.any(m < 0.0):
-            raise ModelError(f"initial populations must be non-negative, shape ({n},)")
+            raise ModelError(
+                f"initial populations must be non-negative, shape ({n},)"
+            )
+        return s, m
 
-        trace = SimulationTrace()
-        trace.append(self._record(0, s, m))
+    def advance(
+        self, subsidies: np.ndarray, populations: np.ndarray, steps: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the strategy/population recursion for ``steps`` periods.
+
+        Returns ``(S, M)`` arrays of shape ``(steps + 1, N)`` whose row 0
+        is the given initial state. This is the sequential half of the
+        simulator — congestion is not resolved here; hand the arrays to
+        :meth:`resolve_records` (or chunk them first: the recursion is a
+        pure function of its initial state, so a run split across
+        trajectory segments replays the exact same iterates).
+        """
+        if steps < 0:
+            raise ModelError(f"steps must be non-negative, got {steps}")
+        n = self._market.size
+        s = np.asarray(subsidies, dtype=float).copy()
+        m = np.asarray(populations, dtype=float).copy()
+        if s.shape != (n,) or m.shape != (n,):
+            raise ModelError(f"state arrays must have shape ({n},)")
+        trajectory_s = np.empty((steps + 1, n))
+        trajectory_m = np.empty((steps + 1, n))
+        trajectory_s[0] = s
+        trajectory_m[0] = m
         rho = self._config.population_inertia
         for step in range(1, steps + 1):
             if self._config.update == "sequential":
@@ -175,12 +208,72 @@ class MarketSimulation:
                     for i, strategy in enumerate(self._strategies)
                 ]
                 s = np.array(proposals)
-            demand_target = np.array(
-                [
-                    cp.population(self._market.isp.price - s[i])
-                    for i, cp in enumerate(self._market.providers)
-                ]
-            )
+            demand_target = self._demand_target(s)
             m = (1.0 - rho) * m + rho * demand_target
-            trace.append(self._record(step, s, m))
+            trajectory_s[step] = s
+            trajectory_m[step] = m
+        return trajectory_s, trajectory_m
+
+    def resolve_records(
+        self,
+        subsidies: np.ndarray,
+        populations: np.ndarray,
+        *,
+        start_step: int = 0,
+        include_initial: bool = True,
+    ) -> SimulationTrace:
+        """Resolve congestion for every recorded period, batched.
+
+        ``subsidies``/``populations`` are the ``(K + 1, N)`` arrays of
+        :meth:`advance`; row ``t`` becomes the record of global step
+        ``start_step + t`` (row 0 is skipped when ``include_initial`` is
+        false — a trajectory segment's first row duplicates the previous
+        segment's last). All rows resolve in one
+        ``solve_population_batch`` call; the batch rows are independent,
+        so the records never depend on how a trajectory was chunked.
+        """
+        subsidies = np.asarray(subsidies, dtype=float)
+        populations = np.asarray(populations, dtype=float)
+        first = 0 if include_initial else 1
+        rows_s = subsidies[first:]
+        rows_m = populations[first:]
+        trace = SimulationTrace()
+        if rows_s.shape[0] == 0:
+            return trace
+        batch = self._market.system.solve_population_batch(
+            self._market.throughput_table, rows_m
+        )
+        values = self._market.values
+        for j in range(rows_s.shape[0]):
+            throughputs = batch.throughputs[j]
+            aggregate = float(np.sum(throughputs))
+            trace.append(
+                TraceRecord(
+                    step=start_step + first + j,
+                    subsidies=rows_s[j].copy(),
+                    populations=rows_m[j].copy(),
+                    utilization=float(batch.utilizations[j]),
+                    throughputs=throughputs.copy(),
+                    utilities=(values - rows_s[j]) * throughputs,
+                    revenue=self._market.isp.revenue(aggregate),
+                    welfare=float(np.dot(values, throughputs)),
+                )
+            )
         return trace
+
+    def run(
+        self,
+        steps: int,
+        *,
+        initial_subsidies=None,
+        initial_populations=None,
+    ) -> SimulationTrace:
+        """Simulate ``steps`` periods and return the full trace.
+
+        The trace includes the initial condition as step 0, so it holds
+        ``steps + 1`` records. Equivalent to :meth:`initial_state` →
+        :meth:`advance` → :meth:`resolve_records`.
+        """
+        s, m = self.initial_state(initial_subsidies, initial_populations)
+        trajectory_s, trajectory_m = self.advance(s, m, steps)
+        return self.resolve_records(trajectory_s, trajectory_m)

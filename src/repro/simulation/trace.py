@@ -49,7 +49,17 @@ class TraceRecord:
 
 
 class SimulationTrace:
-    """Ordered collection of :class:`TraceRecord` with array accessors."""
+    """Ordered collection of :class:`TraceRecord` with array accessors.
+
+    >>> import numpy as np
+    >>> trace = SimulationTrace()
+    >>> trace.append(TraceRecord(
+    ...     step=0, subsidies=np.zeros(1), populations=np.ones(1),
+    ...     utilization=0.5, throughputs=np.ones(1), utilities=np.ones(1),
+    ...     revenue=1.0, welfare=1.0))
+    >>> len(trace), trace.final.step
+    (1, 0)
+    """
 
     def __init__(self, records: Sequence[TraceRecord] | None = None) -> None:
         self._records: list[TraceRecord] = list(records) if records else []
@@ -94,6 +104,14 @@ class SimulationTrace:
     def utilizations(self) -> np.ndarray:
         """Per-period utilization series."""
         return np.array([r.utilization for r in self._records])
+
+    def throughputs(self) -> np.ndarray:
+        """Matrix ``[period, cp]`` of delivered throughputs."""
+        return np.array([r.throughputs for r in self._records])
+
+    def utilities(self) -> np.ndarray:
+        """Matrix ``[period, cp]`` of CP utilities."""
+        return np.array([r.utilities for r in self._records])
 
     def revenues(self) -> np.ndarray:
         """Per-period ISP revenue series."""

@@ -1,0 +1,804 @@
+"""Service-backed market trajectories: the time-dynamics subsystem.
+
+The paper's equilibrium analysis is a snapshot; its economic story —
+subsidization shifting demand, carriers expanding capacity, welfare
+evolving under policy — is a *trajectory*. This module runs those
+trajectories through the shared solve service the same way grids, duopoly
+sweeps and continuation traces already do:
+
+* a :class:`DynamicsSpec` declares the trajectory as *data* — the step
+  policy (``"subsidies"``: §6 off-equilibrium best-response play;
+  ``"capacity"``: the revenue → investment → capacity loop), the horizon,
+  the capacity/investment rule and an optional :class:`Shock` schedule —
+  and round-trips through scenario metadata as the versioned
+  ``repro-dynamics/1`` block (:func:`repro.io.dynamics_from_dict`);
+* :func:`run_trajectory` chunks the horizon into segments of
+  ``segment_length`` steps and resolves each as one content-keyed
+  :class:`~repro.engine.service.SolveTask` (``dynamics-seg/1``) on the
+  :class:`~repro.engine.service.SolveService`. Segment keys chain through
+  the previous segment's end state, so a warm persistent store replays a
+  ``T``-step trajectory with **zero** recomputed equilibrium solves — the
+  counters the CLI's ``dynamics --json`` verb and the CI resume smoke
+  assert;
+* the per-step inner solves are vectorized: every segment resolves its
+  congestion records in one
+  :meth:`~repro.network.system.CongestionSystem.solve_population_batch`
+  call, and the ``"capacity"`` kind's per-period equilibria run through
+  :func:`~repro.core.equilibrium.solve_equilibrium`'s batched sweep.
+
+Because the segment task replays the exact straight-line recursion of
+:class:`~repro.simulation.dynamics.MarketSimulation` /
+:func:`~repro.simulation.capacity.simulate_capacity_expansion` (and the
+batch congestion rows are independent of batch composition), a segmented,
+store-round-tripped trajectory is **bitwise-identical** to the legacy
+loops — the golden tests in ``tests/simulation/test_trajectory.py`` hold
+this equality exactly.
+
+Example — declare a five-period capacity trajectory and inspect its
+canonical metadata block:
+
+>>> from repro.simulation.trajectory import DynamicsSpec
+>>> spec = DynamicsSpec(kind="capacity", horizon=5, segment_length=2)
+>>> block = spec.to_metadata()
+>>> block["format"], block["horizon"]
+('repro-dynamics/1', 5)
+>>> DynamicsSpec.from_dict(block) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.engine.cache import market_fingerprint
+from repro.engine.service import SolveService, SolveTask, default_service
+from repro.exceptions import ModelError
+from repro.providers.content_provider import ContentProvider
+from repro.providers.isp import AccessISP
+from repro.providers.market import Market
+from repro.simulation.agents import BestResponseStrategy
+from repro.simulation.capacity import expansion_step, validate_expansion_params
+from repro.simulation.dynamics import MarketSimulation, SimulationConfig
+
+__all__ = [
+    "DYNAMICS_FORMAT",
+    "DYNAMICS_DEFAULTS",
+    "Shock",
+    "DynamicsSpec",
+    "DynamicsTrajectory",
+    "dynamics_settings",
+    "run_trajectory",
+    "solve_trajectory_segment",
+    "trajectory_segment_task",
+]
+
+#: Format tag of the dynamics metadata block (``repro.io`` re-exports it).
+DYNAMICS_FORMAT = "repro-dynamics/1"
+
+#: Shockable market fields: the access capacity µ and the ISP price p.
+_SHOCK_FIELDS = ("capacity", "price")
+
+#: The trajectory parameter defaults, in one place: the spec constructor,
+#: the metadata funnel and the CLI all resolve through
+#: :func:`dynamics_settings`, so changing a default here changes it
+#: everywhere (the keys double as the ``repro-dynamics/1`` field names).
+DYNAMICS_DEFAULTS: Mapping[str, Any] = {
+    "kind": "capacity",
+    "horizon": 20,
+    "segment_length": 5,
+    "cap": 0.0,
+    "inertia": 1.0,
+    "update": "sequential",
+    "damping": 1.0,
+    "reinvestment_rate": 0.2,
+    "capacity_cost": 1.0,
+    "depreciation": 0.0,
+    "reoptimize_price": False,
+    "price_range": (0.0, 3.0),
+    "shocks": (),
+}
+
+
+@dataclass(frozen=True)
+class Shock:
+    """A multiplicative market disturbance landing at one trajectory step.
+
+    Attributes
+    ----------
+    step:
+        The period the shock lands on (``1 ≤ step``; the initial condition
+        is never shocked). It is applied *before* that period's update.
+    field:
+        ``"capacity"`` (the access capacity µ) or ``"price"`` (the ISP
+        price p).
+    scale:
+        The multiplicative factor (``0.8`` = a 20% outage/discount).
+    """
+
+    step: int
+    field: str
+    scale: float
+
+    def __post_init__(self) -> None:
+        if int(self.step) != self.step or self.step < 1:
+            raise ModelError(
+                f"shock step must be a positive integer, got {self.step!r}"
+            )
+        object.__setattr__(self, "step", int(self.step))
+        if self.field not in _SHOCK_FIELDS:
+            raise ModelError(
+                f"shock field must be one of {_SHOCK_FIELDS}, "
+                f"got {self.field!r}"
+            )
+        if not (np.isfinite(self.scale) and self.scale > 0.0):
+            raise ModelError(
+                f"shock scale must be finite and positive, got {self.scale}"
+            )
+        object.__setattr__(self, "scale", float(self.scale))
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """A declarative market trajectory: step policy, horizon, rules, shocks.
+
+    Attributes
+    ----------
+    kind:
+        ``"subsidies"`` — §6 off-equilibrium play: CPs adapt subsidies by
+        damped best responses while populations adjust with inertia
+        (:class:`~repro.simulation.dynamics.MarketSimulation` semantics,
+        noiseless); ``"capacity"`` — the revenue-funded expansion loop
+        (:func:`~repro.simulation.capacity.simulate_capacity_expansion`
+        semantics).
+    horizon:
+        Number of simulated periods ``T`` (the trajectory holds ``T + 1``
+        records; record 0 is the initial condition).
+    segment_length:
+        Steps per content-keyed solve-service segment.
+    cap:
+        Policy cap ``q`` in force throughout.
+    inertia / update / damping:
+        The ``"subsidies"`` kind's population inertia ``ρ``, update
+        schedule (``"sequential"``/``"simultaneous"``) and best-response
+        damping.
+    reinvestment_rate / capacity_cost / depreciation / reoptimize_price /
+    price_range:
+        The ``"capacity"`` kind's investment rule (see
+        :func:`~repro.simulation.capacity.simulate_capacity_expansion`).
+    shocks:
+        Optional :class:`Shock` schedule, normalized to (step, field)
+        order; duplicate (step, field) pairs are rejected, as are price
+        shocks on a ``"capacity"`` trajectory with ``reoptimize_price``
+        (the per-period re-optimization would discard them silently).
+    """
+
+    kind: str = DYNAMICS_DEFAULTS["kind"]
+    horizon: int = DYNAMICS_DEFAULTS["horizon"]
+    segment_length: int = DYNAMICS_DEFAULTS["segment_length"]
+    cap: float = DYNAMICS_DEFAULTS["cap"]
+    inertia: float = DYNAMICS_DEFAULTS["inertia"]
+    update: str = DYNAMICS_DEFAULTS["update"]
+    damping: float = DYNAMICS_DEFAULTS["damping"]
+    reinvestment_rate: float = DYNAMICS_DEFAULTS["reinvestment_rate"]
+    capacity_cost: float = DYNAMICS_DEFAULTS["capacity_cost"]
+    depreciation: float = DYNAMICS_DEFAULTS["depreciation"]
+    reoptimize_price: bool = DYNAMICS_DEFAULTS["reoptimize_price"]
+    price_range: tuple[float, float] = DYNAMICS_DEFAULTS["price_range"]
+    shocks: tuple[Shock, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("subsidies", "capacity"):
+            raise ModelError(
+                f"kind must be 'subsidies' or 'capacity', got {self.kind!r}"
+            )
+        if int(self.horizon) != self.horizon or self.horizon < 1:
+            raise ModelError(
+                f"horizon must be a positive integer, got {self.horizon!r}"
+            )
+        object.__setattr__(self, "horizon", int(self.horizon))
+        if int(self.segment_length) != self.segment_length or (
+            self.segment_length < 1
+        ):
+            raise ModelError(
+                f"segment_length must be a positive integer, "
+                f"got {self.segment_length!r}"
+            )
+        object.__setattr__(self, "segment_length", int(self.segment_length))
+        if self.cap < 0.0 or not np.isfinite(self.cap):
+            raise ModelError(
+                f"cap must be finite and non-negative, got {self.cap}"
+            )
+        object.__setattr__(self, "cap", float(self.cap))
+        if not 0.0 < self.inertia <= 1.0:
+            raise ModelError(f"inertia must lie in (0, 1], got {self.inertia}")
+        object.__setattr__(self, "inertia", float(self.inertia))
+        if self.update not in ("sequential", "simultaneous"):
+            raise ModelError(
+                f"update must be 'sequential' or 'simultaneous', "
+                f"got {self.update!r}"
+            )
+        if not 0.0 < self.damping <= 1.0:
+            raise ModelError(f"damping must lie in (0, 1], got {self.damping}")
+        object.__setattr__(self, "damping", float(self.damping))
+        validate_expansion_params(
+            self.reinvestment_rate, self.capacity_cost, self.depreciation
+        )
+        object.__setattr__(
+            self, "reinvestment_rate", float(self.reinvestment_rate)
+        )
+        object.__setattr__(self, "capacity_cost", float(self.capacity_cost))
+        object.__setattr__(self, "depreciation", float(self.depreciation))
+        object.__setattr__(self, "reoptimize_price", bool(self.reoptimize_price))
+        price_range = tuple(float(x) for x in self.price_range)
+        if len(price_range) != 2 or not price_range[0] < price_range[1]:
+            raise ModelError(
+                f"price_range must be an increasing (lo, hi) pair, "
+                f"got {self.price_range!r}"
+            )
+        object.__setattr__(self, "price_range", price_range)
+        for shock in self.shocks:
+            if not isinstance(shock, Shock):
+                raise ModelError(
+                    f"shocks must be Shock instances, got {shock!r}"
+                )
+        shocks = tuple(
+            sorted(self.shocks, key=lambda k: (k.step, k.field))
+        )
+        seen = set()
+        for shock in shocks:
+            if shock.step > self.horizon:
+                raise ModelError(
+                    f"shock at step {shock.step} lies beyond the horizon "
+                    f"{self.horizon}"
+                )
+            if (shock.step, shock.field) in seen:
+                raise ModelError(
+                    f"duplicate shock on {shock.field!r} at step {shock.step}"
+                )
+            seen.add((shock.step, shock.field))
+            if (
+                shock.field == "price"
+                and self.kind == "capacity"
+                and self.reoptimize_price
+            ):
+                # The per-period price re-optimization would silently
+                # discard the shocked price — the recorded schedule would
+                # claim a disturbance that never affects any output.
+                raise ModelError(
+                    f"price shock at step {shock.step} would be a no-op: "
+                    f"a 'capacity' trajectory with reoptimize_price "
+                    f"re-solves the price every period; shock 'capacity' "
+                    f"instead (or disable reoptimize_price)"
+                )
+        object.__setattr__(self, "shocks", shocks)
+
+    def to_metadata(self) -> dict:
+        """The JSON-ready ``repro-dynamics/1`` block for scenario metadata."""
+        return {
+            "format": DYNAMICS_FORMAT,
+            "kind": self.kind,
+            "horizon": self.horizon,
+            "segment_length": self.segment_length,
+            "cap": self.cap,
+            "inertia": self.inertia,
+            "update": self.update,
+            "damping": self.damping,
+            "reinvestment_rate": self.reinvestment_rate,
+            "capacity_cost": self.capacity_cost,
+            "depreciation": self.depreciation,
+            "reoptimize_price": self.reoptimize_price,
+            "price_range": list(self.price_range),
+            "shocks": [
+                {"step": k.step, "field": k.field, "scale": k.scale}
+                for k in self.shocks
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "DynamicsSpec":
+        """Rebuild a spec from its :meth:`to_metadata` block.
+
+        The one validation funnel for *untrusted* blocks (scenario files
+        are user input): a wrong format tag, unknown field or malformed
+        value raises :class:`~repro.exceptions.ModelError`, never a bare
+        ``TypeError``/``ValueError`` mid-solve.
+        """
+        if not isinstance(payload, Mapping):
+            raise ModelError(
+                f"dynamics block must be a mapping, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        fmt = data.pop("format", None)
+        if fmt != DYNAMICS_FORMAT:
+            raise ModelError(f"unsupported dynamics format {fmt!r}")
+        unknown = set(data) - set(DYNAMICS_DEFAULTS)
+        if unknown:
+            raise ModelError(
+                f"unknown dynamics field(s) {sorted(unknown)}; "
+                f"known: {sorted(DYNAMICS_DEFAULTS)}"
+            )
+        try:
+            shocks = tuple(
+                Shock(step=item["step"], field=item["field"], scale=item["scale"])
+                for item in data.pop("shocks", ())
+            )
+        except (TypeError, KeyError) as exc:
+            raise ModelError(f"malformed shock entry: {exc}") from exc
+        try:
+            return cls(shocks=shocks, **data)
+        except ModelError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ModelError(f"invalid dynamics block: {exc}") from exc
+
+
+def dynamics_settings(
+    metadata: Mapping[str, Any] | None = None,
+    overrides: Mapping[str, Any] | None = None,
+) -> DynamicsSpec:
+    """Resolve a trajectory spec: overrides > metadata block > defaults.
+
+    Mirrors :func:`repro.competition.oligopoly.competition_settings`: the
+    scenario's ``metadata["dynamics"]`` block (if any) is validated as a
+    ``repro-dynamics/1`` payload, explicit ``overrides`` entries that are
+    not ``None`` win over it, and everything else falls back to
+    :data:`DYNAMICS_DEFAULTS`. Malformed values from either untrusted
+    source raise :class:`~repro.exceptions.ModelError`.
+    """
+    meta = metadata if metadata is not None else {}
+    block = meta.get("dynamics")
+    spec = (
+        DynamicsSpec.from_dict(block)
+        if block is not None
+        else DynamicsSpec()
+    )
+    given = {
+        key: value
+        for key, value in (overrides or {}).items()
+        if value is not None
+    }
+    if not given:
+        return spec
+    unknown = set(given) - set(DYNAMICS_DEFAULTS)
+    if unknown:
+        raise ModelError(
+            f"unknown dynamics setting(s) {sorted(unknown)}; "
+            f"known: {sorted(DYNAMICS_DEFAULTS)}"
+        )
+    if "shocks" in given:
+        given["shocks"] = tuple(given["shocks"])
+    try:
+        return replace(spec, **given)
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"invalid dynamics settings: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class DynamicsTrajectory:
+    """A solved market trajectory: one row of every quantity per period.
+
+    All arrays are aligned with :attr:`steps` (length ``horizon + 1``;
+    row 0 is the initial condition). For the ``"subsidies"`` kind,
+    capacities and prices are constant unless shocked; for the
+    ``"capacity"`` kind, subsidies/populations/... are the per-period
+    equilibrium's.
+    """
+
+    kind: str
+    steps: np.ndarray
+    subsidies: np.ndarray
+    populations: np.ndarray
+    utilizations: np.ndarray
+    throughputs: np.ndarray
+    utilities: np.ndarray
+    revenues: np.ndarray
+    welfares: np.ndarray
+    capacities: np.ndarray
+    prices: np.ndarray
+    segments: int
+
+    @property
+    def horizon(self) -> int:
+        """Number of simulated periods ``T``."""
+        return int(self.steps.size) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of CPs ``N``."""
+        return int(self.subsidies.shape[1])
+
+    def adoption(self) -> np.ndarray:
+        """Total subscribed population ``Σ_i m_i`` per period."""
+        return self.populations.sum(axis=1)
+
+    def aggregate_throughputs(self) -> np.ndarray:
+        """Total delivered throughput ``θ`` per period."""
+        return self.throughputs.sum(axis=1)
+
+    def capacity_growth(self) -> float:
+        """Total relative capacity growth over the run."""
+        return float(self.capacities[-1] / self.capacities[0] - 1.0)
+
+    def to_csv(self, path, *, labels=None) -> None:
+        """Write the trajectory to CSV (one row per period, wide format)."""
+        import csv
+
+        n = self.size
+        if labels is None:
+            labels = [f"cp{i}" for i in range(n)]
+        if len(labels) != n:
+            raise ModelError(f"expected {n} labels, got {len(labels)}")
+        header = (
+            ["step", "utilization", "revenue", "welfare", "capacity", "price"]
+            + [f"s_{name}" for name in labels]
+            + [f"m_{name}" for name in labels]
+            + [f"theta_{name}" for name in labels]
+            + [f"U_{name}" for name in labels]
+        )
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for j in range(self.steps.size):
+                writer.writerow(
+                    [
+                        int(self.steps[j]),
+                        self.utilizations[j],
+                        self.revenues[j],
+                        self.welfares[j],
+                        self.capacities[j],
+                        self.prices[j],
+                    ]
+                    + list(self.subsidies[j])
+                    + list(self.populations[j])
+                    + list(self.throughputs[j])
+                    + list(self.utilities[j])
+                )
+
+
+# ----------------------------------------------------------------------
+# the segment task (the pure unit of work shipped to the solve service)
+# ----------------------------------------------------------------------
+
+def _shocked(
+    shocks: tuple[Shock, ...], step: int, capacity: float, price: float
+) -> tuple[float, float]:
+    """Apply every shock landing at ``step`` to the (µ, p) pair."""
+    for shock in shocks:
+        if shock.step != step:
+            continue
+        if shock.field == "capacity":
+            capacity *= shock.scale
+        else:
+            price *= shock.scale
+    return capacity, price
+
+
+def _subsidy_segment_rows(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    spec: DynamicsSpec,
+    start_step: int,
+    n_steps: int,
+    include_initial: bool,
+    subsidies0: np.ndarray,
+    populations0: np.ndarray,
+    capacity0: float,
+    price0: float,
+) -> tuple[list, np.ndarray, np.ndarray, float, float]:
+    """The ``"subsidies"`` kind: off-equilibrium play, chunked at shocks.
+
+    Advances the exact :class:`MarketSimulation` recursion; shocks split
+    the window into sub-runs (the market changes, the (s, m) state carries
+    over). Returns the emitted per-chunk ``(capacity, price, trace)``
+    triples plus the end state.
+    """
+    end = start_step + n_steps
+    s = np.asarray(subsidies0, dtype=float).copy()
+    m = np.asarray(populations0, dtype=float).copy()
+    capacity, price = float(capacity0), float(price0)
+    boundaries = sorted(
+        {k.step for k in spec.shocks if start_step < k.step <= end}
+    )
+    edges = [start_step] + [b - 1 for b in boundaries] + [end]
+    chunks = []
+    for i in range(len(edges) - 1):
+        window_start, window_end = edges[i], edges[i + 1]
+        if i > 0:
+            capacity, price = _shocked(
+                spec.shocks, window_start + 1, capacity, price
+            )
+        market = Market(
+            providers, isp.with_capacity(capacity).with_price(price)
+        )
+        sim = MarketSimulation(
+            market,
+            spec.cap,
+            strategies=[
+                BestResponseStrategy(damping=spec.damping) for _ in providers
+            ],
+            config=SimulationConfig(
+                population_inertia=spec.inertia, update=spec.update
+            ),
+        )
+        trajectory_s, trajectory_m = sim.advance(s, m, window_end - window_start)
+        trace = sim.resolve_records(
+            trajectory_s,
+            trajectory_m,
+            start_step=window_start,
+            include_initial=include_initial and i == 0,
+        )
+        if len(trace):
+            chunks.append((capacity, price, trace))
+        s, m = trajectory_s[-1].copy(), trajectory_m[-1].copy()
+    return chunks, s, m, capacity, price
+
+
+def solve_trajectory_segment(
+    providers: tuple[ContentProvider, ...],
+    isp: AccessISP,
+    payload: str,
+    start_step: int,
+    n_steps: int,
+    include_initial: bool,
+    subsidies0: np.ndarray,
+    populations0: np.ndarray,
+    capacity0: float,
+    price0: float,
+) -> dict[str, np.ndarray]:
+    """One trajectory segment, as a pure content-keyed task.
+
+    Advances the market from the given state through ``n_steps`` periods
+    and returns every recorded row (steps ``start_step + 1 ..
+    start_step + n_steps``, plus step ``start_step`` itself when
+    ``include_initial``) together with the end state the next segment
+    chains from — all as named float arrays, so the result persists
+    bit-exactly under the ``"ndarrays"`` store codec.
+
+    ``payload`` is the canonical JSON of the segment's
+    ``repro-dynamics/1`` block; ``isp`` is the scenario's ISP *template*
+    whose capacity/price are overridden by the evolving
+    ``capacity0``/``price0`` state.
+    """
+    spec = DynamicsSpec.from_dict(json.loads(payload))
+    end = start_step + n_steps
+    if spec.kind == "subsidies":
+        chunks, s, m, capacity, price = _subsidy_segment_rows(
+            providers,
+            isp,
+            spec,
+            start_step,
+            n_steps,
+            include_initial,
+            subsidies0,
+            populations0,
+            capacity0,
+            price0,
+        )
+        steps, rows = [], {name: [] for name in (
+            "subsidies", "populations", "utilizations", "throughputs",
+            "utilities", "revenues", "welfares", "capacities", "prices",
+        )}
+        for chunk_capacity, chunk_price, trace in chunks:
+            count = len(trace)
+            steps.append(trace.steps())
+            rows["subsidies"].append(trace.subsidies())
+            rows["populations"].append(trace.populations())
+            rows["utilizations"].append(trace.utilizations())
+            rows["throughputs"].append(trace.throughputs())
+            rows["utilities"].append(trace.utilities())
+            rows["revenues"].append(trace.revenues())
+            rows["welfares"].append(trace.welfares())
+            rows["capacities"].append(np.full(count, chunk_capacity))
+            rows["prices"].append(np.full(count, chunk_price))
+        result = {
+            name: np.concatenate(parts) for name, parts in rows.items()
+        }
+        result["steps"] = np.concatenate(steps).astype(np.int64)
+        result["end_subsidies"] = s
+        result["end_populations"] = m
+        result["end_capacity"] = np.asarray(capacity, dtype=float)
+        result["end_price"] = np.asarray(price, dtype=float)
+        return result
+
+    # "capacity" kind: the per-period equilibrium + reinvestment chain.
+    capacity, price = float(capacity0), float(price0)
+    first = start_step if include_initial else start_step + 1
+    columns: dict[str, list] = {name: [] for name in (
+        "steps", "subsidies", "populations", "utilizations", "throughputs",
+        "utilities", "revenues", "welfares", "capacities", "prices",
+    )}
+    for step in range(first, end + 1):
+        if step >= 1:
+            capacity, price = _shocked(spec.shocks, step, capacity, price)
+        market = Market(
+            providers, isp.with_capacity(capacity).with_price(price)
+        )
+        market, equilibrium, next_capacity = expansion_step(
+            market,
+            spec.cap,
+            reinvestment_rate=spec.reinvestment_rate,
+            capacity_cost=spec.capacity_cost,
+            depreciation=spec.depreciation,
+            reoptimize_price=spec.reoptimize_price,
+            price_range=spec.price_range,
+        )
+        price = market.isp.price
+        state = equilibrium.state
+        columns["steps"].append(step)
+        columns["subsidies"].append(equilibrium.subsidies.copy())
+        columns["populations"].append(state.populations.copy())
+        columns["utilizations"].append(state.utilization)
+        columns["throughputs"].append(state.throughputs.copy())
+        columns["utilities"].append(state.utilities.copy())
+        columns["revenues"].append(state.revenue)
+        columns["welfares"].append(state.welfare)
+        columns["capacities"].append(capacity)
+        columns["prices"].append(price)
+        capacity = next_capacity
+    return {
+        "steps": np.asarray(columns["steps"], dtype=np.int64),
+        "subsidies": np.asarray(columns["subsidies"], dtype=float),
+        "populations": np.asarray(columns["populations"], dtype=float),
+        "utilizations": np.asarray(columns["utilizations"], dtype=float),
+        "throughputs": np.asarray(columns["throughputs"], dtype=float),
+        "utilities": np.asarray(columns["utilities"], dtype=float),
+        "revenues": np.asarray(columns["revenues"], dtype=float),
+        "welfares": np.asarray(columns["welfares"], dtype=float),
+        "capacities": np.asarray(columns["capacities"], dtype=float),
+        "prices": np.asarray(columns["prices"], dtype=float),
+        "end_subsidies": np.asarray(subsidies0, dtype=float),
+        "end_populations": np.asarray(populations0, dtype=float),
+        "end_capacity": np.asarray(capacity, dtype=float),
+        "end_price": np.asarray(price, dtype=float),
+    }
+
+
+def _canonical_payload(spec: DynamicsSpec) -> str:
+    """The canonical JSON encoding of a spec (the key's spec component)."""
+    return json.dumps(spec.to_metadata(), sort_keys=True, separators=(",", ":"))
+
+
+def trajectory_segment_task(
+    market: Market,
+    spec: DynamicsSpec,
+    start_step: int,
+    n_steps: int,
+    include_initial: bool,
+    subsidies0: np.ndarray,
+    populations0: np.ndarray,
+    capacity0: float,
+    price0: float,
+) -> SolveTask:
+    """The content-keyed ``dynamics-seg/1`` task for one segment.
+
+    The single definition of the segment key: the base market's content
+    fingerprint, the canonical spec payload, the window, and the exact
+    start-state bytes. Keys chain — each segment's start state is the
+    previous segment's stored end state — so a warm store replays the
+    whole trajectory hit by hit.
+    """
+    payload = _canonical_payload(spec)
+    subsidies0 = np.ascontiguousarray(np.asarray(subsidies0, dtype=float))
+    populations0 = np.ascontiguousarray(np.asarray(populations0, dtype=float))
+    return SolveTask(
+        fn=solve_trajectory_segment,
+        args=(
+            market.providers,
+            market.isp,
+            payload,
+            int(start_step),
+            int(n_steps),
+            bool(include_initial),
+            subsidies0,
+            populations0,
+            float(capacity0),
+            float(price0),
+        ),
+        key=(
+            "dynamics-seg/1",
+            market_fingerprint(market),
+            payload,
+            int(start_step),
+            int(n_steps),
+            bool(include_initial),
+            subsidies0.tobytes(),
+            populations0.tobytes(),
+            float(capacity0),
+            float(price0),
+        ),
+        codec="ndarrays",
+    )
+
+
+def run_trajectory(
+    market: Market,
+    spec: DynamicsSpec,
+    *,
+    service: SolveService | None = None,
+    initial_subsidies=None,
+    initial_populations=None,
+) -> DynamicsTrajectory:
+    """Run a declared trajectory through the solve service, segment by segment.
+
+    The horizon is chunked into windows of ``spec.segment_length`` steps;
+    each resolves as one content-keyed task on ``service`` (``None``: the
+    shared :func:`~repro.engine.service.default_service`, so a configured
+    persistent store makes trajectories resumable exactly like figure
+    grids). Only cheap demand evaluations happen outside the tasks —
+    every equilibrium/congestion solve is inside a segment, which is what
+    makes the warm-replay counter claim (``computed == 0``) exact.
+
+    ``initial_subsidies``/``initial_populations`` seed the ``"subsidies"``
+    kind (same semantics as :meth:`MarketSimulation.run`); the
+    ``"capacity"`` kind starts from the market's own capacity and price.
+    """
+    resolved = service if service is not None else default_service()
+    if spec.kind == "subsidies":
+        sim = MarketSimulation(
+            market,
+            spec.cap,
+            strategies=[
+                BestResponseStrategy(damping=spec.damping)
+                for _ in market.providers
+            ],
+            config=SimulationConfig(
+                population_inertia=spec.inertia, update=spec.update
+            ),
+        )
+        s, m = sim.initial_state(initial_subsidies, initial_populations)
+    else:
+        if initial_subsidies is not None or initial_populations is not None:
+            raise ModelError(
+                "initial subsidies/populations only apply to the "
+                "'subsidies' kind (the 'capacity' kind re-solves the "
+                "equilibrium each period)"
+            )
+        s = np.zeros(market.size)
+        m = np.zeros(market.size)
+    capacity = float(market.isp.capacity)
+    price = float(market.isp.price)
+
+    outputs = []
+    start = 0
+    while start < spec.horizon:
+        n_steps = min(spec.segment_length, spec.horizon - start)
+        task = trajectory_segment_task(
+            market, spec, start, n_steps, start == 0, s, m, capacity, price
+        )
+        out = resolved.run(task)
+        outputs.append(out)
+        s = np.asarray(out["end_subsidies"], dtype=float)
+        m = np.asarray(out["end_populations"], dtype=float)
+        capacity = float(out["end_capacity"])
+        price = float(out["end_price"])
+        start += n_steps
+
+    def stacked(name: str) -> np.ndarray:
+        return np.concatenate([out[name] for out in outputs])
+
+    trajectory = DynamicsTrajectory(
+        kind=spec.kind,
+        steps=stacked("steps").astype(np.int64),
+        subsidies=stacked("subsidies"),
+        populations=stacked("populations"),
+        utilizations=stacked("utilizations"),
+        throughputs=stacked("throughputs"),
+        utilities=stacked("utilities"),
+        revenues=stacked("revenues"),
+        welfares=stacked("welfares"),
+        capacities=stacked("capacities"),
+        prices=stacked("prices"),
+        segments=len(outputs),
+    )
+    if trajectory.steps.size != spec.horizon + 1 or not np.array_equal(
+        trajectory.steps, np.arange(spec.horizon + 1)
+    ):
+        raise ModelError(
+            f"trajectory segments assembled {trajectory.steps.size} row(s) "
+            f"for horizon {spec.horizon}"
+        )
+    return trajectory

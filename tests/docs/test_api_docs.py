@@ -17,6 +17,11 @@ AUDITED_MODULES = (
     "repro.engine.service",
     "repro.engine.store",
     "repro.scenarios.spec",
+    "repro.simulation",
+    "repro.simulation.capacity",
+    "repro.simulation.dynamics",
+    "repro.simulation.trace",
+    "repro.simulation.trajectory",
 )
 
 _DATA_TYPES = (str, int, float, bool, tuple, list, dict, frozenset)

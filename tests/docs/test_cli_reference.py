@@ -25,7 +25,7 @@ def test_committed_cli_reference_is_fresh():
 
 def test_reference_covers_every_verb():
     page = generate_cli_reference()
-    for verb in ("list", "run", "describe", "oligopoly", "cache"):
+    for verb in ("list", "run", "describe", "oligopoly", "dynamics", "cache"):
         assert f"## `{verb}`" in page
 
 

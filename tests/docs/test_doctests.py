@@ -16,6 +16,11 @@ AUDITED_MODULES = (
     "repro.engine.service",
     "repro.engine.store",
     "repro.scenarios.spec",
+    "repro.simulation",
+    "repro.simulation.capacity",
+    "repro.simulation.dynamics",
+    "repro.simulation.trace",
+    "repro.simulation.trajectory",
 )
 
 

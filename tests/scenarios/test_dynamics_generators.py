@@ -1,0 +1,116 @@
+"""The trajectory scenario generators: lineage, seeds and round trips."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import scenario_from_dict, scenario_to_dict
+from repro.scenarios import (
+    get_scenario,
+    scaled_market,
+    shocked_market,
+    trajectory_variant,
+)
+from repro.simulation import DynamicsSpec, dynamics_settings
+
+
+@pytest.fixture
+def base():
+    return scaled_market(
+        4,
+        prices=(0.5, 1.0),
+        policy_levels=(0.0,),
+        scenario_id="gen-dyn-base",
+    )
+
+
+class TestTrajectoryVariant:
+    def test_records_block_and_lineage(self, base):
+        scn = trajectory_variant(base, kind="subsidies", horizon=7, cap=1.0)
+        assert scn.metadata["variant_of"] == "gen-dyn-base"
+        assert scn.metadata["generator"] == "trajectory_variant"
+        spec = dynamics_settings(scn.metadata)
+        assert spec.kind == "subsidies"
+        assert spec.horizon == 7
+        assert spec.cap == 1.0
+        assert scn.scenario_id == "gen-dyn-base-dyn-subsidies-7"
+
+    def test_market_and_axes_unchanged(self, base):
+        scn = trajectory_variant(base, horizon=3)
+        assert scn.market is base.market
+        assert scn.prices == base.prices
+        assert scn.policy_levels == base.policy_levels
+
+    def test_overrides_an_existing_block(self, base):
+        first = trajectory_variant(base, horizon=5, cap=1.0)
+        second = trajectory_variant(first, horizon=9, scenario_id="again")
+        spec = dynamics_settings(second.metadata)
+        assert spec.horizon == 9
+        assert spec.cap == 1.0  # inherited from the first block
+
+    def test_unknown_knob_rejected(self, base):
+        with pytest.raises(ModelError):
+            trajectory_variant(base, carriers=4)
+
+    def test_round_trips_through_scenario_format(self, base):
+        scn = trajectory_variant(base, kind="capacity", horizon=6)
+        payload = json.loads(json.dumps(scenario_to_dict(scn)))
+        restored = scenario_from_dict(payload)
+        assert dynamics_settings(restored.metadata) == dynamics_settings(
+            scn.metadata
+        )
+        assert scenario_to_dict(restored) == scenario_to_dict(scn)
+
+
+class TestShockedMarket:
+    def test_same_seed_same_schedule(self, base):
+        first = shocked_market(base, seed=3, horizon=8)
+        second = shocked_market(base, seed=3, horizon=8)
+        assert first.metadata["dynamics"] == second.metadata["dynamics"]
+        assert first.metadata["seed"] == 3
+
+    def test_different_seed_different_schedule(self, base):
+        first = shocked_market(base, seed=3, horizon=8)
+        second = shocked_market(base, seed=4, horizon=8)
+        assert (
+            first.metadata["dynamics"]["shocks"]
+            != second.metadata["dynamics"]["shocks"]
+        )
+
+    def test_shocks_land_within_the_horizon(self, base):
+        scn = shocked_market(base, seed=5, horizon=6, n_shocks=3)
+        spec = dynamics_settings(scn.metadata)
+        assert len(spec.shocks) == 3
+        assert all(1 <= k.step <= 6 for k in spec.shocks)
+        assert len({k.step for k in spec.shocks}) == 3
+
+    def test_validation(self, base):
+        with pytest.raises(ModelError):
+            shocked_market(base, seed=1, n_shocks=0)
+        with pytest.raises(ModelError):
+            shocked_market(base, seed=1, horizon=2, n_shocks=5)
+        with pytest.raises(ModelError):
+            shocked_market(base, seed=1, fields=())
+        with pytest.raises(ModelError):
+            shocked_market(base, seed=1, scale_range=(1.3, 0.7))
+
+    def test_seed_survives_the_round_trip(self, base):
+        scn = shocked_market(base, seed=21, horizon=5)
+        restored = scenario_from_dict(
+            json.loads(json.dumps(scenario_to_dict(scn)))
+        )
+        assert restored.metadata["seed"] == 21
+        assert dynamics_settings(restored.metadata) == dynamics_settings(
+            scn.metadata
+        )
+
+
+class TestRegisteredInstance:
+    def test_dynamics20_is_registered_and_valid(self):
+        scn = get_scenario("dynamics-20")
+        spec = dynamics_settings(scn.metadata)
+        assert spec == DynamicsSpec.from_dict(scn.metadata["dynamics"])
+        assert spec.kind == "capacity"
+        assert spec.horizon == 20
+        assert scn.metadata["variant_of"] == "section5"

@@ -1,0 +1,466 @@
+"""The dynamics subsystem: specs, segments, golden parity and resume.
+
+The tentpole guarantees, held exactly:
+
+* a service-backed, segmented trajectory is **bitwise-identical** to the
+  straight-line legacy loops (``MarketSimulation.run`` /
+  ``simulate_capacity_expansion``), for any segment length;
+* a warm persistent store replays a ``T >= 20``-step trajectory with
+  **zero** recomputed equilibrium solves (``computed == 0``) and
+  byte-identical arrays.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import SolveCache, SolveService, SolveStore
+from repro.exceptions import ModelError
+from repro.simulation import (
+    DYNAMICS_FORMAT,
+    DynamicsSpec,
+    MarketSimulation,
+    Shock,
+    SimulationConfig,
+    dynamics_settings,
+    run_trajectory,
+    simulate_capacity_expansion,
+    trajectory_segment_task,
+)
+from repro.simulation.agents import BestResponseStrategy
+
+
+def fresh_service(store_dir=None) -> SolveService:
+    store = SolveStore(store_dir) if store_dir is not None else None
+    return SolveService(cache=SolveCache(), store=store)
+
+
+class TestShock:
+    def test_validates_fields(self):
+        with pytest.raises(ModelError):
+            Shock(step=0, field="capacity", scale=1.1)
+        with pytest.raises(ModelError):
+            Shock(step=1, field="demand", scale=1.1)
+        with pytest.raises(ModelError):
+            Shock(step=1, field="price", scale=0.0)
+        with pytest.raises(ModelError):
+            Shock(step=1, field="price", scale=float("nan"))
+
+
+class TestDynamicsSpec:
+    def test_defaults_are_valid(self):
+        spec = DynamicsSpec()
+        assert spec.kind == "capacity"
+        assert spec.horizon >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "nope"},
+            {"horizon": 0},
+            {"segment_length": 0},
+            {"cap": -1.0},
+            {"inertia": 0.0},
+            {"update": "random"},
+            {"damping": 1.5},
+            {"reinvestment_rate": 2.0},
+            {"capacity_cost": 0.0},
+            {"depreciation": 1.0},
+            {"price_range": (2.0, 1.0)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelError):
+            DynamicsSpec(**kwargs)
+
+    def test_shock_beyond_horizon_rejected(self):
+        with pytest.raises(ModelError):
+            DynamicsSpec(horizon=5, shocks=(Shock(6, "price", 0.9),))
+
+    def test_duplicate_shock_rejected(self):
+        with pytest.raises(ModelError):
+            DynamicsSpec(
+                horizon=5,
+                shocks=(Shock(3, "price", 0.9), Shock(3, "price", 1.1)),
+            )
+
+    def test_shocks_normalized_sorted(self):
+        spec = DynamicsSpec(
+            horizon=9,
+            shocks=(Shock(7, "price", 0.9), Shock(2, "capacity", 1.1)),
+        )
+        assert [k.step for k in spec.shocks] == [2, 7]
+
+    def test_metadata_round_trip(self):
+        spec = DynamicsSpec(
+            kind="subsidies",
+            horizon=7,
+            segment_length=3,
+            cap=1.5,
+            inertia=0.5,
+            update="simultaneous",
+            damping=0.8,
+            shocks=(Shock(4, "capacity", 0.75),),
+        )
+        block = spec.to_metadata()
+        assert block["format"] == DYNAMICS_FORMAT
+        assert DynamicsSpec.from_dict(json.loads(json.dumps(block))) == spec
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict("not a mapping")
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict({"format": "repro-dynamics/2"})
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict(
+                {"format": DYNAMICS_FORMAT, "unknown_knob": 1}
+            )
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict(
+                {"format": DYNAMICS_FORMAT, "shocks": [{"step": 1}]}
+            )
+
+    def test_from_dict_wraps_unconvertible_values_as_model_error(self):
+        # Conversion failures (ValueError, not just TypeError) must come
+        # back as ModelError — the documented funnel contract.
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict(
+                {"format": DYNAMICS_FORMAT, "horizon": "ten"}
+            )
+        with pytest.raises(ModelError):
+            DynamicsSpec.from_dict(
+                {"format": DYNAMICS_FORMAT, "price_range": ["a", "b"]}
+            )
+
+    def test_price_shock_under_reoptimization_rejected(self):
+        # optimal_price would silently discard the shocked price, so the
+        # combination is a spec error, not a quiet no-op.
+        with pytest.raises(ModelError, match="no-op"):
+            DynamicsSpec(
+                kind="capacity",
+                reoptimize_price=True,
+                shocks=(Shock(3, "price", 0.5),),
+            )
+        # Capacity shocks (and the subsidies kind) remain fine.
+        DynamicsSpec(
+            kind="capacity",
+            reoptimize_price=True,
+            shocks=(Shock(3, "capacity", 0.5),),
+        )
+        DynamicsSpec(
+            kind="subsidies",
+            reoptimize_price=True,
+            shocks=(Shock(3, "price", 0.5),),
+        )
+
+    def test_non_shock_entries_rejected_as_model_error(self):
+        with pytest.raises(ModelError):
+            DynamicsSpec(shocks=({"step": 1, "field": "price", "scale": 0.9},))
+        with pytest.raises(ModelError):
+            dynamics_settings(
+                overrides={"shocks": [{"step": 1, "field": "price", "scale": 0.9}]}
+            )
+
+
+class TestDynamicsSettings:
+    def test_defaults_without_metadata(self):
+        assert dynamics_settings() == DynamicsSpec()
+
+    def test_metadata_block_wins_over_defaults(self):
+        block = DynamicsSpec(horizon=9).to_metadata()
+        assert dynamics_settings({"dynamics": block}).horizon == 9
+
+    def test_overrides_win_over_metadata(self):
+        block = DynamicsSpec(horizon=9).to_metadata()
+        spec = dynamics_settings(
+            {"dynamics": block}, overrides={"horizon": 4, "cap": None}
+        )
+        assert spec.horizon == 4
+        assert spec.cap == DynamicsSpec().cap
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ModelError):
+            dynamics_settings(overrides={"carriers": 3})
+
+    def test_malformed_metadata_rejected(self):
+        with pytest.raises(ModelError):
+            dynamics_settings({"dynamics": {"format": "wrong"}})
+
+
+class TestSubsidiesGolden:
+    def test_bitwise_identical_to_legacy_loop(self, two_cp_market):
+        """Service-backed segments == straight-line MarketSimulation.run."""
+        spec = DynamicsSpec(
+            kind="subsidies", horizon=8, segment_length=3, cap=1.0
+        )
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        legacy = MarketSimulation(two_cp_market, cap=1.0).run(8)
+        assert np.array_equal(trajectory.subsidies, legacy.subsidies())
+        assert np.array_equal(trajectory.populations, legacy.populations())
+        assert np.array_equal(trajectory.utilizations, legacy.utilizations())
+        assert np.array_equal(trajectory.throughputs, legacy.throughputs())
+        assert np.array_equal(trajectory.utilities, legacy.utilities())
+        assert np.array_equal(trajectory.revenues, legacy.revenues())
+        assert np.array_equal(trajectory.welfares, legacy.welfares())
+        assert trajectory.segments == 3
+
+    def test_damping_and_inertia_match_legacy(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="subsidies",
+            horizon=5,
+            segment_length=2,
+            cap=0.8,
+            damping=0.6,
+            inertia=0.4,
+            update="simultaneous",
+        )
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        legacy = MarketSimulation(
+            two_cp_market,
+            cap=0.8,
+            strategies=[BestResponseStrategy(damping=0.6) for _ in range(2)],
+            config=SimulationConfig(
+                population_inertia=0.4, update="simultaneous"
+            ),
+        ).run(5)
+        assert np.array_equal(trajectory.subsidies, legacy.subsidies())
+        assert np.array_equal(trajectory.welfares, legacy.welfares())
+
+    def test_initial_conditions_match_legacy(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="subsidies", horizon=4, segment_length=4, cap=1.0
+        )
+        trajectory = run_trajectory(
+            two_cp_market,
+            spec,
+            service=fresh_service(),
+            initial_subsidies=[0.3, 0.1],
+            initial_populations=[0.2, 0.2],
+        )
+        legacy = MarketSimulation(two_cp_market, cap=1.0).run(
+            4, initial_subsidies=[0.3, 0.1], initial_populations=[0.2, 0.2]
+        )
+        assert np.array_equal(trajectory.subsidies, legacy.subsidies())
+        assert np.array_equal(trajectory.populations, legacy.populations())
+
+    def test_segmentation_is_bitwise_invariant(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="subsidies", horizon=6, segment_length=1, cap=1.0
+        )
+        per_step = run_trajectory(two_cp_market, spec, service=fresh_service())
+        whole = run_trajectory(
+            two_cp_market,
+            dataclasses.replace(spec, segment_length=6),
+            service=fresh_service(),
+        )
+        for name in (
+            "subsidies", "populations", "utilizations", "throughputs",
+            "utilities", "revenues", "welfares", "capacities", "prices",
+        ):
+            assert np.array_equal(
+                getattr(per_step, name), getattr(whole, name)
+            ), name
+        assert per_step.segments == 6 and whole.segments == 1
+
+
+class TestCapacityGolden:
+    def test_bitwise_identical_to_legacy_loop(self, two_cp_market):
+        """Service-backed segments == simulate_capacity_expansion."""
+        spec = DynamicsSpec(
+            kind="capacity",
+            horizon=6,
+            segment_length=2,
+            cap=0.5,
+            reinvestment_rate=0.3,
+            depreciation=0.05,
+        )
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        plan = simulate_capacity_expansion(
+            two_cp_market, 0.5, 6, reinvestment_rate=0.3, depreciation=0.05
+        )
+        assert np.array_equal(trajectory.capacities, plan.capacities)
+        assert np.array_equal(trajectory.prices, plan.prices)
+        assert np.array_equal(trajectory.revenues, plan.revenues)
+        assert np.array_equal(trajectory.utilizations, plan.utilizations)
+        assert np.array_equal(trajectory.welfares, plan.welfares)
+        assert np.array_equal(trajectory.subsidies, plan.subsidies)
+
+    def test_reoptimized_price_matches_legacy(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="capacity",
+            horizon=2,
+            segment_length=1,
+            cap=0.5,
+            reoptimize_price=True,
+            price_range=(0.2, 2.0),
+        )
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        plan = simulate_capacity_expansion(
+            two_cp_market,
+            0.5,
+            2,
+            reoptimize_price=True,
+            price_range=(0.2, 2.0),
+        )
+        assert np.array_equal(trajectory.prices, plan.prices)
+        assert np.array_equal(trajectory.capacities, plan.capacities)
+
+    def test_rejects_initial_state(self, two_cp_market):
+        with pytest.raises(ModelError):
+            run_trajectory(
+                two_cp_market,
+                DynamicsSpec(kind="capacity", horizon=2),
+                service=fresh_service(),
+                initial_subsidies=[0.0, 0.0],
+            )
+
+
+class TestShocks:
+    def test_capacity_shock_scales_the_link(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="capacity",
+            horizon=4,
+            segment_length=2,
+            cap=0.5,
+            shocks=(Shock(3, "capacity", 0.5),),
+        )
+        shocked = run_trajectory(two_cp_market, spec, service=fresh_service())
+        base = run_trajectory(
+            two_cp_market,
+            dataclasses.replace(spec, shocks=()),
+            service=fresh_service(),
+        )
+        # Identical until the shock lands, halved capacity at step 3.
+        assert np.array_equal(shocked.capacities[:3], base.capacities[:3])
+        assert shocked.capacities[3] == 0.5 * base.capacities[3]
+        assert shocked.revenues[3] != base.revenues[3]
+
+    def test_price_shock_on_subsidies_kind(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="subsidies",
+            horizon=4,
+            segment_length=4,
+            cap=1.0,
+            shocks=(Shock(2, "price", 1.25),),
+        )
+        shocked = run_trajectory(two_cp_market, spec, service=fresh_service())
+        assert np.all(shocked.prices[:2] == 1.0)
+        assert np.all(shocked.prices[2:] == 1.25)
+        base = MarketSimulation(two_cp_market, cap=1.0).run(4)
+        assert np.array_equal(shocked.welfares[:2], base.welfares()[:2])
+        assert not np.array_equal(shocked.welfares[2:], base.welfares()[2:])
+
+    def test_shock_chunking_is_segment_invariant(self, two_cp_market):
+        spec = DynamicsSpec(
+            kind="subsidies",
+            horizon=6,
+            segment_length=2,
+            cap=1.0,
+            shocks=(Shock(3, "capacity", 0.8), Shock(5, "price", 1.1)),
+        )
+        chunked = run_trajectory(two_cp_market, spec, service=fresh_service())
+        whole = run_trajectory(
+            two_cp_market,
+            dataclasses.replace(spec, segment_length=6),
+            service=fresh_service(),
+        )
+        assert np.array_equal(chunked.welfares, whole.welfares)
+        assert np.array_equal(chunked.capacities, whole.capacities)
+        assert np.array_equal(chunked.subsidies, whole.subsidies)
+
+
+class TestWarmStoreResume:
+    def test_warm_replay_of_20_step_trajectory_is_solve_free(
+        self, two_cp_market, tmp_path
+    ):
+        """The acceptance claim: T >= 20, warm replay, computed == 0."""
+        spec = DynamicsSpec(
+            kind="capacity", horizon=20, segment_length=5, cap=0.5
+        )
+        cold_service = fresh_service(tmp_path)
+        cold = run_trajectory(two_cp_market, spec, service=cold_service)
+        assert cold_service.counters.computed == 4
+
+        warm_service = fresh_service(tmp_path)  # fresh memory, warm store
+        warm = run_trajectory(two_cp_market, spec, service=warm_service)
+        assert warm_service.counters.computed == 0
+        assert warm_service.counters.store_hits == 4
+        for name in (
+            "steps", "subsidies", "populations", "utilizations",
+            "throughputs", "utilities", "revenues", "welfares",
+            "capacities", "prices",
+        ):
+            assert np.array_equal(getattr(warm, name), getattr(cold, name)), name
+
+    def test_memory_tier_replay_within_one_service(self, two_cp_market):
+        spec = DynamicsSpec(kind="subsidies", horizon=4, segment_length=2)
+        service = fresh_service()
+        run_trajectory(two_cp_market, spec, service=service)
+        computed = service.counters.computed
+        run_trajectory(two_cp_market, spec, service=service)
+        assert service.counters.computed == computed
+        assert service.counters.memory_hits >= 2
+
+    def test_spec_change_misses_the_cache(self, two_cp_market, tmp_path):
+        service = fresh_service(tmp_path)
+        spec = DynamicsSpec(kind="capacity", horizon=4, segment_length=2)
+        run_trajectory(two_cp_market, spec, service=service)
+        before = service.counters.computed
+        run_trajectory(
+            two_cp_market,
+            dataclasses.replace(spec, cap=1.0),
+            service=service,
+        )
+        assert service.counters.computed > before
+
+
+class TestTrajectoryObject:
+    def test_shape_and_accessors(self, two_cp_market):
+        spec = DynamicsSpec(kind="subsidies", horizon=5, segment_length=2)
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        assert trajectory.horizon == 5
+        assert trajectory.size == 2
+        assert trajectory.steps.tolist() == list(range(6))
+        assert trajectory.adoption().shape == (6,)
+        assert trajectory.aggregate_throughputs().shape == (6,)
+
+    def test_to_csv(self, two_cp_market, tmp_path):
+        spec = DynamicsSpec(kind="capacity", horizon=2, segment_length=2)
+        trajectory = run_trajectory(
+            two_cp_market, spec, service=fresh_service()
+        )
+        path = tmp_path / "trajectory.csv"
+        trajectory.to_csv(path, labels=two_cp_market.provider_names())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 periods
+        assert lines[0].startswith("step,utilization,revenue,welfare,capacity")
+        with pytest.raises(ModelError):
+            trajectory.to_csv(path, labels=["only-one"])
+
+    def test_task_key_is_content_addressed(self, two_cp_market):
+        spec = DynamicsSpec(kind="capacity", horizon=4, segment_length=2)
+        s = np.zeros(2)
+        m = np.zeros(2)
+        task_a = trajectory_segment_task(
+            two_cp_market, spec, 0, 2, True, s, m, 1.0, 1.0
+        )
+        task_b = trajectory_segment_task(
+            two_cp_market, spec, 0, 2, True, s, m, 1.0, 1.0
+        )
+        assert task_a.key == task_b.key
+        task_c = trajectory_segment_task(
+            two_cp_market, spec, 0, 2, True, s, m, 2.0, 1.0
+        )
+        assert task_c.key != task_a.key

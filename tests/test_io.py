@@ -229,6 +229,82 @@ class TestScenarioFormat:
             scenario_from_dict(payload)
 
 
+class TestDynamicsBlock:
+    """The versioned repro-dynamics/1 block riding in scenario metadata."""
+
+    def make_spec(self, **dynamics_kwargs) -> ScenarioSpec:
+        from repro.io import dynamics_to_dict
+        from repro.simulation import DynamicsSpec, Shock
+
+        block = dynamics_to_dict(
+            DynamicsSpec(
+                kind="capacity",
+                horizon=6,
+                segment_length=2,
+                cap=0.5,
+                shocks=(Shock(3, "capacity", 0.8),),
+                **dynamics_kwargs,
+            )
+        )
+        return ScenarioSpec(
+            scenario_id="io-dyn",
+            title="dynamics round-trip scenario",
+            market=rich_market(),
+            prices=(0.0, 1.0),
+            policy_levels=(0.0,),
+            metadata={"dynamics": block},
+        )
+
+    def test_block_round_trips_bitwise(self):
+        from repro.io import dynamics_from_dict
+
+        spec = self.make_spec()
+        payload = json.loads(json.dumps(scenario_to_dict(spec)))
+        rebuilt = scenario_from_dict(payload)
+        assert scenario_to_dict(rebuilt) == scenario_to_dict(spec)
+        restored = dynamics_from_dict(rebuilt.metadata["dynamics"])
+        assert restored.horizon == 6
+        assert restored.shocks[0].scale == 0.8
+
+    def test_block_has_its_own_format_tag(self, tmp_path):
+        from repro.io import DYNAMICS_FORMAT
+
+        path = tmp_path / "s.json"
+        save_scenario(self.make_spec(), path)
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["dynamics"]["format"] == DYNAMICS_FORMAT
+
+    def test_malformed_block_rejected_on_load(self):
+        payload = scenario_to_dict(self.make_spec())
+        payload["metadata"]["dynamics"]["format"] = "repro-dynamics/999"
+        with pytest.raises(ModelError):
+            scenario_from_dict(payload)
+
+    def test_unknown_block_field_rejected_on_load(self):
+        payload = scenario_to_dict(self.make_spec())
+        payload["metadata"]["dynamics"]["mystery"] = 1
+        with pytest.raises(ModelError):
+            scenario_from_dict(payload)
+
+    def test_malformed_block_rejected_on_save(self):
+        spec = ScenarioSpec(
+            scenario_id="io-dyn-bad",
+            title="bad block",
+            market=rich_market(),
+            prices=(0.0, 1.0),
+            policy_levels=(0.0,),
+            metadata={"dynamics": {"format": "nope"}},
+        )
+        with pytest.raises(ModelError):
+            scenario_to_dict(spec)
+
+    def test_dynamics_from_dict_requires_mapping(self):
+        from repro.io import dynamics_from_dict
+
+        with pytest.raises(ModelError):
+            dynamics_from_dict(["not", "a", "mapping"])
+
+
 class TestErrorHandling:
     def test_unknown_family_rejected(self):
         payload = market_to_dict(rich_market())
