@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import re
 import time
 from pathlib import Path
@@ -28,10 +29,29 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+#: Schema identifier of the BENCH_*.json records (v2 adds environment
+#: provenance: backend, numba availability, python/numpy versions).
+BENCH_SCHEMA = "repro-bench/2"
+
 #: The paper's price axis, thinned 2x to keep a full benchmark run ~1 min.
 BENCH_PRICES = np.round(np.linspace(0.0, 2.0, 21), 10)
 #: The paper's five policy levels.
 BENCH_CAPS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+def _environment_fields() -> dict:
+    """The schema-v2 provenance fields stamped onto every record."""
+    from repro.backend import get_backend, numba_available
+
+    backend = get_backend()
+    return {
+        "bench_schema": BENCH_SCHEMA,
+        "backend": backend.name,
+        "backend_requested": backend.requested,
+        "numba": numba_available(),
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+    }
+
 
 def _write_bench_record(record: dict) -> None:
     """Write one BENCH_<case>.json (the cross-PR perf-trajectory format).
@@ -39,6 +59,7 @@ def _write_bench_record(record: dict) -> None:
     Written eagerly per case — benchmarks must never fail the suite over a
     bookkeeping write, so I/O errors are swallowed.
     """
+    record = {**_environment_fields(), **record}
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "benchmarks/out"))
     try:
         out_dir.mkdir(parents=True, exist_ok=True)

@@ -82,7 +82,13 @@ class FigureData:
         return [s.name for s in self.series]
 
     def to_csv(self, path: str | Path) -> None:
-        """Write ``x`` plus one column per series."""
+        """Write ``x`` plus one column per series.
+
+        Values are formatted to 12 significant digits — far beyond figure
+        resolution, but short of the last few ulps where the numpy and
+        compiled backends legitimately differ (vectorized vs libm ``exp``)
+        — so the emitted CSV bytes are backend-independent.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", newline="") as handle:
@@ -90,5 +96,6 @@ class FigureData:
             writer.writerow([self.x_label] + self.names())
             for k in range(self.x.size):
                 writer.writerow(
-                    [repr(float(self.x[k]))] + [repr(float(s.y[k])) for s in self.series]
+                    [format(float(self.x[k]), ".12g")]
+                    + [format(float(s.y[k]), ".12g") for s in self.series]
                 )

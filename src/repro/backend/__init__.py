@@ -1,0 +1,261 @@
+"""Pluggable array/kernel backend for the hot solver paths.
+
+One dispatch point decides how the exponential-family fast paths and the
+batch evaluation stack compute: the default ``numpy`` backend keeps the
+reference lockstep arithmetic untouched, while compiled backends swap in
+fused per-row kernels (and libm-consistent elementwise ops) that exit each
+row at convergence instead of dragging the whole batch along.
+
+Backends
+--------
+``numpy``
+    The tested default. Pure NumPy lockstep; no fused kernels.
+``numba``
+    Fused kernels JIT-compiled by numba (optional dependency). Falls back
+    to ``numpy`` with a recorded reason when numba is not importable.
+``cext``
+    Fused kernels compiled on demand from the generated C source with the
+    system C compiler. Falls back to ``numpy`` when no compiler is found.
+``pyloops``
+    The fused kernels run as plain Python loops — identical arithmetic to
+    ``numba``/``cext``, always available, slow. Exists so the compiled
+    trajectory is testable everywhere.
+``compiled``
+    Alias: best available of ``numba`` → ``cext`` → ``numpy``.
+
+Selection: ``REPRO_BACKEND`` environment variable (read once at first
+use), :func:`set_backend`, the :func:`use_backend` context manager, or the
+runner's ``--backend`` flag. All compiled backends share one store
+``cache_tag`` (their results are bitwise interchangeable — same libm exp,
+same sequential accumulation) that namespaces solve-cache keys away from
+the numpy backend's entries.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.backend import ops, profiling
+
+__all__ = [
+    "Backend",
+    "BACKEND_NAMES",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "warm_kernels",
+    "numba_available",
+]
+
+BACKEND_NAMES = ("numpy", "numba", "cext", "pyloops", "compiled")
+
+# All kernel backends share one tag: they are bitwise interchangeable.
+_KERNEL_CACHE_TAG = "libm"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A resolved backend: what was asked for and what actually runs.
+
+    Attributes
+    ----------
+    name:
+        The resolved implementation (``numpy``/``numba``/``cext``/
+        ``pyloops``) — never the ``compiled`` alias.
+    requested:
+        The name selection asked for (may be ``compiled``).
+    kernels:
+        Object exposing the fused batch kernels (``congestion_batch``,
+        ``marginal_batch``, ``best_response_root``, ``exp_inplace``,
+        ``pair_dot_batch``) or ``None`` for the lockstep numpy path.
+    cache_tag:
+        Store/cache key namespace; ``""`` for numpy-identical results.
+    fallback_reason:
+        Why a requested compiled backend resolved to ``numpy``, if it did.
+    """
+
+    name: str
+    requested: str
+    kernels: object | None
+    cache_tag: str
+    fallback_reason: str | None = None
+
+    @property
+    def compiled(self) -> bool:
+        return self.kernels is not None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency is importable."""
+    from repro.backend import kernels_py
+
+    return kernels_py.HAVE_NUMBA
+
+
+def _resolve(requested: str) -> Backend:
+    name = requested.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {requested!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if name == "numpy":
+        return Backend("numpy", requested, None, "")
+    if name == "pyloops":
+        from repro.backend import kernels_py
+
+        return Backend("pyloops", requested, kernels_py, _KERNEL_CACHE_TAG)
+    if name == "numba":
+        from repro.backend import kernels_py
+
+        if kernels_py.HAVE_NUMBA:
+            return Backend("numba", requested, kernels_py, _KERNEL_CACHE_TAG)
+        return Backend(
+            "numpy", requested, None, "",
+            fallback_reason="numba is not installed",
+        )
+    if name == "cext":
+        from repro.backend import cext
+
+        try:
+            kernels = cext.load()
+        except cext.CExtUnavailable as exc:
+            return Backend(
+                "numpy", requested, None, "", fallback_reason=str(exc)
+            )
+        return Backend("cext", requested, kernels, _KERNEL_CACHE_TAG)
+    # "compiled": best available of numba -> cext -> numpy.
+    from repro.backend import kernels_py
+
+    if kernels_py.HAVE_NUMBA:
+        return Backend("numba", requested, kernels_py, _KERNEL_CACHE_TAG)
+    from repro.backend import cext
+
+    try:
+        kernels = cext.load()
+    except cext.CExtUnavailable as exc:
+        return Backend(
+            "numpy", requested, None, "",
+            fallback_reason=f"numba is not installed and {exc}",
+        )
+    return Backend("cext", requested, kernels, _KERNEL_CACHE_TAG)
+
+
+def _make_exp(kernels):
+    def exp_fn(x):
+        arr = np.ascontiguousarray(x, dtype=np.float64)
+        out = np.empty_like(arr)
+        kernels.exp_inplace(arr.reshape(-1), out.reshape(-1))
+        return out
+
+    return exp_fn
+
+
+def _make_pair_dot(kernels):
+    def pair_dot_fn(a, b):
+        a2 = np.ascontiguousarray(a, dtype=np.float64)
+        b2 = np.ascontiguousarray(b, dtype=np.float64)
+        out = np.empty(a2.shape[0])
+        kernels.pair_dot_batch(a2, b2, out)
+        return out
+
+    return pair_dot_fn
+
+
+_current: Backend | None = None
+
+
+def get_backend() -> Backend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    global _current
+    if _current is None:
+        set_backend(os.environ.get("REPRO_BACKEND", "numpy"))
+    return _current
+
+
+def set_backend(name: str) -> Backend:
+    """Switch the active backend; rebinds :mod:`repro.backend.ops` too."""
+    global _current
+    backend = _resolve(name)
+    if backend.kernels is None:
+        ops._bind_numpy()
+    else:
+        ops._bind(_make_exp(backend.kernels), _make_pair_dot(backend.kernels))
+    _current = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Temporarily switch backend, restoring the previous one after."""
+    previous = get_backend()
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous.requested)
+
+
+def available_backends() -> dict[str, str]:
+    """Resolution status per selectable name (for CLI help and docs)."""
+    status: dict[str, str] = {}
+    for name in BACKEND_NAMES:
+        resolved = _resolve(name)
+        if resolved.fallback_reason:
+            status[name] = f"falls back to numpy ({resolved.fallback_reason})"
+        else:
+            status[name] = f"resolves to {resolved.name}"
+    return status
+
+
+def warm_kernels(backend: Backend | None = None) -> None:
+    """Run each fused kernel once on a tiny problem to pay JIT/build cost.
+
+    Service pool workers call this at startup so the first real task does
+    not absorb numba compilation (or the one-off C build) into its wall
+    time. A no-op for the numpy backend.
+    """
+    backend = backend or get_backend()
+    kernels = backend.kernels
+    if kernels is None:
+        return
+    populations = np.array([[0.5, 0.5]])
+    beta = np.array([1.0, 2.0])
+    peak = np.array([1.0, 1.0])
+    phi = np.zeros(1)
+    stats = np.zeros(2, dtype=np.int64)
+    rows = np.zeros(1, dtype=np.int64)
+    flo = np.zeros(1)
+    fhi = np.zeros(1)
+    kernels.congestion_batch(
+        populations, beta, peak, 1.0, np.zeros(1), False, 1e-10,
+        phi, stats, rows, flo, fhi,
+    )
+    s = np.zeros((1, 2))
+    alpha = np.array([1.0, 1.0])
+    dscale = np.array([1.0, 1.0])
+    weight = np.ones(2)
+    scaled = np.zeros(2, dtype=np.uint8)
+    values = np.array([1.0, 1.0])
+    u = np.zeros((1, 2))
+    kernels.marginal_batch(
+        s, 1.0, values, alpha, dscale, weight, scaled, beta, peak, 1.0,
+        1e-10, np.zeros(1), False, u, phi, stats, rows.copy(), rows, flo, fhi,
+    )
+    responses = np.zeros(2)
+    u_zero = np.zeros(2)
+    u_cap = np.zeros(2)
+    kernels.best_response_root(
+        np.zeros(2), 1.0, values, alpha, dscale, weight, scaled, beta, peak,
+        1.0, 1e-10, 0.5, np.zeros(2), False, 1e-6,
+        responses, u_zero, u_cap, stats,
+    )
+    out = np.zeros(4)
+    kernels.exp_inplace(np.zeros(4), out)
+    kernels.pair_dot_batch(populations, populations, np.zeros(1))

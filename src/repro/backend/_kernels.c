@@ -1,0 +1,590 @@
+/* Fused solver kernels — C twin of kernels_py.py.
+ *
+ * Every function here is a line-for-line translation of the corresponding
+ * Python kernel: same operations in the same order, no reassociation, no
+ * fast-math (the build uses -fno-fast-math). Both use libm exp, so the two
+ * implementations are bitwise interchangeable; the golden tests assert it.
+ *
+ * Keep this file in lockstep with kernels_py.py when editing either.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+static double safe_div(double a, double b) {
+    if (b != 0.0) {
+        return a / b;
+    }
+    return a * copysign(INFINITY, b);
+}
+
+static double clamp0(double v) {
+    /* np.maximum(v, 0.0) bit-for-bit: -0.0 -> +0.0, NaN stays NaN. */
+    return (v <= 0.0) ? 0.0 : v;
+}
+
+static int sgn(double v) {
+    return (v > 0.0) - (v < 0.0);
+}
+
+void repro_vexp(int64_t n, const double *values, double *out) {
+    for (int64_t k = 0; k < n; k++) {
+        out[k] = exp(values[k]);
+    }
+}
+
+void repro_pair_dot(int64_t rows, int64_t n, const double *a, const double *b,
+                    double *out) {
+    for (int64_t row = 0; row < rows; row++) {
+        double acc = 0.0;
+        const double *ar = a + row * n;
+        const double *br = b + row * n;
+        for (int64_t k = 0; k < n; k++) {
+            acc += ar[k] * br[k];
+        }
+        out[row] = acc;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* congestion fixed point, one row at a time                          */
+/* ------------------------------------------------------------------ */
+
+static double gap_value(double phi, const double *m, const double *beta,
+                        const double *peak, double mu, int64_t n) {
+    double demand = 0.0;
+    for (int64_t k = 0; k < n; k++) {
+        double r = peak[k] * exp((-beta[k]) * phi);
+        demand += m[k] * r;
+    }
+    return phi * mu - demand;
+}
+
+static void gap_and_slope(double phi, const double *m, const double *beta,
+                          const double *peak, double mu, int64_t n,
+                          double *g_out, double *slope_out) {
+    double demand = 0.0;
+    double dslope = 0.0;
+    for (int64_t k = 0; k < n; k++) {
+        double r = peak[k] * exp((-beta[k]) * phi);
+        demand += m[k] * r;
+        dslope += m[k] * ((-beta[k]) * r);
+    }
+    *g_out = phi * mu - demand;
+    *slope_out = mu - dslope;
+}
+
+static double newton_row(double x, const double *m, const double *beta,
+                         const double *peak, double mu, int64_t n, double rtol,
+                         int max_iter, int *converged, int64_t *evals) {
+    *converged = 0;
+    for (int it = 0; it < max_iter; it++) {
+        double g, slope;
+        gap_and_slope(x, m, beta, peak, mu, n, &g, &slope);
+        (*evals)++;
+        double step = safe_div(g, slope);
+        int informative = isfinite(step) && isfinite(slope) && slope > 0.0;
+        double proposal = informative ? clamp0(x - step) : x;
+        double delta = fabs(proposal - x);
+        x = proposal;
+        if (informative && delta <= rtol * (1.0 + fabs(x))) {
+            *converged = 1;
+            return x;
+        }
+    }
+    return x;
+}
+
+static int expand_row(const double *m, const double *beta, const double *peak,
+                      double mu, int64_t n, double *lo_out, double *hi_out,
+                      double *flo_out, double *fhi_out, int64_t *evals,
+                      int64_t *expansions) {
+    double f_lo = gap_value(0.0, m, beta, peak, mu, n);
+    (*evals)++;
+    if (f_lo >= 0.0) {
+        *lo_out = 0.0;
+        *hi_out = 0.0;
+        *flo_out = f_lo;
+        *fhi_out = f_lo;
+        return 1;
+    }
+    double lo = 0.0;
+    double width = 1.0;
+    double hi = 1.0;
+    double f_hi = f_lo;
+    for (int it = 0; it < 200; it++) {
+        double f_probe = gap_value(hi, m, beta, peak, mu, n);
+        (*evals)++;
+        (*expansions)++;
+        f_hi = f_probe;
+        if (f_probe >= 0.0) {
+            *lo_out = lo;
+            *hi_out = hi;
+            *flo_out = f_lo;
+            *fhi_out = f_hi;
+            return 1;
+        }
+        lo = hi;
+        f_lo = f_probe;
+        width *= 2.0;
+        hi = lo + width;
+    }
+    *lo_out = lo;
+    *hi_out = hi;
+    *flo_out = f_lo;
+    *fhi_out = f_hi;
+    return 0;
+}
+
+static double bracket_row(double lo, double hi, double f_lo, double f_hi,
+                          const double *m, const double *beta,
+                          const double *peak, double mu, int64_t n, double xtol,
+                          int bisect_iters, int max_iter, int64_t *evals) {
+    for (int iteration = 0; iteration < max_iter; iteration++) {
+        if (!((hi - lo) > xtol)) {
+            break;
+        }
+        double x;
+        if (iteration < bisect_iters) {
+            x = 0.5 * (lo + hi);
+        } else {
+            double denom = f_hi - f_lo;
+            double secant = safe_div(lo * f_hi - hi * f_lo, denom);
+            if (!isfinite(secant) || secant <= lo || secant >= hi) {
+                x = 0.5 * (lo + hi);
+            } else {
+                x = secant;
+            }
+        }
+        double fx = gap_value(x, m, beta, peak, mu, n);
+        (*evals)++;
+        if (fx == 0.0) {
+            return x;
+        }
+        if (sgn(fx) == sgn(f_lo)) {
+            lo = x;
+            f_lo = fx;
+            if (iteration >= bisect_iters) {
+                f_hi = 0.5 * f_hi;
+            }
+        } else {
+            hi = x;
+            f_hi = fx;
+            if (iteration >= bisect_iters) {
+                f_lo = 0.5 * f_lo;
+            }
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+static int congestion_row(const double *m, const double *beta,
+                          const double *peak, double mu, int64_t n, double phi0,
+                          int has_phi0, double xtol_final, double *phi_out,
+                          double *bad_lo, double *bad_hi, int64_t *evals,
+                          int64_t *expansions) {
+    int idle = 1;
+    for (int64_t k = 0; k < n; k++) {
+        if (m[k] != 0.0) {
+            idle = 0;
+            break;
+        }
+    }
+    if (idle) {
+        *phi_out = 0.0;
+        return 1;
+    }
+    if (has_phi0) {
+        double start = clamp0(phi0);
+        if (!isfinite(start)) {
+            start = 0.0;
+        }
+        int converged;
+        double warm = newton_row(start, m, beta, peak, mu, n, 1e-15, 25,
+                                 &converged, evals);
+        if (converged) {
+            *phi_out = warm;
+            return 1;
+        }
+    }
+    double lo, hi, f_lo, f_hi;
+    int closed =
+        expand_row(m, beta, peak, mu, n, &lo, &hi, &f_lo, &f_hi, evals,
+                   expansions);
+    if (!closed) {
+        *phi_out = 0.0;
+        *bad_lo = lo;
+        *bad_hi = hi;
+        return 0;
+    }
+    int hit_lo = (f_lo == 0.0) || (hi == lo);
+    int hit_hi = (f_hi == 0.0);
+    double coarse;
+    if (hit_lo) {
+        coarse = lo;
+    } else if (hit_hi) {
+        coarse = hi;
+    } else {
+        coarse = bracket_row(lo, hi, f_lo, f_hi, m, beta, peak, mu, n, 1e-6,
+                             25, 30, evals);
+    }
+    int converged;
+    double polished =
+        newton_row(coarse, m, beta, peak, mu, n, 1e-15, 40, &converged, evals);
+    if (!converged) {
+        if (hit_lo) {
+            polished = lo;
+        } else if (hit_hi) {
+            polished = hi;
+        } else {
+            polished = bracket_row(lo, hi, f_lo, f_hi, m, beta, peak, mu, n,
+                                   xtol_final, 200, 200, evals);
+        }
+    }
+    *phi_out = polished;
+    return 1;
+}
+
+int64_t repro_congestion_batch(int64_t rows, int64_t n,
+                               const double *populations, const double *beta,
+                               const double *peak, double mu,
+                               const double *phi0, int64_t has_phi0,
+                               double xtol_final, double *phi_out,
+                               int64_t *stats, int64_t *fail_rows,
+                               double *fail_lo, double *fail_hi) {
+    int64_t nfail = 0;
+    for (int64_t b = 0; b < rows; b++) {
+        double p0 = has_phi0 ? phi0[b] : 0.0;
+        double phi = 0.0, bad_lo = 0.0, bad_hi = 0.0;
+        int64_t evals = 0, expansions = 0;
+        int ok = congestion_row(populations + b * n, beta, peak, mu, n, p0,
+                                (int)has_phi0, xtol_final, &phi, &bad_lo,
+                                &bad_hi, &evals, &expansions);
+        stats[0] += evals;
+        stats[1] += expansions;
+        if (ok) {
+            phi_out[b] = phi;
+        } else {
+            fail_rows[nfail] = b;
+            fail_lo[nfail] = bad_lo;
+            fail_hi[nfail] = bad_hi;
+            nfail++;
+            phi_out[b] = 0.0;
+        }
+    }
+    return nfail;
+}
+
+/* ------------------------------------------------------------------ */
+/* marginal-utility chain, one profile row at a time                  */
+/* ------------------------------------------------------------------ */
+
+/* Returns 0 ok, 3 non-finite populations, 2 bracket failure. */
+static int marginal_row(const double *srow, double price, const double *values,
+                        const double *alpha, const double *dscale,
+                        const double *weight, const uint8_t *scaled,
+                        const double *beta, const double *peak, double mu,
+                        int64_t n, double xtol_final, double phi0,
+                        int has_phi0, double *u_row, double *tmp_m,
+                        double *tmp_mi, double *phi_res, double *bad_lo,
+                        double *bad_hi, int64_t *evals, int64_t *expansions) {
+    int pop_ok = 1;
+    for (int64_t i = 0; i < n; i++) {
+        double t = price - srow[i];
+        double e = exp((-alpha[i]) * t);
+        double mi = dscale[i] * e;
+        double mm = scaled[i] ? weight[i] * mi : mi;
+        tmp_mi[i] = mi;
+        tmp_m[i] = mm;
+        if (!isfinite(mm)) {
+            pop_ok = 0;
+        }
+    }
+    if (!pop_ok) {
+        *phi_res = 0.0;
+        return 3;
+    }
+    double phi;
+    int ok = congestion_row(tmp_m, beta, peak, mu, n, phi0, has_phi0,
+                            xtol_final, &phi, bad_lo, bad_hi, evals,
+                            expansions);
+    if (!ok) {
+        *phi_res = 0.0;
+        return 2;
+    }
+    double dslope = 0.0;
+    for (int64_t k = 0; k < n; k++) {
+        double r = peak[k] * exp((-beta[k]) * phi);
+        dslope += tmp_m[k] * ((-beta[k]) * r);
+    }
+    double slope = mu - dslope;
+    for (int64_t i = 0; i < n; i++) {
+        double r = peak[i] * exp((-beta[i]) * phi);
+        double dr = (-beta[i]) * r;
+        double dpop;
+        if (scaled[i]) {
+            dpop = weight[i] * ((-alpha[i]) * tmp_mi[i]);
+        } else {
+            dpop = (-alpha[i]) * tmp_m[i];
+        }
+        double dm = -dpop;
+        double dphi = safe_div(r * dm, slope);
+        double dtheta = dm * r + (tmp_m[i] * dr) * dphi;
+        u_row[i] = (values[i] - srow[i]) * dtheta - tmp_m[i] * r;
+    }
+    *phi_res = phi;
+    return 0;
+}
+
+void repro_marginal_batch(int64_t rows, int64_t n, const double *s,
+                          double price, const double *values,
+                          const double *alpha, const double *dscale,
+                          const double *weight, const uint8_t *scaled,
+                          const double *beta, const double *peak, double mu,
+                          double xtol_final, const double *phi0,
+                          int64_t has_phi0, double *u_out, double *phi_out,
+                          int64_t *stats, int64_t *pop_rows,
+                          int64_t *fail_rows, double *fail_lo, double *fail_hi,
+                          int64_t *counts) {
+    double *tmp_m = (double *)malloc(sizeof(double) * (size_t)n);
+    double *tmp_mi = (double *)malloc(sizeof(double) * (size_t)n);
+    int64_t npop = 0;
+    int64_t nfail = 0;
+    for (int64_t b = 0; b < rows; b++) {
+        double p0 = has_phi0 ? phi0[b] : 0.0;
+        double phi = 0.0, bad_lo = 0.0, bad_hi = 0.0;
+        int64_t evals = 0, expansions = 0;
+        int status = marginal_row(s + b * n, price, values, alpha, dscale,
+                                  weight, scaled, beta, peak, mu, n,
+                                  xtol_final, p0, (int)has_phi0, u_out + b * n,
+                                  tmp_m, tmp_mi, &phi, &bad_lo, &bad_hi,
+                                  &evals, &expansions);
+        stats[0] += evals;
+        stats[1] += expansions;
+        phi_out[b] = phi;
+        if (status == 3) {
+            pop_rows[npop] = b;
+            npop++;
+        } else if (status == 2) {
+            fail_rows[nfail] = b;
+            fail_lo[nfail] = bad_lo;
+            fail_hi[nfail] = bad_hi;
+            nfail++;
+        }
+    }
+    free(tmp_m);
+    free(tmp_mi);
+    counts[0] = npop;
+    counts[1] = nfail;
+}
+
+/* ------------------------------------------------------------------ */
+/* fused best-response root loop                                      */
+/* ------------------------------------------------------------------ */
+
+/* Returns 0 ok, 2 bracket failure, 3 non-finite populations; on failure
+ * *bad is the offending trial-row index. */
+static int diag_marginals(const double *own, const double *sclip, double price,
+                          const double *values, const double *alpha,
+                          const double *dscale, const double *weight,
+                          const uint8_t *scaled, const double *beta,
+                          const double *peak, double mu, int64_t n,
+                          double xtol_final, double *phi_io, int has_chain,
+                          double *out_f, double *trial, double *u_row,
+                          double *tmp_m, double *tmp_mi, int64_t *stats,
+                          int64_t *bad) {
+    for (int64_t i = 0; i < n; i++) {
+        memcpy(trial, sclip, sizeof(double) * (size_t)n);
+        trial[i] = clamp0(own[i]);
+        double p0 = has_chain ? phi_io[i] : 0.0;
+        double phi = 0.0, bad_lo = 0.0, bad_hi = 0.0;
+        int64_t evals = 0, expansions = 0;
+        int status = marginal_row(trial, price, values, alpha, dscale, weight,
+                                  scaled, beta, peak, mu, n, xtol_final, p0,
+                                  has_chain, u_row, tmp_m, tmp_mi, &phi,
+                                  &bad_lo, &bad_hi, &evals, &expansions);
+        stats[0] += evals;
+        stats[1] += expansions;
+        if (status != 0) {
+            *bad = i;
+            return status;
+        }
+        phi_io[i] = phi;
+        out_f[i] = u_row[i];
+    }
+    *bad = -1;
+    return 0;
+}
+
+void repro_best_response(int64_t n, const double *s, double price,
+                         const double *values, const double *alpha,
+                         const double *dscale, const double *weight,
+                         const uint8_t *scaled, const double *beta,
+                         const double *peak, double mu, double xtol_final,
+                         double cap, double *phi_io, int64_t has_chain,
+                         double root_xtol, double *responses, double *u_zero,
+                         double *u_cap, int64_t *stats, int64_t *status_bad) {
+    size_t nb = sizeof(double) * (size_t)n;
+    double *sclip = (double *)malloc(nb);
+    double *hi = (double *)malloc(nb);
+    double *trial = (double *)malloc(nb);
+    double *u_row = (double *)malloc(nb);
+    double *tmp_m = (double *)malloc(nb);
+    double *tmp_mi = (double *)malloc(nb);
+    double *own = (double *)malloc(nb);
+    double *lo_a = (double *)malloc(nb);
+    double *hi_a = (double *)malloc(nb);
+    double *f_lo = (double *)malloc(nb);
+    double *f_hi = (double *)malloc(nb);
+    double *root = (double *)malloc(nb);
+    double *probe = (double *)malloc(nb);
+    double *f = (double *)malloc(nb);
+    uint8_t *interior = (uint8_t *)malloc((size_t)n);
+    uint8_t *pending = (uint8_t *)malloc((size_t)n);
+    int64_t bad = -1;
+    int status = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        sclip[i] = clamp0(s[i]);
+        hi[i] = (cap < values[i]) ? cap : values[i];
+        responses[i] = 0.0;
+        own[i] = 0.0;
+    }
+    status = diag_marginals(own, sclip, price, values, alpha, dscale, weight,
+                            scaled, beta, peak, mu, n, xtol_final, phi_io,
+                            (int)has_chain, u_zero, trial, u_row, tmp_m,
+                            tmp_mi, stats, &bad);
+    if (status != 0) {
+        goto done;
+    }
+    for (int64_t i = 0; i < n; i++) {
+        own[i] = (hi[i] > 0.0) ? hi[i] : 0.0;
+    }
+    status = diag_marginals(own, sclip, price, values, alpha, dscale, weight,
+                            scaled, beta, peak, mu, n, xtol_final, phi_io, 1,
+                            u_cap, trial, u_row, tmp_m, tmp_mi, stats, &bad);
+    if (status != 0) {
+        goto done;
+    }
+
+    int any_interior = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int playable = hi[i] > 0.0;
+        int at_cap = playable && u_cap[i] >= 0.0;
+        if (at_cap) {
+            responses[i] = hi[i];
+        }
+        int inter = playable && u_zero[i] > 0.0 && !at_cap;
+        interior[i] = (uint8_t)inter;
+        pending[i] = (uint8_t)inter;
+        if (inter) {
+            any_interior = 1;
+        }
+    }
+    if (!any_interior) {
+        goto done;
+    }
+
+    for (int64_t i = 0; i < n; i++) {
+        lo_a[i] = 0.0;
+        hi_a[i] = hi[i];
+        f_lo[i] = u_zero[i];
+        f_hi[i] = u_cap[i];
+        root[i] = 0.0;
+    }
+    for (int iteration = 0; iteration < 100; iteration++) {
+        int64_t n_pending = 0;
+        for (int64_t i = 0; i < n; i++) {
+            if (pending[i] && !((hi_a[i] - lo_a[i]) > root_xtol)) {
+                pending[i] = 0;
+            }
+            if (pending[i]) {
+                n_pending++;
+            }
+        }
+        if (n_pending == 0) {
+            break;
+        }
+        for (int64_t i = 0; i < n; i++) {
+            if (pending[i]) {
+                double x;
+                if (iteration < 6) {
+                    x = 0.5 * (lo_a[i] + hi_a[i]);
+                } else {
+                    double denom = f_hi[i] - f_lo[i];
+                    double secant =
+                        safe_div(lo_a[i] * f_hi[i] - hi_a[i] * f_lo[i], denom);
+                    if (!isfinite(secant) || secant <= lo_a[i] ||
+                        secant >= hi_a[i]) {
+                        x = 0.5 * (lo_a[i] + hi_a[i]);
+                    } else {
+                        x = secant;
+                    }
+                }
+                probe[i] = x;
+            } else {
+                probe[i] = root[i];
+            }
+        }
+        status = diag_marginals(probe, sclip, price, values, alpha, dscale,
+                                weight, scaled, beta, peak, mu, n, xtol_final,
+                                phi_io, 1, f, trial, u_row, tmp_m, tmp_mi,
+                                stats, &bad);
+        if (status != 0) {
+            goto done;
+        }
+        for (int64_t i = 0; i < n; i++) {
+            if (!pending[i]) {
+                continue;
+            }
+            double fx = f[i];
+            if (fx == 0.0) {
+                root[i] = probe[i];
+                lo_a[i] = probe[i];
+                hi_a[i] = probe[i];
+                pending[i] = 0;
+                continue;
+            }
+            if (sgn(fx) == sgn(f_lo[i])) {
+                lo_a[i] = probe[i];
+                f_lo[i] = fx;
+                if (iteration >= 6) {
+                    f_hi[i] = 0.5 * f_hi[i];
+                }
+            } else {
+                hi_a[i] = probe[i];
+                f_hi[i] = fx;
+                if (iteration >= 6) {
+                    f_lo[i] = 0.5 * f_lo[i];
+                }
+            }
+        }
+    }
+    for (int64_t i = 0; i < n; i++) {
+        if (interior[i]) {
+            responses[i] = 0.5 * (lo_a[i] + hi_a[i]);
+        }
+    }
+
+done:
+    free(sclip);
+    free(hi);
+    free(trial);
+    free(u_row);
+    free(tmp_m);
+    free(tmp_mi);
+    free(own);
+    free(lo_a);
+    free(hi_a);
+    free(f_lo);
+    free(f_hi);
+    free(root);
+    free(probe);
+    free(f);
+    free(interior);
+    free(pending);
+    status_bad[0] = status;
+    status_bad[1] = bad;
+}

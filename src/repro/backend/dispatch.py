@@ -1,0 +1,188 @@
+"""High-level fused-kernel entry points with exception mapping.
+
+The network/core layers call these when the active backend carries
+compiled kernels and the model is kernel-eligible (exponential-family
+demand/throughput on linear utilization). Each wrapper marshals arrays,
+times the kernel for the profiler, and converts status codes back into
+the exact exceptions (and messages) the lockstep NumPy path raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.backend import Backend, profiling
+from repro.exceptions import BracketError, ModelError
+
+__all__ = [
+    "KernelPlan",
+    "fused_congestion",
+    "fused_marginals",
+    "fused_best_response",
+]
+
+#: Expansion budget mirrored from expand_bracket_batch's default.
+_MAX_EXPANSIONS = 200
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Precomputed kernel inputs for one market's exponential-family model.
+
+    Built once per :class:`~repro.providers.market.Market` (see
+    ``Market.kernel_plan``); ``None`` when the market's demand, throughput
+    or utilization families fall outside what the fused kernels implement.
+    """
+
+    price: float
+    values: np.ndarray
+    alphas: np.ndarray
+    scales: np.ndarray
+    weights: np.ndarray
+    scaled: np.ndarray
+    betas: np.ndarray
+    peaks: np.ndarray
+    mu: float
+    xtol: float
+
+
+def _contig(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _warm_start(phi0, size: int) -> tuple[np.ndarray, bool]:
+    """Marshal an optional warm-start vector, guarding the kernel's bounds."""
+    if phi0 is None:
+        return np.zeros(1), False
+    start = _contig(phi0)
+    if start.shape != (size,):
+        raise ValueError(
+            f"phi0 must have shape ({size},), got {start.shape}"
+        )
+    return start, True
+
+
+def _raise_bracket(nfail, fail_rows, fail_lo, fail_hi) -> None:
+    rows = [int(r) for r in fail_rows[:nfail]]
+    intervals = [
+        (float(fail_lo[i]), float(fail_hi[i])) for i in range(nfail)
+    ]
+    raise BracketError.unbracketed(_MAX_EXPANSIONS, rows, intervals)
+
+
+def fused_congestion(
+    backend: Backend,
+    populations: np.ndarray,
+    betas: np.ndarray,
+    peaks: np.ndarray,
+    mu: float,
+    xtol: float,
+    phi0: np.ndarray | None,
+) -> np.ndarray:
+    """Per-row congestion fixed points via the backend's compiled kernel.
+
+    Input validation (shapes, finite non-negative populations) is the
+    caller's job, exactly as on the lockstep path.
+    """
+    populations = _contig(populations)
+    size = populations.shape[0]
+    phi_out = np.empty(size)
+    stats = np.zeros(2, dtype=np.int64)
+    fail_rows = np.empty(size, dtype=np.int64)
+    fail_lo = np.empty(size)
+    fail_hi = np.empty(size)
+    start, has_phi0 = _warm_start(phi0, size)
+    began = perf_counter() if profiling.enabled else 0.0
+    nfail = backend.kernels.congestion_batch(
+        populations, _contig(betas), _contig(peaks), float(mu),
+        start, has_phi0, float(xtol),
+        phi_out, stats, fail_rows, fail_lo, fail_hi,
+    )
+    if profiling.enabled:
+        profiling.record_kernel(stats, perf_counter() - began)
+    if nfail:
+        _raise_bracket(nfail, fail_rows, fail_lo, fail_hi)
+    return phi_out
+
+
+def fused_marginals(
+    backend: Backend,
+    plan: KernelPlan,
+    profiles: np.ndarray,
+    phi0: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Marginal utilities ``u(s)`` and utilizations for a profile batch."""
+    s = _contig(profiles)
+    size, n = s.shape
+    u_out = np.empty((size, n))
+    phi_out = np.empty(size)
+    stats = np.zeros(2, dtype=np.int64)
+    pop_rows = np.empty(size, dtype=np.int64)
+    fail_rows = np.empty(size, dtype=np.int64)
+    fail_lo = np.empty(size)
+    fail_hi = np.empty(size)
+    start, has_phi0 = _warm_start(phi0, size)
+    began = perf_counter() if profiling.enabled else 0.0
+    npop, nfail = backend.kernels.marginal_batch(
+        s, plan.price, plan.values, plan.alphas, plan.scales, plan.weights,
+        plan.scaled, plan.betas, plan.peaks, plan.mu, plan.xtol,
+        start, has_phi0,
+        u_out, phi_out, stats, pop_rows, fail_rows, fail_lo, fail_hi,
+    )
+    if profiling.enabled:
+        profiling.record_kernel(stats, perf_counter() - began)
+    if npop:
+        raise ModelError("populations must be finite and non-negative")
+    if nfail:
+        _raise_bracket(nfail, fail_rows, fail_lo, fail_hi)
+    return u_out, phi_out
+
+
+def fused_best_response(
+    backend: Backend,
+    plan: KernelPlan,
+    profile: np.ndarray,
+    cap: float,
+    phi0: np.ndarray | None,
+    root_xtol: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All-player best responses via the fused root loop.
+
+    Returns ``(responses, u_zero, u_cap, phi_chain)``. The caller performs
+    the corner finiteness check (it owns the lockstep error message) and
+    the no-playable-player early exit *before* calling, matching the
+    lockstep evaluation order.
+    """
+    s = _contig(profile)
+    n = s.shape[0]
+    responses = np.empty(n)
+    u_zero = np.empty(n)
+    u_cap = np.empty(n)
+    stats = np.zeros(2, dtype=np.int64)
+    if phi0 is None:
+        phi_io = np.zeros(n)
+        has_chain = False
+    else:
+        start, _ = _warm_start(phi0, n)
+        phi_io = start.copy()
+        has_chain = True
+    began = perf_counter() if profiling.enabled else 0.0
+    status, bad = backend.kernels.best_response_root(
+        s, plan.price, plan.values, plan.alphas, plan.scales, plan.weights,
+        plan.scaled, plan.betas, plan.peaks, plan.mu, plan.xtol,
+        float(cap), phi_io, has_chain, float(root_xtol),
+        responses, u_zero, u_cap, stats,
+    )
+    if profiling.enabled:
+        profiling.record_kernel(stats, perf_counter() - began)
+    if status == 3:
+        raise ModelError("populations must be finite and non-negative")
+    if status == 2:
+        raise BracketError(
+            f"no sign change found after {_MAX_EXPANSIONS} expansions in "
+            f"best-response trial row {int(bad)}"
+        )
+    return responses, u_zero, u_cap, phi_io

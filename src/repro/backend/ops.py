@@ -1,0 +1,40 @@
+"""Backend-owned array operations, rebound when the backend changes.
+
+Hot-path modules import this module (``from repro.backend import ops``) and
+call ``ops.exp`` / ``ops.pair_dot`` at evaluation time, so a backend switch
+takes effect immediately without re-importing callers. Under the default
+``numpy`` backend these are exactly ``np.exp`` and the einsum row-dot the
+code always used — numerically nothing changes. Compiled backends rebind
+them to libm-exp / sequential-accumulation implementations so that the
+lockstep NumPy path and the fused kernels evaluate *identical* arithmetic,
+which is what makes fused-vs-lockstep bitwise parity possible per backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exp", "pair_dot"]
+
+
+def _np_exp(x: np.ndarray) -> np.ndarray:
+    return np.exp(x)
+
+
+def _np_pair_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("bn,bn->b", a, b)
+
+
+# Rebound by repro.backend.set_backend(); numpy is the import-time default.
+exp = _np_exp
+pair_dot = _np_pair_dot
+
+
+def _bind(exp_fn, pair_dot_fn) -> None:
+    global exp, pair_dot
+    exp = exp_fn
+    pair_dot = pair_dot_fn
+
+
+def _bind_numpy() -> None:
+    _bind(_np_exp, _np_pair_dot)

@@ -20,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import brentq
 
+from repro.backend import get_backend
+from repro.backend.dispatch import fused_best_response
 from repro.core.game import BatchedProfileEvaluator, SubsidizationGame
 from repro.exceptions import EquilibriumError
 from repro.solvers.batch_rootfind import bracketed_root_batch
@@ -188,6 +190,32 @@ def best_response_profile_vectorized(
         return responses
 
     index = np.arange(n)
+
+    backend = get_backend()
+    plan = game.market.kernel_plan() if backend.kernels is not None else None
+    if plan is not None:
+        # Same validation the lockstep path's first trial batch would run
+        # (off-diagonal entries of the incoming profile; diagonal replaced).
+        trials0 = np.tile(s, (n, 1))
+        trials0[index, index] = 0.0
+        game.market.subsidy_matrix(trials0)
+        responses_k, u_zero, u_cap, phi_chain = fused_best_response(
+            backend, plan, s, game.cap, evaluator.warm_start(n), xtol
+        )
+        if not np.all(np.isfinite(u_zero[playable])) or not np.all(
+            np.isfinite(u_cap[playable])
+        ):
+            bad = int(
+                np.flatnonzero(
+                    playable & ~(np.isfinite(u_zero) & np.isfinite(u_cap))
+                )[0]
+            )
+            raise EquilibriumError(
+                f"marginal utility of player {bad} is not finite on "
+                f"[0, {hi[bad]}] (degenerate model parameters?)"
+            )
+        evaluator.set_warm_start(phi_chain)
+        return responses_k
 
     def own_marginals(own: np.ndarray) -> np.ndarray:
         trials = np.tile(s, (n, 1))

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.backend.dispatch import fused_marginals
 from repro.exceptions import ModelError
 from repro.providers.market import Market, MarketState, MarketStateBatch
 
@@ -186,6 +188,14 @@ class SubsidizationGame:
 
     def marginal_utilities(self, subsidies=None) -> np.ndarray:
         """Analytic marginal-utility vector ``u(s) = (∂U_i/∂s_i)_i``."""
+        backend = get_backend()
+        plan = (
+            self._market.kernel_plan() if backend.kernels is not None else None
+        )
+        if plan is not None:
+            s = self._market.subsidy_vector(subsidies)
+            u, _ = fused_marginals(backend, plan, s[None, :], None)
+            return u[0]
         return self.marginal_diagnostics(subsidies).marginal_utilities
 
     def marginal_utility(self, index: int, subsidies) -> float:
@@ -233,7 +243,21 @@ class SubsidizationGame:
     def marginal_utilities_batch(
         self, profiles, *, phi0: np.ndarray | None = None
     ) -> np.ndarray:
-        """Analytic marginal utilities ``u_i(s_b)`` as a ``(B, N)`` matrix."""
+        """Analytic marginal utilities ``u_i(s_b)`` as a ``(B, N)`` matrix.
+
+        When the active backend carries compiled kernels and the market is
+        kernel-eligible, the whole chain (population, congestion solve,
+        derivative algebra) runs in one fused per-row kernel that is bitwise
+        identical to the lockstep path under the same backend.
+        """
+        backend = get_backend()
+        plan = (
+            self._market.kernel_plan() if backend.kernels is not None else None
+        )
+        if plan is not None:
+            s = self._market.subsidy_matrix(profiles)
+            u, _ = fused_marginals(backend, plan, s, phi0)
+            return u
         return self.marginal_diagnostics_batch(
             profiles, phi0=phi0
         ).marginal_utilities
@@ -270,4 +294,27 @@ class BatchedProfileEvaluator:
 
     def marginal_utilities(self, profiles) -> np.ndarray:
         """Batched ``u`` matrix, warm-starting from the last call."""
-        return self.diagnostics(profiles).marginal_utilities
+        backend = get_backend()
+        plan = (
+            self._game.market.kernel_plan()
+            if backend.kernels is not None
+            else None
+        )
+        if plan is None:
+            return self.diagnostics(profiles).marginal_utilities
+        s = self._game.market.subsidy_matrix(profiles)
+        phi0 = self.warm_start(s.shape[0])
+        u, phi = fused_marginals(backend, plan, s, phi0)
+        self._phi = phi
+        return u
+
+    def warm_start(self, batch_size: int) -> np.ndarray | None:
+        """The carried utilization chain if it matches ``batch_size``."""
+        phi0 = self._phi
+        if phi0 is not None and phi0.shape[0] != batch_size:
+            return None
+        return phi0
+
+    def set_warm_start(self, phi: np.ndarray) -> None:
+        """Replace the carried utilization chain (fused paths use this)."""
+        self._phi = phi

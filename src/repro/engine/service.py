@@ -46,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.backend import get_backend, set_backend, warm_kernels
 from repro.engine.cache import SolveCache
 from repro.engine.store import CODECS, SolveStore
 
@@ -132,6 +133,33 @@ def run_task(task: SolveTask) -> Any:
     return task.fn(*task.args, **dict(task.kwargs))
 
 
+def _worker_init(backend_name: str) -> None:
+    """Pool-worker initializer: inherit the parent's array backend.
+
+    Resolves the requested backend in the child and warms its kernels once
+    (numba JIT compilation / C extension load), so per-task latency never
+    pays the compile cost.
+    """
+    set_backend(backend_name)
+    warm_kernels()
+
+
+def _effective_key(task: SolveTask) -> tuple | None:
+    """The task's cache key, namespaced by the active backend's kernel tag.
+
+    The default NumPy backend keeps bare keys (tag ``""``), so existing
+    stores stay valid; compiled backends produce results that may differ
+    from NumPy's in the last ulp (libm ``exp`` vs vectorized ``exp``), so
+    their entries live under a distinct namespace and never alias.
+    """
+    if task.key is None:
+        return None
+    tag = get_backend().cache_tag
+    if tag == "":
+        return task.key
+    return (("__backend__", tag),) + task.key
+
+
 @dataclass
 class ServiceCounters:
     """Observability counters of one :class:`SolveService`."""
@@ -206,30 +234,32 @@ class SolveService:
     # the two-tier lookup/commit protocol
     # ------------------------------------------------------------------
     def _lookup(self, task: SolveTask) -> _Lookup:
-        if task.key is None:
+        key = _effective_key(task)
+        if key is None:
             return _Lookup(False)
         if self._cache is not None:
-            value = self._cache.get(task.key)
+            value = self._cache.get(key)
             if value is not None:
                 self.counters.memory_hits += 1
                 return _Lookup(True, value)
         if self._store is not None:
-            value = self._store.get(task.key)
+            value = self._store.get(key)
             if value is not None:
                 self.counters.store_hits += 1
                 if self._cache is not None:
-                    self._cache.put(task.key, value)
+                    self._cache.put(key, value)
                 return _Lookup(True, value)
         return _Lookup(False)
 
     def _commit(self, task: SolveTask, value: Any) -> None:
         self.counters.computed += 1
-        if task.key is None:
+        key = _effective_key(task)
+        if key is None:
             return
         if self._cache is not None:
-            self._cache.put(task.key, value)
+            self._cache.put(key, value)
         if self._store is not None:
-            self._store.put(task.key, value, codec=task.codec)
+            self._store.put(key, value, codec=task.codec)
 
     # ------------------------------------------------------------------
     # execution
@@ -266,7 +296,11 @@ class SolveService:
             return results
         pool_size = min(self.resolve_workers(workers), len(pending))
         if pool_size > 1:
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_worker_init,
+                initargs=(get_backend().requested,),
+            ) as pool:
                 futures = [
                     pool.submit(run_task, tasks[index]) for index in pending
                 ]

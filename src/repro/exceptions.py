@@ -35,7 +35,52 @@ class ConvergenceError(ReproError):
 
 
 class BracketError(ReproError):
-    """A root-bracketing search failed to enclose a sign change."""
+    """A root-bracketing search failed to enclose a sign change.
+
+    Attributes
+    ----------
+    rows:
+        For batched searches, *all* failing row indices (not just the
+        first), or ``None`` for scalar searches.
+    intervals:
+        The last ``(lo, hi)`` interval examined per failing row, aligned
+        with ``rows``; ``None`` for scalar searches.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rows: list[int] | None = None,
+        intervals: list[tuple[float, float]] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rows = rows
+        self.intervals = intervals
+
+    @classmethod
+    def unbracketed(
+        cls,
+        max_expansions: int,
+        rows: list[int],
+        intervals: list[tuple[float, float]],
+    ) -> "BracketError":
+        """The canonical all-rows expansion-failure error.
+
+        Both the lockstep NumPy path and the fused kernels build their
+        expansion failures through this constructor so messages (and the
+        attached diagnostics) are identical across backends.
+        """
+        listing = "; ".join(
+            f"row {row}: [{lo}, {hi}]"
+            for row, (lo, hi) in zip(rows, intervals)
+        )
+        return cls(
+            f"no sign change found after {max_expansions} expansions in "
+            f"{len(rows)} row(s) ({listing})",
+            rows=list(rows),
+            intervals=[(float(lo), float(hi)) for lo, hi in intervals],
+        )
 
 
 class EquilibriumError(ReproError):

@@ -76,6 +76,12 @@ from repro.competition.oligopoly import (
     competition_settings,
     solve_oligopoly_competition,
 )
+from repro.backend import (
+    BACKEND_NAMES,
+    get_backend,
+    profiling,
+    set_backend,
+)
 from repro.engine import (
     SolveCache,
     SolveService,
@@ -336,6 +342,19 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for grid solves (default: $REPRO_WORKERS or 1)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="array/kernel backend for this run (default: $REPRO_BACKEND "
+        "or numpy; 'compiled' picks the fastest available)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="count kernel residual evaluations and bracket expansions and "
+        "print a solver-profile summary to stderr when the run ends",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -371,6 +390,12 @@ def _apply_runtime_options(
         parser.error(str(exc))
     if args.workers is not None:
         set_default_workers(args.workers)
+    if args.backend is not None:
+        args._previous_backend = get_backend().requested
+        set_backend(args.backend)
+    if args.profile:
+        profiling.reset()
+        profiling.enable()
     service_changed = args.no_cache or args.cache_dir is not None
     if service_changed:
         store = None if args.no_cache else SolveStore(args.cache_dir)
@@ -384,6 +409,21 @@ def _restore_runtime_options(
     args: argparse.Namespace, service_changed: bool
 ) -> None:
     """Undo :func:`_apply_runtime_options` (restore process defaults)."""
+    if args.profile:
+        snapshot = profiling.snapshot()
+        profiling.disable()
+        backend = get_backend()
+        print(
+            f"[profile] backend={backend.name} "
+            f"kernel_calls={snapshot['kernel_calls']} "
+            f"kernel_seconds={snapshot['kernel_seconds']:.3f} "
+            f"residual_evals={snapshot['residual_evals']} "
+            f"brackets_expanded={snapshot['brackets_expanded']} "
+            f"lockstep_calls={snapshot['lockstep_calls']}",
+            file=sys.stderr,
+        )
+    if args.backend is not None:
+        set_backend(getattr(args, "_previous_backend", "numpy"))
     if args.workers is not None:
         set_default_workers(None)
     if service_changed:

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import ops
 from repro.exceptions import ModelError
 
 __all__ = [
@@ -109,7 +110,7 @@ class ExponentialDemand(DemandFunction):
     def population(self, price):
         if _is_scalar(price):
             return self.scale * math.exp(-self.alpha * price)
-        return self.scale * np.exp(-self.alpha * np.asarray(price, dtype=float))
+        return self.scale * ops.exp(-self.alpha * np.asarray(price, dtype=float))
 
     def d_population(self, price):
         if _is_scalar(price):
@@ -337,6 +338,40 @@ class DemandTable:
         """Number of columns (demand functions)."""
         return len(self._demands)
 
+    @property
+    def demands(self) -> tuple[DemandFunction, ...]:
+        """The underlying demand functions, in column order."""
+        return self._demands
+
+    def exponential_columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Kernel-ready coefficients when every column is exponential-family.
+
+        A column qualifies if it is exactly :class:`ExponentialDemand` or a
+        :class:`ScaledDemand` wrapping one. Returns
+        ``(alphas, scales, weights, scaled_flags)`` — ``scaled_flags`` is a
+        ``uint8`` mask of wrapped columns (their evaluation order differs:
+        ``w·(scale·e)`` versus ``scale·e``) — or ``None`` if any column is
+        outside the family.
+        """
+        alphas = np.empty(self.size)
+        scales = np.empty(self.size)
+        weights = np.ones(self.size)
+        flags = np.zeros(self.size, dtype=np.uint8)
+        for i, d in enumerate(self._demands):
+            if type(d) is ExponentialDemand:
+                alphas[i] = d.alpha
+                scales[i] = d.scale
+            elif type(d) is ScaledDemand and type(d.inner) is ExponentialDemand:
+                alphas[i] = d.inner.alpha
+                scales[i] = d.inner.scale
+                weights[i] = d.weight
+                flags[i] = 1
+            else:
+                return None
+        return alphas, scales, weights, flags
+
     def _columns(self, method: str, prices: np.ndarray) -> np.ndarray:
         return np.stack(
             [
@@ -350,7 +385,7 @@ class DemandTable:
         """Populations ``m_i(t_{b,i})`` for a ``(..., N)`` price matrix."""
         prices = np.asarray(prices, dtype=float)
         if self._exponential:
-            return self._scales * np.exp(-self._alphas * prices)
+            return self._scales * ops.exp(-self._alphas * prices)
         return self._columns("population", prices)
 
     def d_populations(self, prices) -> np.ndarray:

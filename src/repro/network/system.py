@@ -22,13 +22,20 @@ engine room of the array-native evaluation stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro.backend import get_backend, ops, profiling
+from repro.backend.dispatch import fused_congestion
 from repro.exceptions import ModelError
-from repro.network.throughput import ThroughputFunction, ThroughputTable
-from repro.network.utilization import UtilizationFunction
+from repro.network.throughput import (
+    ExponentialThroughput,
+    ThroughputFunction,
+    ThroughputTable,
+)
+from repro.network.utilization import LinearUtilization, UtilizationFunction
 from repro.solvers.batch_rootfind import (
     bracketed_root_batch,
     expand_bracket_batch,
@@ -209,6 +216,11 @@ class CongestionSystem:
         """Capacity ``µ``."""
         return self._capacity
 
+    @property
+    def xtol(self) -> float:
+        """Absolute tolerance of the utilization root solves."""
+        return self._xtol
+
     def with_capacity(self, capacity: float) -> "CongestionSystem":
         """Copy of this system with a different capacity (Theorem 1 sweeps)."""
         return CongestionSystem(self._utilization, capacity, xtol=self._xtol)
@@ -231,6 +243,24 @@ class CongestionSystem:
         """Unique fixed-point utilization ``φ(m, µ)`` of Definition 1."""
         if not classes or all(cls.population == 0.0 for cls in classes):
             return 0.0
+        backend = get_backend()
+        if (
+            backend.kernels is not None
+            and type(self._utilization) is LinearUtilization
+            and all(
+                type(cls.throughput) is ExponentialThroughput
+                for cls in classes
+            )
+            and all(np.isfinite(cls.population) for cls in classes)
+        ):
+            populations = np.array([[cls.population for cls in classes]])
+            betas = np.array([cls.throughput.beta for cls in classes])
+            peaks = np.array([cls.throughput.peak for cls in classes])
+            phi = fused_congestion(
+                backend, populations, betas, peaks, self._capacity,
+                self._xtol, None,
+            )
+            return float(phi[0])
         phi = solve_increasing(
             lambda phi: self.gap(phi, classes), lo=0.0, xtol=self._xtol
         )
@@ -298,20 +328,68 @@ class CongestionSystem:
             )
         if np.any(populations < 0.0) or not np.all(np.isfinite(populations)):
             raise ModelError("populations must be finite and non-negative")
+        mu = self._capacity
+        util = self._utilization
+
+        backend = get_backend()
+        if (
+            backend.kernels is not None
+            and table.is_exponential
+            and type(util) is LinearUtilization
+        ):
+            betas, peaks = table.exponential_coefficients()
+            phi = fused_congestion(
+                backend, populations, betas, peaks, mu, self._xtol, phi0
+            )
+        else:
+            began = perf_counter() if profiling.enabled else 0.0
+            phi = self._solve_phi_lockstep(table, populations, phi0)
+            if profiling.enabled:
+                profiling.record_lockstep(perf_counter() - began)
+
+        rates = table.rates(phi)
+        d_rates = table.d_rates(phi)
+        gap_slopes = util.dtheta_dphi(phi, mu) - ops.pair_dot(
+            populations, d_rates
+        )
+        return BatchedSystemState(
+            utilizations=phi,
+            rates=rates,
+            throughputs=populations * rates,
+            populations=populations,
+            gap_slopes=gap_slopes,
+            capacity=mu,
+        )
+
+    def _solve_phi_lockstep(
+        self,
+        table: ThroughputTable,
+        populations: np.ndarray,
+        phi0: np.ndarray | None,
+    ) -> np.ndarray:
+        """The reference lockstep solve (warm Newton, then cold bracketing).
+
+        Always used when no compiled kernels are active or the model falls
+        outside the fused kernels' families; also the comparison arm of the
+        golden fused-vs-lockstep parity tests.
+        """
         batch = populations.shape[0]
         mu = self._capacity
         util = self._utilization
 
         def gap_of(phi: np.ndarray) -> np.ndarray:
             rates = table.rates(phi)
-            demand = np.einsum("bn,bn->b", populations, rates)
+            demand = ops.pair_dot(populations, rates)
             return util.theta(phi, mu) - demand
 
-        def gap_and_slope(phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        def gap_and_slope(
+            phi: np.ndarray, rows: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray]:
             rates = table.rates(phi)
             d_rates = table.d_rates(phi)
-            demand = np.einsum("bn,bn->b", populations, rates)
-            demand_slope = np.einsum("bn,bn->b", populations, d_rates)
+            pops = populations[rows]
+            demand = ops.pair_dot(pops, rates)
+            demand_slope = ops.pair_dot(pops, d_rates)
             gap = util.theta(phi, mu) - demand
             slope = util.dtheta_dphi(phi, mu) - demand_slope
             return gap, slope
@@ -333,20 +411,7 @@ class CongestionSystem:
         if not np.all(solved):
             cold = self._solve_cold(gap_of, gap_and_slope, batch, ~solved)
             phi = np.where(solved, phi, cold)
-
-        rates = table.rates(phi)
-        d_rates = table.d_rates(phi)
-        gap_slopes = util.dtheta_dphi(phi, mu) - np.einsum(
-            "bn,bn->b", populations, d_rates
-        )
-        return BatchedSystemState(
-            utilizations=phi,
-            rates=rates,
-            throughputs=populations * rates,
-            populations=populations,
-            gap_slopes=gap_slopes,
-            capacity=mu,
-        )
+        return phi
 
     def _solve_cold(self, gap_of, gap_and_slope, batch: int, rows) -> np.ndarray:
         """Bracket + bisect + Newton for the rows selected by ``rows``."""

@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro.backend import ops
 from repro.exceptions import ModelError
 
 __all__ = [
@@ -109,7 +110,7 @@ class ExponentialThroughput(ThroughputFunction):
         self._require_utilization(phi)
         if _is_scalar(phi):
             return self.peak * math.exp(-self.beta * phi)
-        return self.peak * np.exp(-self.beta * np.asarray(phi, dtype=float))
+        return self.peak * ops.exp(-self.beta * np.asarray(phi, dtype=float))
 
     def d_rate(self, phi):
         self._require_utilization(phi)
@@ -244,11 +245,22 @@ class ThroughputTable:
         """The underlying laws, in column order."""
         return self._throughputs
 
+    @property
+    def is_exponential(self) -> bool:
+        """Whether every column is exactly :class:`ExponentialThroughput`."""
+        return self._exponential
+
+    def exponential_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(betas, peaks)`` of an all-exponential table (kernel inputs)."""
+        if not self._exponential:
+            raise ModelError("table is not all-exponential")
+        return self._betas, self._peaks
+
     def rates(self, phi: np.ndarray) -> np.ndarray:
         """Rates ``λ_i(φ_b)`` as a ``(B, N)`` matrix for ``φ`` of shape ``(B,)``."""
         phi = np.asarray(phi, dtype=float)
         if self._exponential:
-            return self._peaks * np.exp(-self._betas * phi[:, None])
+            return self._peaks * ops.exp(-self._betas * phi[:, None])
         return np.stack([fn.rate(phi) for fn in self._throughputs], axis=1)
 
     def d_rates(self, phi: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend.dispatch import KernelPlan
 from repro.exceptions import ModelError
 from repro.network.demand import DemandTable
 from repro.network.system import (
@@ -32,6 +33,7 @@ from repro.network.system import (
     TrafficClass,
 )
 from repro.network.throughput import ThroughputTable
+from repro.network.utilization import LinearUtilization
 from repro.providers.content_provider import ContentProvider
 from repro.providers.isp import AccessISP
 
@@ -184,6 +186,7 @@ class Market:
         self._throughput_table = ThroughputTable(
             [cp.throughput for cp in providers]
         )
+        self._kernel_plan: KernelPlan | None | bool = False  # False = unset
 
     # ------------------------------------------------------------------
     # accessors
@@ -263,6 +266,59 @@ class Market:
         if np.any(arr < -1e-12) or not np.all(np.isfinite(arr)):
             raise ModelError("subsidies must be finite and non-negative")
         return np.clip(arr, 0.0, None)
+
+    def subsidy_vector(self, subsidies) -> np.ndarray:
+        """Validate and clip one profile to the canonical ``(N,)`` form.
+
+        ``None`` means the zero profile. Same checks as every scalar solve
+        (shape, finite, non-negative up to a -1e-12 slack, clip at zero);
+        exposed for the fused kernel paths.
+        """
+        return self._as_subsidy_vector(subsidies)
+
+    def subsidy_matrix(self, profiles) -> np.ndarray:
+        """Validate and clip a profile batch to the canonical ``(B, N)`` form.
+
+        The exact checks every batched solve applies (finite, non-negative
+        up to a -1e-12 slack, then clipped at zero); exposed so fused
+        kernel paths can reproduce the lockstep validation order.
+        """
+        return self._as_subsidy_matrix(profiles)
+
+    def kernel_plan(self) -> KernelPlan | None:
+        """Precomputed fused-kernel inputs, or ``None`` if not eligible.
+
+        Eligible markets have linear utilization, all-exponential
+        throughput laws and exponential-family demand columns (plain or
+        share-weighted). The plan is built once and cached; whether it is
+        *used* depends on the active backend at call time.
+        """
+        if self._kernel_plan is False:
+            plan = None
+            if (
+                type(self._system.utilization_function) is LinearUtilization
+                and self._throughput_table.is_exponential
+            ):
+                columns = self._demand_table.exponential_columns()
+                if columns is not None:
+                    alphas, scales, weights, flags = columns
+                    betas, peaks = (
+                        self._throughput_table.exponential_coefficients()
+                    )
+                    plan = KernelPlan(
+                        price=self._isp.price,
+                        values=np.ascontiguousarray(self._values),
+                        alphas=np.ascontiguousarray(alphas),
+                        scales=np.ascontiguousarray(scales),
+                        weights=np.ascontiguousarray(weights),
+                        scaled=np.ascontiguousarray(flags),
+                        betas=np.ascontiguousarray(betas),
+                        peaks=np.ascontiguousarray(peaks),
+                        mu=self._system.capacity,
+                        xtol=self._system.xtol,
+                    )
+            self._kernel_plan = plan
+        return self._kernel_plan
 
     def traffic_classes(self, subsidies=None) -> list[TrafficClass]:
         """Physical traffic classes induced by a subsidy profile."""

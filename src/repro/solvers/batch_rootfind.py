@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import profiling
 from repro.exceptions import BracketError
 
 __all__ = [
@@ -67,11 +68,16 @@ def expand_bracket_batch(
     hi_vec = np.where(at_boundary, lo_vec, lo_vec + width)
     f_hi = f_lo.copy()
     open_rows = ~at_boundary
+    if profiling.enabled:
+        profiling.add_residual_evals(size)
     for _ in range(max_expansions):
         if not np.any(open_rows):
             break
         probe = np.where(open_rows, hi_vec, lo_vec)
         f_probe = np.asarray(func(probe), dtype=float)
+        if profiling.enabled:
+            profiling.add_residual_evals(size)
+            profiling.add_brackets_expanded(int(np.count_nonzero(open_rows)))
         f_hi = np.where(open_rows, f_probe, f_hi)
         closed = open_rows & (f_probe >= 0.0)
         still = open_rows & ~closed
@@ -82,11 +88,9 @@ def expand_bracket_batch(
         hi_vec = np.where(still, lo_vec + width, hi_vec)
         open_rows = still
     if np.any(open_rows):
-        bad = int(np.flatnonzero(open_rows)[0])
-        raise BracketError(
-            f"no sign change found after {max_expansions} expansions "
-            f"(row {bad}, last interval [{lo_vec[bad]}, {hi_vec[bad]}])"
-        )
+        rows = [int(r) for r in np.flatnonzero(open_rows)]
+        intervals = [(float(lo_vec[r]), float(hi_vec[r])) for r in rows]
+        raise BracketError.unbracketed(max_expansions, rows, intervals)
     return lo_vec, hi_vec, f_lo, f_hi
 
 
@@ -162,6 +166,8 @@ def bracketed_root_batch(
             x = np.where(bad, mid, secant)
         probe = np.where(pending, x, root)
         fx = np.asarray(func(probe), dtype=float)
+        if profiling.enabled:
+            profiling.add_residual_evals(size)
 
         exact = pending & (fx == 0.0)
         root = np.where(exact, probe, root)
@@ -188,7 +194,9 @@ def bracketed_root_batch(
 
 
 def newton_polish_batch(
-    value_and_slope: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    value_and_slope: Callable[
+        [np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]
+    ],
     x: np.ndarray,
     *,
     lower: float = 0.0,
@@ -197,11 +205,17 @@ def newton_polish_batch(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Refine per-row roots to machine precision with safeguarded Newton.
 
-    ``value_and_slope`` maps a ``(B,)`` abscissa vector to ``(g, dg)`` pairs;
-    slopes must be strictly positive (monotone increasing rows). Iterates are
-    clamped at ``lower`` — rows whose root sits on the boundary converge
-    there. Updates are masked per row, so trajectories are independent of
-    batch composition.
+    ``value_and_slope(x_active, rows)`` receives only the rows still
+    iterating — ``x_active = x[rows]`` with ``rows`` the sorted integer
+    indices of unconverged rows — and returns the matching ``(g, dg)``
+    subvectors; slopes must be strictly positive (monotone increasing
+    rows). Converged rows are masked out of the callback entirely, so no
+    work is spent re-evaluating settled roots; since every row's update
+    depends only on that row's values, the trajectories (and results) are
+    bit-for-bit those of full-batch lockstep iteration.
+
+    Iterates are clamped at ``lower`` — rows whose root sits on the
+    boundary converge there.
 
     Returns ``(x, converged)``; non-converged rows keep their last iterate
     and should be re-solved through the bracketed path by the caller.
@@ -209,20 +223,25 @@ def newton_polish_batch(
     x = np.array(x, dtype=float)
     converged = np.zeros(x.shape[0], dtype=bool)
     for _ in range(max_iter):
-        g, slope = value_and_slope(x)
+        rows = np.flatnonzero(~converged)
+        x_active = x[rows]
+        g, slope = value_and_slope(x_active, rows)
         g = np.asarray(g, dtype=float)
         slope = np.asarray(slope, dtype=float)
+        if profiling.enabled:
+            profiling.add_residual_evals(rows.size)
         with np.errstate(divide="ignore", invalid="ignore"):
             step = g / slope
         # A degenerate slope (non-finite or non-positive) yields a zero or
         # nonsense step whose tiny delta says nothing about g — such rows
         # must stay unconverged so callers re-solve them by bracketing.
         informative = np.isfinite(step) & np.isfinite(slope) & (slope > 0.0)
-        proposal = np.maximum(x - step, lower)
-        proposal = np.where(informative, proposal, x)
-        delta = np.abs(proposal - x)
-        x = np.where(converged, x, proposal)
-        converged |= informative & (delta <= rtol * (1.0 + np.abs(x)))
+        proposal = np.maximum(x_active - step, lower)
+        proposal = np.where(informative, proposal, x_active)
+        delta = np.abs(proposal - x_active)
+        x[rows] = proposal
+        newly = informative & (delta <= rtol * (1.0 + np.abs(proposal)))
+        converged[rows[newly]] = True
         if np.all(converged):
             break
     return x, converged

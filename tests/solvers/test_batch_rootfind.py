@@ -124,8 +124,8 @@ class TestNewtonPolishBatch:
     def test_polishes_to_machine_precision(self):
         roots = np.array([0.2, 1.3, 6.5])
 
-        def value_and_slope(x):
-            return np.tanh(x - roots), 1.0 / np.cosh(x - roots) ** 2
+        def value_and_slope(x, rows):
+            return np.tanh(x - roots[rows]), 1.0 / np.cosh(x - roots[rows]) ** 2
 
         start = roots + np.array([1e-3, -2e-3, 5e-4])
         x, converged = newton_polish_batch(value_and_slope, start)
@@ -134,7 +134,7 @@ class TestNewtonPolishBatch:
 
     def test_boundary_clamp(self):
         # Root at -1 clamps to the lower bound 0 and reports convergence.
-        def value_and_slope(x):
+        def value_and_slope(x, rows):
             return x + 1.0, np.ones_like(x)
 
         x, converged = newton_polish_batch(value_and_slope, np.array([0.5]))
@@ -145,7 +145,7 @@ class TestNewtonPolishBatch:
         # A zero step caused by an infinite slope says nothing about the
         # residual; the row must be reported unconverged so callers fall
         # back to bracketing instead of accepting a non-root.
-        def value_and_slope(x):
+        def value_and_slope(x, rows):
             return np.full_like(x, -0.5), np.where(x == 0.0, np.inf, 1.0)
 
         _, converged = newton_polish_batch(
@@ -156,7 +156,7 @@ class TestNewtonPolishBatch:
     def test_divergent_rows_flagged(self):
         # Slope of the wrong magnitude keeps the iterate bouncing; the row
         # must be reported unconverged rather than silently accepted.
-        def value_and_slope(x):
+        def value_and_slope(x, rows):
             return np.sign(x - 1.0) + (x - 1.0), np.full_like(x, 1e-8)
 
         _, converged = newton_polish_batch(
