@@ -1,0 +1,85 @@
+"""The in-tree bench baseline is guarded against cross-backend overwrite.
+
+``benchmarks/out`` holds the committed perf trajectory, regenerated under
+the compiled backend. A plain local ``pytest benchmarks/`` run under the
+default numpy backend must not rewrite those records in place — the guard
+in ``benchmarks.conftest._write_bench_record`` skips (and warns on) any
+write into the default output dir that would flip a tracked record's
+backend. Explicit ``REPRO_BENCH_DIR`` destinations are never guarded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import _write_bench_record
+from repro.backend import get_backend
+
+
+def _tracked_record(case: str, backend: str) -> dict:
+    return {
+        "backend": backend,
+        "backend_requested": backend,
+        "bench_schema": "repro-bench/2",
+        "case": case,
+        "seconds": 1.0,
+    }
+
+
+@pytest.fixture
+def in_tree_out(tmp_path, monkeypatch):
+    """A fake repo checkout whose ``benchmarks/out`` is the tracked dir."""
+    monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "benchmarks" / "out"
+    out.mkdir(parents=True)
+    return out
+
+
+class TestTrackedBaselineGuard:
+    def test_cross_backend_write_is_skipped_with_a_warning(self, in_tree_out):
+        other = "cext" if get_backend().name != "cext" else "numpy"
+        path = in_tree_out / "BENCH_guarded.json"
+        tracked = _tracked_record("guarded", other)
+        path.write_text(json.dumps(tracked))
+
+        with pytest.warns(RuntimeWarning, match="not overwriting tracked"):
+            _write_bench_record({"case": "guarded", "seconds": 2.0})
+
+        assert json.loads(path.read_text()) == tracked
+
+    def test_same_backend_refresh_still_writes(self, in_tree_out):
+        path = in_tree_out / "BENCH_refresh.json"
+        path.write_text(json.dumps(_tracked_record("refresh", get_backend().name)))
+
+        _write_bench_record({"case": "refresh", "seconds": 2.0})
+
+        assert json.loads(path.read_text())["seconds"] == 2.0
+
+    def test_fresh_case_still_writes(self, in_tree_out):
+        _write_bench_record({"case": "fresh", "seconds": 2.0})
+
+        record = json.loads((in_tree_out / "BENCH_fresh.json").read_text())
+        assert record["backend"] == get_backend().name
+
+    def test_corrupt_existing_record_is_overwritten(self, in_tree_out):
+        path = in_tree_out / "BENCH_corrupt.json"
+        path.write_text("{not json")
+
+        _write_bench_record({"case": "corrupt", "seconds": 2.0})
+
+        assert json.loads(path.read_text())["seconds"] == 2.0
+
+    def test_explicit_bench_dir_is_never_guarded(self, tmp_path, monkeypatch):
+        out = tmp_path / "scratch"
+        out.mkdir()
+        other = "cext" if get_backend().name != "cext" else "numpy"
+        path = out / "BENCH_redirected.json"
+        path.write_text(json.dumps(_tracked_record("redirected", other)))
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(out))
+
+        _write_bench_record({"case": "redirected", "seconds": 2.0})
+
+        assert json.loads(path.read_text())["backend"] == get_backend().name
