@@ -1,0 +1,24 @@
+"""Print the BENCH_*.json perf records as one table.
+
+Thin wrapper over the ``bench-summary`` CLI verb so the benchmarks
+directory is self-contained::
+
+    python benchmarks/summary.py [--bench-dir DIR] [--json]
+
+Reads ``$REPRO_BENCH_DIR`` (else the committed ``benchmarks/out``
+baseline) like the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.experiments.runner import main
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-summary", *sys.argv[1:]]))

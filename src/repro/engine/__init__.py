@@ -13,6 +13,16 @@ Sequential, pooled and cache-fed schedules are bitwise interchangeable, so
 """
 
 from repro.engine.cache import SolveCache, grid_key, market_fingerprint
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    ChunkedExecutor,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    get_default_executor_name,
+    make_executor,
+    set_default_executor,
+)
 from repro.engine.grid_engine import (
     EquilibriumGrid,
     GridEngine,
@@ -30,18 +40,26 @@ from repro.engine.service import (
 from repro.engine.store import SolveStore, key_digest
 
 __all__ = [
+    "EXECUTOR_NAMES",
+    "ChunkedExecutor",
     "EquilibriumGrid",
+    "Executor",
     "GridEngine",
+    "PoolExecutor",
+    "SerialExecutor",
     "SolveCache",
     "SolveService",
     "SolveStore",
     "SolveTask",
     "cap_row_task",
     "default_service",
+    "get_default_executor_name",
     "get_default_workers",
     "grid_key",
     "key_digest",
+    "make_executor",
     "market_fingerprint",
+    "set_default_executor",
     "set_default_service",
     "set_default_workers",
     "solve_cap_row",

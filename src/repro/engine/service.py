@@ -6,8 +6,9 @@ trajectories — is a batch of
 *pure solve tasks*: functions of picklable inputs whose outputs depend on
 nothing else. :class:`SolveTask` names one such unit (function + arguments
 + content key + store codec); :class:`SolveService` schedules collections
-of them over an optional process pool and memoizes every keyed result
-through two tiers:
+of them through a pluggable :mod:`~repro.engine.executors` strategy —
+serial, persistent process pool, or chunked work-stealing — and memoizes
+every keyed result through two tiers:
 
 1. the in-memory :class:`~repro.engine.cache.SolveCache` (process-local,
    object identity preserved),
@@ -42,12 +43,17 @@ second resolution is a hit, not a recomputation):
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.backend import get_backend, set_backend, warm_kernels
+from repro.backend import get_backend
 from repro.engine.cache import SolveCache
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    get_default_executor_name,
+    make_executor,
+)
 from repro.engine.store import CODECS, SolveStore
 
 __all__ = [
@@ -129,19 +135,8 @@ class SolveTask:
 
 
 def run_task(task: SolveTask) -> Any:
-    """Execute a task (the unit of work shipped to pool workers)."""
+    """Execute a task (the unit of work the executors schedule)."""
     return task.fn(*task.args, **dict(task.kwargs))
-
-
-def _worker_init(backend_name: str) -> None:
-    """Pool-worker initializer: inherit the parent's array backend.
-
-    Resolves the requested backend in the child and warms its kernels once
-    (numba JIT compilation / C extension load), so per-task latency never
-    pays the compile cost.
-    """
-    set_backend(backend_name)
-    warm_kernels()
 
 
 def _effective_key(task: SolveTask) -> tuple | None:
@@ -194,6 +189,14 @@ class SolveService:
     workers:
         Default pool size for :meth:`map`; ``None`` defers to
         :func:`get_default_workers` at call time.
+    executor:
+        Batch-execution strategy for :meth:`map`: an executor name from
+        :data:`~repro.engine.executors.EXECUTOR_NAMES`, a ready
+        :class:`~repro.engine.executors.Executor` instance, or ``None``
+        to defer to :func:`~repro.engine.executors.get_default_executor_name`
+        at call time (so ``--executor`` / ``$REPRO_EXECUTOR`` take effect
+        on an already-built service). All executors return
+        bitwise-identical results; this is purely a throughput knob.
     """
 
     def __init__(
@@ -202,12 +205,20 @@ class SolveService:
         cache: SolveCache | None = None,
         store: SolveStore | None = None,
         workers: int | None = None,
+        executor: str | Executor | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; registered: "
+                f"{list(EXECUTOR_NAMES)}"
+            )
         self._cache = cache
         self._store = store
         self._workers = workers
+        self._executor_choice = executor
+        self._executors: dict[str, Executor] = {}
         self.counters = ServiceCounters()
 
     @property
@@ -229,6 +240,35 @@ class SolveService:
         if self._workers is not None:
             return self._workers
         return get_default_workers()
+
+    def resolve_executor(self) -> Executor:
+        """The executor a :meth:`map` call would use right now.
+
+        A service constructed without an explicit choice consults the
+        process-wide default (``--executor`` / ``$REPRO_EXECUTOR``) on
+        every call; instances are built lazily and kept per name, so a
+        persistent pool survives across batches *and* across default
+        switches within one process.
+        """
+        choice = self._executor_choice
+        if isinstance(choice, Executor):
+            return choice
+        name = choice if choice is not None else get_default_executor_name()
+        if name not in self._executors:
+            self._executors[name] = make_executor(name)
+        return self._executors[name]
+
+    def close(self) -> None:
+        """Shut down every executor this service spawned (idempotent).
+
+        Pools respawn lazily on the next :meth:`map` that needs one, so
+        closing is always safe — it trades the persistence win for
+        reclaimed worker processes.
+        """
+        if isinstance(self._executor_choice, Executor):
+            self._executor_choice.shutdown()
+        for executor in self._executors.values():
+            executor.shutdown()
 
     # ------------------------------------------------------------------
     # the two-tier lookup/commit protocol
@@ -276,12 +316,14 @@ class SolveService:
     def map(
         self, tasks: Sequence[SolveTask], *, workers: int | None = None
     ) -> list[Any]:
-        """Resolve a task batch, pooling the ones that actually compute.
+        """Resolve a task batch through the configured executor.
 
-        Cached tasks resolve without occupying a worker, so the pool is
-        sized to the *missing* work only. Results come back in task order;
-        any schedule returns bitwise-identical values because the tasks
-        are pure.
+        Cached tasks resolve without occupying a worker; only the missing
+        ones are scheduled. Each computed result commits to the cache
+        tiers *as it lands* — an interrupted batch keeps every finished
+        solve, so a warm rerun recomputes only the missing rows. Results
+        come back in task order; any executor returns bitwise-identical
+        values because the tasks are pure.
         """
         tasks = list(tasks)
         results: list[Any] = [None] * len(tasks)
@@ -294,23 +336,16 @@ class SolveService:
                 pending.append(index)
         if not pending:
             return results
-        pool_size = min(self.resolve_workers(workers), len(pending))
-        if pool_size > 1:
-            with ProcessPoolExecutor(
-                max_workers=pool_size,
-                initializer=_worker_init,
-                initargs=(get_backend().requested,),
-            ) as pool:
-                futures = [
-                    pool.submit(run_task, tasks[index]) for index in pending
-                ]
-                for index, future in zip(pending, futures):
-                    results[index] = future.result()
-        else:
-            for index in pending:
-                results[index] = run_task(tasks[index])
-        for index in pending:
-            self._commit(tasks[index], results[index])
+
+        def commit(index: int, value: Any) -> None:
+            results[index] = value
+            self._commit(tasks[index], value)
+
+        self.resolve_executor().map_tasks(
+            [(index, tasks[index]) for index in pending],
+            commit,
+            workers=self.resolve_workers(workers),
+        )
         return results
 
     # ------------------------------------------------------------------
@@ -339,6 +374,7 @@ class SolveService:
         payload["store"] = (
             self._store.stats() if self._store is not None else None
         )
+        payload["executor"] = self.resolve_executor().stats()
         return payload
 
 

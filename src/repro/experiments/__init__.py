@@ -36,6 +36,12 @@ from repro.experiments.pipeline import (
     run_spec,
     scenario_experiment,
 )
+from repro.experiments.refine import (
+    RefinementReport,
+    RefineSpec,
+    refine_grid,
+    uniform_pointwise_grid,
+)
 from repro.experiments.scenarios import (
     FIGURE_PRICE_GRID,
     POLICY_LEVELS,
@@ -50,11 +56,15 @@ __all__ = [
     "FIGURE_PRICE_GRID",
     "PanelSpec",
     "POLICY_LEVELS",
+    "RefineSpec",
+    "RefinementReport",
     "ShapeCheck",
     "check",
     "market_structure_experiment",
+    "refine_grid",
     "run_spec",
     "scenario_experiment",
     "section3_market",
     "section5_market",
+    "uniform_pointwise_grid",
 ]

@@ -1,0 +1,87 @@
+"""Fold the ``BENCH_*.json`` perf records into one trajectory table.
+
+Every benchmark case writes one machine-readable record (repro-bench
+schema; see ``benchmarks/conftest.py``) into ``$REPRO_BENCH_DIR`` or the
+committed ``benchmarks/out`` baseline. Reading thirty JSON files to see
+the perf trajectory is miserable, so this module — surfaced as the
+``bench-summary`` CLI verb and as ``benchmarks/summary.py`` — renders
+them as a single aligned table: case, backend, wall time and the solve /
+cache-hit counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "default_bench_dir",
+    "load_bench_records",
+    "render_table",
+]
+
+#: The columns of the summary table: header, record key, format.
+_COLUMNS = (
+    ("case", "case", "s"),
+    ("backend", "backend", "s"),
+    ("seconds", "seconds", ".3f"),
+    ("solves", "solve_tasks", "d"),
+    ("cache hits", "cache_hits", "d"),
+    ("schema", "bench_schema", "s"),
+)
+
+
+def default_bench_dir() -> Path:
+    """The records directory: ``$REPRO_BENCH_DIR``, else the committed
+    ``benchmarks/out`` baseline."""
+    env = os.environ.get("REPRO_BENCH_DIR")
+    return Path(env) if env else Path("benchmarks/out")
+
+
+def load_bench_records(bench_dir: str | Path) -> list[dict]:
+    """Read every ``BENCH_*.json`` record under ``bench_dir``, sorted by
+    case. Unreadable or malformed files surface as a row with an
+    ``error`` field instead of failing the whole summary."""
+    records = []
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            record = {"case": path.stem[len("BENCH_"):], "error": str(exc)}
+        record.setdefault("case", path.stem[len("BENCH_"):])
+        records.append(record)
+    records.sort(key=lambda record: str(record.get("case", "")))
+    return records
+
+
+def _cell(record: dict, key: str, fmt: str) -> str:
+    value = record.get(key)
+    if value is None:
+        return "—"
+    try:
+        return format(value, fmt) if fmt != "s" else str(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def render_table(records: Sequence[dict]) -> str:
+    """The records as one aligned text table (empty input included)."""
+    if not records:
+        return "no BENCH_*.json records found"
+    rows = [[_cell(r, key, fmt) for _, key, fmt in _COLUMNS] for r in records]
+    headers = [header for header, _, _ in _COLUMNS]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for record, row in zip(records, rows):
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if "error" in record:
+            lines.append(f"  ! unreadable record: {record['error']}")
+    return "\n".join(lines)

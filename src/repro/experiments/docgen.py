@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.runner import (
+    build_bench_summary_parser,
     build_cache_parser,
     build_describe_parser,
     build_dynamics_parser,
@@ -158,6 +159,11 @@ def generate_cli_reference() -> str:
             "cache",
             "python -m repro.experiments cache {stats,path,clear} [options]",
             build_cache_parser(),
+        ),
+        _render_parser(
+            "bench-summary",
+            "python -m repro.experiments bench-summary [options]",
+            build_bench_summary_parser(),
         ),
     ]
     return _HEADER + "\n".join(sections)

@@ -74,6 +74,7 @@ from repro.engine import EquilibriumGrid, GridEngine
 from repro.exceptions import ModelError
 from repro.experiments import grid as _shared_grid
 from repro.experiments.base import ExperimentResult, ShapeCheck
+from repro.experiments.refine import RefineSpec, refine_grid
 # Submodule imports (not the package root): repro.scenarios.paper closes a
 # cycle back through repro.experiments, so the package __init__ may be
 # partially initialized while this module loads.
@@ -389,6 +390,10 @@ class ExperimentSpec:
     carrier_counts:
         The carrier-count axis of a ``market_structure`` sweep (required
         there, forbidden elsewhere).
+    refine:
+        Optional :class:`~repro.experiments.refine.RefineSpec`: solve
+        ``price``/``grid`` sweeps by adaptive refinement from the coarse
+        price axis instead of uniformly (forbidden on other sweep kinds).
     """
 
     experiment_id: str
@@ -398,8 +403,14 @@ class ExperimentSpec:
     panels: tuple[PanelSpec, ...]
     checks: tuple[CheckSpec, ...] = ()
     carrier_counts: tuple[int, ...] = ()
+    refine: RefineSpec | None = None
 
     def __post_init__(self) -> None:
+        if self.refine is not None and self.sweep not in ("price", "grid"):
+            raise ModelError(
+                f"refine only applies to 'price' and 'grid' sweeps, "
+                f"not {self.sweep!r}"
+            )
         if self.sweep not in {"price", "grid", "market_structure", "dynamics"}:
             raise ModelError(
                 f"sweep must be 'price', 'grid', 'market_structure' or "
@@ -681,7 +692,22 @@ def run_spec(
             scn.policy_levels if caps is None else caps, dtype=float
         )
     eng = engine if engine is not None else _shared_grid.engine()
-    solved = eng.solve_grid(scn.market, price_axis, cap_axis, workers=workers)
+    if spec.refine is not None:
+        # Adaptive path: coarse pass + curvature/breakpoint-driven
+        # bisection, pointwise tasks on the engine's service (same store,
+        # same resumability; see repro.experiments.refine).
+        solved, _ = refine_grid(
+            scn.market,
+            price_axis,
+            cap_axis,
+            spec=spec.refine,
+            service=eng.service,
+            workers=eng.resolve_workers(workers),
+        )
+    else:
+        solved = eng.solve_grid(
+            scn.market, price_axis, cap_axis, workers=workers
+        )
     view = SweepView(scn, solved)
     figures = _realize_panels(spec, view)
     checks = tuple(c.evaluate(view) for c in spec.checks)

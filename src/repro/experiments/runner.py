@@ -18,6 +18,9 @@ Usage::
     python -m repro.experiments run oligopoly --carriers 3 --json
     python -m repro.experiments dynamics dynamics-20   # market trajectory
     python -m repro.experiments run dynamics --horizon 8 --json
+    python -m repro.experiments fig7 --executor chunked  # scheduling strategy
+    python -m repro.experiments fig7 --refine          # adaptive grid refinement
+    python -m repro.experiments bench-summary          # fold BENCH_*.json records
 
 Experiment names are validated (and de-duplicated) up front — an unknown
 name aborts before anything runs. ``run`` accepts figure ids, registered
@@ -29,8 +32,15 @@ exits non-zero if any check fails. The check summary and any per-check
 FAIL lines travel together: both go to stderr when something failed, both
 to stdout when everything passed. ``--json`` swaps the human output for a
 single machine-readable summary document (including the run's solve/cache
-counters). ``--workers`` spreads grid rows over a process pool
-(bitwise-identical results; see :mod:`repro.engine`).
+counters and the executor that scheduled it). ``--workers`` spreads grid
+rows over a process pool and ``--executor`` picks the scheduling strategy
+— serial, persistent pool, or work-stealing chunks — all
+bitwise-identical (see :mod:`repro.engine.executors`). ``--refine`` swaps
+the uniform price axis of a price/grid sweep for adaptive refinement
+(:mod:`repro.experiments.refine`): a coarse pass, then midpoint insertion
+where welfare/revenue curvature or equilibrium-partition changes warrant
+it. ``bench-summary`` folds the ``BENCH_*.json`` perf records into one
+table.
 
 Caching: ``--cache-dir DIR`` (or ``$REPRO_CACHE_DIR``) attaches the
 persistent content-addressed solve store, making runs *resumable* — a
@@ -67,6 +77,7 @@ import argparse
 import json
 import re
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Sequence, Union
 
@@ -83,10 +94,13 @@ from repro.backend import (
     set_backend,
 )
 from repro.engine import (
+    EXECUTOR_NAMES,
     SolveCache,
     SolveService,
     SolveStore,
+    get_default_executor_name,
     get_default_workers,
+    set_default_executor,
     set_default_workers,
 )
 from repro.engine.service import default_service
@@ -98,7 +112,13 @@ from repro.experiments.pipeline import (
     run_spec,
     scenario_experiment,
 )
+from repro.experiments.benchtable import (
+    default_bench_dir,
+    load_bench_records,
+    render_table,
+)
 from repro.experiments.grid import reset_engine
+from repro.experiments.refine import REFINE_DEFAULTS, RefineSpec
 from repro.io import load_scenario
 from repro.scenarios import (
     get_scenario,
@@ -115,6 +135,7 @@ from repro.simulation.trajectory import (
 __all__ = [
     "EXPERIMENTS",
     "EXPERIMENT_SPECS",
+    "build_bench_summary_parser",
     "build_cache_parser",
     "build_describe_parser",
     "build_dynamics_parser",
@@ -149,7 +170,15 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
 
 _FIGURE_ID = re.compile(r"fig0*([1-9]\d*)")
 
-_VERBS = {"list", "describe", "run", "cache", "oligopoly", "dynamics"}
+_VERBS = {
+    "list",
+    "describe",
+    "run",
+    "cache",
+    "oligopoly",
+    "dynamics",
+    "bench-summary",
+}
 
 
 def canonical_experiment(name: str) -> str:
@@ -167,6 +196,8 @@ def canonical_experiment(name: str) -> str:
 
 def resolve_experiments(
     names: Sequence[Union[str, ExperimentSpec]],
+    *,
+    refine: RefineSpec | None = None,
 ) -> list[tuple[str, Callable[[], ExperimentResult]]]:
     """Validate, canonicalize and de-duplicate a run list up front.
 
@@ -175,7 +206,10 @@ def resolve_experiments(
     Accepts figure ids (padded or not), registered scenario ids (wrapped in
     the generic scenario experiment) and inline :class:`ExperimentSpec`
     objects; duplicates after canonicalization collapse to the first
-    occurrence, preserving order.
+    occurrence, preserving order. ``refine`` stamps an adaptive-refinement
+    spec onto every resolved experiment (the ``--refine`` flags); a sweep
+    kind that cannot refine raises
+    :class:`~repro.exceptions.ModelError` here, before anything runs.
     """
     resolved: list[tuple[str, Callable[[], ExperimentResult]]] = []
     seen: set = set()
@@ -185,15 +219,26 @@ def resolve_experiments(
             # with a registered name while describing a *different* market
             # (e.g. an edited --scenario file), and must still run.
             key, dedup = name.experiment_id, id(name)
-            runner = lambda spec=name: run_spec(spec)  # noqa: E731
+            spec_obj = (
+                name if refine is None else replace(name, refine=refine)
+            )
+            runner = lambda spec=spec_obj: run_spec(spec)  # noqa: E731
         else:
             key = canonical_experiment(name)
             if key in EXPERIMENTS:
-                runner = EXPERIMENTS[key]
+                if refine is None:
+                    runner = EXPERIMENTS[key]
+                else:
+                    spec_obj = replace(EXPERIMENT_SPECS[key], refine=refine)
+                    runner = lambda spec=spec_obj: run_spec(spec)  # noqa: E731
             elif is_registered(name):
                 key = name
-                runner = lambda sid=name: run_spec(  # noqa: E731
+                runner = lambda sid=name, ref=refine: run_spec(  # noqa: E731
                     scenario_experiment(get_scenario(sid))
+                    if ref is None
+                    else replace(
+                        scenario_experiment(get_scenario(sid)), refine=ref
+                    )
                 )
             else:
                 raise KeyError(
@@ -228,10 +273,11 @@ def run_experiments(
     *,
     out_dir: str | Path = "results",
     quiet: bool = False,
+    refine: RefineSpec | None = None,
 ) -> list[ExperimentResult]:
     """Run the named experiments, write CSVs, return results."""
     results = []
-    for _, runner in resolve_experiments(names):
+    for _, runner in resolve_experiments(names, refine=refine):
         result = runner()
         paths = result.write_csv(out_dir)
         results.append(result)
@@ -261,6 +307,10 @@ def _cache_delta(before: dict, after: dict) -> dict:
         }
     else:
         summary["store"] = None
+    # Which scheduling strategy ran the batch (name + task/pool counters);
+    # totals, not a delta — executor counters live on the executor object,
+    # which may predate this run.
+    summary["executor"] = after.get("executor")
     return summary
 
 
@@ -366,6 +416,15 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run purely in memory, ignoring --cache-dir and $REPRO_CACHE_DIR",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=list(EXECUTOR_NAMES),
+        help="task scheduling strategy: serial (in-process reference), pool "
+        "(persistent worker pool) or chunked (size-targeted chunks, "
+        "work-stealing); all three produce bitwise-identical results "
+        "(default: $REPRO_EXECUTOR or pool)",
+    )
 
 
 def _apply_runtime_options(
@@ -383,13 +442,17 @@ def _apply_runtime_options(
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
     try:
-        # Resolve the default eagerly so a malformed $REPRO_WORKERS fails
-        # with a CLI error up front, not a traceback mid-computation.
+        # Resolve the defaults eagerly so a malformed $REPRO_WORKERS or
+        # $REPRO_EXECUTOR fails with a CLI error up front, not a traceback
+        # mid-computation.
         get_default_workers()
+        get_default_executor_name()
     except ValueError as exc:
         parser.error(str(exc))
     if args.workers is not None:
         set_default_workers(args.workers)
+    if args.executor is not None:
+        set_default_executor(args.executor)
     if args.backend is not None:
         args._previous_backend = get_backend().requested
         set_backend(args.backend)
@@ -426,8 +489,13 @@ def _restore_runtime_options(
         set_backend(getattr(args, "_previous_backend", "numpy"))
     if args.workers is not None:
         set_default_workers(None)
+    if args.executor is not None:
+        set_default_executor(None)
     if service_changed:
-        # Restore the environment-configured default for this process.
+        # The temporary store-bound service owns any worker pools it
+        # spawned; shut them down before restoring the
+        # environment-configured default for this process.
+        default_service().close()
         reset_engine(service=None)
 
 
@@ -465,8 +533,61 @@ def build_run_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a machine-readable JSON summary instead of charts",
     )
+    parser.add_argument(
+        "--refine",
+        action="store_true",
+        help="solve price/grid sweeps by adaptive refinement: a coarse "
+        "price-axis pass, then midpoint insertion where welfare/revenue "
+        "curvature or equilibrium-partition changes exceed the threshold "
+        "(results are bitwise-identical to a uniform grid at the same "
+        "coordinates; only applies to price and grid sweeps)",
+    )
+    parser.add_argument(
+        "--refine-levels",
+        type=int,
+        default=None,
+        metavar="L",
+        help="maximum refinement passes, each halving flagged intervals "
+        f"(implies --refine; default: {REFINE_DEFAULTS['levels']})",
+    )
+    parser.add_argument(
+        "--refine-threshold",
+        type=float,
+        default=None,
+        metavar="T",
+        help="normalized curvature (midpoint-error) score above which an "
+        "interval is refined (implies --refine; default: "
+        f"{REFINE_DEFAULTS['threshold']:g})",
+    )
     _add_runtime_options(parser)
     return parser
+
+
+def _resolve_refine_spec(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> RefineSpec | None:
+    """The ``--refine*`` flags as one spec (sub-flags imply ``--refine``)."""
+    if not (
+        args.refine
+        or args.refine_levels is not None
+        or args.refine_threshold is not None
+    ):
+        return None
+    try:
+        return RefineSpec(
+            levels=(
+                args.refine_levels
+                if args.refine_levels is not None
+                else REFINE_DEFAULTS["levels"]
+            ),
+            threshold=(
+                args.refine_threshold
+                if args.refine_threshold is not None
+                else REFINE_DEFAULTS["threshold"]
+            ),
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
 
 
 def build_describe_parser() -> argparse.ArgumentParser:
@@ -1012,6 +1133,44 @@ def _main_cache(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_bench_summary_parser() -> argparse.ArgumentParser:
+    """The ``bench-summary`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench-summary",
+        description="Fold the BENCH_*.json perf records (written by the "
+        "benchmarks/ suite; repro-bench schema) into one table: case, "
+        "backend, wall time and the solve/cache counters. Also reachable "
+        "as python benchmarks/summary.py.",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="records directory (default: $REPRO_BENCH_DIR, else the "
+        "committed benchmarks/out baseline)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw records as a JSON array instead of a table",
+    )
+    return parser
+
+
+def _main_bench_summary(argv: Sequence[str]) -> int:
+    args = build_bench_summary_parser().parse_args(list(argv))
+    bench_dir = Path(args.bench_dir) if args.bench_dir else default_bench_dir()
+    if not bench_dir.is_dir():
+        print(f"no such bench directory: {bench_dir}", file=sys.stderr)
+        return 2
+    records = load_bench_records(bench_dir)
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(render_table(records))
+    return 0
+
+
 def _main_list() -> int:
     print("Experiments (figure reproductions):")
     for key, spec in EXPERIMENT_SPECS.items():
@@ -1067,6 +1226,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _main_oligopoly(argv[1:])
     if verb == "dynamics":
         return _main_dynamics(argv[1:])
+    if verb == "bench-summary":
+        return _main_bench_summary(argv[1:])
     if verb == "run":
         argv = argv[1:]
         # "run oligopoly ..." / "run dynamics ..." read naturally; route
@@ -1090,15 +1251,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, ValueError, ReproError) as exc:
             print(f"cannot load scenario {args.scenario!r}: {exc}", file=sys.stderr)
             return 2
+    refine = _resolve_refine_spec(parser, args)
     service_changed = _apply_runtime_options(parser, args)
     cache_before = default_service().stats()
     try:
         results = run_experiments(
-            names, out_dir=args.out, quiet=args.quiet or args.json
+            names,
+            out_dir=args.out,
+            quiet=args.quiet or args.json,
+            refine=refine,
         )
         cache_summary = _cache_delta(cache_before, default_service().stats())
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # e.g. --refine on an experiment whose sweep kind cannot refine.
+        print(str(exc), file=sys.stderr)
         return 2
     finally:
         _restore_runtime_options(args, service_changed)

@@ -769,7 +769,10 @@ def run_trajectory(
         task = trajectory_segment_task(
             market, spec, start, n_steps, start == 0, s, m, capacity, price
         )
-        out = resolved.run(task)
+        # Segments chain (each key embeds the previous end state), so the
+        # batch is always one task — routed through `map` so it travels
+        # the executor layer's inline fast path like every other solve.
+        out = resolved.map([task])[0]
         outputs.append(out)
         s = np.asarray(out["end_subsidies"], dtype=float)
         m = np.asarray(out["end_populations"], dtype=float)

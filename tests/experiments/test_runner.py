@@ -344,8 +344,11 @@ class TestJsonSummary:
         payload = json.loads(capsys.readouterr().out)
         assert payload["failures"] == []
         assert set(payload["cache"]) == {
-            "memory_hits", "store_hits", "computed", "store",
+            "memory_hits", "store_hits", "computed", "store", "executor",
         }
+        executor = payload["cache"]["executor"]
+        assert executor["name"] in ("serial", "pool", "chunked")
+        assert executor["tasks"] >= executor["pooled_tasks"]
         (experiment,) = payload["experiments"]
         assert experiment["id"] == "fig4"
         assert experiment["all_passed"] is True
