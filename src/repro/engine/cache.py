@@ -100,6 +100,12 @@ class SolveCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """The LRU bound (entries beyond it evict oldest-first)."""
+        return self._maxsize
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -121,6 +127,7 @@ class SolveCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (benchmarks use this to measure cold solves)."""

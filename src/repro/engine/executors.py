@@ -34,6 +34,7 @@ results; the choice is purely a throughput knob, selected per process via
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Iterable, Tuple
 
@@ -190,19 +191,24 @@ class PoolExecutor(Executor):
         self.pool_reuses = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_key: tuple | None = None
+        # Guards spawn/reuse/shutdown so concurrent server batches sharing
+        # one executor never double-spawn or race a teardown.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
         key = (int(workers), get_backend().requested)
-        if self._pool is not None and self._pool_key == key:
-            self.pool_reuses += 1
+        with self._pool_lock:
+            if self._pool is not None and self._pool_key == key:
+                self.pool_reuses += 1
+                return self._pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=key[0], initializer=_pool_init, initargs=(key[1],)
+            )
+            self._pool_key = key
+            self.pool_spawns += 1
             return self._pool
-        self.shutdown()
-        self._pool = ProcessPoolExecutor(
-            max_workers=key[0], initializer=_pool_init, initargs=(key[1],)
-        )
-        self._pool_key = key
-        self.pool_spawns += 1
-        return self._pool
 
     def map_tasks(self, items, on_result, *, workers: int) -> None:
         items = list(items)
@@ -218,10 +224,17 @@ class PoolExecutor(Executor):
             on_result(futures[future], future.result())
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-            self._pool_key = None
+        """Tear down the pool, cancelling queued (not yet running) tasks.
+
+        An in-flight ``map_tasks`` on another thread sees its pending
+        futures raise ``CancelledError``; results it already delivered
+        stay delivered, which is what lets ``service.close()`` interrupt
+        a batch without losing committed work.
+        """
+        with self._pool_lock:
+            pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def stats(self) -> dict:
         payload = super().stats()

@@ -43,6 +43,8 @@ second resolution is a hit, not a recomputation):
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -219,7 +221,18 @@ class SolveService:
         self._workers = workers
         self._executor_choice = executor
         self._executors: dict[str, Executor] = {}
+        # One small lock guards the counters, the inflight gauge and the
+        # lazy executor registry, so concurrent server threads driving one
+        # service never lose increments or double-build a pool. It is
+        # never held across a solve or an executor call.
+        self._lock = threading.Lock()
         self.counters = ServiceCounters()
+        #: Tasks currently being computed (scheduled past both cache
+        #: tiers, result not yet committed) — the server's load gauge.
+        self.inflight = 0
+        #: Cumulative wall-clock seconds spent inside executor batches
+        #: and direct computes (cache hits contribute nothing).
+        self.solve_seconds = 0.0
 
     @property
     def cache(self) -> SolveCache | None:
@@ -254,20 +267,27 @@ class SolveService:
         if isinstance(choice, Executor):
             return choice
         name = choice if choice is not None else get_default_executor_name()
-        if name not in self._executors:
-            self._executors[name] = make_executor(name)
-        return self._executors[name]
+        with self._lock:
+            if name not in self._executors:
+                self._executors[name] = make_executor(name)
+            return self._executors[name]
 
     def close(self) -> None:
         """Shut down every executor this service spawned (idempotent).
 
         Pools respawn lazily on the next :meth:`map` that needs one, so
         closing is always safe — it trades the persistence win for
-        reclaimed worker processes.
+        reclaimed worker processes. Closing during an in-flight batch
+        cancels that batch's queued tasks (its ``map`` raises); every
+        result committed before the shutdown stays in both cache tiers,
+        so the store remains readable and a rerun computes only the
+        missing rows.
         """
         if isinstance(self._executor_choice, Executor):
             self._executor_choice.shutdown()
-        for executor in self._executors.values():
+        with self._lock:
+            executors = list(self._executors.values())
+        for executor in executors:
             executor.shutdown()
 
     # ------------------------------------------------------------------
@@ -280,19 +300,22 @@ class SolveService:
         if self._cache is not None:
             value = self._cache.get(key)
             if value is not None:
-                self.counters.memory_hits += 1
+                with self._lock:
+                    self.counters.memory_hits += 1
                 return _Lookup(True, value)
         if self._store is not None:
             value = self._store.get(key)
             if value is not None:
-                self.counters.store_hits += 1
+                with self._lock:
+                    self.counters.store_hits += 1
                 if self._cache is not None:
                     self._cache.put(key, value)
                 return _Lookup(True, value)
         return _Lookup(False)
 
     def _commit(self, task: SolveTask, value: Any) -> None:
-        self.counters.computed += 1
+        with self._lock:
+            self.counters.computed += 1
         key = _effective_key(task)
         if key is None:
             return
@@ -309,7 +332,15 @@ class SolveService:
         hit = self._lookup(task)
         if hit.found:
             return hit.value
-        value = run_task(task)
+        with self._lock:
+            self.inflight += 1
+        start = time.perf_counter()
+        try:
+            value = run_task(task)
+        finally:
+            with self._lock:
+                self.inflight -= 1
+                self.solve_seconds += time.perf_counter() - start
         self._commit(task, value)
         return value
 
@@ -337,15 +368,32 @@ class SolveService:
         if not pending:
             return results
 
+        batch_committed = 0
+
         def commit(index: int, value: Any) -> None:
+            nonlocal batch_committed
             results[index] = value
             self._commit(tasks[index], value)
+            batch_committed += 1
+            with self._lock:
+                self.inflight -= 1
 
-        self.resolve_executor().map_tasks(
-            [(index, tasks[index]) for index in pending],
-            commit,
-            workers=self.resolve_workers(workers),
-        )
+        with self._lock:
+            self.inflight += len(pending)
+        start = time.perf_counter()
+        try:
+            self.resolve_executor().map_tasks(
+                [(index, tasks[index]) for index in pending],
+                commit,
+                workers=self.resolve_workers(workers),
+            )
+        finally:
+            with self._lock:
+                # A cancelled/failed batch never commits its remaining
+                # tasks; release their inflight slots so the gauge
+                # returns to the truth.
+                self.inflight -= len(pending) - batch_committed
+                self.solve_seconds += time.perf_counter() - start
         return results
 
     # ------------------------------------------------------------------
@@ -358,18 +406,36 @@ class SolveService:
 
     def reset_counters(self) -> None:
         """Zero the service counters (store counters included, if any)."""
-        self.counters = ServiceCounters()
+        with self._lock:
+            self.counters = ServiceCounters()
+            self.solve_seconds = 0.0
         if self._store is not None:
             self._store.hits = 0
             self._store.misses = 0
             self._store.writes = 0
             self._store.write_errors = 0
+            self._store.read_seconds = 0.0
+            self._store.write_seconds = 0.0
 
     def stats(self) -> dict:
-        """Hit/miss/solve counters across both tiers, JSON-ready."""
-        payload = self.counters.as_dict()
+        """Hit/miss/latency/inflight counters across both tiers, JSON-ready."""
+        with self._lock:
+            payload = self.counters.as_dict()
+            payload["inflight"] = self.inflight
+            payload["solve_seconds"] = self.solve_seconds
         payload["memory_entries"] = (
             len(self._cache) if self._cache is not None else 0
+        )
+        payload["memory"] = (
+            {
+                "entries": len(self._cache),
+                "maxsize": self._cache.maxsize,
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "evictions": self._cache.evictions,
+            }
+            if self._cache is not None
+            else None
         )
         payload["store"] = (
             self._store.stats() if self._store is not None else None

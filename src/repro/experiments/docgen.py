@@ -28,10 +28,12 @@ from typing import Sequence
 from repro.experiments.runner import (
     build_bench_summary_parser,
     build_cache_parser,
+    build_client_parser,
     build_describe_parser,
     build_dynamics_parser,
     build_oligopoly_parser,
     build_run_parser,
+    build_serve_parser,
 )
 
 __all__ = ["generate_cli_reference", "main"]
@@ -157,8 +159,20 @@ def generate_cli_reference() -> str:
         ),
         _render_parser(
             "cache",
-            "python -m repro.experiments cache {stats,path,clear} [options]",
+            "python -m repro.experiments cache "
+            "{stats,path,clear,prune,rebuild-index} [options]",
             build_cache_parser(),
+        ),
+        _render_parser(
+            "serve",
+            "python -m repro.experiments serve [options]",
+            build_serve_parser(),
+        ),
+        _render_parser(
+            "client",
+            "python -m repro.experiments client "
+            "{health,stats,submit,replay} [scenarios...] [options]",
+            build_client_parser(),
         ),
         _render_parser(
             "bench-summary",

@@ -21,6 +21,8 @@ Usage::
     python -m repro.experiments fig7 --executor chunked  # scheduling strategy
     python -m repro.experiments fig7 --refine          # adaptive grid refinement
     python -m repro.experiments bench-summary          # fold BENCH_*.json records
+    python -m repro.experiments serve --cache-dir .cache  # the solve daemon
+    python -m repro.experiments client replay section3 --clients 4
 
 Experiment names are validated (and de-duplicated) up front — an unknown
 name aborts before anything runs. ``run`` accepts figure ids, registered
@@ -47,7 +49,17 @@ persistent content-addressed solve store, making runs *resumable* — a
 second run of the same figures against a warm store performs zero
 equilibrium solves. ``--no-cache`` runs purely in memory, ignoring any
 configured directory. The ``cache`` verb inspects and maintains the
-store: ``cache stats`` / ``cache path`` / ``cache clear``.
+store: ``cache stats`` / ``cache path`` / ``cache clear`` /
+``cache prune`` (garbage sweep + oldest-first eviction under
+``--max-entries``/``--max-bytes``) / ``cache rebuild-index`` (rescan into
+the derived ``index.json`` catalog).
+
+The ``serve`` verb runs the long-lived solve daemon — an asyncio
+HTTP/JSON front end over one warm solve service (submit-scenario → job id
+→ poll/result, duplicate submits coalescing onto one job) — and the
+``client`` verb talks to it: liveness/stats probes, submit-and-wait, or an
+N-client replay whose summary reports requests/sec and the server-side
+``computed_delta`` (zero against a warm store). See ``docs/serve.md``.
 
 The ``oligopoly`` verb (also reachable as ``run oligopoly``) solves an
 N-carrier price competition over a scenario's market: ``--carriers N``
@@ -137,10 +149,12 @@ __all__ = [
     "EXPERIMENT_SPECS",
     "build_bench_summary_parser",
     "build_cache_parser",
+    "build_client_parser",
     "build_describe_parser",
     "build_dynamics_parser",
     "build_oligopoly_parser",
     "build_run_parser",
+    "build_serve_parser",
     "canonical_experiment",
     "resolve_experiments",
     "run_experiments",
@@ -178,6 +192,8 @@ _VERBS = {
     "oligopoly",
     "dynamics",
     "bench-summary",
+    "serve",
+    "client",
 }
 
 
@@ -1089,15 +1105,32 @@ def build_cache_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "action",
-        choices=("stats", "path", "clear"),
+        choices=("stats", "path", "clear", "prune", "rebuild-index"),
         help="stats: entry count and footprint (JSON); path: the store "
-        "directory; clear: remove every stored artifact",
+        "directory; clear: remove every stored artifact; prune: sweep "
+        "stray temp files and orphaned artifacts, optionally evicting "
+        "oldest entries past --max-entries/--max-bytes; rebuild-index: "
+        "rescan the entries and rewrite the derived index.json catalog",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="store directory (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune: keep at most N committed entries (oldest evicted first)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="prune: keep the store under B bytes (oldest evicted first)",
     )
     return parser
 
@@ -1112,6 +1145,14 @@ def _main_cache(argv: Sequence[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.action != "prune" and (
+        args.max_entries is not None or args.max_bytes is not None
+    ):
+        print(
+            "--max-entries/--max-bytes only apply to the prune action",
+            file=sys.stderr,
+        )
+        return 2
     if args.action == "path":
         print(store.path)
     elif args.action == "stats":
@@ -1121,7 +1162,29 @@ def _main_cache(argv: Sequence[str]) -> int:
                 {
                     "path": stats["path"],
                     "entries": stats["entries"],
+                    "shards": stats["shards"],
                     "bytes": stats["bytes"],
+                },
+                indent=2,
+            )
+        )
+    elif args.action == "prune":
+        try:
+            summary = store.prune(
+                max_entries=args.max_entries, max_bytes=args.max_bytes
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(json.dumps({"path": str(store.path), **summary}, indent=2))
+    elif args.action == "rebuild-index":
+        index = store.rebuild_index()
+        print(
+            json.dumps(
+                {
+                    "path": str(store.path),
+                    "index": str(store.index_path),
+                    "entries": len(index["entries"]),
                 },
                 indent=2,
             )
@@ -1130,6 +1193,231 @@ def _main_cache(argv: Sequence[str]) -> int:
         removed = store.clear()
         noun = "entry" if removed == 1 else "entries"
         print(f"removed {removed} {noun} from {store.path}")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Run the long-lived solve daemon: an HTTP/JSON service "
+        "(submit-scenario -> job id -> poll/result) over one warm solve "
+        "service, so many clients replaying overlapping scenario sets "
+        "share a single persistent store and executor pool. Routes: "
+        "GET /health, GET /stats, POST /jobs, GET /jobs, GET /jobs/ID "
+        "(?wait=SECONDS long-polls), GET /jobs/ID/result, "
+        "POST /jobs/ID/cancel. See docs/serve.md.",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port (default: 8787)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write 'host port' to PATH once the socket is listening — the "
+        "readiness signal scripts and CI wait on (works with --port 0)",
+    )
+    parser.add_argument(
+        "--queue-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solver threads draining the job queue (default: 1; each job's "
+        "row-level parallelism still comes from --workers)",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def _main_serve(argv: Sequence[str]) -> int:
+    import asyncio
+    import signal
+
+    from repro.server.jobs import JobManager
+    from repro.server.http import run_server
+
+    parser = build_serve_parser()
+    args = parser.parse_args(list(argv))
+    if args.queue_workers < 1:
+        parser.error("--queue-workers must be at least 1")
+    service_changed = _apply_runtime_options(parser, args)
+    manager = JobManager(
+        service=default_service(), workers=args.queue_workers
+    )
+
+    def on_bound(bound: tuple) -> None:
+        host, port = bound
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{host} {port}\n")
+
+    async def daemon() -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.ensure_future(
+            run_server(
+                manager, host=args.host, port=args.port, on_bound=on_bound
+            )
+        )
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, task.cancel)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX event loop; Ctrl-C still raises
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(daemon())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.close()
+        _restore_runtime_options(args, service_changed)
+        if args.port_file:
+            Path(args.port_file).unlink(missing_ok=True)
+    print("repro serve shut down cleanly", flush=True)
+    return 0
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    """The ``client`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments client",
+        description="Talk to a running repro serve daemon: health/stats "
+        "probes, submit-and-wait for one scenario, or replay a scenario "
+        "set from N concurrent clients and report requests/sec plus the "
+        "server-side computed/store-write deltas (a warm store must show "
+        "computed_delta == 0).",
+    )
+    parser.add_argument(
+        "action",
+        choices=("health", "stats", "submit", "replay"),
+        help="health: liveness probe; stats: server counters; submit: run "
+        "one scenario to a terminal state; replay: N concurrent clients "
+        "replaying the scenario set",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="scenario",
+        help="registered scenario ids (submit uses the first; replay "
+        "replays the whole set from every client)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon host (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        metavar="PORT",
+        help="daemon port (default: 8787)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="read 'host port' from PATH (written by serve --port-file; "
+        "overrides --host/--port)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="replay: concurrent client threads (default: 4)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-job terminal-state timeout (default: 300)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON response/summary",
+    )
+    return parser
+
+
+def _main_client(argv: Sequence[str]) -> int:
+    from repro.server.client import ServeClient, ServeError, replay
+
+    parser = build_client_parser()
+    args = parser.parse_args(list(argv))
+    host, port = args.host, args.port
+    if args.port_file:
+        try:
+            host, raw_port = Path(args.port_file).read_text().split()
+            port = int(raw_port)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.port_file!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.action in ("submit", "replay") and not args.scenarios:
+        parser.error(f"{args.action} needs at least one scenario id")
+    unknown = [sid for sid in args.scenarios if not is_registered(sid)]
+    if unknown:
+        print(
+            f"unknown scenario id(s) {unknown}; registered: {scenario_ids()}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.action == "health":
+            payload = ServeClient(host, port).health()
+        elif args.action == "stats":
+            payload = ServeClient(host, port).stats()
+        elif args.action == "submit":
+            record = ServeClient(host, port).run(
+                args.scenarios[0], timeout=args.timeout
+            )
+            payload = record
+            if record["state"] != "done":
+                print(json.dumps(record, indent=2), file=sys.stderr)
+                return 1
+        else:
+            payload = replay(
+                host,
+                port,
+                args.scenarios,
+                clients=args.clients,
+                timeout=args.timeout,
+            )
+            if payload["failures"] or payload["outcomes"].get(
+                "done", 0
+            ) != args.clients * len(args.scenarios):
+                print(json.dumps(payload, indent=2), file=sys.stderr)
+                return 1
+    except (ServeError, ConnectionError, TimeoutError, OSError) as exc:
+        print(f"client {args.action} failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif args.action == "replay":
+        print(
+            f"{payload['clients']} client(s) x {payload['scenarios']} "
+            f"scenario(s): {payload['requests']} request(s) in "
+            f"{payload['elapsed_seconds']:.2f}s "
+            f"({payload['requests_per_sec']:.1f} req/s), "
+            f"computed_delta={payload['computed_delta']}, "
+            f"coalesced_delta={payload['coalesced_delta']}"
+        )
+    else:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -1228,6 +1516,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _main_dynamics(argv[1:])
     if verb == "bench-summary":
         return _main_bench_summary(argv[1:])
+    if verb == "serve":
+        return _main_serve(argv[1:])
+    if verb == "client":
+        return _main_client(argv[1:])
     if verb == "run":
         argv = argv[1:]
         # "run oligopoly ..." / "run dynamics ..." read naturally; route

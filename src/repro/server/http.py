@@ -1,0 +1,319 @@
+"""The asyncio HTTP/1.1 front end of ``repro serve``.
+
+Stdlib only: an ``asyncio.start_server`` stream handler plus a
+hand-rolled request parser — the container bakes in no web framework, and
+the API (five JSON routes, short bodies, ``Connection: close``) does not
+need one. Solves never run on the event loop: the handler answers from
+the :class:`~repro.server.jobs.JobManager`'s tables, and the only
+blocking call (``?wait=`` long-polling) is pushed to the default thread
+pool so a slow solve never stalls ``/health``.
+
+Routes
+------
+==============================  ==============================================
+``GET  /health``                liveness: ``{"status": "ok"}``
+``GET  /stats``                 service + store + executor + job counters
+``POST /jobs``                  submit ``{"scenario": <id or document>}`` →
+                                202 with the job record (200 if coalesced)
+``GET  /jobs``                  every job record, oldest first
+``GET  /jobs/<id>``             one record; ``?wait=SECONDS`` long-polls for
+                                a terminal state
+``GET  /jobs/<id>/result``      the solved experiment payload (409 until
+                                terminal)
+``POST /jobs/<id>/cancel``      cancel a queued job (no-op past queued)
+==============================  ==============================================
+
+Errors are JSON too: ``{"error": <message>}`` with a conventional status
+(400 malformed, 404 unknown, 405 wrong method, 409 not ready, 413 body
+too large).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.server.jobs import TERMINAL_STATES, JobManager
+
+__all__ = ["ServeApp", "run_server"]
+
+#: Largest accepted request body: a scenario document is a few KB; a
+#: megabyte of headroom keeps generated stress scenarios submittable
+#: while bounding what one request can make the daemon buffer.
+MAX_BODY_BYTES = 1 << 20
+
+#: Longest honored ``?wait=`` long-poll, seconds.
+MAX_WAIT_SECONDS = 60.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _resolve_scenario(document: Any):
+    """A submitted scenario: a registry id string or a full document."""
+    # Runtime imports keep the server package import-light (repro.io pulls
+    # in the scenario spec layer).
+    from repro.io import scenario_from_dict
+    from repro.scenarios.registry import get_scenario, scenario_ids
+
+    if isinstance(document, str):
+        if document not in scenario_ids():
+            raise _HttpError(
+                404,
+                f"unknown scenario id {document!r}; registered: "
+                f"{scenario_ids()}",
+            )
+        return get_scenario(document)
+    if isinstance(document, dict):
+        try:
+            return scenario_from_dict(document)
+        except Exception as exc:
+            raise _HttpError(400, f"bad scenario document: {exc}") from exc
+    raise _HttpError(400, "scenario must be a registry id or a document")
+
+
+class ServeApp:
+    """Routing and JSON semantics, separated from socket handling.
+
+    ``handle`` is synchronous and side-effect-free on the connection —
+    the unit tests drive it directly; the asyncio layer is only transport.
+    """
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    # routes (each returns (status, payload))
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        try:
+            return self._route(method, path, body)
+        except _HttpError as exc:
+            return exc.status, {"error": exc.message}
+        except Exception as exc:  # a handler bug must not kill the daemon
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path, _, query = path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["health"]:
+            self._require(method, "GET")
+            return 200, {"status": "ok"}
+        if parts == ["stats"]:
+            self._require(method, "GET")
+            return 200, self.stats()
+        if parts == ["jobs"]:
+            if method == "POST":
+                return self._submit(body)
+            self._require(method, "GET")
+            return 200, {
+                "jobs": [job.describe() for job in self.manager.jobs()]
+            }
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._require(method, "GET")
+            return self._job(parts[1], query)
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._require(method, "GET")
+            return self._result(parts[1])
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._require(method, "POST")
+            return self._cancel(parts[1])
+        raise _HttpError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.manager.stats(),
+            "service": self.manager.service.stats(),
+        }
+
+    def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "scenario" not in payload:
+            raise _HttpError(400, 'body must be {"scenario": <id or doc>}')
+        scn = _resolve_scenario(payload["scenario"])
+        job, coalesced = self.manager.submit(scn)
+        record = job.describe()
+        record["coalesced"] = coalesced
+        return (200 if coalesced else 202), record
+
+    def _lookup(self, job_id: str):
+        job = self.manager.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return job
+
+    def _job(self, job_id: str, query: str) -> tuple[int, dict]:
+        job = self._lookup(job_id)
+        timeout = _wait_seconds(query)
+        if timeout > 0 and job.state not in TERMINAL_STATES:
+            # The transport layer runs this off the event loop.
+            self.manager.wait(job_id, timeout)
+        return 200, job.describe()
+
+    def _result(self, job_id: str) -> tuple[int, dict]:
+        job = self._lookup(job_id)
+        if job.state not in TERMINAL_STATES:
+            raise _HttpError(409, f"job {job_id} is {job.state}, not terminal")
+        return 200, job.describe(with_result=True)
+
+    def _cancel(self, job_id: str) -> tuple[int, dict]:
+        job = self.manager.cancel(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return 200, job.describe()
+
+
+def _wait_seconds(query: str) -> float:
+    """The ``wait=SECONDS`` long-poll bound from a query string."""
+    for clause in query.split("&"):
+        name, _, raw = clause.partition("=")
+        if name != "wait":
+            continue
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"bad wait value {raw!r}") from exc
+        if value < 0:
+            raise _HttpError(400, "wait must be non-negative")
+        return min(value, MAX_WAIT_SECONDS)
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# the asyncio transport
+# ----------------------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: (method, path, body) or None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    try:
+        method, path, _ = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line")
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length")
+    if content_length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method.upper(), path, body
+
+
+def _render_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _handle_connection(
+    app: ServeApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            request = await _read_request(reader)
+        except _HttpError as exc:
+            writer.write(_render_response(exc.status, {"error": exc.message}))
+            await writer.drain()
+            return
+        except asyncio.IncompleteReadError:
+            return
+        if request is None:
+            return
+        method, path, body = request
+        # handle() may block on a solve wait; keep it off the event loop.
+        status, payload = await asyncio.get_running_loop().run_in_executor(
+            None, app.handle, method, path, body
+        )
+        writer.write(_render_response(status, payload))
+        await writer.drain()
+    except (ConnectionError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def run_server(
+    manager: JobManager,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "asyncio.Future | None" = None,
+    on_bound=None,
+) -> None:
+    """Serve ``manager`` over HTTP until cancelled.
+
+    ``port=0`` binds an ephemeral port; ``on_bound((host, port))`` — and,
+    for in-process embedders, the optional ``ready`` future — fire once
+    the socket is listening with the *actual* address, which is how the
+    CLI's ``--port-file`` and the test harness learn where to connect.
+    """
+    app = ServeApp(manager)
+
+    async def handler(reader, writer):
+        await _handle_connection(app, reader, writer)
+
+    server = await asyncio.start_server(handler, host=host, port=port)
+    bound = server.sockets[0].getsockname()[:2]
+    if on_bound is not None:
+        on_bound(bound)
+    if ready is not None and not ready.done():
+        ready.set_result(bound)
+    async with server:
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass

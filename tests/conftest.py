@@ -2,12 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.providers.content_provider import exponential_cp
 from repro.providers.isp import AccessISP
 from repro.providers.market import Market
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight stress variants, skipped unless "
+        "$REPRO_SLOW_TESTS is set (CI's dedicated jobs enable them)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_SLOW_TESTS", "").strip():
+        return
+    skip = pytest.mark.skip(reason="slow stress variant; set REPRO_SLOW_TESTS=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 def finite_difference(func, x: float, h: float = 1e-6) -> float:

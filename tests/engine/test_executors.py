@@ -15,6 +15,9 @@ The contract under test (see :mod:`repro.engine.executors`):
   dynamics trajectories, under the numpy and compiled backends.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -85,6 +88,23 @@ def _fragile_task(x, fail=False):
     )
 
 
+def _slow(x, *, delay=0.0):
+    time.sleep(delay)
+    return {"value": np.asarray(3.0 * x, dtype=float)}
+
+
+def _slow_task(x, delay=0.0):
+    # ``delay`` is not part of the key: the rerun of an interrupted batch
+    # issues the same tasks without the artificial slowness.
+    return SolveTask(
+        fn=_slow,
+        args=(float(x),),
+        kwargs=(("delay", float(delay)),),
+        key=("exec-slow/1", float(x)),
+        codec="ndarrays",
+    )
+
+
 def small_market():
     return Market(
         [
@@ -96,7 +116,12 @@ def small_market():
 
 
 def store_listing(path) -> list[str]:
-    return sorted(p.name for p in path.iterdir())
+    """Every store file as a root-relative path — *file-level* layout,
+    shard directories included, so two listings agreeing means the
+    stores are interchangeable on disk, not merely equal in content."""
+    return sorted(
+        str(p.relative_to(path)) for p in path.rglob("*") if p.is_file()
+    )
 
 
 class TestDefaultSelection:
@@ -305,6 +330,60 @@ class TestIncrementalCommit:
             assert len(service.store) == 3
         finally:
             executor.shutdown()
+
+
+class TestCloseDuringBatch:
+    """service.close() mid-batch: queued work cancels, the store survives."""
+
+    def test_close_midbatch_leaves_store_readable(self, tmp_path):
+        service = SolveService(
+            cache=SolveCache(), store=SolveStore(tmp_path), executor="pool"
+        )
+        xs = [float(x) for x in range(1, 7)]
+        failures: list[BaseException] = []
+
+        def run_batch():
+            try:
+                service.map(
+                    [_slow_task(x, delay=0.25) for x in xs], workers=2
+                )
+            except BaseException as exc:  # CancelledError is a BaseException
+                failures.append(exc)
+
+        thread = threading.Thread(target=run_batch)
+        thread.start()
+        # Wait for the first commit so the close genuinely interrupts a
+        # batch that has landed partial work (on a slow machine the batch
+        # may still finish whole — the assertions below hold either way).
+        deadline = time.time() + 30.0
+        while (
+            time.time() < deadline
+            and thread.is_alive()
+            and len(service.store) == 0
+        ):
+            time.sleep(0.02)
+        service.close()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert service.inflight == 0  # the gauge recovered from the cancel
+
+        # Every committed entry decodes — nothing is torn — and a warm
+        # rerun recomputes exactly the rows the cancel lost.
+        survivors = 0
+        check = SolveStore(tmp_path)
+        for x in xs:
+            value = check.get(("exec-slow/1", float(x)))
+            if value is not None:
+                assert float(value["value"]) == 3.0 * x
+                survivors += 1
+        assert survivors == len(check)
+        rerun = SolveService(
+            cache=SolveCache(), store=SolveStore(tmp_path), executor="serial"
+        )
+        values = rerun.map([_slow_task(x) for x in xs])
+        assert [float(v["value"]) for v in values] == [3.0 * x for x in xs]
+        assert rerun.counters.store_hits == survivors
+        assert rerun.counters.computed == len(xs) - survivors
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

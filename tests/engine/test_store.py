@@ -26,6 +26,21 @@ def solved_row():
     )
 
 
+def entry_files(root):
+    """(manifests, arrays) across both the sharded and flat layouts."""
+    manifests = sorted(
+        p for p in root.rglob("*.json") if len(p.stem) == 64
+    )
+    arrays = sorted(p for p in root.rglob("*.npz") if len(p.stem) == 64)
+    return manifests, arrays
+
+
+def sole_manifest(root):
+    manifests, _ = entry_files(root)
+    assert len(manifests) == 1
+    return manifests[0]
+
+
 def assert_rows_bitwise_equal(a, b):
     assert len(a) == len(b)
     for x, y in zip(a, b):
@@ -139,8 +154,7 @@ class TestCorruptionTolerance:
     """Bad entry -> miss, never crash; recompute-and-put repairs."""
 
     def _entry_paths(self, tmp_path):
-        manifests = list(tmp_path.glob("*.json"))
-        arrays = list(tmp_path.glob("*.npz"))
+        manifests, arrays = entry_files(tmp_path)
         assert len(manifests) == 1 and len(arrays) == 1
         return manifests[0], arrays[0]
 
@@ -174,7 +188,7 @@ class TestCorruptionTolerance:
     def test_version_skew_is_a_miss(self, tmp_path):
         store = SolveStore(tmp_path)
         store.put(("k",), {"v": 1}, codec="json")
-        manifest = next(tmp_path.glob("*.json"))
+        manifest = sole_manifest(tmp_path)
         payload = json.loads(manifest.read_text())
         payload["version"] = 999
         manifest.write_text(json.dumps(payload))
@@ -183,7 +197,7 @@ class TestCorruptionTolerance:
     def test_unknown_codec_in_manifest_is_a_miss(self, tmp_path):
         store = SolveStore(tmp_path)
         store.put(("k",), {"v": 1}, codec="json")
-        manifest = next(tmp_path.glob("*.json"))
+        manifest = sole_manifest(tmp_path)
         payload = json.loads(manifest.read_text())
         payload["codec"] = "no-such-codec"
         manifest.write_text(json.dumps(payload))
@@ -241,3 +255,154 @@ class TestMaintenance:
 
     def test_codec_registry_is_closed(self):
         assert set(CODECS) == {"grid-row", "ndarrays", "json"}
+
+
+def flat_put(root, key, value, *, codec):
+    """Write an entry in the pre-sharding flat layout (legacy stores)."""
+    staging = SolveStore(root / "_staging")
+    assert staging.put(key, value, codec=codec)
+    digest = key_digest(key)
+    for suffix in (".npz", ".json"):
+        sharded = root / "_staging" / digest[:2] / f"{digest}{suffix}"
+        if sharded.is_file():
+            sharded.rename(root / f"{digest}{suffix}")
+    return digest
+
+
+class TestShardedLayout:
+    def test_entries_land_in_first_byte_shards(self, tmp_path):
+        store = SolveStore(tmp_path)
+        key = ("sharded", 1)
+        store.put(key, {"v": 1}, codec="json")
+        digest = key_digest(key)
+        assert (tmp_path / digest[:2] / f"{digest}.json").is_file()
+        assert not (tmp_path / f"{digest}.json").exists()
+
+    def test_flat_legacy_entry_reads_and_migrates(self, tmp_path):
+        key = ("legacy", 1)
+        row = solved_row()
+        digest = flat_put(tmp_path, key, row, codec="grid-row")
+        store = SolveStore(tmp_path)
+        loaded = store.get(key)
+        assert_rows_bitwise_equal(row, loaded)
+        assert store.hits == 1
+        # The hit migrated the entry into its shard.
+        assert (tmp_path / digest[:2] / f"{digest}.json").is_file()
+        assert (tmp_path / digest[:2] / f"{digest}.npz").is_file()
+        assert not (tmp_path / f"{digest}.json").exists()
+        assert not (tmp_path / f"{digest}.npz").exists()
+        # And it still reads after migration.
+        assert_rows_bitwise_equal(row, store.get(key))
+
+    def test_put_shadows_flat_predecessor(self, tmp_path):
+        key = ("shadow", 1)
+        digest = flat_put(tmp_path, key, {"v": "old"}, codec="json")
+        store = SolveStore(tmp_path)
+        store.put(key, {"v": "new"}, codec="json")
+        assert store.get(key)["v"] == "new"
+        assert not (tmp_path / f"{digest}.json").exists()
+        assert len(store) == 1
+
+    def test_len_clear_and_stats_span_both_layouts(self, tmp_path):
+        flat_put(tmp_path, ("flat",), {"v": 1}, codec="json")
+        store = SolveStore(tmp_path)
+        store.put(("sharded",), {"v": 2}, codec="json")
+        assert len(store) == 2
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["flat_entries"] == 1
+        assert stats["shards"] >= 1
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_corrupt_sharded_entry_is_a_miss(self, tmp_path):
+        store = SolveStore(tmp_path)
+        key = ("corrupt-shard", 1)
+        store.put(key, solved_row(), codec="grid-row")
+        digest = key_digest(key)
+        npz = tmp_path / digest[:2] / f"{digest}.npz"
+        npz.write_bytes(npz.read_bytes()[:16])
+        assert store.get(key) is None
+        # Recompute-and-put repairs in place.
+        assert store.put(key, solved_row(), codec="grid-row")
+        assert store.get(key) is not None
+
+
+class TestIndex:
+    def test_rebuild_index_matches_directory_scan(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("a",), {"v": 1}, codec="json")
+        store.put(("b",), solved_row(), codec="grid-row")
+        flat_put(tmp_path, ("c",), {"v": 3}, codec="json")
+        index = store.rebuild_index()
+        assert set(index["entries"]) == set(store.scan_entries())
+        assert len(index["entries"]) == 3
+        for record in index["entries"].values():
+            assert record["codec"] in CODECS
+            assert record["bytes"] > 0
+        # The written catalog round-trips.
+        assert store.load_index() == index
+
+    def test_load_index_absent_or_garbage_is_none(self, tmp_path):
+        store = SolveStore(tmp_path)
+        assert store.load_index() is None
+        tmp_path.mkdir(exist_ok=True)
+        store.index_path.write_text("{broken")
+        assert store.load_index() is None
+
+    def test_index_never_shadows_entries(self, tmp_path):
+        # index.json is not digest-named, so clear/len ignore it as an
+        # entry but clear still removes the stale catalog.
+        store = SolveStore(tmp_path)
+        store.put(("a",), {"v": 1}, codec="json")
+        store.rebuild_index()
+        assert len(store) == 1
+        store.clear()
+        assert not store.index_path.exists()
+
+
+class TestPrune:
+    def test_prune_removes_orphans_and_temps(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(("keep",), solved_row(), codec="grid-row")
+        digest = key_digest(("keep",))
+        shard = tmp_path / digest[:2]
+        # An orphan artifact: a writer died before the manifest rename.
+        (shard / ("f" * 64 + ".npz")).write_bytes(b"partial")
+        (shard / "tmpabc123.tmp").write_bytes(b"scratch")
+        summary = store.prune()
+        assert summary == {"entries": 0, "orphans": 1, "temp_files": 1}
+        assert store.get(("keep",)) is not None
+
+    def test_prune_max_entries_evicts_oldest(self, tmp_path):
+        import os as _os
+
+        store = SolveStore(tmp_path)
+        for i in range(4):
+            key = (f"k{i}",)
+            store.put(key, {"v": i}, codec="json")
+            manifest = tmp_path / key_digest(key)[:2] / (
+                key_digest(key) + ".json"
+            )
+            _os.utime(manifest, (1000.0 + i, 1000.0 + i))
+        summary = store.prune(max_entries=2)
+        assert summary["entries"] == 2
+        assert len(store) == 2
+        assert store.get(("k0",)) is None and store.get(("k1",)) is None
+        assert store.get(("k2",)) is not None
+        assert store.get(("k3",)) is not None
+
+    def test_prune_max_bytes(self, tmp_path):
+        store = SolveStore(tmp_path)
+        for i in range(3):
+            store.put((f"k{i}",), {"v": "x" * 64}, codec="json")
+        assert store.prune(max_bytes=0)["entries"] == 3
+        assert len(store) == 0
+
+    def test_prune_rejects_negative_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            SolveStore(tmp_path).prune(max_entries=-1)
+
+    def test_prune_missing_directory(self, tmp_path):
+        summary = SolveStore(tmp_path / "never").prune(max_entries=1)
+        assert summary == {"entries": 0, "orphans": 0, "temp_files": 0}

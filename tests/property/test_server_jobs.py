@@ -1,0 +1,185 @@
+"""Property tests for the serve daemon's job lifecycle.
+
+Hypothesis drives random sequences of submit / pump / cancel /
+duplicate-submit against a pump-mode :class:`JobManager` (no worker
+threads: every transition happens inside the test, so the model is
+exact). Invariants checked after every operation:
+
+* duplicate submits of a live-or-done scenario coalesce to one job —
+  distinct digests never share one, and a digest never has two live jobs;
+* terminal states are sticky — once ``done``/``failed``/``cancelled``,
+  a job's state and result never change again;
+* stats counters are monotone, and the event counters reconcile with
+  the states actually observed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.providers import AccessISP, Market, exponential_cp
+from repro.scenarios.spec import ScenarioSpec
+from repro.server.jobs import TERMINAL_STATES, JobManager
+
+#: A tiny pool of distinct scenarios; reusing ids across operations is
+#: exactly what exercises coalescing.
+_SCENARIO_IDS = ("prop-a", "prop-b", "prop-c")
+
+_COUNTERS = (
+    "submitted",
+    "coalesced",
+    "started",
+    "completed",
+    "failed",
+    "cancelled",
+)
+
+
+def _scenario(sid: str) -> ScenarioSpec:
+    market = Market(
+        [exponential_cp(2.0, 2.0, value=1.0)],
+        AccessISP(price=1.0, capacity=1.0),
+    )
+    return ScenarioSpec(
+        scenario_id=sid,
+        title=f"property scenario {sid}",
+        market=market,
+        prices=(1.0,),
+        policy_levels=(0.0,),
+    )
+
+
+_SCENARIOS = {sid: _scenario(sid) for sid in _SCENARIO_IDS}
+
+
+def _runner(scn, service):
+    if scn.scenario_id == "prop-c":  # one scenario always fails
+        raise RuntimeError("prop-c always fails")
+    return {"solved": scn.scenario_id}
+
+
+# Operations: ("submit", sid) | ("pump",) | ("cancel", job_offset)
+_OPS = st.one_of(
+    st.tuples(st.just("submit"), st.sampled_from(_SCENARIO_IDS)),
+    st.tuples(st.just("pump")),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=5)),
+)
+
+
+class _Model:
+    """Shadow bookkeeping rebuilt from the manager's observable outputs."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+        self.jobs = []  # submission order
+        self.frozen = {}  # job_id -> (state, result, error) at terminal
+        self.last_stats = manager.stats()
+
+    def check(self) -> None:
+        stats = self.manager.stats()
+        # Counters only ever grow.
+        for name in _COUNTERS:
+            assert stats[name] >= self.last_stats[name], name
+        # Events reconcile with observed job states.
+        states = [job.state for job in self.jobs]
+        assert stats["submitted"] - stats["coalesced"] == len(self.jobs)
+        assert stats["completed"] == states.count("done")
+        assert stats["failed"] == states.count("failed")
+        assert stats["cancelled"] == states.count("cancelled")
+        assert stats["jobs"] == len(self.jobs)
+        # Terminal states (and their payloads) are sticky.
+        for job in self.jobs:
+            if job.job_id in self.frozen:
+                assert (
+                    job.state,
+                    job.result,
+                    job.error,
+                ) == self.frozen[job.job_id]
+            elif job.state in TERMINAL_STATES:
+                self.frozen[job.job_id] = (job.state, job.result, job.error)
+        # A digest never has two live (non-terminal) jobs.
+        live = [
+            job.digest
+            for job in self.jobs
+            if job.state not in TERMINAL_STATES
+        ]
+        assert len(live) == len(set(live))
+        self.last_stats = stats
+
+    # ------------------------------------------------------------------
+    def submit(self, sid: str) -> None:
+        before = {
+            job.digest: job
+            for job in self.jobs
+            if job.state in ("queued", "running", "done")
+        }
+        job, coalesced = self.manager.submit(_SCENARIOS[sid])
+        if job.digest in before:
+            # Live-or-done digest: must coalesce to that very job.
+            assert coalesced and job is before[job.digest]
+        else:
+            assert not coalesced
+            self.jobs.append(job)
+
+    def pump(self) -> None:
+        self.manager.pump()
+
+    def cancel(self, offset: int) -> None:
+        if not self.jobs:
+            return
+        job = self.jobs[offset % len(self.jobs)]
+        was_terminal = job.state in TERMINAL_STATES
+        was = job.state
+        result = self.manager.cancel(job.job_id)
+        assert result is job
+        if was_terminal:
+            assert job.state == was  # sticky: cancel cannot re-transition
+        else:
+            assert job.state == "cancelled"
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(_OPS, max_size=40))
+def test_random_lifecycle_sequences(ops):
+    manager = JobManager(runner=_runner, workers=0)
+    model = _Model(manager)
+    try:
+        for op in ops:
+            getattr(model, op[0])(*op[1:])
+            model.check()
+        # Drain: after enough pumps every job is terminal and the
+        # invariants still hold.
+        while manager.pump():
+            model.check()
+        model.check()
+        for job in model.jobs:
+            assert job.state in TERMINAL_STATES or job.state == "queued"
+    finally:
+        manager.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sids=st.lists(st.sampled_from(_SCENARIO_IDS), min_size=1, max_size=12)
+)
+def test_duplicate_submits_coalesce_to_one_solve_each(sids):
+    """However submits interleave, each distinct scenario runs at most
+    once while its job stays live-or-done."""
+    runs = []
+
+    def counting_runner(scn, service):
+        runs.append(scn.scenario_id)
+        return {"ok": scn.scenario_id}
+
+    manager = JobManager(runner=counting_runner, workers=0)
+    try:
+        for sid in sids:
+            manager.submit(_SCENARIOS[sid])
+        while manager.pump():
+            pass
+        assert sorted(runs) == sorted(set(sids))
+        stats = manager.stats()
+        assert stats["submitted"] == len(sids)
+        assert stats["coalesced"] == len(sids) - len(set(sids))
+        assert stats["completed"] == len(set(sids))
+    finally:
+        manager.close()

@@ -1,0 +1,241 @@
+"""HTTP layer tests for `repro serve`.
+
+Most cases drive :meth:`ServeApp.handle` directly — it is synchronous
+and socket-free, so every route, error shape and status code is testable
+without a running event loop. One end-to-end class then boots the real
+asyncio server on an ephemeral port and talks to it with
+:class:`ServeClient` over actual sockets.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.io import scenario_to_dict
+from repro.providers import AccessISP, Market, exponential_cp
+from repro.scenarios.spec import ScenarioSpec
+from repro.server import JobManager, ServeApp, ServeClient, run_server
+from repro.server.client import ServeError
+from repro.server.http import MAX_BODY_BYTES
+
+
+def tiny_scenario(sid="tiny-a"):
+    market = Market(
+        [
+            exponential_cp(2.0, 2.0, value=1.0),
+            exponential_cp(5.0, 3.0, value=0.6),
+        ],
+        AccessISP(price=1.0, capacity=1.0),
+    )
+    return ScenarioSpec(
+        scenario_id=sid,
+        title="tiny test scenario",
+        market=market,
+        prices=(0.5, 1.0),
+        policy_levels=(0.0, 0.5),
+    )
+
+
+def stub_runner(scn, service):
+    return {"solved": scn.scenario_id}
+
+
+@pytest.fixture
+def app():
+    manager = JobManager(runner=stub_runner, workers=0)
+    yield ServeApp(manager)
+    manager.close()
+
+
+def submit(app, document):
+    return app.handle("POST", "/jobs", json.dumps(document).encode())
+
+
+class TestRoutes:
+    def test_health(self, app):
+        status, payload = app.handle("GET", "/health", b"")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_stats_shape(self, app):
+        status, payload = app.handle("GET", "/stats", b"")
+        assert status == 200
+        assert set(payload) >= {"jobs", "service"}
+        assert payload["jobs"]["submitted"] == 0
+        # The service block carries the store + memory tiers the ops
+        # story depends on.
+        assert "store" in payload["service"]
+        assert "memory" in payload["service"]
+        assert "inflight" in payload["service"]
+
+    def test_submit_by_registered_id(self, app):
+        status, payload = submit(app, {"scenario": "section3"})
+        assert status == 202
+        assert payload["state"] == "queued"
+        assert payload["scenario_id"] == "section3"
+        assert not payload["coalesced"]
+
+    def test_submit_by_document(self, app):
+        doc = scenario_to_dict(tiny_scenario())
+        status, payload = submit(app, {"scenario": doc})
+        assert status == 202
+        assert payload["scenario_id"] == "tiny-a"
+
+    def test_duplicate_submit_is_200_coalesced(self, app):
+        first = submit(app, {"scenario": "section3"})[1]
+        status, payload = submit(app, {"scenario": "section3"})
+        assert status == 200
+        assert payload["coalesced"]
+        assert payload["job_id"] == first["job_id"]
+
+    def test_job_listing_and_detail(self, app):
+        job_id = submit(app, {"scenario": "section3"})[1]["job_id"]
+        status, listing = app.handle("GET", "/jobs", b"")
+        assert status == 200
+        assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+        status, detail = app.handle("GET", f"/jobs/{job_id}", b"")
+        assert status == 200
+        assert detail["state"] == "queued"
+
+    def test_result_409_until_terminal(self, app):
+        doc = scenario_to_dict(tiny_scenario())
+        job_id = submit(app, {"scenario": doc})[1]["job_id"]
+        status, payload = app.handle("GET", f"/jobs/{job_id}/result", b"")
+        assert status == 409
+        assert "error" in payload
+        app.manager.pump()
+        status, payload = app.handle("GET", f"/jobs/{job_id}/result", b"")
+        assert status == 200
+        assert payload["result"] == {"solved": "tiny-a"}
+
+    def test_cancel(self, app):
+        job_id = submit(app, {"scenario": "section3"})[1]["job_id"]
+        status, payload = app.handle("POST", f"/jobs/{job_id}/cancel", b"")
+        assert status == 200
+        assert payload["state"] == "cancelled"
+
+    def test_wait_returns_after_pump(self, app):
+        doc = scenario_to_dict(tiny_scenario())
+        job_id = submit(app, {"scenario": doc})[1]["job_id"]
+        app.manager.pump()
+        status, payload = app.handle("GET", f"/jobs/{job_id}?wait=5", b"")
+        assert status == 200
+        assert payload["state"] == "done"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "method,path,body,status",
+        [
+            ("GET", "/nope", b"", 404),
+            ("GET", "/jobs/job-999", b"", 404),
+            ("GET", "/jobs/job-999/result", b"", 404),
+            ("POST", "/jobs/job-999/cancel", b"", 404),
+            ("POST", "/health", b"", 405),
+            ("DELETE", "/jobs", b"", 405),
+            ("POST", "/jobs", b"not json", 400),
+            ("POST", "/jobs", b"{}", 400),
+            ("POST", "/jobs", b'{"scenario": 42}', 400),
+            ("POST", "/jobs", b'{"scenario": "no-such-scenario"}', 404),
+            ("POST", "/jobs", b'{"scenario": {"bogus": true}}', 400),
+        ],
+    )
+    def test_error_shape(self, app, method, path, body, status):
+        got_status, payload = app.handle(method, path, body)
+        assert got_status == status
+        assert isinstance(payload["error"], str) and payload["error"]
+
+    def test_bad_wait_values(self, app):
+        job_id = submit(app, {"scenario": "section3"})[1]["job_id"]
+        for query in ("wait=forever", "wait=-3"):
+            status, payload = app.handle("GET", f"/jobs/{job_id}?{query}", b"")
+            assert status == 400, query
+            assert "error" in payload
+
+    def test_wait_is_clamped_not_rejected(self, app):
+        job_id = submit(app, {"scenario": "section3"})[1]["job_id"]
+        app.manager.cancel(job_id)  # terminal: wait returns immediately
+        status, payload = app.handle("GET", f"/jobs/{job_id}?wait=9999", b"")
+        assert status == 200
+        assert payload["state"] == "cancelled"
+
+
+class TestLiveServer:
+    """Real socket round-trips: asyncio server + HTTP client."""
+
+    @pytest.fixture
+    def endpoint(self):
+        import asyncio
+
+        manager = JobManager(runner=stub_runner, workers=1)
+        bound = {}
+        listening = threading.Event()
+        loop = asyncio.new_event_loop()
+        task_box = {}
+
+        def on_bound(address):
+            bound["host"], bound["port"] = address
+            listening.set()
+
+        def runner():
+            task_box["task"] = loop.create_task(
+                run_server(manager, host="127.0.0.1", port=0, on_bound=on_bound)
+            )
+            try:
+                loop.run_until_complete(task_box["task"])
+            except asyncio.CancelledError:
+                pass
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert listening.wait(10), "server failed to bind"
+        yield bound["host"], bound["port"]
+        loop.call_soon_threadsafe(task_box["task"].cancel)
+        thread.join(10)
+        assert not thread.is_alive()
+        manager.close()
+
+    def test_full_round_trip_over_sockets(self, endpoint):
+        host, port = endpoint
+        client = ServeClient(host, port, timeout=30)
+        assert client.health()["status"] == "ok"
+        record = client.run(scenario_to_dict(tiny_scenario()), timeout=60)
+        assert record["state"] == "done"
+        result = client.result(record["job_id"])
+        assert result["result"] == {"solved": "tiny-a"}
+        # Duplicate submit over the wire coalesces to the same job.
+        again = client.submit(scenario_to_dict(tiny_scenario()))
+        assert again["coalesced"]
+        assert again["job_id"] == record["job_id"]
+        stats = client.stats()
+        assert stats["jobs"]["completed"] == 1
+        assert stats["jobs"]["coalesced"] == 1
+
+    def test_unknown_scenario_is_serve_error(self, endpoint):
+        host, port = endpoint
+        client = ServeClient(host, port, timeout=30)
+        with pytest.raises(ServeError) as err:
+            client.submit("no-such-scenario")
+        assert err.value.status == 404
+
+    def test_oversized_body_is_413(self, endpoint):
+        host, port = endpoint
+        # Raw socket: announce an oversized body without sending it, so
+        # the rejection races nothing.
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        assert b"413" in response.split(b"\r\n", 1)[0]
