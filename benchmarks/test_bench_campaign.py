@@ -1,0 +1,77 @@
+"""Benchmark: a seeded campaign cold, then its warm full replay.
+
+The campaign story's perf claim: rows are ordinary content-keyed solve
+tasks, so the warehouse adds bookkeeping — expansion, manifest reads,
+sqlite appends — but never re-buys equilibrium math. ``BENCH_campaign.json``
+records both phases:
+
+* **Cold pass** — a 64-row seeded ``random_market`` price campaign into
+  an empty store + warehouse (this is the solve cost the store amortizes);
+* **Warm replay** — a fresh service and a *fresh* warehouse over the
+  same store directory, so every row recomputes its metrics but the
+  replay must report ``solves == 0`` — the measured phase is pure
+  expansion + store reads + warehouse writes.
+"""
+
+import time
+
+from benchmarks.conftest import _write_bench_record, run_once
+
+from repro.campaigns import CampaignSpec, CampaignWarehouse, run_campaign
+from repro.engine import SolveCache, SolveService, SolveStore
+
+#: 64 seeded markets x 3 prices: seconds cold, milliseconds warm.
+SPEC = CampaignSpec(
+    campaign_id="bench",
+    generator="random_market",
+    sweep="price",
+    seed_count=64,
+    base_params={"n_types": 8, "prices": [0.6, 1.0, 1.4]},
+)
+
+
+def _service(store_dir) -> SolveService:
+    return SolveService(cache=SolveCache(), store=SolveStore(store_dir))
+
+
+def test_bench_campaign(benchmark, tmp_path):
+    store_dir = tmp_path / "store"
+
+    # Cold pass: every row solves and lands.
+    cold_service = _service(store_dir)
+    start = time.perf_counter()
+    with CampaignWarehouse(":memory:") as warehouse:
+        cold = run_campaign(SPEC, service=cold_service, warehouse=warehouse)
+    cold_seconds = time.perf_counter() - start
+    assert cold.rows_computed == SPEC.size()
+    assert cold.solves_computed > 0
+
+    # Warm replay: fresh memory tiers, fresh warehouse, same store. The
+    # measured phase recomputes every row without a single solve.
+    warm_service = _service(store_dir)
+
+    def replay():
+        with CampaignWarehouse(":memory:") as warehouse:
+            return run_campaign(
+                SPEC, service=warm_service, warehouse=warehouse
+            )
+
+    start = time.perf_counter()
+    warm = run_once(benchmark, replay)
+    warm_seconds = time.perf_counter() - start
+    assert warm.rows_computed == SPEC.size()
+    assert warm.solves_computed == 0
+
+    _write_bench_record(
+        {
+            "case": "campaign",
+            "seconds": cold_seconds,
+            "solve_tasks": cold.solves_computed,
+            "cache_hits": 0,
+            "rows": SPEC.size(),
+            "campaign": cold.campaign,
+            "warm_seconds": warm_seconds,
+            "warm_solve_tasks": warm.solves_computed,
+            "warm_rows": warm.rows_computed,
+        }
+    )

@@ -1,0 +1,61 @@
+"""Mass scenario campaigns: Monte Carlo robustness at warehouse scale.
+
+The subsystem that turns "as many scenarios as you can imagine" into one
+resumable job: a frozen, versioned :class:`CampaignSpec` (generator x
+seeds x parameter axes x sweep kind, ``repro-campaign/1`` on disk)
+expands into a deterministic matrix of content-keyed rows,
+:func:`run_campaign` executes them through the shared solve service, and
+results land in an append-only sqlite :class:`CampaignWarehouse` with a
+query/summary API — the welfare distribution across 1000 random markets,
+survival curves under shocks, oligopoly concentration vs ``N``.
+
+>>> from repro.campaigns import CampaignSpec, run_campaign
+>>> spec = CampaignSpec(
+...     campaign_id="welfare-1000",
+...     generator="random_market",
+...     sweep="price",
+...     seed_count=1000,
+...     base_params={"n_types": 4},
+... )
+>>> report = run_campaign(spec)  # doctest: +SKIP
+
+Rows are ordinary solve tasks on the shared service, so a campaign is
+resumable twice over: the warehouse's digest manifest skips completed
+rows entirely, and the persistent solve store replays any recomputed
+row's equilibria without solving (a warm full replay reports
+``computed == 0``).
+"""
+
+from repro.campaigns.driver import (
+    CAMPAIGN_METRICS,
+    SWEEP_METRICS,
+    CampaignReport,
+    campaign_status,
+    run_campaign,
+    warehouse_for_service,
+)
+from repro.campaigns.spec import (
+    CAMPAIGN_DEFAULTS,
+    CAMPAIGN_FORMAT,
+    CAMPAIGN_GENERATORS,
+    CAMPAIGN_SWEEPS,
+    CampaignRow,
+    CampaignSpec,
+)
+from repro.campaigns.warehouse import CampaignWarehouse
+
+__all__ = [
+    "CAMPAIGN_DEFAULTS",
+    "CAMPAIGN_FORMAT",
+    "CAMPAIGN_GENERATORS",
+    "CAMPAIGN_METRICS",
+    "CAMPAIGN_SWEEPS",
+    "SWEEP_METRICS",
+    "CampaignReport",
+    "CampaignRow",
+    "CampaignSpec",
+    "CampaignWarehouse",
+    "campaign_status",
+    "run_campaign",
+    "warehouse_for_service",
+]

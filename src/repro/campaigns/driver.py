@@ -1,0 +1,299 @@
+"""The campaign driver: expand, resume, execute, land in the warehouse.
+
+:func:`run_campaign` is the whole lifecycle in one call:
+
+1. **Expand** the spec into its deterministic row matrix
+   (:meth:`~repro.campaigns.spec.CampaignSpec.expand`).
+2. **Resume**: read the warehouse's digest manifest for this campaign
+   and drop every row already landed — a rerun computes only the
+   complement, and a rerun over a complete warehouse computes nothing.
+3. **Execute** each remaining row through the shared
+   :class:`~repro.engine.service.SolveService`. Rows are ordinary
+   solve workloads — grid rows are the same content-keyed
+   ``cap-row/1`` tasks the figure pipeline runs, dynamics rows the same
+   ``dynamics-seg/1`` segments, oligopoly rows the same best-response
+   sweeps — so a campaign shares the persistent store with every other
+   workload and a warm full replay reports ``computed == 0`` solves.
+4. **Land** each row's metrics in the
+   :class:`~repro.campaigns.warehouse.CampaignWarehouse` atomically
+   (row + metrics in one transaction), which is what makes SIGKILL at
+   any instant recoverable: the manifest never names a partial row.
+
+The metric set is fixed per sweep kind (:data:`SWEEP_METRICS`), so a
+campaign's warehouse columns are knowable from its spec — the pipeline
+validates panel quantities against :data:`CAMPAIGN_METRICS` the same way
+grid sweeps validate against the scalar quantity map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.campaigns.metrics import CAMPAIGN_METRICS, SWEEP_METRICS
+from repro.campaigns.spec import CampaignRow, CampaignSpec
+from repro.campaigns.warehouse import CampaignWarehouse
+from repro.competition.oligopoly import (
+    OligopolyGame,
+    competition_settings,
+    solve_oligopoly_competition,
+)
+from repro.engine import GridEngine
+from repro.engine.service import SolveService, default_service
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.trajectory import dynamics_settings, run_trajectory
+
+__all__ = [
+    "CAMPAIGN_METRICS",
+    "SWEEP_METRICS",
+    "CampaignReport",
+    "campaign_status",
+    "run_campaign",
+    "warehouse_for_service",
+]
+
+#: Default warehouse filename under a persistent solve store.
+WAREHOUSE_FILENAME = "campaigns.sqlite"
+
+
+def warehouse_for_service(service: SolveService) -> CampaignWarehouse:
+    """The warehouse co-located with the service's persistent store.
+
+    A store-less (pure in-memory) service gets an ephemeral
+    ``":memory:"`` warehouse — resumability needs a ``--cache-dir`` /
+    ``$REPRO_CACHE_DIR`` store anyway, and the two live side by side so
+    one directory is the whole resumable state of a campaign.
+    """
+    store = service.store
+    if store is None:
+        return CampaignWarehouse(":memory:")
+    return CampaignWarehouse(Path(store.path) / WAREHOUSE_FILENAME)
+
+
+def _grid_metrics(
+    scn: ScenarioSpec,
+    sweep: str,
+    service: SolveService,
+    workers: int | None,
+) -> dict[str, float]:
+    prices = np.asarray(scn.prices, dtype=float)
+    caps = (
+        np.array([0.0])
+        if sweep == "price"
+        else np.asarray(scn.policy_levels, dtype=float)
+    )
+    engine = GridEngine(workers=workers, service=service)
+    grid = engine.solve_grid(scn.market, prices, caps, workers=workers)
+    revenue = grid.quantity(lambda eq: eq.state.revenue)
+    welfare = grid.quantity(lambda eq: eq.state.welfare)
+    kkt = grid.quantity(lambda eq: eq.kkt_residual)
+    k, j = np.unravel_index(int(np.argmax(revenue)), revenue.shape)
+    star = grid.at(int(k), int(j))
+    return {
+        "welfare": float(welfare[k, j]),
+        "revenue": float(revenue[k, j]),
+        "utilization": float(star.state.utilization),
+        "aggregate_throughput": float(star.state.aggregate_throughput),
+        "price_star": float(prices[j]),
+        "cap_star": float(caps[k]),
+        "welfare_max": float(np.max(welfare)),
+        "welfare_mean": float(np.mean(welfare)),
+        "kkt_max": float(np.max(kkt)),
+    }
+
+
+def _dynamics_metrics(
+    scn: ScenarioSpec, service: SolveService
+) -> dict[str, float]:
+    dspec = dynamics_settings(scn.metadata)
+    trajectory = run_trajectory(scn.market, dspec, service=service)
+    welfares = np.asarray(trajectory.welfares, dtype=float)
+    revenues = np.asarray(trajectory.revenues, dtype=float)
+    adoption = trajectory.adoption()
+    finite = bool(
+        np.all(np.isfinite(welfares))
+        and np.all(np.isfinite(revenues))
+        and np.all(np.isfinite(adoption))
+    )
+    return {
+        "welfare": float(welfares[-1]),
+        "welfare_min": float(np.min(welfares)),
+        "revenue": float(revenues[-1]),
+        "adoption_final": float(adoption[-1]),
+        "capacity_final": float(trajectory.capacities[-1]),
+        "survived": 1.0 if finite and adoption[-1] > 0.0 else 0.0,
+    }
+
+
+def _structure_metrics(
+    scn: ScenarioSpec, service: SolveService
+) -> dict[str, float]:
+    settings = competition_settings(scn.metadata)
+    game = OligopolyGame.from_scenario(scn, service=service)
+    result = solve_oligopoly_competition(
+        game,
+        price_range=settings.price_range,
+        grid_points=settings.grid_points,
+        xtol=settings.xtol,
+        policy=settings.policy,
+    )
+    state = result.state
+    shares = np.asarray(state.shares, dtype=float)
+    return {
+        "welfare": float(state.welfare),
+        "industry_revenue": float(state.total_revenue),
+        "mean_price": float(state.mean_price),
+        "mean_utilization": float(state.mean_utilization),
+        "hhi": float(np.sum(shares**2)),
+        "carriers": float(shares.size),
+    }
+
+
+def _row_metrics(
+    row: CampaignRow, service: SolveService, workers: int | None
+) -> dict[str, float]:
+    if row.sweep in ("price", "grid"):
+        return _grid_metrics(row.scenario, row.sweep, service, workers)
+    if row.sweep == "dynamics":
+        return _dynamics_metrics(row.scenario, service)
+    return _structure_metrics(row.scenario, service)
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :func:`run_campaign` call did.
+
+    ``rows_resumed + rows_computed == rows_total`` always holds on a
+    successful return; ``solves_computed`` is the service's ``computed``
+    counter delta — zero on a warm full replay even when every row had
+    to be recomputed into a fresh warehouse.
+    """
+
+    campaign: str
+    campaign_id: str
+    rows_total: int
+    rows_computed: int
+    rows_resumed: int
+    solves_computed: int
+    warehouse_path: str
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "campaign_id": self.campaign_id,
+            "rows_total": self.rows_total,
+            "rows_computed": self.rows_computed,
+            "rows_resumed": self.rows_resumed,
+            "solves_computed": self.solves_computed,
+            "warehouse_path": self.warehouse_path,
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    service: SolveService | None = None,
+    warehouse: CampaignWarehouse | None = None,
+    workers: int | None = None,
+    progress: Callable[[int, int, CampaignRow], Any] | None = None,
+) -> CampaignReport:
+    """Run (or resume) a campaign; returns the :class:`CampaignReport`.
+
+    Parameters
+    ----------
+    spec:
+        The campaign. Expansion is deterministic, so running an equal
+        spec twice against one warehouse is a resume, not a duplicate.
+    service:
+        Solve service for the rows (``None``: the process-wide
+        :func:`~repro.engine.service.default_service`, which carries any
+        configured persistent store).
+    warehouse:
+        Results warehouse. ``None`` opens (and closes) the one
+        co-located with the service's store —
+        ``<store>/campaigns.sqlite`` — falling back to an ephemeral
+        in-memory warehouse for store-less services.
+    workers:
+        Worker processes for grid rows (defaults to the engine policy).
+    progress:
+        Optional ``(done_so_far, total, row)`` callback after each
+        computed row — the CLI's heartbeat.
+    """
+    service = service if service is not None else default_service()
+    own_warehouse = warehouse is None
+    if own_warehouse:
+        warehouse = warehouse_for_service(service)
+    try:
+        campaign = spec.digest()
+        rows = spec.expand()
+        warehouse.register(
+            campaign,
+            campaign_id=spec.campaign_id,
+            title=spec.title,
+            spec=spec.to_dict(),
+            total_rows=len(rows),
+        )
+        existing = warehouse.existing_digests(campaign)
+        solves_before = service.counters.computed
+        computed = 0
+        resumed = 0
+        for row in rows:
+            if row.digest in existing:
+                resumed += 1
+                continue
+            metrics = _row_metrics(row, service, workers)
+            if warehouse.append(
+                campaign,
+                digest=row.digest,
+                row_index=row.index,
+                seed=row.seed,
+                scenario_id=row.scenario.scenario_id,
+                scenario_digest=row.scenario_digest,
+                params=dict(row.params),
+                metrics=metrics,
+            ):
+                computed += 1
+            else:
+                # A concurrent or killed-and-restarted writer landed the
+                # row between our manifest read and this append.
+                resumed += 1
+            if progress is not None:
+                progress(computed + resumed, len(rows), row)
+        return CampaignReport(
+            campaign=campaign,
+            campaign_id=spec.campaign_id,
+            rows_total=len(rows),
+            rows_computed=computed,
+            rows_resumed=resumed,
+            solves_computed=service.counters.computed - solves_before,
+            warehouse_path=str(warehouse.path),
+        )
+    finally:
+        if own_warehouse:
+            warehouse.close()
+
+
+def campaign_status(
+    spec: CampaignSpec, warehouse: CampaignWarehouse
+) -> dict:
+    """Completion state of a campaign against a warehouse (no solves).
+
+    Cheap relative to a run — it expands the spec to recover the digest
+    manifest but never solves a row.
+    """
+    campaign = spec.digest()
+    rows = spec.expand()
+    existing = warehouse.existing_digests(campaign)
+    done = sum(1 for row in rows if row.digest in existing)
+    return {
+        "campaign": campaign,
+        "campaign_id": spec.campaign_id,
+        "rows_total": len(rows),
+        "rows_done": done,
+        "rows_missing": len(rows) - done,
+        "metrics": list(warehouse.metric_names(campaign)),
+        "warehouse_path": str(warehouse.path),
+    }

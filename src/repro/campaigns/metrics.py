@@ -1,0 +1,89 @@
+"""The campaign metric tables, in one dependency-free leaf module.
+
+Both the driver (which *emits* these columns into the warehouse) and the
+experiment pipeline (which *validates* panel quantities against them)
+need these mappings at import time, and they sit on opposite sides of
+the ``repro.scenarios`` ↔ ``repro.experiments`` import cycle — so the
+tables live here, below everything.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["CAMPAIGN_METRICS", "SWEEP_METRICS"]
+
+#: Warehouse columns per sweep kind. Grid/price rows report the
+#: revenue-optimal node of the solved (price x policy) grid plus
+#: grid-level aggregates; dynamics rows report end-of-horizon outcomes
+#: and a survival flag; market-structure rows report the oligopoly
+#: equilibrium and its concentration.
+SWEEP_METRICS: Mapping[str, tuple[str, ...]] = MappingProxyType(
+    {
+        "price": (
+            "welfare",
+            "revenue",
+            "utilization",
+            "aggregate_throughput",
+            "price_star",
+            "cap_star",
+            "welfare_max",
+            "welfare_mean",
+            "kkt_max",
+        ),
+        "grid": (
+            "welfare",
+            "revenue",
+            "utilization",
+            "aggregate_throughput",
+            "price_star",
+            "cap_star",
+            "welfare_max",
+            "welfare_mean",
+            "kkt_max",
+        ),
+        "dynamics": (
+            "welfare",
+            "welfare_min",
+            "revenue",
+            "adoption_final",
+            "capacity_final",
+            "survived",
+        ),
+        "market_structure": (
+            "welfare",
+            "industry_revenue",
+            "mean_price",
+            "mean_utilization",
+            "hhi",
+            "carriers",
+        ),
+    }
+)
+
+#: Every metric any campaign can emit, with the one-line meaning the CLI
+#: and pipeline surface. The campaign analogue of the pipeline's scalar
+#: quantity maps: panel quantities validate against this mapping.
+CAMPAIGN_METRICS: Mapping[str, str] = MappingProxyType(
+    {
+        "welfare": "welfare W (at p*, final period, or equilibrium)",
+        "revenue": "ISP revenue R (at p* or final period)",
+        "utilization": "access utilization u at the revenue-optimal node",
+        "aggregate_throughput": "aggregate throughput at the revenue-optimal node",
+        "price_star": "revenue-maximizing price p*",
+        "cap_star": "policy level q at the revenue-optimal node",
+        "welfare_max": "maximum welfare over the solved grid",
+        "welfare_mean": "mean welfare over the solved grid",
+        "kkt_max": "worst KKT residual over the solved grid",
+        "welfare_min": "minimum welfare over the trajectory",
+        "adoption_final": "total subscribed population at the horizon",
+        "capacity_final": "access capacity at the horizon",
+        "survived": "1.0 if the trajectory stayed finite with positive adoption",
+        "industry_revenue": "total carrier revenue at the price equilibrium",
+        "mean_price": "mean equilibrium carrier price",
+        "mean_utilization": "mean carrier utilization at equilibrium",
+        "hhi": "Herfindahl concentration of equilibrium shares",
+        "carriers": "carrier count N of the oligopoly row",
+    }
+)

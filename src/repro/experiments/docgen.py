@@ -28,6 +28,7 @@ from typing import Sequence
 from repro.experiments.runner import (
     build_bench_summary_parser,
     build_cache_parser,
+    build_campaign_parser,
     build_client_parser,
     build_describe_parser,
     build_dynamics_parser,
@@ -156,6 +157,12 @@ def generate_cli_reference() -> str:
             "dynamics",
             "python -m repro.experiments dynamics [scenario] [options]",
             build_dynamics_parser(),
+        ),
+        _render_parser(
+            "campaign",
+            "python -m repro.experiments campaign "
+            "{run,status,summary,query} [options]",
+            build_campaign_parser(),
         ),
         _render_parser(
             "cache",

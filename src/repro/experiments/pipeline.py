@@ -38,6 +38,14 @@ Sweep kinds
     read trajectory quantities (:data:`DYNAMICS_QUANTITIES` — adoption,
     utilization, industry revenue, welfare, ...) against the period ``t``
     on the x-axis.
+``"campaign"``
+    A mass scenario campaign (:mod:`repro.campaigns`): the spec carries a
+    :class:`~repro.campaigns.CampaignSpec` instead of a scenario,
+    :func:`~repro.campaigns.run_campaign` expands it into content-keyed
+    rows on the shared solve service (resumable against the warehouse
+    co-located with any configured persistent store), and panels read
+    warehouse metrics (:data:`CAMPAIGN_QUANTITIES` — one value per
+    campaign row) against the row index on the x-axis.
 
 Panels
 ------
@@ -58,11 +66,16 @@ predicates return a verdict or a ``(verdict, detail)`` pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.series import FigureData, Series
+# The metric tables come from the campaigns leaf module (not the driver):
+# the driver pulls in the scenario generators, which close a cycle back
+# through this package; the heavy campaign machinery is imported lazily
+# in _solve_campaign.
+from repro.campaigns.metrics import CAMPAIGN_METRICS, SWEEP_METRICS
 from repro.competition.oligopoly import (
     OligopolyCompetitionResult,
     OligopolyGame,
@@ -87,22 +100,29 @@ from repro.simulation.trajectory import (
     run_trajectory,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — annotations only, see above
+    from repro.campaigns.driver import CampaignReport
+    from repro.campaigns.spec import CampaignSpec
+
 __all__ = [
     "SCALAR_QUANTITIES",
     "PROVIDER_QUANTITIES",
     "MARKET_STRUCTURE_QUANTITIES",
     "DYNAMICS_QUANTITIES",
+    "CAMPAIGN_QUANTITIES",
     "PanelSpec",
     "CheckSpec",
     "check",
     "SweepView",
     "MarketStructureView",
     "DynamicsView",
+    "CampaignView",
     "ExperimentSpec",
     "run_spec",
     "scenario_experiment",
     "market_structure_experiment",
     "dynamics_experiment",
+    "campaign_experiment",
 ]
 
 #: Scalar quantities a panel or check can read off each equilibrium.
@@ -153,6 +173,13 @@ DYNAMICS_QUANTITIES: Mapping[str, Callable[[DynamicsTrajectory], np.ndarray]] = 
     "mean_subsidy": lambda tr: tr.subsidies.mean(axis=1),
 }
 
+#: Warehouse metrics a ``campaign`` panel or check can read — one value
+#: per campaign row, aligned with the row-index axis. The mapping (name
+#: → meaning) comes from the driver, which is the one place the metric
+#: sets are defined (:data:`repro.campaigns.SWEEP_METRICS` narrows it
+#: per campaign sweep kind).
+CAMPAIGN_QUANTITIES: Mapping[str, str] = CAMPAIGN_METRICS
+
 
 @dataclass(frozen=True)
 class PanelSpec:
@@ -189,13 +216,15 @@ class PanelSpec:
             and self.quantity not in PROVIDER_QUANTITIES
             and self.quantity not in MARKET_STRUCTURE_QUANTITIES
             and self.quantity not in DYNAMICS_QUANTITIES
+            and self.quantity not in CAMPAIGN_QUANTITIES
         ):
             raise ModelError(
                 f"unknown quantity {self.quantity!r}; scalar quantities: "
                 f"{sorted(SCALAR_QUANTITIES)}, provider quantities: "
                 f"{sorted(PROVIDER_QUANTITIES)}, market-structure "
                 f"quantities: {sorted(MARKET_STRUCTURE_QUANTITIES)}, "
-                f"dynamics quantities: {sorted(DYNAMICS_QUANTITIES)}"
+                f"dynamics quantities: {sorted(DYNAMICS_QUANTITIES)}, "
+                f"campaign quantities: {sorted(CAMPAIGN_QUANTITIES)}"
             )
 
     @property
@@ -367,6 +396,50 @@ class DynamicsView:
         return self._cache[quantity]
 
 
+class CampaignView:
+    """A run (or resumed) campaign with its warehouse rows in memory.
+
+    The ``campaign`` analogue of :class:`SweepView`: the
+    :class:`~repro.campaigns.CampaignReport` of the run plus every
+    completed warehouse row, with metrics (:data:`CAMPAIGN_QUANTITIES`)
+    coming out as ``[row]`` vectors aligned with :meth:`rows_array` (the
+    figure x-axis, the campaign row index).
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        report: CampaignReport,
+        records: Sequence[dict],
+    ) -> None:
+        self.campaign = campaign
+        self.report = report
+        self.records = tuple(records)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def rows_array(self) -> np.ndarray:
+        """The row-index axis as a float ndarray (figure x-axis)."""
+        return np.asarray(
+            [record["index"] for record in self.records], dtype=float
+        )
+
+    def scalar(self, quantity: str) -> np.ndarray:
+        """``[row]`` vector of a warehouse metric."""
+        if quantity not in self._cache:
+            available = sorted(SWEEP_METRICS[self.campaign.sweep])
+            if quantity not in available:
+                raise ModelError(
+                    f"unknown campaign metric {quantity!r} for a "
+                    f"{self.campaign.sweep!r} campaign; choose from "
+                    f"{available}"
+                )
+            self._cache[quantity] = np.asarray(
+                [record["metrics"][quantity] for record in self.records],
+                dtype=float,
+            )
+        return self._cache[quantity]
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A complete experiment declaration.
@@ -378,11 +451,13 @@ class ExperimentSpec:
     title:
         Human-readable description.
     scenario:
-        Inline :class:`ScenarioSpec` or the registry id of one.
+        Inline :class:`ScenarioSpec` or the registry id of one (``None``
+        only for ``campaign`` sweeps, which carry a campaign instead).
     sweep:
         ``"price"`` (zero-subsidy, §3 style), ``"grid"`` (§5 style),
-        ``"market_structure"`` (N-carrier oligopoly vs. carrier count) or
-        ``"dynamics"`` (a market trajectory vs. the period ``t``).
+        ``"market_structure"`` (N-carrier oligopoly vs. carrier count),
+        ``"dynamics"`` (a market trajectory vs. the period ``t``) or
+        ``"campaign"`` (warehouse metrics vs. the campaign row index).
     panels:
         Figures to derive from the solved sweep.
     checks:
@@ -394,16 +469,20 @@ class ExperimentSpec:
         Optional :class:`~repro.experiments.refine.RefineSpec`: solve
         ``price``/``grid`` sweeps by adaptive refinement from the coarse
         price axis instead of uniformly (forbidden on other sweep kinds).
+    campaign:
+        The :class:`~repro.campaigns.CampaignSpec` of a ``campaign``
+        sweep (required there, forbidden elsewhere).
     """
 
     experiment_id: str
     title: str
-    scenario: Union[ScenarioSpec, str]
+    scenario: Union[ScenarioSpec, str, None]
     sweep: str
     panels: tuple[PanelSpec, ...]
     checks: tuple[CheckSpec, ...] = ()
     carrier_counts: tuple[int, ...] = ()
     refine: RefineSpec | None = None
+    campaign: CampaignSpec | None = None
 
     def __post_init__(self) -> None:
         if self.refine is not None and self.sweep not in ("price", "grid"):
@@ -411,13 +490,54 @@ class ExperimentSpec:
                 f"refine only applies to 'price' and 'grid' sweeps, "
                 f"not {self.sweep!r}"
             )
-        if self.sweep not in {"price", "grid", "market_structure", "dynamics"}:
+        if self.sweep not in {
+            "price",
+            "grid",
+            "market_structure",
+            "dynamics",
+            "campaign",
+        }:
             raise ModelError(
-                f"sweep must be 'price', 'grid', 'market_structure' or "
-                f"'dynamics', got {self.sweep!r}"
+                f"sweep must be 'price', 'grid', 'market_structure', "
+                f"'dynamics' or 'campaign', got {self.sweep!r}"
             )
         if not self.panels:
             raise ModelError("an experiment needs at least one panel")
+        if self.sweep == "campaign":
+            if self.campaign is None:
+                raise ModelError(
+                    "a campaign experiment needs a CampaignSpec in "
+                    "the 'campaign' field"
+                )
+            if self.scenario is not None:
+                raise ModelError(
+                    "a campaign experiment derives its scenarios from the "
+                    "campaign; leave 'scenario' as None"
+                )
+            if self.carrier_counts:
+                raise ModelError(
+                    "carrier_counts only applies to market_structure "
+                    "sweeps, not 'campaign' (use a 'carriers' axis in "
+                    "the campaign instead)"
+                )
+            allowed = SWEEP_METRICS[self.campaign.sweep]
+            for panel in self.panels:
+                if panel.quantity not in allowed:
+                    raise ModelError(
+                        f"campaign panels must use the warehouse metrics "
+                        f"of a {self.campaign.sweep!r} campaign, got "
+                        f"{panel.quantity!r}; choose from {sorted(allowed)}"
+                    )
+            return
+        if self.campaign is not None:
+            raise ModelError(
+                f"'campaign' only applies to campaign sweeps, "
+                f"not {self.sweep!r}"
+            )
+        if self.scenario is None:
+            raise ModelError(
+                f"a {self.sweep!r} experiment needs a scenario"
+            )
         if self.sweep == "dynamics":
             if self.carrier_counts:
                 raise ModelError(
@@ -475,6 +595,11 @@ class ExperimentSpec:
 
     def resolve_scenario(self) -> ScenarioSpec:
         """The scenario object, looked up in the registry when given by id."""
+        if self.scenario is None:
+            raise ModelError(
+                f"experiment {self.experiment_id!r} has no scenario "
+                f"(campaign sweeps derive scenarios from the campaign)"
+            )
         if isinstance(self.scenario, ScenarioSpec):
             return self.scenario
         return get_scenario(self.scenario)
@@ -482,9 +607,28 @@ class ExperimentSpec:
 
 def _realize_panels(
     spec: ExperimentSpec,
-    view: Union[SweepView, MarketStructureView, DynamicsView],
+    view: Union[SweepView, MarketStructureView, DynamicsView, "CampaignView"],
 ) -> tuple[FigureData, ...]:
     figures: list[FigureData] = []
+    if spec.sweep == "campaign":
+        for panel in spec.panels:
+            figures.append(
+                FigureData(
+                    figure_id=panel.figure_id,
+                    title=panel.title,
+                    x_label="row",
+                    y_label=panel.y_label,
+                    x=view.rows_array(),
+                    series=(
+                        Series(
+                            panel.series_name or panel.quantity,
+                            view.scalar(panel.quantity),
+                        ),
+                    ),
+                    notes=panel.notes,
+                )
+            )
+        return tuple(figures)
     if spec.sweep == "dynamics":
         for panel in spec.panels:
             figures.append(
@@ -636,6 +780,35 @@ def _solve_dynamics(scn: ScenarioSpec) -> DynamicsView:
     return DynamicsView(scn, dspec, trajectory)
 
 
+def _solve_campaign(
+    spec: ExperimentSpec, workers: int | None = None
+) -> CampaignView:
+    """Run (or resume) the experiment's campaign and load its rows.
+
+    Rows execute on the shared default solve service and land in the
+    warehouse co-located with any configured persistent store
+    (``--cache-dir`` / ``$REPRO_CACHE_DIR``), so a re-run resumes at
+    campaign granularity — completed rows are skipped from the digest
+    manifest — and a warm full replay performs zero equilibrium solves.
+    """
+    from repro.campaigns.driver import run_campaign, warehouse_for_service
+    from repro.engine.service import default_service
+
+    service = default_service()
+    warehouse = warehouse_for_service(service)
+    try:
+        report = run_campaign(
+            spec.campaign,
+            service=service,
+            warehouse=warehouse,
+            workers=workers,
+        )
+        records = warehouse.rows(report.campaign)
+    finally:
+        warehouse.close()
+    return CampaignView(spec.campaign, report, records)
+
+
 def run_spec(
     spec: ExperimentSpec,
     *,
@@ -668,7 +841,20 @@ def run_spec(
     shock schedule — by the scenario's ``repro-dynamics/1`` metadata
     block, and every trajectory segment runs as a content-keyed
     ``dynamics-seg/1`` task on the default solve service.
+
+    ``campaign`` sweeps ignore every override but ``workers``: the spec's
+    :class:`~repro.campaigns.CampaignSpec` expands into its own scenarios,
+    rows run (or resume) against the warehouse next to the configured
+    store, and the swept axis is the campaign row index.
     """
+    if spec.sweep == "campaign":
+        view = _solve_campaign(spec, workers)
+        return ExperimentResult(
+            experiment_id=spec.experiment_id,
+            title=spec.title,
+            figures=_realize_panels(spec, view),
+            checks=tuple(c.evaluate(view) for c in spec.checks),
+        )
     scn = scenario if scenario is not None else spec.resolve_scenario()
     if spec.sweep in ("market_structure", "dynamics"):
         view = (
@@ -917,4 +1103,70 @@ def dynamics_experiment(scn: ScenarioSpec) -> ExperimentSpec:
         sweep="dynamics",
         panels=panels,
         checks=tuple(checks),
+    )
+
+
+#: Panel labels per campaign metric: (title fragment, y-axis label).
+_CAMPAIGN_PANEL_LABELS: Mapping[str, tuple[str, str]] = {
+    "welfare": ("System welfare W", "W"),
+    "revenue": ("ISP revenue R", "R"),
+    "utilization": ("System utilization φ", "φ"),
+    "aggregate_throughput": ("Aggregate throughput θ", "θ"),
+    "price_star": ("Revenue-optimal price p*", "p*"),
+    "cap_star": ("Revenue-optimal policy q", "q"),
+    "welfare_max": ("Grid-max welfare", "W"),
+    "welfare_mean": ("Grid-mean welfare", "W"),
+    "kkt_max": ("Worst KKT residual", "KKT"),
+    "welfare_min": ("Trajectory-min welfare", "W"),
+    "adoption_final": ("Final adoption Σm", "Σm"),
+    "capacity_final": ("Final capacity µ", "µ"),
+    "survived": ("Survival flag", "survived"),
+    "industry_revenue": ("Industry revenue ΣR", "ΣR"),
+    "mean_price": ("Mean carrier price", "p"),
+    "mean_utilization": ("Mean link utilization φ", "φ"),
+    "hhi": ("Herfindahl concentration", "HHI"),
+    "carriers": ("Carrier count N", "N"),
+}
+
+
+def campaign_experiment(cspec: CampaignSpec) -> ExperimentSpec:
+    """A generic experiment for an arbitrary campaign (the CLI's ``run``).
+
+    Derives one panel per warehouse metric of the campaign's sweep kind —
+    welfare, revenue and friends against the row index — plus structural
+    checks: the warehouse must hold every expanded row (resume closed the
+    gap), and the welfare column must be finite across the campaign.
+    """
+    cid = cspec.campaign_id
+    panels = tuple(
+        PanelSpec(
+            figure_id=f"{cid}-{quantity}",
+            title=f"{_CAMPAIGN_PANEL_LABELS[quantity][0]} across rows "
+            f"({cid})",
+            quantity=quantity,
+            y_label=_CAMPAIGN_PANEL_LABELS[quantity][1],
+        )
+        for quantity in SWEEP_METRICS[cspec.sweep]
+    )
+    checks = (
+        check(
+            "warehouse holds every expanded row",
+            lambda v: (
+                len(v.records) == v.report.rows_total,
+                f"{len(v.records)} of {v.report.rows_total} row(s)",
+            ),
+        ),
+        check(
+            "welfare is finite across the campaign",
+            lambda v: bool(np.all(np.isfinite(v.scalar("welfare")))),
+        ),
+    )
+    return ExperimentSpec(
+        experiment_id=f"{cid}-campaign",
+        title=f"Campaign: {cspec.title}",
+        scenario=None,
+        sweep="campaign",
+        panels=panels,
+        checks=checks,
+        campaign=cspec,
     )

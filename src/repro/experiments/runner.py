@@ -20,6 +20,9 @@ Usage::
     python -m repro.experiments run dynamics --horizon 8 --json
     python -m repro.experiments fig7 --executor chunked  # scheduling strategy
     python -m repro.experiments fig7 --refine          # adaptive grid refinement
+    python -m repro.experiments campaign run --rows 100 --cache-dir .cache
+    python -m repro.experiments campaign summary --rows 100 --cache-dir .cache
+    python -m repro.experiments campaign run --spec sweep.json --cache-dir .cache
     python -m repro.experiments bench-summary          # fold BENCH_*.json records
     python -m repro.experiments serve --cache-dir .cache  # the solve daemon
     python -m repro.experiments client replay section3 --clients 4
@@ -78,6 +81,22 @@ service (``--cache-dir`` runs are resumable: a warm re-run reports
 ``"computed": 0`` in ``--json``), and the full per-period time series is
 written as one CSV into ``--out``.
 
+The ``campaign`` verb (also reachable as ``run campaign``) drives mass
+scenario campaigns — a frozen ``repro-campaign/1`` spec (scenario
+generator x seed range x parameter axes x sweep kind) expands into a
+deterministic content-keyed row matrix, every row solves through the
+shared solve service, and the per-row metrics land in an append-only
+sqlite warehouse next to the persistent store. ``campaign run`` executes
+(or, against a part-filled warehouse, *resumes*) the campaign — killed
+runs pick up where they stopped, and a warm full replay reports
+``computed == 0`` solves. ``campaign status`` reports completion without
+solving; ``campaign summary`` folds the warehouse into per-metric
+distribution statistics (``--csv`` for the 12-significant-digit table);
+``campaign query`` prints the raw per-row records. The spec comes from
+``--spec FILE`` or is synthesized from flags (``--rows``, ``--axis``,
+``--param``, ``--sampled``, ...; ``--save-spec`` writes it back out).
+See ``docs/campaigns.md``.
+
 Every parser is built by a ``build_*_parser`` function, which is what the
 generated CLI reference (:mod:`repro.experiments.docgen`) renders — the
 docs page cannot drift from the tree that actually parses.
@@ -115,6 +134,14 @@ from repro.engine import (
     set_default_executor,
     set_default_workers,
 )
+from repro.campaigns import (
+    CAMPAIGN_GENERATORS,
+    CAMPAIGN_SWEEPS,
+    CampaignSpec,
+    campaign_status,
+    run_campaign,
+    warehouse_for_service,
+)
 from repro.engine.service import default_service
 from repro.exceptions import ConvergenceError, ReproError
 from repro.experiments import fig04, fig05, fig07, fig08, fig09, fig10, fig11
@@ -131,7 +158,7 @@ from repro.experiments.benchtable import (
 )
 from repro.experiments.grid import reset_engine
 from repro.experiments.refine import REFINE_DEFAULTS, RefineSpec
-from repro.io import load_scenario
+from repro.io import load_campaign, load_scenario, save_campaign
 from repro.scenarios import (
     get_scenario,
     is_registered,
@@ -149,6 +176,7 @@ __all__ = [
     "EXPERIMENT_SPECS",
     "build_bench_summary_parser",
     "build_cache_parser",
+    "build_campaign_parser",
     "build_client_parser",
     "build_describe_parser",
     "build_dynamics_parser",
@@ -191,6 +219,7 @@ _VERBS = {
     "cache",
     "oligopoly",
     "dynamics",
+    "campaign",
     "bench-summary",
     "serve",
     "client",
@@ -1196,6 +1225,431 @@ def _main_cache(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """The ``campaign`` verb's parser (docgen renders this tree)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Run, resume and query mass scenario campaigns: a "
+        "repro-campaign/1 spec (generator x seed range x parameter axes "
+        "x sweep kind) expands into a deterministic content-keyed row "
+        "matrix, each row solves through the shared solve service, and "
+        "the per-row metrics land in an append-only sqlite warehouse "
+        "next to the persistent store. Reruns compute only the missing "
+        "rows; a warm full replay reports zero equilibrium solves.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("run", "status", "summary", "query"),
+        help="run: execute (or resume) the campaign; status: completion "
+        "state against the warehouse, no solves; summary: per-metric "
+        "distribution statistics over the landed rows; query: the raw "
+        "per-row records",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="repro-campaign/1 JSON file; omit to synthesize a spec from "
+        "the flags below",
+    )
+    parser.add_argument(
+        "--campaign-id",
+        default="campaign",
+        metavar="ID",
+        help="identifier for a synthesized spec (default: campaign)",
+    )
+    parser.add_argument(
+        "--generator",
+        default=None,
+        choices=sorted(CAMPAIGN_GENERATORS),
+        help="scenario generator for a synthesized spec "
+        "(default: random_market)",
+    )
+    parser.add_argument(
+        "--sweep",
+        default=None,
+        choices=CAMPAIGN_SWEEPS,
+        help="per-row sweep kind for a synthesized spec (default: price)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed range length for a synthesized spec (seed_count; "
+        "default: 1)",
+    )
+    parser.add_argument(
+        "--seed-start",
+        type=int,
+        default=None,
+        metavar="S",
+        help="first seed of the range (default: 0)",
+    )
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="parameter axis for a synthesized spec (repeatable); values "
+        "parse as JSON scalars, falling back to strings",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fixed generator parameter for a synthesized spec "
+        "(repeatable); the value parses as a JSON scalar, falling back "
+        "to a string",
+    )
+    parser.add_argument(
+        "--prices",
+        default=None,
+        metavar="CSV",
+        help="price sweep values for a synthesized spec "
+        "(comma-separated floats)",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="CSV",
+        help="policy cap levels for a synthesized grid-sweep spec "
+        "(comma-separated floats)",
+    )
+    parser.add_argument(
+        "--sampled",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample N rows from the axis product instead of expanding "
+        "it fully (sampling=sampled, n_samples=N)",
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="RNG seed for --sampled row draws (default: 0)",
+    )
+    parser.add_argument(
+        "--save-spec",
+        default=None,
+        metavar="FILE",
+        help="write the resolved spec as repro-campaign/1 JSON to FILE",
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        metavar="NAME",
+        help="summary/query: restrict the output to one metric",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="query: print at most the first N rows",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="summary: emit the 12-significant-digit CSV table instead "
+        "of human-readable lines",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON document instead of "
+        "human-readable lines",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def _campaign_value(text: str):
+    """``--axis``/``--param`` value: a JSON scalar, else the raw string."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _resolve_campaign_spec(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> CampaignSpec:
+    """``--spec FILE`` or a spec synthesized from the flags."""
+    if args.spec is not None:
+        synthesis_flags = [
+            flag
+            for flag, value in (
+                ("--generator", args.generator),
+                ("--sweep", args.sweep),
+                ("--rows", args.rows),
+                ("--seed-start", args.seed_start),
+                ("--sampled", args.sampled),
+                ("--sample-seed", args.sample_seed),
+                ("--prices", args.prices),
+                ("--policies", args.policies),
+            )
+            if value is not None
+        ]
+        if args.axis:
+            synthesis_flags.append("--axis")
+        if args.param:
+            synthesis_flags.append("--param")
+        if synthesis_flags:
+            parser.error(
+                "--spec is exclusive with spec-synthesis flags "
+                f"({', '.join(synthesis_flags)})"
+            )
+        try:
+            return load_campaign(args.spec)
+        except (OSError, ValueError, ReproError) as exc:
+            parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
+    axes: dict[str, tuple] = {}
+    for entry in args.axis:
+        name, sep, rest = entry.partition("=")
+        if not sep or not name or not rest:
+            parser.error(f"--axis wants NAME=V1,V2,... (got {entry!r})")
+        axes[name] = tuple(_campaign_value(v) for v in rest.split(","))
+    base_params: dict = {}
+    for entry in args.param:
+        name, sep, rest = entry.partition("=")
+        if not sep or not name:
+            parser.error(f"--param wants NAME=VALUE (got {entry!r})")
+        base_params[name] = _campaign_value(rest)
+    if args.prices is not None:
+        try:
+            base_params["prices"] = [
+                float(v) for v in args.prices.split(",")
+            ]
+        except ValueError:
+            parser.error("--prices wants comma-separated floats")
+    if args.policies is not None:
+        try:
+            base_params["policy_levels"] = [
+                float(v) for v in args.policies.split(",")
+            ]
+        except ValueError:
+            parser.error("--policies wants comma-separated floats")
+    try:
+        return CampaignSpec(
+            campaign_id=args.campaign_id,
+            generator=args.generator or "random_market",
+            sweep=args.sweep or "price",
+            seed_start=args.seed_start if args.seed_start is not None else 0,
+            seed_count=args.rows if args.rows is not None else 1,
+            axes=axes,
+            sampling="sampled" if args.sampled is not None else "product",
+            n_samples=args.sampled if args.sampled is not None else 0,
+            sample_seed=(
+                args.sample_seed if args.sample_seed is not None else 0
+            ),
+            base_params=base_params,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")  # parser.error raises SystemExit
+
+
+def _print_campaign_summary(summary: dict) -> None:
+    for metric in sorted(summary):
+        stats = summary[metric]
+        print(
+            f"  {metric:<20} n={int(stats['count']):<4d} "
+            f"mean={stats['mean']:.6g} std={stats['std']:.6g} "
+            f"min={stats['min']:.6g} median={stats['median']:.6g} "
+            f"max={stats['max']:.6g}"
+        )
+
+
+def _main_campaign(argv: Sequence[str]) -> int:
+    parser = build_campaign_parser()
+    args = parser.parse_args(list(argv))
+    spec = _resolve_campaign_spec(parser, args)
+    if args.save_spec is not None:
+        save_campaign(spec, args.save_spec)
+    service_changed = _apply_runtime_options(parser, args)
+    try:
+        service = default_service()
+        if args.action == "run" and service.store is None:
+            print(
+                "campaigns need a persistent store; pass --cache-dir or "
+                "set $REPRO_CACHE_DIR",
+                file=sys.stderr,
+            )
+            return 2
+        warehouse = warehouse_for_service(service)
+        try:
+            campaign = spec.digest()
+            if args.action == "run":
+                cache_before = service.stats()
+                try:
+                    report = run_campaign(
+                        spec,
+                        service=service,
+                        warehouse=warehouse,
+                        workers=args.workers,
+                    )
+                except ConvergenceError as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 1
+                except ReproError as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+                cache_summary = _cache_delta(cache_before, service.stats())
+                summary = warehouse.summary(campaign)
+                if args.json:
+                    print(
+                        json.dumps(
+                            {
+                                **report.to_dict(),
+                                "cache": cache_summary,
+                                "summary": summary,
+                            },
+                            indent=2,
+                        )
+                    )
+                    return 0
+                print(
+                    f"campaign {spec.campaign_id} "
+                    f"({spec.generator}/{spec.sweep}): "
+                    f"{report.rows_total} row(s), "
+                    f"{report.rows_computed} computed, "
+                    f"{report.rows_resumed} resumed"
+                )
+                print(f"warehouse: {report.warehouse_path}")
+                hits = (
+                    cache_summary["memory_hits"]
+                    + cache_summary["store_hits"]
+                )
+                line = (
+                    f"solve service: {cache_summary['computed']} task(s) "
+                    f"computed, {hits} cache hit(s)"
+                )
+                if cache_summary["store"] is not None:
+                    line += (
+                        f"; store {cache_summary['store']['path']}: "
+                        f"{cache_summary['store']['entries']} entries"
+                    )
+                print(line)
+                _print_campaign_summary(summary)
+                return 0
+            if args.action == "status":
+                try:
+                    status = campaign_status(spec, warehouse)
+                except ReproError as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+                if args.json:
+                    print(json.dumps(status, indent=2))
+                    return 0
+                print(
+                    f"campaign {status['campaign_id']}: "
+                    f"{status['rows_done']}/{status['rows_total']} row(s) "
+                    f"landed, {status['rows_missing']} missing"
+                )
+                print(f"warehouse: {status['warehouse_path']}")
+                if status["metrics"]:
+                    print(f"metrics: {', '.join(status['metrics'])}")
+                return 0
+            if warehouse.count(campaign) == 0:
+                print(
+                    f"campaign {spec.campaign_id} has no rows in "
+                    f"{warehouse.path}; run it first",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.action == "summary":
+                if args.csv:
+                    text = warehouse.summary_csv(campaign)
+                    if args.metric is not None:
+                        lines = text.splitlines()
+                        keep = [lines[0]] + [
+                            ln
+                            for ln in lines[1:]
+                            if ln.split(",", 1)[0] == args.metric
+                        ]
+                        text = "\n".join(keep) + "\n"
+                    print(text, end="")
+                    return 0
+                summary = warehouse.summary(campaign)
+                if args.metric is not None:
+                    if args.metric not in summary:
+                        print(
+                            f"unknown metric {args.metric!r}; campaign "
+                            f"reports {sorted(summary)}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    summary = {args.metric: summary[args.metric]}
+                if args.json:
+                    print(json.dumps(summary, indent=2))
+                    return 0
+                print(
+                    f"campaign {spec.campaign_id}: "
+                    f"{warehouse.count(campaign)} row(s)"
+                )
+                _print_campaign_summary(summary)
+                return 0
+            # query
+            records = warehouse.rows(campaign)
+            if args.metric is not None:
+                names = warehouse.metric_names(campaign)
+                if args.metric not in names:
+                    print(
+                        f"unknown metric {args.metric!r}; campaign "
+                        f"reports {sorted(names)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            if args.limit is not None:
+                records = records[: max(args.limit, 0)]
+            if args.json:
+                payload = [
+                    {
+                        **{
+                            k: rec[k]
+                            for k in (
+                                "index",
+                                "digest",
+                                "seed",
+                                "scenario_id",
+                                "params",
+                            )
+                        },
+                        "metrics": (
+                            {args.metric: rec["metrics"][args.metric]}
+                            if args.metric is not None
+                            else rec["metrics"]
+                        ),
+                    }
+                    for rec in records
+                ]
+                print(json.dumps(payload, indent=2))
+                return 0
+            for rec in records:
+                metrics = (
+                    {args.metric: rec["metrics"][args.metric]}
+                    if args.metric is not None
+                    else rec["metrics"]
+                )
+                rendered = " ".join(
+                    f"{name}={metrics[name]:.6g}"
+                    for name in sorted(metrics)
+                )
+                print(
+                    f"  row {rec['index']:<4d} seed={rec['seed']} "
+                    f"{rec['scenario_id']}: {rendered}"
+                )
+            return 0
+        finally:
+            warehouse.close()
+    finally:
+        _restore_runtime_options(args, service_changed)
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     """The ``serve`` verb's parser (docgen renders this tree)."""
     parser = argparse.ArgumentParser(
@@ -1448,10 +1902,15 @@ def build_bench_summary_parser() -> argparse.ArgumentParser:
 def _main_bench_summary(argv: Sequence[str]) -> int:
     args = build_bench_summary_parser().parse_args(list(argv))
     bench_dir = Path(args.bench_dir) if args.bench_dir else default_bench_dir()
-    if not bench_dir.is_dir():
-        print(f"no such bench directory: {bench_dir}", file=sys.stderr)
-        return 2
-    records = load_bench_records(bench_dir)
+    # A missing or empty records directory is an ordinary state (fresh
+    # checkout, benchmarks not yet run), not an error.
+    records = load_bench_records(bench_dir) if bench_dir.is_dir() else []
+    if not records:
+        if args.json:
+            print("[]")
+        else:
+            print(f"no bench records under {bench_dir}")
+        return 0
     if args.json:
         print(json.dumps(records, indent=2))
     else:
@@ -1514,6 +1973,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _main_oligopoly(argv[1:])
     if verb == "dynamics":
         return _main_dynamics(argv[1:])
+    if verb == "campaign":
+        return _main_campaign(argv[1:])
     if verb == "bench-summary":
         return _main_bench_summary(argv[1:])
     if verb == "serve":
@@ -1528,6 +1989,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _main_oligopoly(argv[1:])
         if argv and argv[0] == "dynamics":
             return _main_dynamics(argv[1:])
+        if argv and argv[0] == "campaign":
+            # "run campaign --rows N" reads as "campaign run --rows N".
+            return _main_campaign(["run", *argv[1:]])
 
     parser = build_run_parser()
     args = parser.parse_args(argv)

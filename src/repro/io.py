@@ -28,6 +28,15 @@ scenario round trip validate it (:func:`dynamics_to_dict` /
 :func:`dynamics_from_dict`), so a malformed trajectory block fails at
 load/save time with :class:`~repro.exceptions.ModelError`, never mid-run.
 
+A fourth versioned format, ``repro-campaign/1``, declares a *campaign* —
+a scenario generator crossed with seed ranges and parameter axes, the
+unit the :mod:`repro.campaigns` subsystem expands into thousands of
+content-keyed rows:
+
+    from repro.io import save_campaign, load_campaign
+    save_campaign(spec, "campaign.json")
+    spec = load_campaign("campaign.json")
+
 Every functional-family class in :mod:`repro.network` is a frozen
 dataclass, so serialization is generic: ``{"type": <class name>,
 "params": {field: value}}`` with recursion for wrapper families
@@ -43,6 +52,18 @@ import hashlib
 import json
 from pathlib import Path
 from typing import Any
+
+#: Format tag of a bare-market JSON payload.
+MARKET_FORMAT = "repro-market/1"
+
+#: Format tag of a scenario-spec JSON payload (superset of the market one).
+SCENARIO_FORMAT = "repro-scenario/1"
+
+#: Format tag of a campaign-spec JSON payload (generator x seeds x axes).
+#: Defined ahead of the repro imports below: :mod:`repro.campaigns.spec`
+#: sits on an import cycle with this module and must be able to read the
+#: tag while :mod:`repro.io` is still initializing.
+CAMPAIGN_FORMAT = "repro-campaign/1"
 
 from repro.exceptions import ModelError
 from repro.network.demand import (
@@ -87,13 +108,13 @@ __all__ = [
     "dynamics_from_dict",
     "market_digest",
     "scenario_digest",
+    "CAMPAIGN_FORMAT",
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "save_campaign",
+    "load_campaign",
+    "campaign_digest",
 ]
-
-#: Format tag of a bare-market JSON payload.
-MARKET_FORMAT = "repro-market/1"
-
-#: Format tag of a scenario-spec JSON payload (superset of the market one).
-SCENARIO_FORMAT = "repro-scenario/1"
 
 _FAMILIES: dict[str, type] = {
     cls.__name__: cls
@@ -324,3 +345,59 @@ def load_scenario(path: str | Path) -> ScenarioSpec:
     with open(path) as handle:
         payload = json.load(handle)
     return scenario_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# repro-campaign/1 — campaign specs (generator x seeds x axes x sweep).
+# The CampaignSpec import stays inside the functions: campaigns.spec
+# imports this module for the format tag and scenario digests.
+
+
+def campaign_to_dict(spec: "Any") -> dict:
+    """JSON-ready ``repro-campaign/1`` payload for a campaign spec."""
+    from repro.campaigns.spec import CampaignSpec
+
+    if not isinstance(spec, CampaignSpec):
+        raise ModelError(
+            f"expected a CampaignSpec, got {type(spec).__name__}"
+        )
+    return spec.to_dict()
+
+
+def campaign_from_dict(payload: Any) -> "Any":
+    """Rebuild (and re-validate) a campaign spec from its payload.
+
+    Strict by design: a wrong format tag or unknown field raises
+    :class:`~repro.exceptions.ModelError`.
+    """
+    from repro.campaigns.spec import CampaignSpec
+
+    return CampaignSpec.from_dict(payload)
+
+
+def save_campaign(spec: "Any", path: str | Path, *, indent: int = 2) -> None:
+    """Serialize a campaign spec to a JSON file (creating parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(campaign_to_dict(spec), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_campaign(path: str | Path) -> "Any":
+    """Load a campaign spec from a JSON file written by :func:`save_campaign`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return campaign_from_dict(payload)
+
+
+def campaign_digest(spec: "Any") -> str:
+    """SHA-256 digest of a campaign's canonical serialization.
+
+    The warehouse key: every expanded row of the campaign lands under
+    this digest, and a rerun of an equal spec resumes against it.
+    """
+    payload = json.dumps(
+        campaign_to_dict(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

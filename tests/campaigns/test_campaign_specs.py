@@ -1,0 +1,202 @@
+"""CampaignSpec: validation, deterministic expansion, serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaigns import (
+    CAMPAIGN_GENERATORS,
+    CAMPAIGN_SWEEPS,
+    CampaignSpec,
+)
+from repro.exceptions import ModelError
+from repro.io import (
+    CAMPAIGN_FORMAT,
+    campaign_digest,
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        campaign_id="unit",
+        generator="random_market",
+        sweep="price",
+        seed_start=3,
+        seed_count=2,
+        axes={"n_types": (4, 6)},
+        base_params={"prices": [0.8, 1.2]},
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestValidation:
+    def test_registry_covers_declared_generators(self):
+        assert set(CAMPAIGN_GENERATORS) == {
+            "random_market",
+            "scaled_market",
+            "shocked_market",
+        }
+        assert CAMPAIGN_SWEEPS == (
+            "price",
+            "grid",
+            "dynamics",
+            "market_structure",
+        )
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ModelError, match="generator"):
+            small_spec(generator="mystery_market")
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(ModelError, match="sweep"):
+            small_spec(sweep="vibes")
+
+    def test_unseeded_generator_needs_single_seed(self):
+        with pytest.raises(ModelError, match="seed"):
+            small_spec(
+                generator="scaled_market",
+                seed_count=4,
+                axes={"n_types": (4, 6)},
+            )
+        # seed_count == 1 is the legal spelling for unseeded generators.
+        spec = small_spec(
+            generator="scaled_market",
+            seed_count=1,
+            axes={"n_types": (4, 6)},
+        )
+        assert spec.size() == 2
+
+    def test_forbidden_params_rejected(self):
+        with pytest.raises(ModelError, match="seed"):
+            small_spec(base_params={"seed": 1})
+        with pytest.raises(ModelError, match="scenario_id"):
+            small_spec(axes={"scenario_id": ("a", "b")})
+
+    def test_non_finite_axis_value_rejected(self):
+        with pytest.raises(ModelError, match="finite"):
+            small_spec(axes={"n_types": (4, float("nan"))})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            small_spec(axes={"n_types": (4, 4)})
+
+    def test_carriers_axis_only_for_market_structure(self):
+        with pytest.raises(ModelError, match="carriers"):
+            small_spec(axes={"carriers": (1, 2)})
+        spec = small_spec(
+            sweep="market_structure", axes={"carriers": (1, 2)}
+        )
+        assert spec.size() == 4
+
+    def test_sampled_needs_positive_n_samples(self):
+        with pytest.raises(ModelError, match="n_samples"):
+            small_spec(sampling="sampled", n_samples=0)
+
+
+class TestExpansion:
+    def test_product_size_and_order(self):
+        spec = small_spec()
+        rows = spec.expand()
+        assert len(rows) == spec.size() == 4
+        assert [row.index for row in rows] == [0, 1, 2, 3]
+        # Seeds iterate the range; the axis iterates within each seed.
+        assert [row.seed for row in rows] == [3, 3, 4, 4]
+        assert [dict(row.params)["n_types"] for row in rows] == [4, 6, 4, 6]
+
+    def test_expansion_is_deterministic(self):
+        first = small_spec().expand()
+        second = small_spec().expand()
+        assert [row.digest for row in first] == [
+            row.digest for row in second
+        ]
+        assert [row.scenario_digest for row in first] == [
+            row.scenario_digest for row in second
+        ]
+
+    def test_row_digests_are_unique(self):
+        rows = small_spec(seed_count=5).expand()
+        digests = [row.digest for row in rows]
+        assert len(digests) == len(set(digests))
+
+    def test_sampled_rows_are_seed_distinct(self):
+        spec = small_spec(
+            sampling="sampled",
+            n_samples=6,
+            sample_seed=11,
+            axes={"n_types": (4, 6, 8)},
+        )
+        rows = spec.expand()
+        assert len(rows) == 6
+        assert [row.seed for row in rows] == [3, 4, 5, 6, 7, 8]
+        for row in rows:
+            assert dict(row.params)["n_types"] in (4, 6, 8)
+
+    def test_sample_seed_changes_the_draw(self):
+        axes = {"n_types": (4, 6, 8), "capacity": (0.5, 1.0, 2.0)}
+        a = small_spec(sampling="sampled", n_samples=8, axes=axes)
+        b = small_spec(
+            sampling="sampled", n_samples=8, sample_seed=99, axes=axes
+        )
+        assert [dict(r.params) for r in a.expand()] != [
+            dict(r.params) for r in b.expand()
+        ]
+
+    def test_market_structure_routes_solver_params(self):
+        """Competition-solver axes must reach the metadata, not the
+        generator (which would reject them)."""
+        spec = small_spec(
+            sweep="market_structure",
+            seed_count=1,
+            axes={"carriers": (2, 3)},
+            base_params={"n_types": 4, "grid_points": 5, "xtol": 1e-3},
+        )
+        rows = spec.expand()
+        assert len(rows) == 2
+        for row, carriers in zip(rows, (2, 3)):
+            assert row.scenario.metadata["carriers"] == carriers
+            assert row.scenario.metadata["grid_points"] == 5
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        spec = small_spec()
+        payload = campaign_to_dict(spec)
+        assert payload["format"] == CAMPAIGN_FORMAT
+        clone = campaign_from_dict(payload)
+        assert clone == spec
+        assert clone.digest() == spec.digest() == campaign_digest(spec)
+
+    def test_file_round_trip(self, tmp_path):
+        spec = small_spec(sampling="sampled", n_samples=3)
+        path = tmp_path / "campaign.json"
+        save_campaign(spec, path)
+        assert load_campaign(path) == spec
+
+    def test_unknown_field_rejected(self):
+        payload = campaign_to_dict(small_spec())
+        payload["surprise"] = True
+        with pytest.raises(ModelError, match="surprise"):
+            campaign_from_dict(payload)
+
+    def test_wrong_format_rejected(self):
+        payload = campaign_to_dict(small_spec())
+        payload["format"] = "repro-campaign/9"
+        with pytest.raises(ModelError, match="format"):
+            campaign_from_dict(payload)
+
+    def test_digest_tracks_content(self):
+        spec = small_spec()
+        assert (
+            dataclasses.replace(spec, seed_start=4).digest() != spec.digest()
+        )
+        # The id is part of the identity too: two campaigns over the same
+        # rows keep separate warehouse manifests.
+        assert (
+            dataclasses.replace(spec, campaign_id="other").digest()
+            != spec.digest()
+        )

@@ -1,0 +1,128 @@
+"""Fault injection: SIGKILL a campaign mid-flight, resume, lose nothing.
+
+The resumability contract of the warehouse manifest: killing the driver
+process at an arbitrary instant leaves only whole rows behind (row +
+metrics land in one transaction), and a rerun with the same cache
+directory computes exactly the missing complement — no duplicate rows,
+no partial rows, no recomputed survivors.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignSpec, CampaignWarehouse
+from repro.campaigns.driver import WAREHOUSE_FILENAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Heavy enough that the child is reliably mid-flight when we look
+#: (~hundreds of solves), light enough for the default suite.
+SPEC_ARGS = [
+    "--campaign-id", "killer",
+    "--rows", "64",
+    "--param", "n_types=16",
+    "--prices", "0.6,0.8,1.0,1.2,1.4,1.6",
+]
+
+
+def spec_for(args=SPEC_ARGS) -> CampaignSpec:
+    prices = [float(v) for v in args[7].split(",")]
+    return CampaignSpec(
+        campaign_id="killer",
+        generator="random_market",
+        sweep="price",
+        seed_count=64,
+        base_params={"n_types": 16, "prices": prices},
+    )
+
+
+def spawn(cache_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "campaign", "run",
+            *SPEC_ARGS, "--cache-dir", str(cache_dir), "--json",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+def landed_rows(cache_dir: Path, campaign: str) -> int:
+    path = cache_dir / WAREHOUSE_FILENAME
+    if not path.exists():
+        return 0
+    with CampaignWarehouse(path) as wh:
+        return wh.count(campaign)
+
+
+def test_sigkill_mid_flight_then_resume_computes_only_the_missing(tmp_path):
+    spec = spec_for()
+    campaign = spec.digest()
+    total = spec.size()
+    child = spawn(tmp_path)
+    try:
+        # Wait until some rows (but not all) have landed, then pull the
+        # plug with the one signal nothing can catch.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            done = landed_rows(tmp_path, campaign)
+            if done >= 2:
+                break
+            if child.poll() is not None:
+                pytest.fail("campaign finished before it could be killed")
+            time.sleep(0.01)
+        else:
+            pytest.fail("campaign landed no rows within the deadline")
+        assert child.poll() is None, "campaign finished before the kill"
+        child.kill()  # SIGKILL: no atexit, no finally, no commit
+        child.wait(timeout=30)
+        assert child.returncode == -signal.SIGKILL
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    survivors = landed_rows(tmp_path, campaign)
+    assert 0 < survivors < total, "kill landed outside the useful window"
+
+    # Every surviving row is whole: the append transaction is atomic.
+    with CampaignWarehouse(tmp_path / WAREHOUSE_FILENAME) as wh:
+        assert wh.incomplete_rows(campaign) == []
+        survivor_digests = wh.existing_digests(campaign)
+    expected = {row.digest for row in spec.expand()}
+    assert survivor_digests <= expected
+
+    # Resume with the same cache dir: exactly the complement computes.
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    resumed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments", "campaign", "run",
+            *SPEC_ARGS, "--cache-dir", str(tmp_path), "--json",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    report = json.loads(resumed.stdout)
+    assert report["rows_total"] == total
+    assert report["rows_resumed"] == survivors
+    assert report["rows_computed"] == total - survivors
+
+    # The warehouse holds each row exactly once, whole.
+    with CampaignWarehouse(tmp_path / WAREHOUSE_FILENAME) as wh:
+        assert wh.count(campaign) == total
+        assert wh.existing_digests(campaign) == expected
+        assert wh.incomplete_rows(campaign) == []

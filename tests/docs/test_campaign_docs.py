@@ -1,0 +1,94 @@
+"""The campaigns page's walkthrough must execute, in order, verbatim.
+
+``docs/campaigns.md`` promises that every ``sh`` fenced block on the
+page — the 100-row run, the status probe, the resume with
+``computed == 0``, the summary CSV and the row query — runs as written.
+This test extracts the blocks and executes them in document order inside
+one scratch directory, then checks the artifacts the page creates: a
+saved ``repro-campaign/1`` spec, a warehouse beside the store, and a
+resume report with zero computed rows and zero solves.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CAMPAIGN_DOC = REPO_ROOT / "docs" / "campaigns.md"
+
+_FENCE = re.compile(r"^```(\w+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def _sh_blocks() -> list[str]:
+    text = CAMPAIGN_DOC.read_text(encoding="utf-8")
+    return [body for language, body in _FENCE.findall(text) if language == "sh"]
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    """One scratch directory for the whole walkthrough, with a python
+    shim so the page's plain ``python`` commands use this interpreter."""
+    path = tmp_path_factory.mktemp("campaign-doc")
+    shim_dir = path / "bin"
+    shim_dir.mkdir()
+    shim = shim_dir / "python"
+    shim.write_text(f'#!/bin/sh\nexec "{sys.executable}" "$@"\n')
+    shim.chmod(0o755)
+    return path
+
+
+def _env(workdir: Path) -> dict:
+    env = dict(os.environ)
+    env["PATH"] = f"{workdir / 'bin'}{os.pathsep}{env.get('PATH', '')}"
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}{os.pathsep}{REPO_ROOT}"
+    env.pop("REPRO_CACHE_DIR", None)  # the page manages its own store
+    env.pop("REPRO_BACKEND", None)
+    return env
+
+
+def test_page_has_the_walkthrough():
+    blocks = _sh_blocks()
+    assert len(blocks) >= 5, "campaigns.md lost its walkthrough blocks"
+    joined = "\n".join(blocks)
+    assert "campaign run" in joined
+    assert "campaign status" in joined
+    assert "campaign summary" in joined
+    assert "campaign query" in joined
+    assert "--save-spec" in joined
+
+
+def test_walkthrough_executes_in_order(workdir):
+    env = _env(workdir)
+    for index, body in enumerate(_sh_blocks()):
+        proc = subprocess.run(
+            ["bash", "-ec", body],
+            cwd=workdir,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, (
+            f"campaigns.md block {index} failed (exit {proc.returncode}):\n"
+            f"{body}\n--- stdout ---\n{proc.stdout}"
+            f"\n--- stderr ---\n{proc.stderr}"
+        )
+
+    # The artifacts the page promises.
+    saved = json.loads((workdir / "welfare-100.json").read_text())
+    assert saved["format"] == "repro-campaign/1"
+    assert saved["seed_count"] == 50
+    assert (workdir / "store" / "campaigns.sqlite").is_file()
+    report = json.loads((workdir / "rerun.json").read_text())
+    assert report["rows_total"] == 100
+    assert report["rows_computed"] == 0
+    assert report["cache"]["computed"] == 0
+    summary = (workdir / "summary.csv").read_text().splitlines()
+    assert summary[0] == "metric,count,mean,std,min,p25,median,p75,max"
+    rows = json.loads((workdir / "rows.json").read_text())
+    assert len(rows) == 3
